@@ -1,0 +1,358 @@
+// Package goldilocks_bench holds the top-level benchmark harness: one
+// benchmark per evaluation artifact of the paper (Tables 1-3, Figures
+// 6-7), the ablation benchmarks for the design choices called out in
+// DESIGN.md, and detector microbenchmarks.
+//
+// Run with: go test -bench=. -benchmem
+//
+// The Table benchmarks time test-scale workload instances (full-scale
+// numbers are produced by cmd/racebench, which runs each configuration
+// once rather than b.N times).
+package goldilocks_bench
+
+import (
+	"fmt"
+	"testing"
+
+	"goldilocks/internal/bench"
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/detectors/basic"
+	"goldilocks/internal/detectors/eraser"
+	"goldilocks/internal/event"
+	"goldilocks/internal/explore"
+	"goldilocks/internal/hb"
+	"goldilocks/internal/jrt"
+	"goldilocks/internal/mj"
+	"goldilocks/internal/scenarios"
+	"goldilocks/internal/tracegen"
+)
+
+// BenchmarkTable1 times every workload in every Table 1 configuration.
+func BenchmarkTable1(b *testing.B) {
+	for _, w := range bench.Table1Workloads() {
+		for _, mode := range []bench.Mode{bench.Uninstrumented, bench.NoStatic, bench.WithChord, bench.WithRcc} {
+			b.Run(w.Name+"/"+string(mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m, err := bench.Run(w, bench.RunOptions{Mode: mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m.Races != 0 {
+						b.Fatalf("races = %d", m.Races)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 times the coverage-measurement runs of Table 2 (the
+// deterministic instrumented executions under each static analysis).
+func BenchmarkTable2(b *testing.B) {
+	for _, w := range bench.Table1Workloads() {
+		for _, mode := range []bench.Mode{bench.WithChord, bench.WithRcc} {
+			b.Run(w.Name+"/"+string(mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.Run(w, bench.RunOptions{Mode: mode, Deterministic: true, Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 times the transactional Multiset against the
+// uninstrumented baseline for the paper's thread counts (test scale).
+func BenchmarkTable3(b *testing.B) {
+	for _, threads := range []int{5, 10, 20, 50} {
+		for _, mode := range []bench.Mode{bench.Uninstrumented, bench.NoStatic} {
+			b.Run(fmt.Sprintf("threads=%d/%s", threads, mode), func(b *testing.B) {
+				w := bench.MultisetWorkload(threads, 6)
+				for i := 0; i < b.N; i++ {
+					m, err := bench.Run(w, bench.RunOptions{Mode: mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m.Races != 0 {
+						b.Fatalf("races = %d", m.Races)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 and BenchmarkFigure7 time the spec-engine lockset
+// evolution replays behind the two figures.
+func BenchmarkFigure6(b *testing.B) {
+	tr := scenarios.Ownership().Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rs := detect.RunTrace(core.NewSpecEngine(), tr); len(rs) != 0 {
+			b.Fatal("race on Example 2")
+		}
+	}
+}
+
+// BenchmarkFigure7 replays the Example 3 transaction trace.
+func BenchmarkFigure7(b *testing.B) {
+	tr := scenarios.TxList().Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rs := detect.RunTrace(core.NewSpecEngine(), tr); len(rs) != 0 {
+			b.Fatal("race on Example 3")
+		}
+	}
+}
+
+// traceCorpus builds a reusable set of random traces for detector
+// microbenchmarks.
+func traceCorpus(n int, cfg tracegen.Config) []*event.Trace {
+	out := make([]*event.Trace, n)
+	for i := range out {
+		out[i] = tracegen.FromSeedConfig(int64(i), cfg)
+	}
+	return out
+}
+
+// BenchmarkDetectorComparison replays identical traces through
+// Goldilocks (optimized and spec), the vector-clock detector, and the
+// Eraser-style baselines — the cost-per-action comparison behind the
+// paper's "precision does not cost performance" claim.
+func BenchmarkDetectorComparison(b *testing.B) {
+	cfg := tracegen.Default()
+	cfg.Steps = 400
+	traces := traceCorpus(20, cfg)
+	actions := 0
+	for _, tr := range traces {
+		actions += tr.Len()
+	}
+	detectors := map[string]func() detect.Detector{
+		"goldilocks":      func() detect.Detector { return core.New() },
+		"goldilocks-spec": func() detect.Detector { return core.NewSpecEngine() },
+		"vectorclock":     func() detect.Detector { return hb.NewDetector() },
+		"eraser":          func() detect.Detector { return eraser.New() },
+		"basic-lockset":   func() detect.Detector { return basic.New() },
+	}
+	for name, mk := range detectors {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, tr := range traces {
+					detect.RunTrace(mk(), tr)
+				}
+			}
+			b.ReportMetric(float64(actions), "actions/op")
+		})
+	}
+}
+
+// BenchmarkAblationShortCircuits measures what the three short-circuit
+// checks and the transactions check buy on a lock-heavy trace mix.
+func BenchmarkAblationShortCircuits(b *testing.B) {
+	cfg := tracegen.Default()
+	cfg.Steps = 400
+	cfg.SyncBias = 0.6
+	traces := traceCorpus(20, cfg)
+	configs := map[string]func(*core.Options){
+		"all":    func(o *core.Options) {},
+		"noSC1":  func(o *core.Options) { o.SC1 = false },
+		"noSC2":  func(o *core.Options) { o.SC2 = false },
+		"noSC3":  func(o *core.Options) { o.SC3 = false },
+		"noXact": func(o *core.Options) { o.XactSC = false },
+		"none": func(o *core.Options) {
+			o.SC1, o.SC2, o.SC3, o.XactSC = false, false, false, false
+		},
+	}
+	for name, tweak := range configs {
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			tweak(&opts)
+			b.ReportAllocs()
+			var walked uint64
+			for i := 0; i < b.N; i++ {
+				for _, tr := range traces {
+					e := core.NewEngine(opts)
+					detect.RunTrace(e, tr)
+					walked += e.Stats().WalkCells
+				}
+			}
+			b.ReportMetric(float64(walked)/float64(b.N), "cells-walked/op")
+		})
+	}
+}
+
+// BenchmarkAblationLazyGC measures the event-list garbage collector and
+// partially-eager evaluation under a long-running sync-heavy load.
+func BenchmarkAblationLazyGC(b *testing.B) {
+	mkTrace := func() *event.Trace {
+		bld := event.NewBuilder()
+		bld.Fork(1, 2)
+		bld.Write(1, 10, 0) // early access pins the list without eager advance
+		for i := 0; i < 4000; i++ {
+			bld.Acquire(1, 20)
+			bld.Release(1, 20)
+			if i%100 == 99 {
+				bld.Acquire(2, 20)
+				bld.Read(2, 10, 0)
+				bld.Release(2, 20)
+			}
+		}
+		return bld.Trace()
+	}
+	tr := mkTrace()
+	configs := map[string]core.Options{}
+	eager := core.DefaultOptions()
+	eager.GCThreshold = 512
+	eager.GCTrimFraction = 0.25
+	configs["gc+eager"] = eager
+	noEager := eager
+	noEager.PartialEager = false
+	configs["gc-noeager"] = noEager
+	noGC := core.DefaultOptions()
+	noGC.GCThreshold = 0
+	configs["nogc"] = noGC
+	for name, opts := range configs {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var retained int
+			for i := 0; i < b.N; i++ {
+				e := core.NewEngine(opts)
+				if rs := detect.RunTrace(e, tr); len(rs) != 0 {
+					b.Fatal("unexpected race")
+				}
+				retained = e.ListLen()
+			}
+			b.ReportMetric(float64(retained), "cells-retained")
+		})
+	}
+}
+
+// BenchmarkAblationTxnAware compares treating transactions as
+// high-level commit actions against exposing their lock-based
+// implementation to the detector (the paper reports the latter costs
+// more than 10x on Multiset).
+func BenchmarkAblationTxnAware(b *testing.B) {
+	cases := map[string]bench.Workload{
+		"commit-aware":   bench.MultisetWorkload(5, 6),
+		"lock-oblivious": bench.MultisetLockWorkload(5, 6),
+	}
+	for name, w := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := bench.Run(w, bench.RunOptions{Mode: bench.NoStatic})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Races != 0 {
+					b.Fatalf("races = %d", m.Races)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineHotPaths microbenchmarks the per-access cost of the
+// optimized engine in the regimes that matter: same-thread re-access
+// (SC1), lock-disciplined sharing (SC2), and cross-thread handoff (full
+// lockset computation).
+func BenchmarkEngineHotPaths(b *testing.B) {
+	b.Run("sameThread", func(b *testing.B) {
+		e := core.New()
+		e.Write(1, 10, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Read(1, 10, 0)
+		}
+	})
+	b.Run("lockDiscipline", func(b *testing.B) {
+		e := core.New()
+		e.Sync(event.Fork(1, 2))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := event.Tid(1 + i%2)
+			e.Sync(event.Acquire(t, 20))
+			e.Write(t, 10, 0)
+			e.Sync(event.Release(t, 20))
+		}
+	})
+	b.Run("volatileHandoff", func(b *testing.B) {
+		e := core.New()
+		e.Sync(event.Fork(1, 2))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := event.Tid(1 + i%2)
+			e.Write(t, 10, 0)
+			e.Sync(event.VolatileWrite(t, 1, 0))
+			u := event.Tid(1 + (i+1)%2)
+			e.Sync(event.VolatileRead(u, 1, 0))
+		}
+	})
+}
+
+// BenchmarkScheduleExploration measures systematic exploration
+// throughput (schedules per op) on a small always-racy program.
+func BenchmarkScheduleExploration(b *testing.B) {
+	src := `
+class D { int v; }
+class Main {
+	D d;
+	void racer() { d.v = 1; }
+	void main() {
+		d = new D();
+		thread t = spawn this.racer();
+		d.v = 2;
+		join(t);
+	}
+}
+`
+	prog := mj.MustCheck(src)
+	_ = prog
+	body := func(c jrt.Chooser) int {
+		p := mj.MustCheck(src)
+		rt := jrt.NewRuntime(jrt.Config{Detector: core.New(), Policy: jrt.Log, Mode: jrt.Deterministic, Chooser: c})
+		interp, err := mj.NewInterp(p, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		races, err := interp.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(races)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := explore.Schedules(explore.Options{MaxSchedules: 50}, body, nil)
+		if res.Racy == 0 {
+			b.Fatal("no races found")
+		}
+	}
+}
+
+// BenchmarkRecordReplay measures the recording detector's overhead and
+// the offline replay cost on a workload run.
+func BenchmarkRecordReplay(b *testing.B) {
+	w := bench.Table1Workloads()[5] // philo: sync-heavy, small
+	for i := 0; i < b.N; i++ {
+		prog := mj.MustCheck(w.Instantiate(false))
+		rec := jrt.Record(core.New())
+		rt := jrt.NewRuntime(jrt.Config{Detector: rec, Policy: jrt.Log, Mode: jrt.Deterministic, Seed: 1})
+		interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := interp.Run(); err != nil {
+			b.Fatal(err)
+		}
+		tr := rec.Trace()
+		if rs := detect.RunTrace(core.New(), tr); len(rs) != 0 {
+			b.Fatal("replay raced")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Command goldilocks runs an MJ program on the race- and
+// transaction-aware runtime: the command-line face of the paper's
+// modified JVM.
+//
+// Usage:
+//
+//	goldilocks [flags] program.mj
+//
+// Flags select the detector (goldilocks, vectorclock, eraser, basic, or
+// none), the static pre-analysis (none, chord, rcc), the race policy
+// (throw or log), and the scheduler (deterministic with a seed, or
+// free). On exit it prints the races observed and, with -stats, the
+// detector and runtime counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/detectors/basic"
+	"goldilocks/internal/detectors/eraser"
+	"goldilocks/internal/event"
+	"goldilocks/internal/explore"
+	"goldilocks/internal/hb"
+	"goldilocks/internal/jrt"
+	"goldilocks/internal/mj"
+	"goldilocks/internal/static"
+)
+
+func main() {
+	var (
+		detName  = flag.String("detector", "goldilocks", "race detector: goldilocks, vectorclock, eraser, basic, none")
+		analysis = flag.String("static", "none", "static pre-analysis: none, chord, rcc")
+		policy   = flag.String("policy", "throw", "on race: throw (DataRaceException) or log")
+		sched    = flag.String("sched", "free", "scheduler: free or det")
+		seed     = flag.Int64("seed", 1, "seed for the deterministic scheduler")
+		stats    = flag.Bool("stats", false, "print runtime and detector statistics")
+		noSC     = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks (ablation)")
+		record   = flag.String("record", "", "write the observed linearization to this file (replay with cmd/racereplay)")
+		exploreN = flag.Int("explore", 0, "systematically explore up to N schedules and report how many race (implies -sched det)")
+		exploreP = flag.Int("explore-bound", 0, "preemption bound for -explore (0: unbounded)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: goldilocks [flags] program.mj")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *exploreN > 0 {
+		racy, err := exploreSchedules(flag.Arg(0), *exploreN, *exploreP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "goldilocks:", err)
+			os.Exit(1)
+		}
+		if racy > 0 {
+			os.Exit(3)
+		}
+		return
+	}
+	nraces, err := run(flag.Arg(0), *detName, *analysis, *policy, *sched, *seed, *stats, *noSC, *record)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldilocks:", err)
+		os.Exit(1)
+	}
+	if nraces > 0 {
+		os.Exit(3)
+	}
+}
+
+// exploreSchedules runs the program under systematic schedule
+// exploration and reports the racy/clean split.
+func exploreSchedules(path string, maxSchedules, preemptionBound int) (int, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := mj.Parse(string(src))
+	if err != nil {
+		return 0, err
+	}
+	if err := mj.Check(prog); err != nil {
+		return 0, err
+	}
+	body := func(c jrt.Chooser) int {
+		p, err := mj.Parse(string(src))
+		if err != nil {
+			panic(err)
+		}
+		if err := mj.Check(p); err != nil {
+			panic(err)
+		}
+		rt := jrt.NewRuntime(jrt.Config{
+			Detector: core.New(),
+			Policy:   jrt.Log,
+			Mode:     jrt.Deterministic,
+			Chooser:  c,
+		})
+		interp, err := mj.NewInterp(p, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			panic(err)
+		}
+		races, err := interp.Run()
+		if err != nil {
+			panic(err)
+		}
+		return len(races)
+	}
+	res := explore.Schedules(explore.Options{MaxSchedules: maxSchedules, PreemptionBound: preemptionBound}, body, nil)
+	coverage := "bounded"
+	if res.Exhausted {
+		coverage = "exhaustive"
+	}
+	fmt.Printf("explored %d schedules (%s): %d racy, %d race-free\n",
+		res.Schedules, coverage, res.Racy, res.Schedules-res.Racy)
+	if res.FirstRacy != nil {
+		fmt.Printf("first racy schedule decision sequence: %v\n", res.FirstRacy)
+	}
+	return res.Racy, nil
+}
+
+// run executes the program and returns the number of races reported.
+func run(path, detName, analysis, policy, sched string, seed int64, stats, noSC bool, recordPath string) (int, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := mj.Parse(string(src))
+	if err != nil {
+		return 0, err
+	}
+	if err := mj.Check(prog); err != nil {
+		return 0, err
+	}
+
+	var mask []bool
+	switch analysis {
+	case "none":
+	case "chord":
+		r := static.Chord(prog)
+		mask = r.Apply(prog)
+		fmt.Fprintf(os.Stderr, "chord: %d/%d access sites proven race-free\n", r.SafeSiteCount(), mj.NumSites(prog))
+	case "rcc":
+		r, err := static.Rcc(prog)
+		if err != nil {
+			return 0, err
+		}
+		mask = r.Apply(prog)
+		fmt.Fprintf(os.Stderr, "rcc: %d/%d access sites proven race-free\n", r.SafeSiteCount(), mj.NumSites(prog))
+	default:
+		return 0, fmt.Errorf("unknown static analysis %q", analysis)
+	}
+
+	cfg := jrt.Config{}
+	var engine *core.Engine
+	switch detName {
+	case "goldilocks":
+		opts := core.DefaultOptions()
+		if noSC {
+			opts.SC1, opts.SC2, opts.SC3, opts.XactSC = false, false, false, false
+		}
+		engine = core.NewEngine(opts)
+		cfg.Detector = engine
+	case "vectorclock":
+		cfg.Detector = jrt.Serialize(hb.NewDetector())
+	case "eraser":
+		cfg.Detector = jrt.Serialize(eraser.New())
+	case "basic":
+		cfg.Detector = jrt.Serialize(basic.New())
+	case "none":
+	default:
+		return 0, fmt.Errorf("unknown detector %q", detName)
+	}
+	var recorder *jrt.Recorder
+	if recordPath != "" {
+		inner := cfg.Detector
+		if inner == nil {
+			inner = nopDetector{}
+		}
+		recorder = jrt.Record(inner)
+		cfg.Detector = recorder
+	}
+	switch policy {
+	case "throw":
+		cfg.Policy = jrt.Throw
+	case "log":
+		cfg.Policy = jrt.Log
+	default:
+		return 0, fmt.Errorf("unknown policy %q", policy)
+	}
+	switch sched {
+	case "free":
+		cfg.Mode = jrt.Free
+	case "det":
+		cfg.Mode = jrt.Deterministic
+		cfg.Seed = seed
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q", sched)
+	}
+
+	rt := jrt.NewRuntime(cfg)
+	interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt, Out: os.Stdout, SiteNoCheck: mask})
+	if err != nil {
+		return 0, err
+	}
+	races, err := interp.Run()
+	if err != nil {
+		return 0, err
+	}
+
+	for _, r := range races {
+		fmt.Fprintf(os.Stderr, "race: %v\n", &r)
+	}
+	for _, u := range rt.Uncaught() {
+		fmt.Fprintf(os.Stderr, "uncaught %v (thread terminated)\n", u)
+	}
+	if stats {
+		rs := rt.Stats()
+		fmt.Fprintf(os.Stderr, "runtime: %d accesses (%d checked), %d variables, %d sync ops, %d races thrown\n",
+			rs.TotalAccesses, rs.CheckedAccesses, rs.VarsCreated, rs.SyncOps, rs.RacesThrown)
+		if engine != nil {
+			es := engine.Stats()
+			fmt.Fprintf(os.Stderr, "goldilocks: %d pair checks, short-circuit %.1f%%, %d full walks over %d cells, %d collections\n",
+				es.PairChecks, 100*es.ShortCircuitRate(), es.FullWalks, es.WalkCells, es.Collections)
+		}
+	}
+	if recorder != nil {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if err := event.WriteTrace(f, recorder.Trace()); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d actions to %s\n", recorder.Trace().Len(), recordPath)
+	}
+	return len(races), nil
+}
+
+// nopDetector lets -record work with -detector none.
+type nopDetector struct{}
+
+func (nopDetector) Sync(event.Action) {}
+func (nopDetector) Read(event.Tid, event.Addr, event.FieldID) *detect.Race {
+	return nil
+}
+func (nopDetector) Write(event.Tid, event.Addr, event.FieldID) *detect.Race {
+	return nil
+}
+func (nopDetector) Commit(event.Tid, []event.Variable, []event.Variable) []detect.Race {
+	return nil
+}
+func (nopDetector) Alloc(event.Tid, event.Addr) {}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mj")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSrc = `
+class Counter { int n; synchronized void inc() { n = n + 1; } }
+class Main {
+	Counter c;
+	void work() { for (int i = 0; i < 5; i = i + 1) { c.inc(); } }
+	void main() {
+		c = new Counter();
+		thread a = spawn this.work();
+		join(a);
+		print(c.n);
+	}
+}
+`
+
+func TestRunCleanProgramAllDetectors(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	for _, det := range []string{"goldilocks", "vectorclock", "eraser", "none"} {
+		n, err := run(path, det, "none", "throw", "det", 1, true, false, "")
+		if err != nil {
+			t.Errorf("detector %s: %v", det, err)
+		}
+		if n != 0 {
+			t.Errorf("detector %s: %d races on a race-free program", det, n)
+		}
+	}
+	// The naive lockset detector false-alarms on the unprotected
+	// initialization, demonstrating the precision gap from the CLI too.
+	n, err := run(path, "basic", "none", "log", "det", 1, false, false, "")
+	if err != nil {
+		t.Fatalf("basic: %v", err)
+	}
+	if n == 0 {
+		t.Error("basic-lockset did not false-alarm")
+	}
+}
+
+func TestRunStaticAnalyses(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	for _, analysis := range []string{"chord", "rcc"} {
+		if _, err := run(path, "goldilocks", analysis, "log", "det", 1, false, false, ""); err != nil {
+			t.Errorf("static %s: %v", analysis, err)
+		}
+	}
+}
+
+func TestRunNoShortCircuit(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	if _, err := run(path, "goldilocks", "none", "throw", "free", 0, true, true, ""); err != nil {
+		t.Errorf("no-shortcircuit: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	cases := [][4]string{
+		{"bogus", "none", "throw", "det"},
+		{"goldilocks", "bogus", "throw", "det"},
+		{"goldilocks", "none", "bogus", "det"},
+		{"goldilocks", "none", "throw", "bogus"},
+	}
+	for _, c := range cases {
+		if _, err := run(path, c[0], c[1], c[2], c[3], 1, false, false, ""); err == nil {
+			t.Errorf("flags %v accepted", c)
+		}
+	}
+}
+
+func TestRunFrontEndErrors(t *testing.T) {
+	if _, err := run(filepath.Join(t.TempDir(), "missing.mj"), "goldilocks", "none", "throw", "det", 1, false, false, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeProgram(t, "class {")
+	if _, err := run(bad, "goldilocks", "none", "throw", "det", 1, false, false, ""); err == nil {
+		t.Error("syntax error accepted")
+	}
+	unchecked := writeProgram(t, "class C { void m() { x = 1; } }")
+	if _, err := run(unchecked, "goldilocks", "none", "throw", "det", 1, false, false, ""); err == nil {
+		t.Error("type error accepted")
+	}
+}
+
+func TestRecordFlagWritesReplayableTrace(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	trace := filepath.Join(t.TempDir(), "out.json")
+	if _, err := run(path, "goldilocks", "none", "log", "det", 1, false, false, trace); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := event.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("recorded trace unreadable: %v", err)
+	}
+	if tr.Len() == 0 {
+		t.Error("empty recording")
+	}
+	// The recording replays race-free.
+	if rs := detect.RunTrace(core.New(), tr); len(rs) != 0 {
+		t.Errorf("replay found races: %v", rs)
+	}
+}
+
+func TestExploreFlag(t *testing.T) {
+	racy := writeProgram(t, `
+class D { int v; }
+class Main {
+	D d;
+	void racer() { d.v = 1; }
+	void main() {
+		d = new D();
+		thread t = spawn this.racer();
+		d.v = 2;
+		join(t);
+	}
+}
+`)
+	n, err := exploreSchedules(racy, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("exploration found no racy schedule of an always-racy program")
+	}
+	clean := writeProgram(t, cleanSrc)
+	n, err = exploreSchedules(clean, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("exploration found %d racy schedules of a race-free program", n)
+	}
+}

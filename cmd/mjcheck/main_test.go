@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"goldilocks/internal/mj"
+	"goldilocks/internal/static"
+)
+
+// TestReportRuns exercises the report path over both analyses.
+func TestReportRuns(t *testing.T) {
+	src := `
+class Counter {
+	int n;
+	synchronized void inc() { n = n + 1; }
+}
+class Main {
+	Counter c;
+	void work() { c.inc(); }
+	void main() {
+		c = new Counter();
+		thread a = spawn this.work();
+		thread b = spawn this.work();
+		join(a);
+		join(b);
+	}
+}
+`
+	prog := mj.MustCheck(src)
+	report("chord", static.Chord(prog), prog)
+	prog2 := mj.MustCheck(src)
+	r, err := static.Rcc(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report("rcc", r, prog2)
+}

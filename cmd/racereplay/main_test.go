@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goldilocks/internal/event"
+)
+
+func writeTraceFile(t *testing.T, tr *event.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := event.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func racyTrace() *event.Trace {
+	return event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		Write(2, 10, 0).
+		Trace()
+}
+
+func cleanTrace() *event.Trace {
+	return event.NewBuilder().
+		Fork(1, 2).
+		Acquire(1, 20).Write(1, 10, 0).Release(1, 20).
+		Acquire(2, 20).Write(2, 10, 0).Release(2, 20).
+		Trace()
+}
+
+func TestReplayDetectors(t *testing.T) {
+	racy := writeTraceFile(t, racyTrace())
+	clean := writeTraceFile(t, cleanTrace())
+	for _, det := range []string{"goldilocks", "spec", "vectorclock", "eraser", "basic", "all"} {
+		n, err := replay(racy, det, false, os.Stdout)
+		if err != nil {
+			t.Fatalf("%s: %v", det, err)
+		}
+		if n == 0 {
+			t.Errorf("%s: no race on racy trace", det)
+		}
+	}
+	for _, det := range []string{"goldilocks", "spec", "vectorclock"} {
+		n, err := replay(clean, det, false, os.Stdout)
+		if err != nil {
+			t.Fatalf("%s: %v", det, err)
+		}
+		if n != 0 {
+			t.Errorf("%s: %d false races on clean trace", det, n)
+		}
+	}
+}
+
+func TestReplayOracle(t *testing.T) {
+	racy := writeTraceFile(t, racyTrace())
+	n, err := replay(racy, "", true, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("oracle pairs = %d, want 1", n)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := replay(filepath.Join(t.TempDir(), "nope.json"), "goldilocks", false, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := replay(bad, "goldilocks", false, os.Stdout); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	good := writeTraceFile(t, cleanTrace())
+	if _, err := replay(good, "nonsense", false, os.Stdout); err == nil {
+		t.Error("unknown detector accepted")
+	}
+}

@@ -1,0 +1,28 @@
+// The transactional Multiset of Section 6.1 / Table 3, run end to end:
+// clients insert, remove, and count elements through transactions while
+// input arrays come from a lock-guarded factory — the mixed
+// lock/transaction regime the paper evaluates. Prints the measured
+// runtimes and the transaction counts for a few thread counts.
+//
+// Run with: go run ./examples/multiset
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"goldilocks/internal/bench"
+)
+
+func main() {
+	rows, err := bench.Table3([]int{5, 10, 20}, 8, func(s string) {
+		fmt.Fprintln(os.Stderr, s)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatTable3(rows))
+	fmt.Println("\nNo DataRaceException was thrown: the execution is sequentially")
+	fmt.Println("consistent and the transactions are strongly atomic.")
+}

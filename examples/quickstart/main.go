@@ -1,0 +1,68 @@
+// Quickstart: the Goldilocks race-aware runtime from Go.
+//
+// Two threads increment a shared counter — first correctly, handing
+// ownership over with a lock; then incorrectly, with no synchronization.
+// The second attempt throws a DataRaceException at the exact access that
+// would complete the race, which the offending thread catches and
+// handles.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/jrt"
+)
+
+func main() {
+	rt := jrt.NewRuntime(jrt.Config{
+		Detector: core.New(), // the generalized Goldilocks engine
+		Policy:   jrt.Throw,  // raise DataRaceException at the racy access
+		Mode:     jrt.Deterministic,
+		Seed:     7,
+	})
+
+	rt.Run(func(t *jrt.Thread) {
+		counterClass := rt.DefineClass("Counter", jrt.FieldDecl{Name: "n"})
+		counter := t.New(counterClass)
+		lock := t.New(rt.DefineClass("Lock"))
+		n := counterClass.MustFieldID("n")
+
+		// Correct: both threads increment under the same lock.
+		t.Synchronized(lock, func() { t.Set(counter, n, 0) })
+		worker := t.Spawn(func(u *jrt.Thread) {
+			u.Synchronized(lock, func() {
+				v, _ := u.Get(counter, n).(int)
+				u.Set(counter, n, v+1)
+			})
+		})
+		t.Synchronized(lock, func() {
+			v, _ := t.Get(counter, n).(int)
+			t.Set(counter, n, v+1)
+		})
+		t.Join(worker)
+		fmt.Printf("lock-guarded counter: %v (no exception — execution is sequentially consistent)\n",
+			t.Get(counter, n))
+
+		// Incorrect: a second counter incremented with no synchronization.
+		racy := t.New(counterClass)
+		t.Set(racy, n, 0)
+		racer := t.Spawn(func(u *jrt.Thread) {
+			if drx := u.Try(func() {
+				u.Set(racy, n, 1)
+			}); drx != nil {
+				fmt.Printf("spawned thread caught: %v\n", drx)
+			}
+		})
+		if drx := t.Try(func() {
+			t.Set(racy, n, 2)
+		}); drx != nil {
+			fmt.Printf("main thread caught: %v\n", drx)
+		}
+		t.Join(racer)
+	})
+
+	fmt.Printf("races observed by the runtime: %d\n", len(rt.Races()))
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detectors/basic"
+	"goldilocks/internal/detectors/eraser"
+	"goldilocks/internal/hb"
+	"goldilocks/internal/jrt"
+	"goldilocks/internal/mj"
+)
+
+// DetectorRow compares the detectors on one workload: precise detectors
+// must report zero races on the (race-free) benchmark programs, while
+// the Eraser-style baselines' nonzero counts are false alarms — the
+// precision gap of Section 4.1 measured on real workloads rather than
+// toy examples.
+type DetectorRow struct {
+	Workload string
+	// Reports maps detector name to the number of races reported.
+	Reports map[string]int
+	// Elapsed maps detector name to wall-clock time.
+	Elapsed map[string]time.Duration
+}
+
+// detectorUnderTest builds each runtime detector fresh per run.
+var detectorUnderTest = []struct {
+	name string
+	mk   func() jrt.Detector
+}{
+	{"goldilocks", func() jrt.Detector { return core.New() }},
+	{"vectorclock", func() jrt.Detector { return jrt.Serialize(hb.NewDetector()) }},
+	{"eraser", func() jrt.Detector { return jrt.Serialize(eraser.New()) }},
+	{"basic-lockset", func() jrt.Detector { return jrt.Serialize(basic.New()) }},
+}
+
+// DetectorComparison runs every Table 1 workload (test scale,
+// deterministic schedule) under each detector.
+func DetectorComparison(seed int64) ([]DetectorRow, error) {
+	var rows []DetectorRow
+	for _, w := range Table1Workloads() {
+		row := DetectorRow{
+			Workload: w.Name,
+			Reports:  make(map[string]int),
+			Elapsed:  make(map[string]time.Duration),
+		}
+		src := w.Instantiate(false)
+		for _, d := range detectorUnderTest {
+			prog, err := mj.Parse(src)
+			if err != nil {
+				return nil, err
+			}
+			if err := mj.Check(prog); err != nil {
+				return nil, err
+			}
+			rt := jrt.NewRuntime(jrt.Config{
+				Detector: d.mk(),
+				Policy:   jrt.Log,
+				Mode:     jrt.Deterministic,
+				Seed:     seed,
+			})
+			interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			races, err := interp.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, d.name, err)
+			}
+			row.Elapsed[d.name] = time.Since(start)
+			row.Reports[d.name] = len(races)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatDetectorComparison renders the comparison. The workloads are
+// race-free, so every nonzero report is a false alarm.
+func FormatDetectorComparison(rows []DetectorRow) string {
+	var sb strings.Builder
+	sb.WriteString("Detector comparison on the benchmark suite (all workloads race-free;\n")
+	sb.WriteString("reports by imprecise detectors are false alarms)\n")
+	fmt.Fprintf(&sb, "%-12s", "Benchmark")
+	for _, d := range detectorUnderTest {
+		fmt.Fprintf(&sb, " | %13s", d.name)
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s", r.Workload)
+		for _, d := range detectorUnderTest {
+			fmt.Fprintf(&sb, " | %2d in %7s", r.Reports[d.name],
+				r.Elapsed[d.name].Round(time.Millisecond))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

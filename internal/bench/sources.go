@@ -1,0 +1,826 @@
+// Package bench reproduces the paper's evaluation: the eleven Table 1
+// workloads re-implemented in MJ with the same synchronization idioms as
+// the originals (Java Grande: lufact, moldyn, montecarlo, raytracer,
+// series, sor/sor2; von Praun & Gross suite: colt, hedc, philo, tsp),
+// the transactional Multiset of Table 3, and the measurement harness
+// that regenerates Tables 1, 2, and 3 and the Figure 6/7 lockset
+// traces.
+//
+// Sources are parameterized with @TOKENS@ so tests run scaled-down
+// instances and the benchmark harness runs full ones.
+package bench
+
+// Each workload note names the synchronization idiom that drives its
+// row in Tables 1 and 2.
+
+// coltSrc: mostly thread-local dense linear algebra; a single shared
+// accumulator behind a synchronized method. Static analyses eliminate
+// nearly everything (paper: 0.1% variables checked).
+const coltSrc = `
+class Result {
+	double sum;
+	synchronized void add(double x) { sum = sum + x; }
+	synchronized double get() { return sum; }
+}
+class Worker {
+	Result res;
+	void run(int n, int reps) {
+		double[] a = new double[n * n];
+		double[] b = new double[n * n];
+		double[] c = new double[n * n];
+		for (int r = 0; r < reps; r = r + 1) {
+			for (int i = 0; i < n * n; i = i + 1) {
+				a[i] = i + r;
+				b[i] = i - r;
+			}
+			for (int i = 0; i < n; i = i + 1) {
+				for (int j = 0; j < n; j = j + 1) {
+					double s = 0.0;
+					for (int k = 0; k < n; k = k + 1) {
+						s = s + a[i * n + k] * b[k * n + j];
+					}
+					c[i * n + j] = s;
+				}
+			}
+			double t = 0.0;
+			for (int i = 0; i < n; i = i + 1) { t = t + c[i * n + i]; }
+			res.add(t);
+		}
+	}
+}
+class Main {
+	void main() {
+		Result res = new Result();
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Worker wk = new Worker();
+			wk.res = res;
+			ts[w] = spawn wk.run(@SIZE@, @REPS@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("colt", res.get());
+	}
+}
+`
+
+// hedcSrc: a crawler-style task pool; workers pull task ids from a
+// monitor-guarded queue and process them thread-locally.
+const hedcSrc = `
+class Queue {
+	int next;
+	int limit;
+	synchronized int take() {
+		if (next >= limit) { return -1; }
+		int t = next;
+		next = next + 1;
+		return t;
+	}
+}
+class Stats {
+	int done;
+	synchronized void tick() { done = done + 1; }
+	synchronized int total() { return done; }
+}
+class Worker {
+	Queue q;
+	Stats st;
+	void run(int work) {
+		int t = q.take();
+		while (t >= 0) {
+			int[] page = new int[work];
+			for (int i = 0; i < work; i = i + 1) { page[i] = (t * 31 + i) % 97; }
+			int links = 0;
+			for (int i = 0; i < work; i = i + 1) {
+				if (page[i] % 7 == 0) { links = links + 1; }
+			}
+			st.tick();
+			t = q.take();
+		}
+	}
+}
+class Main {
+	void main() {
+		Queue q = new Queue();
+		synchronized (q) { q.next = 0; q.limit = @TASKS@; }
+		Stats st = new Stats();
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Worker wk = new Worker();
+			wk.q = q;
+			wk.st = st;
+			ts[w] = spawn wk.run(@WORK@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("hedc", st.total());
+	}
+}
+`
+
+// lufactSrc: LU factorization over thread-local matrices with a shared
+// monitor-guarded progress counter; the paper's lufact is dominated by
+// eliminable accesses under Chord.
+const lufactSrc = `
+class Progress {
+	int columns;
+	synchronized void done() { columns = columns + 1; }
+	synchronized int get() { return columns; }
+}
+class Worker {
+	Progress p;
+	void run(int n) {
+		double[] m = new double[n * n];
+		for (int i = 0; i < n * n; i = i + 1) { m[i] = (i % 13) + 1.0; }
+		for (int k = 0; k < n; k = k + 1) {
+			double pivot = m[k * n + k];
+			if (pivot == 0.0) { pivot = 1.0; }
+			for (int i = k + 1; i < n; i = i + 1) {
+				double f = m[i * n + k] / pivot;
+				for (int j = k; j < n; j = j + 1) {
+					m[i * n + j] = m[i * n + j] - f * m[k * n + j];
+				}
+			}
+			p.done();
+		}
+	}
+}
+class Main {
+	void main() {
+		Progress p = new Progress();
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Worker wk = new Worker();
+			wk.p = p;
+			ts[w] = spawn wk.run(@SIZE@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("lufact", p.get());
+	}
+}
+`
+
+// moldynSrc: the barrier workload. Workers update disjoint partitions
+// of shared particle arrays between volatile-spin barrier phases. The
+// volatile barrier defeats the Chord-style analysis (every particle
+// access stays checked and every check crosses barrier traffic in the
+// event list), while the RccJava-style run accepts the annotation that
+// barrier phasing protects the arrays — reproducing the paper's
+// moldyn row. Forces are accumulated pairwise, so every element is read
+// and written by several threads across phases.
+const moldynSrc = `
+//@ race_free array:double trusted
+//@ race_free Sim.pos trusted
+//@ race_free Sim.force trusted
+//@ race_free Sim.n trusted
+//@ race_free Sim.bar trusted
+//@ race_free Barrier.parties trusted
+class Barrier {
+	int count;
+	int parties;
+	volatile boolean sense;
+	void await() {
+		boolean s = sense;
+		boolean last = false;
+		synchronized (this) {
+			count = count + 1;
+			if (count == parties) { count = 0; last = true; }
+		}
+		if (last) { sense = !s; } else {
+			// Spin with exponential local backoff: the volatile poll is
+			// a synchronization action, so polling less often keeps the
+			// event list from drowning in barrier traffic.
+			int backoff = 4;
+			while (sense == s) {
+				int sink = 0;
+				for (int i = 0; i < backoff; i = i + 1) { sink = sink + i; }
+				if (backoff < 4096) { backoff = backoff * 2; }
+			}
+		}
+	}
+}
+class Sim {
+	double[] pos;
+	double[] force;
+	Barrier bar;
+	int n;
+	void run(int id, int workers, int steps) {
+		for (int s = 0; s < steps; s = s + 1) {
+			for (int i = id; i < n; i = i + workers) {
+				double f = 0.0;
+				for (int j = 0; j < n; j = j + 1) {
+					f = f + (pos[j] - pos[i]) * 0.001;
+				}
+				force[i] = f;
+			}
+			bar.await();
+			for (int i = id; i < n; i = i + workers) {
+				pos[i] = pos[i] + force[i] * 0.01;
+			}
+			bar.await();
+		}
+	}
+}
+class Main {
+	void main() {
+		Sim sim = new Sim();
+		sim.n = @SIZE@;
+		sim.pos = new double[@SIZE@];
+		sim.force = new double[@SIZE@];
+		for (int i = 0; i < @SIZE@; i = i + 1) { sim.pos[i] = i * 0.5; }
+		Barrier b = new Barrier();
+		synchronized (b) { b.count = 0; }
+		b.parties = @THREADS@;
+		b.sense = false;
+		sim.bar = b;
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			ts[w] = spawn sim.run(w, @THREADS@, @STEPS@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("moldyn", sim.pos[0]);
+	}
+}
+`
+
+// montecarloSrc: independent simulations with results merged under a
+// monitor; matches the paper's low-overhead montecarlo row.
+const montecarloSrc = `
+class Gather {
+	double total;
+	int count;
+	synchronized void put(double x) { total = total + x; count = count + 1; }
+	synchronized double avg() { if (count == 0) { return 0.0; } return total / count; }
+}
+class Walker {
+	Gather g;
+	void run(int paths, int steps, int seed) {
+		for (int p = 0; p < paths; p = p + 1) {
+			double v = 100.0;
+			int state = seed + p;
+			for (int s = 0; s < steps; s = s + 1) {
+				state = (state * 1103515245 + 12345) % 2147483647;
+				if (state < 0) { state = -state; }
+				double shock = (state % 200) - 100;
+				v = v + v * shock * 0.0001;
+			}
+			g.put(v);
+		}
+	}
+}
+class Main {
+	void main() {
+		Gather g = new Gather();
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Walker wk = new Walker();
+			wk.g = g;
+			ts[w] = spawn wk.run(@PATHS@, @STEPS@, w * 7919 + 17);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("montecarlo", g.avg());
+	}
+}
+`
+
+// philoSrc: dining philosophers on fork monitors with wait/notify; all
+// shared state is monitor-guarded, so overhead is near zero.
+const philoSrc = `
+class Fork {
+	boolean held;
+	synchronized void take() {
+		while (held) { wait(this); }
+		held = true;
+	}
+	synchronized void drop() {
+		held = false;
+		notifyall(this);
+	}
+}
+class Table {
+	Fork[] forks;
+	int meals;
+	synchronized void ate() { meals = meals + 1; }
+	synchronized int total() { return meals; }
+	void dine(int seat, int n, int rounds) {
+		int left = seat;
+		int right = (seat + 1) % n;
+		int first = left;
+		int second = right;
+		if (seat % 2 == 1) { first = right; second = left; }
+		for (int r = 0; r < rounds; r = r + 1) {
+			Fork a = forks[first];
+			Fork b = forks[second];
+			a.take();
+			b.take();
+			ate();
+			b.drop();
+			a.drop();
+		}
+	}
+}
+class Main {
+	void main() {
+		Table t = new Table();
+		t.forks = new Fork[@THREADS@];
+		for (int i = 0; i < @THREADS@; i = i + 1) {
+			Fork f = new Fork();
+			synchronized (f) { f.held = false; }
+			t.forks[i] = f;
+		}
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			ts[w] = spawn t.dine(w, @THREADS@, @ROUNDS@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("philo", t.total());
+	}
+}
+`
+
+// raytracerSrc: a read-mostly shared scene (written by main during
+// setup) plus a shared pixel buffer written in disjoint rows, with a
+// volatile-spin barrier per frame. Chord keeps scene and pixels checked
+// (flow-insensitive: main's setup writes look parallel with worker
+// reads); the annotated RccJava run eliminates them.
+const raytracerSrc = `
+//@ race_free array:double trusted
+//@ race_free Scene.ox trusted
+//@ race_free Scene.oy trusted
+//@ race_free Scene.oz trusted
+//@ race_free Scene.radius trusted
+//@ race_free Tracer.scene trusted
+//@ race_free Tracer.check trusted
+//@ race_free Tracer.bar trusted
+//@ race_free Tracer.pixels trusted
+//@ race_free Tracer.width trusted
+//@ race_free Tracer.height trusted
+//@ race_free Barrier.parties trusted
+class Barrier {
+	int count;
+	int parties;
+	volatile boolean sense;
+	void await() {
+		boolean s = sense;
+		boolean last = false;
+		synchronized (this) {
+			count = count + 1;
+			if (count == parties) { count = 0; last = true; }
+		}
+		if (last) { sense = !s; } else {
+			// Spin with exponential local backoff: the volatile poll is
+			// a synchronization action, so polling less often keeps the
+			// event list from drowning in barrier traffic.
+			int backoff = 4;
+			while (sense == s) {
+				int sink = 0;
+				for (int i = 0; i < backoff; i = i + 1) { sink = sink + i; }
+				if (backoff < 4096) { backoff = backoff * 2; }
+			}
+		}
+	}
+}
+class Scene {
+	double ox;
+	double oy;
+	double oz;
+	double radius;
+}
+class Checksum {
+	double sum;
+	synchronized void add(double x) { sum = sum + x; }
+	synchronized double get() { return sum; }
+}
+class Tracer {
+	Scene scene;
+	Checksum check;
+	Barrier bar;
+	double[] pixels;
+	int width;
+	int height;
+	void render(int id, int workers, int frames) {
+		for (int f = 0; f < frames; f = f + 1) {
+			double local = 0.0;
+			for (int y = id; y < height; y = y + workers) {
+				for (int x = 0; x < width; x = x + 1) {
+					double dx = x - scene.ox;
+					double dy = y - scene.oy;
+					double d2 = dx * dx + dy * dy + scene.oz * scene.oz;
+					double hit = 0.0;
+					if (d2 < scene.radius * scene.radius * (f + 1)) { hit = 1.0; }
+					pixels[y * width + x] = hit;
+					local = local + hit;
+				}
+			}
+			check.add(local);
+			bar.await();
+		}
+	}
+}
+class Main {
+	void main() {
+		Scene s = new Scene();
+		s.ox = 32.0;
+		s.oy = 32.0;
+		s.oz = 4.0;
+		s.radius = 11.0;
+		Checksum c = new Checksum();
+		Barrier b = new Barrier();
+		synchronized (b) { b.count = 0; }
+		b.parties = @THREADS@;
+		b.sense = false;
+		Tracer tr = new Tracer();
+		tr.scene = s;
+		tr.check = c;
+		tr.bar = b;
+		tr.width = @SIZE@;
+		tr.height = @SIZE@;
+		tr.pixels = new double[@SIZE@ * @SIZE@];
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			ts[w] = spawn tr.render(w, @THREADS@, @FRAMES@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("raytracer", c.get());
+	}
+}
+`
+
+// seriesSrc: embarrassingly parallel Fourier-style coefficients, each
+// worker fully local with one synchronized merge; near-zero overhead.
+const seriesSrc = `
+class Merge {
+	double sum;
+	synchronized void add(double x) { sum = sum + x; }
+	synchronized double get() { return sum; }
+}
+class Coeff {
+	Merge m;
+	void run(int terms, int id) {
+		double[] local = new double[terms];
+		for (int k = 0; k < terms; k = k + 1) {
+			double acc = 0.0;
+			for (int i = 1; i <= 40; i = i + 1) {
+				double x = i * 0.025;
+				acc = acc + x * ((k + id) % 9 - 4) / (i + k + 1);
+			}
+			local[k] = acc;
+		}
+		double total = 0.0;
+		for (int k = 0; k < terms; k = k + 1) { total = total + local[k]; }
+		m.add(total);
+	}
+}
+class Main {
+	void main() {
+		Merge m = new Merge();
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Coeff c = new Coeff();
+			c.m = m;
+			ts[w] = spawn c.run(@TERMS@, w);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("series", m.get());
+	}
+}
+`
+
+// sorSrc: successive over-relaxation on thread-local strips with
+// monitor-guarded boundary exchange; cheap to check.
+const sorSrc = `
+class Edge {
+	double up;
+	double down;
+	synchronized void setUp(double v) { up = v; }
+	synchronized void setDown(double v) { down = v; }
+	synchronized double getUp() { return up; }
+	synchronized double getDown() { return down; }
+}
+class Strip {
+	Edge top;
+	Edge bottom;
+	void relax(int rows, int cols, int iters) {
+		double[] g = new double[rows * cols];
+		for (int i = 0; i < rows * cols; i = i + 1) { g[i] = (i % 11) * 0.1; }
+		for (int it = 0; it < iters; it = it + 1) {
+			double north = 0.0;
+			double south = 0.0;
+			if (top != null) { north = top.getDown(); }
+			if (bottom != null) { south = bottom.getUp(); }
+			for (int r = 1; r < rows - 1; r = r + 1) {
+				for (int c = 1; c < cols - 1; c = c + 1) {
+					g[r * cols + c] = 0.25 * (g[(r - 1) * cols + c] + g[(r + 1) * cols + c]
+						+ g[r * cols + c - 1] + g[r * cols + c + 1]) + north * 0.001 - south * 0.001;
+				}
+			}
+			if (top != null) { top.setUp(g[cols + 1]); }
+			if (bottom != null) { bottom.setDown(g[(rows - 2) * cols + 1]); }
+		}
+	}
+}
+class Main {
+	void main() {
+		Edge[] edges = new Edge[@THREADS@ + 1];
+		for (int i = 0; i <= @THREADS@; i = i + 1) {
+			Edge e = new Edge();
+			synchronized (e) { e.up = 0.0; e.down = 0.0; }
+			edges[i] = e;
+		}
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Strip s = new Strip();
+			s.top = edges[w];
+			s.bottom = edges[w + 1];
+			ts[w] = spawn s.relax(@ROWS@, @COLS@, @ITERS@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("sor", 1);
+	}
+}
+`
+
+// sor2Src: the same relaxation but with volatile handshakes protecting
+// unsynchronized boundary fields — dynamically race-free, statically
+// hopeless for Chord (the paper's most expensive row), eliminated by the
+// annotated RccJava run.
+const sor2Src = `
+//@ race_free Edge.up trusted
+//@ race_free Edge.down trusted
+//@ race_free Strip.top trusted
+//@ race_free Strip.bottom trusted
+class Edge {
+	double up;
+	double down;
+	volatile int upSeq;
+	volatile int downSeq;
+	volatile int upAck;
+	volatile int downAck;
+}
+class Strip {
+	Edge top;
+	Edge bottom;
+	void relax(int rows, int cols, int iters) {
+		double[] g = new double[rows * cols];
+		for (int i = 0; i < rows * cols; i = i + 1) { g[i] = (i % 11) * 0.1; }
+		for (int it = 0; it < iters; it = it + 1) {
+			double north = 0.0;
+			double south = 0.0;
+			if (it > 0) {
+				// Consume the neighbours' values for the previous
+				// iteration, then acknowledge so they may overwrite.
+				if (top != null) {
+					int b1 = 4;
+					while (top.downSeq < it) {
+						int sink = 0;
+						for (int i = 0; i < b1; i = i + 1) { sink = sink + i; }
+						if (b1 < 4096) { b1 = b1 * 2; }
+					}
+					north = top.down;
+					top.downAck = it;
+				}
+				if (bottom != null) {
+					int b2 = 4;
+					while (bottom.upSeq < it) {
+						int sink = 0;
+						for (int i = 0; i < b2; i = i + 1) { sink = sink + i; }
+						if (b2 < 4096) { b2 = b2 * 2; }
+					}
+					south = bottom.up;
+					bottom.upAck = it;
+				}
+			}
+			for (int r = 1; r < rows - 1; r = r + 1) {
+				for (int c = 1; c < cols - 1; c = c + 1) {
+					g[r * cols + c] = 0.25 * (g[(r - 1) * cols + c] + g[(r + 1) * cols + c]
+						+ g[r * cols + c - 1] + g[r * cols + c + 1]) + north * 0.001 - south * 0.001;
+				}
+			}
+			// Publish this iteration's boundary values once the
+			// neighbour has consumed the previous ones.
+			if (top != null) {
+				int b3 = 4;
+				while (top.upAck < it) {
+					int sink = 0;
+					for (int i = 0; i < b3; i = i + 1) { sink = sink + i; }
+					if (b3 < 4096) { b3 = b3 * 2; }
+				}
+				top.up = g[cols + 1];
+				top.upSeq = it + 1;
+			}
+			if (bottom != null) {
+				int b4 = 4;
+				while (bottom.downAck < it) {
+					int sink = 0;
+					for (int i = 0; i < b4; i = i + 1) { sink = sink + i; }
+					if (b4 < 4096) { b4 = b4 * 2; }
+				}
+				bottom.down = g[(rows - 2) * cols + 1];
+				bottom.downSeq = it + 1;
+			}
+		}
+	}
+}
+class Main {
+	void main() {
+		Edge[] edges = new Edge[@THREADS@ + 1];
+		for (int i = 0; i <= @THREADS@; i = i + 1) {
+			Edge e = new Edge();
+			e.up = 0.0;
+			e.down = 0.0;
+			e.upSeq = 0;
+			e.downSeq = 0;
+			e.upAck = 0;
+			e.downAck = 0;
+			edges[i] = e;
+		}
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Strip s = new Strip();
+			if (w > 0) { s.top = edges[w]; }
+			if (w < @THREADS@ - 1) { s.bottom = edges[w + 1]; }
+			ts[w] = spawn s.relax(@ROWS@, @COLS@, @ITERS@);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("sor2", 1);
+	}
+}
+`
+
+// tspSrc: branch-and-bound with a monitor-guarded global best bound and
+// a read-mostly distance matrix initialized by main (kept checked by
+// Chord, annotated away in the RccJava run).
+const tspSrc = `
+//@ race_free array:int trusted
+class Best {
+	int bound;
+	synchronized void update(int b) { if (b < bound) { bound = b; } }
+	synchronized int get() { return bound; }
+}
+class Search {
+	int[] dist;
+	int n;
+	Best best;
+	void run(int first) {
+		int[] tour = new int[n];
+		boolean[] used = new boolean[n];
+		for (int i = 0; i < n; i = i + 1) { used[i] = false; }
+		tour[0] = 0;
+		used[0] = true;
+		tour[1] = first;
+		used[first] = true;
+		explore(tour, used, 2, dist[first]);
+	}
+	void explore(int[] tour, boolean[] used, int depth, int cost) {
+		if (cost >= best.get()) { return; }
+		if (depth == n) {
+			best.update(cost + dist[tour[n - 1] * n]);
+			return;
+		}
+		for (int city = 1; city < n; city = city + 1) {
+			if (!used[city]) {
+				used[city] = true;
+				tour[depth] = city;
+				explore(tour, used, depth + 1, cost + dist[tour[depth - 1] * n + city]);
+				used[city] = false;
+			}
+		}
+	}
+}
+class Main {
+	void main() {
+		int n = @CITIES@;
+		int[] dist = new int[n * n];
+		for (int i = 0; i < n; i = i + 1) {
+			for (int j = 0; j < n; j = j + 1) {
+				int d = (i * 7 + j * 13) % 29 + 1;
+				if (i == j) { d = 0; }
+				dist[i * n + j] = d;
+			}
+		}
+		Best best = new Best();
+		synchronized (best) { best.bound = 1000000; }
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Search s = new Search();
+			s.dist = dist;
+			s.n = n;
+			s.best = best;
+			ts[w] = spawn s.run(1 + w % (n - 1));
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("tsp", best.get());
+	}
+}
+`
+
+// multisetSrc is the Table 3 microbenchmark: a Multiset of integers in a
+// slot array, every operation a transaction (Section 6.1). Insert
+// first reserves slots one transaction per element, then publishes all
+// of them in a single transaction; on contention failure it frees the
+// reserved slots in one transaction, mimicking rollback. Input arrays
+// come from a monitor-guarded factory manipulated outside transactions,
+// so lock-based and transactional synchronization mix.
+const multisetSrc = `
+class Multiset {
+	int[] vals;
+	boolean[] used;
+	boolean[] visible;
+}
+class Factory {
+	int next;
+	synchronized int fresh() { next = next + 3; return next; }
+}
+class Client {
+	Multiset set;
+	Factory fab;
+	int size;
+	void run(int ops, int id) {
+		for (int op = 0; op < ops; op = op + 1) {
+			int kind = (op + id) % 3;
+			if (kind == 0) {
+				int[] a = new int[2];
+				a[0] = fab.fresh();
+				a[1] = fab.fresh();
+				insert(a);
+			} else {
+				if (kind == 1) { remove(id + op); } else { int c = count(id); }
+			}
+		}
+	}
+	void insert(int[] a) {
+		int[] got = new int[a.length];
+		int n = 0;
+		boolean ok = true;
+		for (int i = 0; i < a.length; i = i + 1) {
+			int slot = -1;
+			atomic {
+				for (int s = 0; s < size; s = s + 1) {
+					if (slot < 0 && !set.used[s]) {
+						set.used[s] = true;
+						set.vals[s] = a[i];
+						slot = s;
+					}
+				}
+			}
+			if (slot < 0) { ok = false; } else { got[n] = slot; n = n + 1; }
+		}
+		if (ok) {
+			atomic {
+				for (int i = 0; i < n; i = i + 1) { set.visible[got[i]] = true; }
+			}
+		} else {
+			atomic {
+				for (int i = 0; i < n; i = i + 1) {
+					set.used[got[i]] = false;
+					set.visible[got[i]] = false;
+				}
+			}
+		}
+	}
+	void remove(int v) {
+		atomic {
+			for (int s = 0; s < size; s = s + 1) {
+				if (set.visible[s] && set.vals[s] % 5 == v % 5) {
+					set.visible[s] = false;
+					set.used[s] = false;
+				}
+			}
+		}
+	}
+	int count(int v) {
+		int c = 0;
+		atomic {
+			for (int s = 0; s < size; s = s + 1) {
+				if (set.visible[s] && set.vals[s] % 3 == v % 3) { c = c + 1; }
+			}
+		}
+		return c;
+	}
+}
+class Main {
+	void main() {
+		int size = @SIZE@;
+		Multiset set = new Multiset();
+		set.vals = new int[size];
+		set.used = new boolean[size];
+		set.visible = new boolean[size];
+		atomic {
+			for (int s = 0; s < size; s = s + 1) {
+				set.used[s] = false;
+				set.visible[s] = false;
+			}
+		}
+		Factory fab = new Factory();
+		synchronized (fab) { fab.next = 0; }
+		thread[] ts = new thread[@THREADS@];
+		for (int w = 0; w < @THREADS@; w = w + 1) {
+			Client c = new Client();
+			c.set = set;
+			c.fab = fab;
+			c.size = size;
+			ts[w] = spawn c.run(@OPS@, w);
+		}
+		for (int w = 0; w < @THREADS@; w = w + 1) { join(ts[w]); }
+		print("multiset done");
+	}
+}
+`

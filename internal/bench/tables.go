@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table1Row is one row of Table 1: per-workload runtimes and slowdowns
+// for the four configurations, plus short-circuit success rates.
+type Table1Row struct {
+	Name    string
+	Lines   int
+	Threads int
+
+	Uninstrumented time.Duration
+	NoStatic       time.Duration
+	Chord          time.Duration
+	Rcc            time.Duration
+
+	NoStaticSlowdown float64
+	ChordSlowdown    float64
+	RccSlowdown      float64
+
+	ChordSC float64 // short-circuit success rate with Chord outputs
+	RccSC   float64
+}
+
+// Table1 measures every workload in all four configurations.
+// fullScale selects the benchmark parameters; progress, if non-nil,
+// receives a line per measurement.
+func Table1(fullScale bool, progress func(string)) ([]Table1Row, error) {
+	return Table1Reps(fullScale, 1, progress)
+}
+
+// Table1Reps measures each configuration reps times and records the
+// fastest run (the standard way to suppress scheduler noise on a loaded
+// machine).
+func Table1Reps(fullScale bool, reps int, progress func(string)) ([]Table1Row, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []Table1Row
+	for _, w := range Table1Workloads() {
+		row := Table1Row{Name: w.Name, Lines: w.Lines, Threads: w.Threads}
+		for _, mode := range []Mode{Uninstrumented, NoStatic, WithChord, WithRcc} {
+			var m Metrics
+			for r := 0; r < reps; r++ {
+				mr, err := Run(w, RunOptions{Mode: mode, FullScale: fullScale})
+				if err != nil {
+					return nil, err
+				}
+				if r == 0 || mr.Elapsed < m.Elapsed {
+					m = mr
+				}
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("%-12s %-14s %10v  (checked %d/%d accesses)",
+					w.Name, mode, m.Elapsed.Round(time.Millisecond),
+					m.Runtime.CheckedAccesses, m.Runtime.TotalAccesses))
+			}
+			switch mode {
+			case Uninstrumented:
+				row.Uninstrumented = m.Elapsed
+			case NoStatic:
+				row.NoStatic = m.Elapsed
+			case WithChord:
+				row.Chord = m.Elapsed
+				row.ChordSC = m.Engine.ShortCircuitRate()
+			case WithRcc:
+				row.Rcc = m.Elapsed
+				row.RccSC = m.Engine.ShortCircuitRate()
+			}
+		}
+		base := row.Uninstrumented.Seconds()
+		if base > 0 {
+			row.NoStaticSlowdown = row.NoStatic.Seconds() / base
+			row.ChordSlowdown = row.Chord.Seconds() / base
+			row.RccSlowdown = row.Rcc.Seconds() / base
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows like the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1. Race-aware runtime on the benchmark suite\n")
+	fmt.Fprintf(&sb, "%-12s %6s %8s | %10s | %10s %5s | %10s %5s | %10s %5s | %7s %7s\n",
+		"Benchmark", "#Lines", "#Threads", "Uninstr", "NoStatic", "slow", "Chord", "slow", "RccJava", "slow", "SC-Ch%", "SC-Rcc%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %6d %8d | %10s | %10s %4.1fx | %10s %4.1fx | %10s %4.1fx | %6.1f%% %6.1f%%\n",
+			r.Name, r.Lines, r.Threads,
+			fmtDur(r.Uninstrumented),
+			fmtDur(r.NoStatic), r.NoStaticSlowdown,
+			fmtDur(r.Chord), r.ChordSlowdown,
+			fmtDur(r.Rcc), r.RccSlowdown,
+			100*r.ChordSC, 100*r.RccSC)
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// Table2Row is one row of Table 2: variables and accesses checked (%)
+// under each static analysis.
+type Table2Row struct {
+	Name          string
+	ChordVars     float64
+	RccVars       float64
+	ChordAccesses float64
+	RccAccesses   float64
+}
+
+// Table2 measures check coverage. It runs deterministically (the
+// percentages are schedule-insensitive up to thread interleaving noise;
+// a fixed seed makes them reproducible).
+func Table2(fullScale bool) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range Table1Workloads() {
+		row := Table2Row{Name: w.Name}
+		for _, mode := range []Mode{WithChord, WithRcc} {
+			m, err := Run(w, RunOptions{Mode: mode, FullScale: fullScale, Deterministic: true, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			vars := 0.0
+			if m.Runtime.VarsCreated > 0 {
+				vars = float64(m.Engine.VarsTracked) / float64(m.Runtime.VarsCreated)
+			}
+			accs := 0.0
+			if m.Runtime.TotalAccesses > 0 {
+				accs = float64(m.Runtime.CheckedAccesses) / float64(m.Runtime.TotalAccesses)
+			}
+			if mode == WithChord {
+				row.ChordVars, row.ChordAccesses = vars, accs
+			} else {
+				row.RccVars, row.RccAccesses = vars, accs
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows like the paper's Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2. Statistics on experiments with static analyses\n")
+	fmt.Fprintf(&sb, "%-12s | %22s | %22s\n", "", "Variables checked (%)", "Accesses checked (%)")
+	fmt.Fprintf(&sb, "%-12s | %10s %10s | %10s %10s\n", "Benchmark", "Chord", "RccJava", "Chord", "RccJava")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s | %9.1f%% %9.1f%% | %9.1f%% %9.1f%%\n",
+			r.Name, 100*r.ChordVars, 100*r.RccVars, 100*r.ChordAccesses, 100*r.RccAccesses)
+	}
+	return sb.String()
+}
+
+// Table3Row is one row of Table 3: the transactional Multiset.
+type Table3Row struct {
+	Threads        int
+	Uninstrumented time.Duration
+	Goldilocks     time.Duration
+	Slowdown       float64
+	Accesses       uint64 // shared variable accesses
+	Transactions   uint64
+}
+
+// Table3 measures the transactional Multiset for each thread count. ops
+// is the per-thread operation count.
+func Table3(threadCounts []int, ops int, progress func(string)) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, n := range threadCounts {
+		w := MultisetWorkload(n, ops)
+		base, err := Run(w, RunOptions{Mode: Uninstrumented, FullScale: true})
+		if err != nil {
+			return nil, err
+		}
+		inst, err := Run(w, RunOptions{Mode: NoStatic, FullScale: true})
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Threads:        n,
+			Uninstrumented: base.Elapsed,
+			Goldilocks:     inst.Elapsed,
+			Accesses:       inst.Runtime.TotalAccesses,
+			Transactions:   inst.Commits,
+		}
+		if base.Elapsed > 0 {
+			row.Slowdown = inst.Elapsed.Seconds() / base.Elapsed.Seconds()
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("multiset threads=%-4d uninstr=%v goldilocks=%v slowdown=%.2fx",
+				n, base.Elapsed.Round(time.Millisecond), inst.Elapsed.Round(time.Millisecond), row.Slowdown))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows like the paper's Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 3. Performance of checking races for transactional Multiset\n")
+	fmt.Fprintf(&sb, "%8s | %12s | %12s %8s | %12s %14s\n",
+		"#Threads", "Uninstr", "Goldilocks", "slow", "#Accesses", "#Transactions")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d | %12s | %12s %7.2fx | %12d %14d\n",
+			r.Threads, fmtDur(r.Uninstrumented), fmtDur(r.Goldilocks), r.Slowdown,
+			r.Accesses, r.Transactions)
+	}
+	return sb.String()
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// paramToken matches an unsubstituted @PARAM@ placeholder (pragma
+// comments also contain '@', so a plain byte search is not enough).
+var paramToken = regexp.MustCompile(`@[A-Z]+@`)
+
+// Workload is one benchmark program: an MJ source template plus the
+// parameter sets for test-scale and full-scale runs.
+type Workload struct {
+	Name string
+	// Src is the MJ source with @TOKEN@ placeholders.
+	Src string
+	// Full are the Table 1 parameters; Small the test-scale ones.
+	Full, Small map[string]int
+	// Lines is the approximate source size, reported like the paper's
+	// "#Lines" column.
+	Lines int
+	// Threads for the run (reported in Table 1).
+	Threads int
+}
+
+// Instantiate substitutes parameters into the source. scale "full" or
+// "small".
+func (w Workload) Instantiate(full bool) string {
+	params := w.Small
+	if full {
+		params = w.Full
+	}
+	src := w.Src
+	src = strings.ReplaceAll(src, "@THREADS@", fmt.Sprint(w.Threads))
+	for k, v := range params {
+		src = strings.ReplaceAll(src, "@"+k+"@", fmt.Sprint(v))
+	}
+	if loc := paramToken.FindString(src); loc != "" {
+		panic(fmt.Sprintf("bench: workload %s: unsubstituted parameter %s", w.Name, loc))
+	}
+	return src
+}
+
+// Table1Workloads returns the eleven benchmark programs of Table 1 in
+// the paper's row order.
+func Table1Workloads() []Workload {
+	return []Workload{
+		{
+			Name: "colt", Src: coltSrc, Threads: 10, Lines: srcLines(coltSrc),
+			Full:  map[string]int{"SIZE": 24, "REPS": 4},
+			Small: map[string]int{"SIZE": 6, "REPS": 2},
+		},
+		{
+			Name: "hedc", Src: hedcSrc, Threads: 10, Lines: srcLines(hedcSrc),
+			Full:  map[string]int{"TASKS": 300, "WORK": 600},
+			Small: map[string]int{"TASKS": 12, "WORK": 30},
+		},
+		{
+			Name: "lufact", Src: lufactSrc, Threads: 10, Lines: srcLines(lufactSrc),
+			Full:  map[string]int{"SIZE": 28},
+			Small: map[string]int{"SIZE": 8},
+		},
+		{
+			Name: "moldyn", Src: moldynSrc, Threads: 5, Lines: srcLines(moldynSrc),
+			Full:  map[string]int{"SIZE": 64, "STEPS": 6},
+			Small: map[string]int{"SIZE": 16, "STEPS": 3},
+		},
+		{
+			Name: "montecarlo", Src: montecarloSrc, Threads: 5, Lines: srcLines(montecarloSrc),
+			Full:  map[string]int{"PATHS": 120, "STEPS": 160},
+			Small: map[string]int{"PATHS": 8, "STEPS": 12},
+		},
+		{
+			Name: "philo", Src: philoSrc, Threads: 8, Lines: srcLines(philoSrc),
+			Full:  map[string]int{"ROUNDS": 120},
+			Small: map[string]int{"ROUNDS": 8},
+		},
+		{
+			Name: "raytracer", Src: raytracerSrc, Threads: 5, Lines: srcLines(raytracerSrc),
+			Full:  map[string]int{"SIZE": 48, "FRAMES": 6},
+			Small: map[string]int{"SIZE": 10, "FRAMES": 2},
+		},
+		{
+			Name: "series", Src: seriesSrc, Threads: 10, Lines: srcLines(seriesSrc),
+			Full:  map[string]int{"TERMS": 2200},
+			Small: map[string]int{"TERMS": 60},
+		},
+		{
+			Name: "sor", Src: sorSrc, Threads: 5, Lines: srcLines(sorSrc),
+			Full:  map[string]int{"ROWS": 36, "COLS": 36, "ITERS": 24},
+			Small: map[string]int{"ROWS": 8, "COLS": 8, "ITERS": 3},
+		},
+		{
+			Name: "sor2", Src: sor2Src, Threads: 10, Lines: srcLines(sor2Src),
+			Full:  map[string]int{"ROWS": 26, "COLS": 26, "ITERS": 24},
+			Small: map[string]int{"ROWS": 8, "COLS": 8, "ITERS": 3},
+		},
+		{
+			Name: "tsp", Src: tspSrc, Threads: 10, Lines: srcLines(tspSrc),
+			Full:  map[string]int{"CITIES": 8},
+			Small: map[string]int{"CITIES": 6},
+		},
+	}
+}
+
+// MultisetWorkload returns the Table 3 microbenchmark for a given
+// thread count. Size is the multiset capacity (the paper uses 10).
+func MultisetWorkload(threads, ops int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("multiset-%d", threads), Src: multisetSrc,
+		Threads: threads, Lines: srcLines(multisetSrc),
+		Full:  map[string]int{"SIZE": 10, "OPS": ops},
+		Small: map[string]int{"SIZE": 10, "OPS": ops},
+	}
+}
+
+// MultisetLockWorkload is the Table 3 ablation: the same Multiset with
+// every atomic block replaced by a synchronized block on the set — the
+// detector then sees the lock-based implementation of each transaction
+// (its acquires, releases, and every individual slot access) instead of
+// one commit(R, W) action. The paper reports >10x slowdowns when
+// transactions are not treated as high-level synchronization; this
+// variant measures the same effect.
+func MultisetLockWorkload(threads, ops int) Workload {
+	src := strings.ReplaceAll(multisetSrc, "atomic {", "synchronized (set) {")
+	return Workload{
+		Name: fmt.Sprintf("multiset-locks-%d", threads), Src: src,
+		Threads: threads, Lines: srcLines(src),
+		Full:  map[string]int{"SIZE": 10, "OPS": ops},
+		Small: map[string]int{"SIZE": 10, "OPS": ops},
+	}
+}
+
+func srcLines(src string) int { return strings.Count(src, "\n") }

@@ -1,0 +1,245 @@
+package bench_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/bench"
+	"goldilocks/internal/core"
+	"goldilocks/internal/jrt"
+	"goldilocks/internal/mj"
+	"goldilocks/internal/static"
+)
+
+// TestWorkloadsFrontEnd: every workload parses and checks at both
+// scales, and its pragmas are accepted by the Rcc analysis.
+func TestWorkloadsFrontEnd(t *testing.T) {
+	ws := append(bench.Table1Workloads(), bench.MultisetWorkload(5, 4))
+	for _, w := range ws {
+		for _, full := range []bool{false, true} {
+			src := w.Instantiate(full)
+			prog, err := mj.Parse(src)
+			if err != nil {
+				t.Fatalf("%s (full=%v): parse: %v", w.Name, full, err)
+			}
+			if err := mj.Check(prog); err != nil {
+				t.Fatalf("%s (full=%v): check: %v", w.Name, full, err)
+			}
+			if _, err := static.Rcc(prog); err != nil {
+				t.Fatalf("%s: rcc rejected pragmas: %v", w.Name, err)
+			}
+		}
+	}
+}
+
+// TestWorkloadsRaceFree: every workload is race-free under the
+// deterministic scheduler across several seeds at test scale — the
+// precision claim on real programs. Free-running races would make the
+// slowdown columns meaningless.
+func TestWorkloadsRaceFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ws := append(bench.Table1Workloads(), bench.MultisetWorkload(3, 3))
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 3; seed++ {
+				m, err := bench.Run(w, bench.RunOptions{
+					Mode: bench.NoStatic, Deterministic: true, Seed: seed,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if m.Races != 0 {
+					t.Fatalf("seed %d: %d races reported on a race-free workload", seed, m.Races)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsStaticSound: static elimination must not change the
+// (empty) race verdicts, and each mode runs successfully in free mode.
+func TestWorkloadsStaticSound(t *testing.T) {
+	ws := append(bench.Table1Workloads(), bench.MultisetWorkload(3, 3))
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range []bench.Mode{bench.Uninstrumented, bench.NoStatic, bench.WithChord, bench.WithRcc} {
+				m, err := bench.Run(w, bench.RunOptions{Mode: mode})
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if m.Races != 0 {
+					t.Errorf("%s: races = %d", mode, m.Races)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadOutputsDeterministic: the deterministic scheduler plus
+// identical seeds yield identical program output across detector modes
+// (the instrumentation must not perturb semantics).
+func TestWorkloadOutputsDeterministic(t *testing.T) {
+	for _, w := range bench.Table1Workloads() {
+		var outputs []string
+		for _, mode := range []bench.Mode{bench.Uninstrumented, bench.NoStatic, bench.WithChord, bench.WithRcc} {
+			var sb strings.Builder
+			_, err := bench.Run(w, bench.RunOptions{
+				Mode: mode, Deterministic: true, Seed: 42, Out: &sb,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, mode, err)
+			}
+			outputs = append(outputs, sb.String())
+		}
+		for i := 1; i < len(outputs); i++ {
+			if outputs[i] != outputs[0] {
+				t.Errorf("%s: output differs across modes:\n%q\nvs\n%q", w.Name, outputs[0], outputs[i])
+			}
+		}
+		if outputs[0] == "" {
+			t.Errorf("%s: produced no output", w.Name)
+		}
+	}
+}
+
+// checkedFraction measures the dynamic fraction of accesses that stayed
+// race-checked under a mode (the "Accesses checked (%)" of Table 2).
+func checkedFraction(t *testing.T, w bench.Workload, mode bench.Mode) float64 {
+	t.Helper()
+	m, err := bench.Run(w, bench.RunOptions{Mode: mode, Deterministic: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", w.Name, mode, err)
+	}
+	if m.Runtime.TotalAccesses == 0 {
+		t.Fatalf("%s/%s: no accesses recorded", w.Name, mode)
+	}
+	return float64(m.Runtime.CheckedAccesses) / float64(m.Runtime.TotalAccesses)
+}
+
+// TestStaticEliminationEffectiveness pins the qualitative Table 2 shape
+// on dynamic access counts: barrier/volatile workloads stay mostly
+// checked under Chord but are mostly eliminated under the annotated Rcc
+// run; lock-disciplined and thread-local ones are mostly eliminated
+// under both.
+func TestStaticEliminationEffectiveness(t *testing.T) {
+	type expectation struct {
+		name       string
+		chordBelow float64 // checked fraction must be under this with Chord
+		chordAbove float64 // ... and over this (barrier workloads stay hot)
+		rccBelow   float64
+	}
+	cases := []expectation{
+		{"colt", 0.10, 0, 0.10},
+		{"philo", 0.35, 0, 0.35},
+		{"series", 0.10, 0, 0.10},
+		{"lufact", 0.15, 0, 0.15},
+		{"moldyn", 1.01, 0.50, 0.25},
+		{"raytracer", 1.01, 0.50, 0.25},
+		{"sor2", 1.01, 0.02, 0.25},
+	}
+	byName := map[string]bench.Workload{}
+	for _, w := range bench.Table1Workloads() {
+		byName[w.Name] = w
+	}
+	for _, c := range cases {
+		w := byName[c.name]
+		chord := checkedFraction(t, w, bench.WithChord)
+		rcc := checkedFraction(t, w, bench.WithRcc)
+		if chord >= c.chordBelow {
+			t.Errorf("%s: chord checked fraction %.2f, want < %.2f", c.name, chord, c.chordBelow)
+		}
+		if chord < c.chordAbove {
+			t.Errorf("%s: chord checked fraction %.2f, want >= %.2f (barrier traffic must stay checked)", c.name, chord, c.chordAbove)
+		}
+		if rcc >= c.rccBelow {
+			t.Errorf("%s: rcc checked fraction %.2f, want < %.2f", c.name, rcc, c.rccBelow)
+		}
+		if c.chordAbove > 0 && chord < 2*rcc {
+			t.Errorf("%s: chord checked fraction %.3f not clearly above rcc %.3f", c.name, chord, rcc)
+		}
+	}
+}
+
+// TestWorkloadPrinterRoundTrip: every workload source survives a
+// Format/Parse round trip with identical deterministic output — the
+// printer fixpoint property on the largest MJ corpus in the repo.
+func TestWorkloadPrinterRoundTrip(t *testing.T) {
+	for _, w := range append(bench.Table1Workloads(), bench.MultisetWorkload(3, 3)) {
+		src := w.Instantiate(false)
+		prog, err := mj.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		printed := mj.Format(prog)
+		reparsed, err := mj.Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", w.Name, err)
+		}
+		if again := mj.Format(reparsed); again != printed {
+			t.Errorf("%s: printer not a fixpoint", w.Name)
+		}
+		// Identical behaviour under the same seed.
+		w2 := w
+		w2.Src = printed
+		var out1, out2 strings.Builder
+		if _, err := bench.Run(w, bench.RunOptions{Mode: bench.NoStatic, Deterministic: true, Seed: 5, Out: &out1}); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if _, err := bench.Run(w2, bench.RunOptions{Mode: bench.NoStatic, Deterministic: true, Seed: 5, Out: &out2}); err != nil {
+			t.Fatalf("%s printed: %v", w.Name, err)
+		}
+		if out1.String() != out2.String() {
+			t.Errorf("%s: printed program diverges: %q vs %q", w.Name, out1.String(), out2.String())
+		}
+	}
+}
+
+// TestSampleMJPrograms keeps the examples/mj programs green: they parse,
+// check, and run; racy.mj is the only one allowed to race.
+func TestSampleMJPrograms(t *testing.T) {
+	dir := "../../examples/mj"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 4 {
+		t.Fatalf("expected at least 4 sample programs, found %d", len(entries))
+	}
+	for _, e := range entries {
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := mj.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if err := mj.Check(prog); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		rt := jrt.NewRuntime(jrt.Config{Detector: core.New(), Policy: jrt.Log, Mode: jrt.Deterministic, Seed: 4})
+		interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		races, err := interp.Run()
+		if err != nil {
+			t.Fatalf("%s: run: %v", e.Name(), err)
+		}
+		racyExpected := e.Name() == "racy.mj"
+		if racyExpected && len(races) == 0 {
+			t.Errorf("%s: expected a race under seed 4", e.Name())
+		}
+		if !racyExpected && len(races) != 0 {
+			t.Errorf("%s: unexpected races: %d", e.Name(), len(races))
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+// Read checks a plain (non-transactional) read of (o, d) by thread t and
+// records it. It returns the race the read causes, or nil.
+func (e *Engine) Read(t event.Tid, o event.Addr, d event.FieldID) *detect.Race {
+	a := event.Read(t, o, d)
+	return e.access(t, o, d, a, false, false, NewLockset(ThreadElem(t)))
+}
+
+// Write checks a plain (non-transactional) write of (o, d) by thread t
+// and records it. It returns the race the write causes, or nil.
+func (e *Engine) Write(t event.Tid, o event.Addr, d event.FieldID) *detect.Race {
+	a := event.Write(t, o, d)
+	return e.access(t, o, d, a, true, false, NewLockset(ThreadElem(t)))
+}
+
+// Commit records a transaction commit with read set reads and write set
+// writes: the commit action enters the synchronization event list, and
+// every variable in the sets is then checked as a transactional access
+// (lines 24–28 of Figure 8). It returns the races found, one per racy
+// variable.
+func (e *Engine) Commit(t event.Tid, reads, writes []event.Variable) []detect.Race {
+	a := event.Commit(t, reads, writes)
+	e.Sync(a)
+
+	// The lockset of a variable just after a transactional access is
+	// {t, TL} plus the outgoing-edge witnesses of the configured
+	// transaction semantics (rule 9: {t, TL} ∪ R ∪ W under the paper's
+	// shared-variable interpretation); starting each Info's lazy lockset
+	// there lets later traversals pick up commit-to-commit
+	// synchronizes-with edges.
+	base := NewLockset(ThreadElem(t), TL)
+	switch e.opts.TxnSemantics {
+	case event.TxnAtomicOrder:
+		// TL itself is the witness.
+	case event.TxnWriteToRead:
+		base.AddVars(writes)
+	default:
+		base.AddVars(reads)
+		base.AddVars(writes)
+	}
+
+	var races []detect.Race
+	written := make(map[event.Variable]bool, len(writes))
+	for _, v := range writes {
+		written[v] = true
+	}
+	seen := make(map[event.Variable]bool, len(reads)+len(writes))
+	for _, v := range writes {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if r := e.access(t, v.Obj, v.Field, a, true, true, base.Clone()); r != nil {
+			races = append(races, *r)
+		}
+	}
+	for _, v := range reads {
+		if seen[v] || written[v] {
+			continue
+		}
+		seen[v] = true
+		if r := e.access(t, v.Obj, v.Field, a, false, true, base.Clone()); r != nil {
+			races = append(races, *r)
+		}
+	}
+	return races
+}
+
+// access is the common entry point for all data accesses: it creates the
+// Info record, performs the happens-before checks required by the
+// read/write distinction, and installs the record.
+func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Action, isWrite, xact bool, ls *Lockset) *detect.Race {
+	vs := e.stateOf(o, d)
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if vs.disabled {
+		return nil
+	}
+	e.accessesChecked.Add(1)
+
+	in := e.newInfo(t, a, xact, ls)
+	v := event.Variable{Obj: o, Field: d}
+
+	var race *detect.Race
+	// Every access is checked against the last write.
+	if !e.checkHB(vs.write, t, xact, in.pos) {
+		race = &detect.Race{Var: v, Access: a, Prev: vs.write.action, HasPrev: true}
+	}
+	// A write is additionally checked against every read since that
+	// write. When the writer and every reader are transactional, the
+	// commit/commit exemption applies to the entire reader set at once.
+	if race == nil && isWrite && len(vs.reads) > 0 {
+		if xact && vs.readsAllXact && e.opts.XactSC && e.opts.TxnSemantics != event.TxnWriteToRead {
+			e.pairChecks.Add(uint64(len(vs.reads)))
+			e.xactHits.Add(uint64(len(vs.reads)))
+		} else {
+			for u, prev := range vs.reads {
+				if u == t {
+					continue
+				}
+				if !e.checkHB(prev, t, xact, in.pos) {
+					race = &detect.Race{Var: v, Access: a, Prev: prev.action, HasPrev: true}
+					break
+				}
+			}
+		}
+	}
+
+	// Install the record: a write supersedes the previous write and all
+	// reads; a read supersedes this thread's previous read.
+	if isWrite {
+		if vs.write != nil {
+			vs.write.release()
+		}
+		vs.write = in
+		for _, prev := range vs.reads {
+			prev.release()
+		}
+		vs.reads = nil
+		vs.readsAllXact = true
+	} else {
+		if vs.reads == nil {
+			vs.reads = make(map[event.Tid]*info)
+			vs.readsAllXact = true
+		}
+		if prev := vs.reads[t]; prev != nil {
+			prev.release()
+		}
+		vs.reads[t] = in
+		vs.readsAllXact = vs.readsAllXact && xact
+	}
+
+	if race != nil {
+		e.races.Add(1)
+		if e.opts.DisableAfterRace {
+			vs.disabled = true
+		}
+	}
+	return race
+}
+
+// checkHB implements Check-Happens-Before of Figure 8: it decides
+// whether the access described by prev happens-before the current access
+// by thread t (whose Info position is end), trying the cheap sufficient
+// checks first and falling back to lockset computation over the
+// synchronization event list.
+func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell) bool {
+	if prev == nil {
+		return true // fresh variable: empty lockset
+	}
+	e.pairChecks.Add(1)
+
+	// Transactions short-circuit: two transactional accesses never race
+	// (the extended-race definition exempts commit/commit pairs).
+	// Under the write-to-read semantics the exemption does not exist.
+	if e.opts.XactSC && prev.xact && xact && e.opts.TxnSemantics != event.TxnWriteToRead {
+		e.xactHits.Add(1)
+		return true
+	}
+	// SC1: same thread — ordered by program order.
+	if e.opts.SC1 && prev.owner == t {
+		e.sc1Hits.Add(1)
+		return true
+	}
+	// Transitivity cache: an edge to t established once holds for every
+	// later access by t (happens-before composes with program order).
+	if e.opts.HBCache && prev.hbAfter != nil {
+		if _, ok := prev.hbAfter[t]; ok {
+			e.hbCacheHits.Add(1)
+			return true
+		}
+	}
+	// SC2: the previous accessor held prev.alock at its access, and the
+	// current thread holds the same lock now; mutual exclusion implies
+	// the release/acquire pair ordering the two accesses.
+	if e.opts.SC2 && prev.alock != event.NilAddr && e.holds(t, prev.alock) {
+		e.sc2Hits.Add(1)
+		e.cacheHB(prev, t)
+		return true
+	}
+	acceptTL := xact && e.opts.TxnSemantics != event.TxnWriteToRead
+	// SC3: traverse only the events of the two involved threads. The
+	// rules are monotone, so ownership established on the subsequence
+	// also holds on the full sequence; failure is inconclusive. Long
+	// segments skip SC3: a successful filtered walk is never memoized
+	// (its lockset is a subset), so repeating it over a long stale
+	// segment costs more than one full walk that advances the Info.
+	if e.opts.SC3 && (e.opts.SC3MaxSegment == 0 || end.seq-prev.pos.seq <= uint64(e.opts.SC3MaxSegment)) {
+		ls := prev.ls.Clone()
+		found, viaTL, _, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, true, prev.owner, t, acceptTL)
+		e.walkCells.Add(uint64(n))
+		if found {
+			e.sc3Hits.Add(1)
+			if !viaTL {
+				e.cacheHB(prev, t)
+			}
+			return true
+		}
+	}
+	// Full lockset computation (Apply-Lockset-Rules), lazily evaluating
+	// the lockset of the variable at the current access. Locksets only
+	// grow along the walk, so the traversal stops as soon as the
+	// verdict is decided; only a walk that reaches the end computes the
+	// complete lockset and can be memoized.
+	e.fullWalks.Add(1)
+	ls := prev.ls.Clone()
+	found, viaTL, stopped, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, false, prev.owner, t, acceptTL)
+	e.walkCells.Add(uint64(n))
+	if e.opts.Memoize && stopped == end {
+		// The computed lockset is the variable's lockset at position
+		// end; remember it so the next check resumes from here.
+		prev.pos.refs.Add(-1)
+		end.refs.Add(1)
+		prev.pos = end
+		prev.ls = ls
+	}
+	if found && !viaTL {
+		e.cacheHB(prev, t)
+	}
+	return found
+}
+
+// walkUntil applies the lockset update rules from cell from toward end,
+// stopping early once the target verdict is decided: the accessing
+// thread t entered the lockset, or (when acceptTL is set) TL did. It
+// returns whether the verdict is positive, whether it was via TL, the
+// cell the walk stopped at (== end iff it ran to completion), and the
+// number of cells visited.
+func walkUntil(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid, acceptTL bool) (found, viaTL bool, stopped *cell, n int) {
+	target := ThreadElem(t2)
+	check := func() (bool, bool) {
+		if ls.Has(target) {
+			return true, false
+		}
+		if acceptTL && ls.Has(TL) {
+			return true, true
+		}
+		return false, false
+	}
+	if ok, tl := check(); ok {
+		return true, tl, from, 0
+	}
+	c := from
+	for ; c != end && c != nil && c.filled; c = c.next {
+		n++
+		before := ls.Len()
+		applyRuleCell(ls, c.action, sem, filtered, t1, t2)
+		if ls.Len() != before {
+			if ok, tl := check(); ok {
+				return true, tl, c.next, n
+			}
+		}
+	}
+	return false, false, c, n
+}
+
+// cacheHB records that prev's access happens-before everything thread t
+// does from now on.
+func (e *Engine) cacheHB(prev *info, t event.Tid) {
+	if !e.opts.HBCache {
+		return
+	}
+	if prev.hbAfter == nil {
+		prev.hbAfter = make(map[event.Tid]struct{}, 4)
+	}
+	prev.hbAfter[t] = struct{}{}
+}
+
+// applyRules applies the Goldilocks lockset update rules (Figure 5,
+// rules 2–7 and 9) to ls for every filled cell in [from, end). When
+// filtered is set, only events performed by t1 or t2 are considered.
+// It returns the number of cells visited.
+func applyRules(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid) int {
+	n := 0
+	for c := from; c != end && c != nil && c.filled; c = c.next {
+		n++
+		applyRuleCell(ls, c.action, sem, filtered, t1, t2)
+	}
+	return n
+}
+
+// applyRuleCell applies the update rules for one synchronization action.
+func applyRuleCell(ls *Lockset, a event.Action, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid) {
+	{
+		if filtered && a.Thread != t1 && a.Thread != t2 {
+			return
+		}
+		u := ThreadElem(a.Thread)
+		switch a.Kind {
+		case event.KindAcquire:
+			if ls.Has(LockElem(a.Obj)) {
+				ls.Add(u)
+			}
+		case event.KindRelease:
+			if ls.Has(u) {
+				ls.Add(LockElem(a.Obj))
+			}
+		case event.KindVolatileRead:
+			if ls.Has(VolatileElem(a.Volatile())) {
+				ls.Add(u)
+			}
+		case event.KindVolatileWrite:
+			if ls.Has(u) {
+				ls.Add(VolatileElem(a.Volatile()))
+			}
+		case event.KindFork:
+			if ls.Has(u) {
+				ls.Add(ThreadElem(a.Peer))
+			}
+		case event.KindJoin:
+			if ls.Has(ThreadElem(a.Peer)) {
+				ls.Add(u)
+			}
+		case event.KindCommit:
+			switch sem {
+			case event.TxnAtomicOrder:
+				if ls.Has(TL) {
+					ls.Add(u)
+				}
+				if ls.Has(u) {
+					ls.Add(TL)
+				}
+			case event.TxnWriteToRead:
+				if ls.IntersectsVars(a.Reads) {
+					ls.Add(u)
+				}
+				if ls.Has(u) {
+					ls.AddVars(a.Writes)
+				}
+			default:
+				if ls.IntersectsVars(a.Reads) || ls.IntersectsVars(a.Writes) {
+					ls.Add(u)
+				}
+				if ls.Has(u) {
+					ls.AddVars(a.Reads)
+					ls.AddVars(a.Writes)
+				}
+			}
+		}
+	}
+}

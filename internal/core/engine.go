@@ -1,0 +1,381 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+// Options configures the optimized Engine. The zero value is not useful;
+// start from DefaultOptions. Each toggle corresponds to an
+// implementation technique of Section 5, so ablation benchmarks can
+// measure its contribution.
+type Options struct {
+	// SC1 enables the same-thread short-circuit check.
+	SC1 bool
+	// SC2 enables the alock short-circuit check (a lock held by the
+	// previous accessor at access time is held by the current accessor
+	// now).
+	SC2 bool
+	// SC3 enables the two-thread filtered traversal before a full
+	// lockset computation.
+	SC3 bool
+	// SC3MaxSegment caps the event-list segment length SC3 will
+	// traverse; longer checks go straight to the full (memoized) walk,
+	// whose result advances the Info so the long segment is never
+	// rescanned. Zero means no cap.
+	SC3MaxSegment int
+	// XactSC enables the transactions short-circuit: two transactional
+	// accesses never race.
+	XactSC bool
+	// Memoize stores the lockset computed by a full traversal back into
+	// the Info record and advances its position, so the next check
+	// resumes where this one stopped.
+	Memoize bool
+	// HBCache records, on each Info, the threads already proven to be
+	// ordered after its access. Happens-before is transitive through
+	// program order, so once an edge to thread t is established every
+	// later access by t is ordered too; repeated mixed
+	// plain/transactional checks then cost O(1).
+	HBCache bool
+	// DisableAfterRace stops checking a variable after its first race,
+	// matching the paper's measurement methodology. Arrays: the caller
+	// (runtime) is responsible for widening this to whole arrays.
+	DisableAfterRace bool
+	// GCThreshold triggers event-list garbage collection when the list
+	// grows beyond this many cells. Zero disables automatic collection.
+	GCThreshold int
+	// GCTrimFraction is the fraction of the list that partially-eager
+	// evaluation tries to free per collection (the paper trims the
+	// first 10%).
+	GCTrimFraction float64
+	// PartialEager enables partially-eager lockset evaluation during
+	// collection: Infos stuck at the head of the list have their
+	// locksets advanced so the prefix can be freed.
+	PartialEager bool
+	// TxnSemantics selects how commits enter the synchronizes-with
+	// relation (Section 3's alternative strong-atomicity
+	// interpretations). The zero value is the paper's shared-variable
+	// semantics.
+	TxnSemantics event.TxnSemantics
+}
+
+// DefaultOptions returns the configuration used by the paper's
+// implementation: all short-circuits on, lazy evaluation with
+// memoization, partially-eager collection above one million events.
+func DefaultOptions() Options {
+	return Options{
+		SC1:            true,
+		SC2:            true,
+		SC3:            true,
+		SC3MaxSegment:  512,
+		XactSC:         true,
+		Memoize:        true,
+		HBCache:        true,
+		GCThreshold:    1 << 20,
+		GCTrimFraction: 0.10,
+		PartialEager:   true,
+	}
+}
+
+// Stats are cumulative counters describing the work the engine did.
+// They feed the short-circuit and coverage columns of Tables 1 and 2.
+type Stats struct {
+	AccessesChecked uint64 // data accesses (incl. transactional) checked
+	PairChecks      uint64 // happens-before checks between two Infos
+	SC1Hits         uint64
+	SC2Hits         uint64
+	SC3Hits         uint64
+	XactHits        uint64
+	HBCacheHits     uint64 // pair checks resolved by the transitivity cache
+	FullWalks       uint64 // pair checks that needed a full traversal
+	WalkCells       uint64 // cells visited across all traversals
+	Races           uint64
+	VarsTracked     uint64 // distinct variables that received state
+	EventsEnqueued  uint64
+	CellsCollected  uint64
+	Collections     uint64
+	InfosAdvanced   uint64 // partially-eager advances
+}
+
+// ShortCircuitRate returns the fraction of pair checks resolved by a
+// short-circuit (including the transactions check), in [0, 1]; it is the
+// "short-circuit checks (%)" statistic of Table 1.
+func (s Stats) ShortCircuitRate() float64 {
+	if s.PairChecks == 0 {
+		return 0
+	}
+	sc := s.SC1Hits + s.SC2Hits + s.SC3Hits + s.XactHits + s.HBCacheHits
+	return float64(sc) / float64(s.PairChecks)
+}
+
+// info is the Info record of Figure 8: metadata for the last write (or
+// last read per thread) of a data variable. ls is the lockset of the
+// variable just after the access, valid at list position pos; the
+// lockset at any later position is obtained by applying the update rules
+// to the events between pos and that position.
+type info struct {
+	pos    *cell
+	owner  event.Tid
+	ls     *Lockset
+	alock  event.Addr // a lock held by owner at access time; NilAddr if none
+	xact   bool
+	action event.Action
+	// hbAfter caches threads proven ordered after this access (guarded
+	// by the variable's mutex, like the rest of the record).
+	hbAfter map[event.Tid]struct{}
+}
+
+// varState is the per-variable detector state, serialized by mu (the
+// KL(o,d) lock of Section 5). readsAllXact tracks whether every reader
+// Info since the last write is transactional, so a transactional write
+// can take the commit/commit exemption for the whole reader set in O(1)
+// instead of per reader — without it, Table 3's per-access cost would
+// grow with the thread count.
+type varState struct {
+	mu           sync.Mutex
+	write        *info
+	reads        map[event.Tid]*info
+	readsAllXact bool
+	disabled     bool
+}
+
+// threadLocks tracks the monitors a thread currently holds, for the
+// alock short-circuit. Reentrant acquires are counted.
+type threadLocks struct {
+	held  map[event.Addr]int
+	stack []event.Addr // acquisition order; most recent last
+}
+
+// Engine is the optimized generalized-Goldilocks race detector: the
+// production counterpart of SpecEngine, implementing the techniques of
+// Section 5. It is safe for concurrent use: synchronization actions are
+// serialized by the event-list lock (they are totally ordered in any
+// case — that order is the extended synchronization order), and data
+// accesses to distinct variables proceed in parallel, serialized only
+// per variable.
+type Engine struct {
+	opts Options
+	list *syncList
+
+	varsMu sync.RWMutex
+	vars   map[event.Addr]map[event.FieldID]*varState
+
+	locksMu sync.Mutex
+	locks   map[event.Tid]*threadLocks
+
+	gcMu sync.Mutex // at most one collection at a time
+
+	accessesChecked atomic.Uint64
+	pairChecks      atomic.Uint64
+	sc1Hits         atomic.Uint64
+	hbCacheHits     atomic.Uint64
+	sc2Hits         atomic.Uint64
+	sc3Hits         atomic.Uint64
+	xactHits        atomic.Uint64
+	fullWalks       atomic.Uint64
+	walkCells       atomic.Uint64
+	races           atomic.Uint64
+	varsTracked     atomic.Uint64
+	collections     atomic.Uint64
+	infosAdvanced   atomic.Uint64
+}
+
+// NewEngine returns an Engine with the given options.
+func NewEngine(opts Options) *Engine {
+	return &Engine{
+		opts:  opts,
+		list:  newSyncList(),
+		vars:  make(map[event.Addr]map[event.FieldID]*varState),
+		locks: make(map[event.Tid]*threadLocks),
+	}
+}
+
+// New returns an Engine with DefaultOptions.
+func New() *Engine { return NewEngine(DefaultOptions()) }
+
+// Name implements detect.Detector.
+func (e *Engine) Name() string { return "goldilocks" }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		AccessesChecked: e.accessesChecked.Load(),
+		PairChecks:      e.pairChecks.Load(),
+		SC1Hits:         e.sc1Hits.Load(),
+		HBCacheHits:     e.hbCacheHits.Load(),
+		SC2Hits:         e.sc2Hits.Load(),
+		SC3Hits:         e.sc3Hits.Load(),
+		XactHits:        e.xactHits.Load(),
+		FullWalks:       e.fullWalks.Load(),
+		WalkCells:       e.walkCells.Load(),
+		Races:           e.races.Load(),
+		VarsTracked:     e.varsTracked.Load(),
+		EventsEnqueued:  e.list.enqueued.Load(),
+		CellsCollected:  e.list.collected.Load(),
+		Collections:     e.collections.Load(),
+		InfosAdvanced:   e.infosAdvanced.Load(),
+	}
+}
+
+// ListLen returns the current synchronization event list length
+// (exposed for GC tests and monitoring).
+func (e *Engine) ListLen() int { return e.list.len() }
+
+// Step implements detect.Detector: it dispatches one action of a
+// linearized trace to the concurrent entry points.
+func (e *Engine) Step(a event.Action) []detect.Race {
+	switch a.Kind {
+	case event.KindRead:
+		if r := e.Read(a.Thread, a.Obj, a.Field); r != nil {
+			return []detect.Race{*r}
+		}
+	case event.KindWrite:
+		if r := e.Write(a.Thread, a.Obj, a.Field); r != nil {
+			return []detect.Race{*r}
+		}
+	case event.KindCommit:
+		return e.Commit(a.Thread, a.Reads, a.Writes)
+	case event.KindAlloc:
+		e.Alloc(a.Thread, a.Obj)
+	default:
+		e.Sync(a)
+	}
+	return nil
+}
+
+// Sync records a synchronization action (acquire, release, volatile
+// read/write, fork, join) in the event list.
+func (e *Engine) Sync(a event.Action) {
+	switch a.Kind {
+	case event.KindAcquire:
+		e.locksMu.Lock()
+		tl := e.threadLocks(a.Thread)
+		tl.held[a.Obj]++
+		if tl.held[a.Obj] == 1 {
+			tl.stack = append(tl.stack, a.Obj)
+		}
+		e.locksMu.Unlock()
+	case event.KindRelease:
+		e.locksMu.Lock()
+		tl := e.threadLocks(a.Thread)
+		if tl.held[a.Obj] > 0 {
+			tl.held[a.Obj]--
+			if tl.held[a.Obj] == 0 {
+				delete(tl.held, a.Obj)
+				for i := len(tl.stack) - 1; i >= 0; i-- {
+					if tl.stack[i] == a.Obj {
+						tl.stack = append(tl.stack[:i], tl.stack[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		e.locksMu.Unlock()
+	}
+	n := e.list.enqueue(a)
+	if e.opts.GCThreshold > 0 && n > e.opts.GCThreshold {
+		e.Collect()
+	}
+}
+
+func (e *Engine) threadLocks(t event.Tid) *threadLocks {
+	tl, ok := e.locks[t]
+	if !ok {
+		tl = &threadLocks{held: make(map[event.Addr]int)}
+		e.locks[t] = tl
+	}
+	return tl
+}
+
+// heldLock returns the most recently acquired lock currently held by t,
+// or NilAddr.
+func (e *Engine) heldLock(t event.Tid) event.Addr {
+	e.locksMu.Lock()
+	defer e.locksMu.Unlock()
+	tl, ok := e.locks[t]
+	if !ok || len(tl.stack) == 0 {
+		return event.NilAddr
+	}
+	return tl.stack[len(tl.stack)-1]
+}
+
+// holds reports whether t currently holds the monitor of o.
+func (e *Engine) holds(t event.Tid, o event.Addr) bool {
+	e.locksMu.Lock()
+	defer e.locksMu.Unlock()
+	tl, ok := e.locks[t]
+	return ok && tl.held[o] > 0
+}
+
+// Alloc records the allocation of object o: rule 8 resets the locksets
+// of all of o's fields by dropping their state.
+func (e *Engine) Alloc(_ event.Tid, o event.Addr) {
+	e.varsMu.Lock()
+	fields := e.vars[o]
+	delete(e.vars, o)
+	e.varsMu.Unlock()
+	for _, vs := range fields {
+		vs.mu.Lock()
+		vs.dropAll()
+		vs.mu.Unlock()
+	}
+}
+
+// stateOf returns (creating if needed) the state for variable (o, d).
+func (e *Engine) stateOf(o event.Addr, d event.FieldID) *varState {
+	e.varsMu.RLock()
+	fields, ok := e.vars[o]
+	if ok {
+		if vs, ok := fields[d]; ok {
+			e.varsMu.RUnlock()
+			return vs
+		}
+	}
+	e.varsMu.RUnlock()
+
+	e.varsMu.Lock()
+	defer e.varsMu.Unlock()
+	fields, ok = e.vars[o]
+	if !ok {
+		fields = make(map[event.FieldID]*varState)
+		e.vars[o] = fields
+	}
+	vs, ok := fields[d]
+	if !ok {
+		vs = &varState{}
+		fields[d] = vs
+		e.varsTracked.Add(1)
+	}
+	return vs
+}
+
+func (vs *varState) dropAll() {
+	if vs.write != nil {
+		vs.write.release()
+		vs.write = nil
+	}
+	for _, in := range vs.reads {
+		in.release()
+	}
+	vs.reads = nil
+	vs.disabled = false
+}
+
+func (in *info) release() { in.pos.refs.Add(-1) }
+
+// newInfo builds the Info record for an access happening now.
+func (e *Engine) newInfo(t event.Tid, a event.Action, xact bool, ls *Lockset) *info {
+	pos := e.list.snapshotTail()
+	pos.refs.Add(1)
+	return &info{
+		pos:    pos,
+		owner:  t,
+		ls:     ls,
+		alock:  e.heldLock(t),
+		xact:   xact,
+		action: a,
+	}
+}

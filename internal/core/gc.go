@@ -1,0 +1,108 @@
+package core
+
+import "goldilocks/internal/event"
+
+// Collect garbage-collects the synchronization event list (Section 5.4).
+//
+// Cells whose reference count is zero and that precede every Info
+// position can be dropped immediately. An Info stuck near the head of
+// the list (a variable accessed early and never again) would otherwise
+// pin the entire list; partially-eager lockset evaluation advances such
+// Infos — applying the update rules up to an advance point roughly
+// GCTrimFraction into the list and moving their positions there — after
+// which the prefix is unreferenced and freed.
+//
+// Collect is triggered automatically when the list exceeds
+// Options.GCThreshold, and may be called explicitly.
+func (e *Engine) Collect() {
+	e.gcMu.Lock()
+	defer e.gcMu.Unlock()
+	e.collections.Add(1)
+
+	if e.opts.PartialEager {
+		n := int(float64(e.list.len()) * e.opts.GCTrimFraction)
+		if n < 1 {
+			n = 1
+		}
+		if limit := e.list.cellAt(n); limit != nil {
+			e.advanceInfosBefore(limit)
+		}
+	}
+	e.list.trim(nil)
+}
+
+// advanceInfosBefore applies partially-eager evaluation: every Info
+// positioned before limit has its lockset brought forward to limit.
+func (e *Engine) advanceInfosBefore(limit *cell) {
+	e.varsMu.RLock()
+	states := make([]*varState, 0, len(e.vars))
+	for _, fields := range e.vars {
+		for _, vs := range fields {
+			states = append(states, vs)
+		}
+	}
+	e.varsMu.RUnlock()
+
+	for _, vs := range states {
+		vs.mu.Lock()
+		e.advanceInfo(vs.write, limit)
+		for _, in := range vs.reads {
+			e.advanceInfo(in, limit)
+		}
+		vs.mu.Unlock()
+	}
+}
+
+func (e *Engine) advanceInfo(in *info, limit *cell) {
+	if in == nil || in.pos.seq >= limit.seq {
+		return
+	}
+	n := applyRules(in.ls, in.pos, limit, e.opts.TxnSemantics, false, 0, 0)
+	e.walkCells.Add(uint64(n))
+	in.pos.refs.Add(-1)
+	limit.refs.Add(1)
+	in.pos = limit
+	e.infosAdvanced.Add(1)
+}
+
+// HeldLocks returns the monitors thread t currently holds, for tests and
+// debugging.
+func (e *Engine) HeldLocks(t event.Tid) []event.Addr {
+	e.locksMu.Lock()
+	defer e.locksMu.Unlock()
+	tl, ok := e.locks[t]
+	if !ok {
+		return nil
+	}
+	out := make([]event.Addr, len(tl.stack))
+	copy(out, tl.stack)
+	return out
+}
+
+// WriteLockset computes the current lockset guarding the last write of
+// (o, d) by lazily evaluating the update rules up to the present, or
+// nil if the variable has never been written. It is the optimized
+// engine's counterpart of SpecEngine.WriteLockset, used for diagnostics
+// and for the lockset-level equivalence tests; the returned set is a
+// private copy.
+func (e *Engine) WriteLockset(o event.Addr, d event.FieldID) *Lockset {
+	e.varsMu.RLock()
+	fields := e.vars[o]
+	var vs *varState
+	if fields != nil {
+		vs = fields[d]
+	}
+	e.varsMu.RUnlock()
+	if vs == nil {
+		return nil
+	}
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if vs.write == nil {
+		return nil
+	}
+	end := e.list.snapshotTail()
+	ls := vs.write.ls.Clone()
+	applyRules(ls, vs.write.pos, end, e.opts.TxnSemantics, false, 0, 0)
+	return ls
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"goldilocks/internal/event"
+)
+
+// cell is one entry of the synchronization event list (the Cell record
+// of Figure 8). The list always ends in an empty sentinel cell: an
+// enqueue fills the current sentinel and links a fresh one. An Info's
+// pos field points to the sentinel that was current when the access
+// happened, so the events that came after the access are exactly the
+// filled cells reachable from pos.
+type cell struct {
+	action event.Action
+	seq    uint64 // position in the extended synchronization order
+	next   *cell
+	refs   atomic.Int32 // number of Info.pos pointers to this cell
+	filled bool
+}
+
+// syncList is the synchronization event list: an append-only linked
+// list of synchronization actions in extended synchronization order,
+// with reference-counted prefix trimming.
+type syncList struct {
+	mu     sync.Mutex
+	head   *cell // oldest retained cell
+	tail   *cell // empty sentinel
+	length int   // filled cells reachable from head
+
+	enqueued  atomic.Uint64 // total events ever enqueued
+	collected atomic.Uint64 // total cells trimmed
+}
+
+func newSyncList() *syncList {
+	sentinel := &cell{seq: 0}
+	return &syncList{head: sentinel, tail: sentinel}
+}
+
+// enqueue appends a synchronization action and returns the new length.
+func (l *syncList) enqueue(a event.Action) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.tail
+	t.action = a
+	t.filled = true
+	t.next = &cell{seq: t.seq + 1}
+	l.tail = t.next
+	l.length++
+	l.enqueued.Add(1)
+	return l.length
+}
+
+// snapshotTail returns the current sentinel. Every filled cell strictly
+// before it is immutable; the happens-before edge established by the
+// list mutex makes those cells safe to read without further locking.
+func (l *syncList) snapshotTail() *cell {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// trim drops unreferenced cells from the front of the list, stopping at
+// the first cell with a nonzero reference count, at limit, or at the
+// sentinel. It returns the number of cells dropped.
+func (l *syncList) trim(limit *cell) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dropped := 0
+	for l.head != l.tail && l.head.filled && l.head.refs.Load() == 0 {
+		if limit != nil && l.head.seq >= limit.seq {
+			break
+		}
+		l.head = l.head.next
+		l.length--
+		dropped++
+	}
+	l.collected.Add(uint64(dropped))
+	return dropped
+}
+
+// len returns the number of filled cells currently retained.
+func (l *syncList) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.length
+}
+
+// cellAt returns the retained cell that is n filled cells past head (or
+// the last filled cell if the list is shorter), for choosing the
+// partially-eager advance point. Returns nil if the list has no filled
+// cells.
+func (l *syncList) cellAt(n int) *cell {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.head
+	if !c.filled {
+		return nil
+	}
+	for i := 0; i < n && c.next != nil && c.next.filled; i++ {
+		c = c.next
+	}
+	return c
+}

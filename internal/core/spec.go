@@ -1,0 +1,280 @@
+package core
+
+import (
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+// SpecEngine is the executable specification of the generalized
+// Goldilocks algorithm: the lockset update rules of Figure 5 applied
+// eagerly to every tracked lockset at every synchronization action,
+// extended with the read/write distinction of Section 5.
+//
+// Per data variable it maintains the lockset of the last write access
+// and, for each thread, the lockset of that thread's last read access
+// since the last write (mirroring WriteInfo/ReadInfo in the optimized
+// engine, but with explicit, eagerly-updated locksets). A read access is
+// checked against the write lockset only; a write access is checked
+// against the write lockset and every read lockset.
+//
+// The engine is deliberately simple and slow (every synchronization
+// action touches every lockset); it exists as ground truth and for the
+// lockset-evolution traces of Figures 6 and 7.
+type SpecEngine struct {
+	sem    event.TxnSemantics
+	writes map[event.Variable]*Lockset
+	reads  map[event.Variable]map[event.Tid]*Lockset
+
+	// observer, if non-nil, is invoked after each action with the
+	// variable locksets it changed; used to print Figure 6/7 traces.
+	observer func(a event.Action)
+}
+
+// NewSpecEngine returns an empty specification engine using the
+// paper's shared-variable transaction semantics.
+func NewSpecEngine() *SpecEngine {
+	return NewSpecEngineSem(event.TxnSharedVariable)
+}
+
+// NewSpecEngineSem returns a specification engine under the chosen
+// transaction semantics (Section 3's alternative interpretations of
+// strong atomicity).
+func NewSpecEngineSem(sem event.TxnSemantics) *SpecEngine {
+	return &SpecEngine{
+		sem:    sem,
+		writes: make(map[event.Variable]*Lockset),
+		reads:  make(map[event.Variable]map[event.Tid]*Lockset),
+	}
+}
+
+// Name implements detect.Detector.
+func (s *SpecEngine) Name() string { return "goldilocks-spec" }
+
+// SetObserver registers f to run after every processed action.
+func (s *SpecEngine) SetObserver(f func(a event.Action)) { s.observer = f }
+
+// WriteLockset returns the current lockset guarding the last write to v,
+// or nil if v has not been written. The caller must not modify it.
+func (s *SpecEngine) WriteLockset(v event.Variable) *Lockset { return s.writes[v] }
+
+// ReadLocksets returns the per-thread locksets guarding reads of v since
+// the last write. The caller must not modify the result.
+func (s *SpecEngine) ReadLocksets(v event.Variable) map[event.Tid]*Lockset { return s.reads[v] }
+
+// forEach applies f to every tracked lockset.
+func (s *SpecEngine) forEach(f func(ls *Lockset)) {
+	for _, ls := range s.writes {
+		f(ls)
+	}
+	for _, byTid := range s.reads {
+		for _, ls := range byTid {
+			f(ls)
+		}
+	}
+}
+
+// Step implements detect.Detector.
+func (s *SpecEngine) Step(a event.Action) []detect.Race {
+	var races []detect.Race
+	t := a.Thread
+	te := ThreadElem(t)
+
+	switch a.Kind {
+	case event.KindVolatileRead:
+		ve := VolatileElem(a.Volatile())
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(ve) {
+				ls.Add(te)
+			}
+		})
+	case event.KindVolatileWrite:
+		ve := VolatileElem(a.Volatile())
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(te) {
+				ls.Add(ve)
+			}
+		})
+	case event.KindAcquire:
+		le := LockElem(a.Obj)
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(le) {
+				ls.Add(te)
+			}
+		})
+	case event.KindRelease:
+		le := LockElem(a.Obj)
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(te) {
+				ls.Add(le)
+			}
+		})
+	case event.KindFork:
+		ue := ThreadElem(a.Peer)
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(te) {
+				ls.Add(ue)
+			}
+		})
+	case event.KindJoin:
+		ue := ThreadElem(a.Peer)
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(ue) {
+				ls.Add(te)
+			}
+		})
+	case event.KindAlloc:
+		// Rule 8: fresh object, fresh (empty) locksets for its fields.
+		for v := range s.writes {
+			if v.Obj == a.Obj {
+				delete(s.writes, v)
+			}
+		}
+		for v := range s.reads {
+			if v.Obj == a.Obj {
+				delete(s.reads, v)
+			}
+		}
+	case event.KindRead:
+		v := a.Variable()
+		if r := s.checkAccess(v, t, false, a); r != nil {
+			races = append(races, *r)
+		}
+		s.readerSet(v, t, NewLockset(te))
+	case event.KindWrite:
+		v := a.Variable()
+		if r := s.checkAccess(v, t, false, a); r != nil {
+			races = append(races, *r)
+		}
+		s.writes[v] = NewLockset(te)
+		delete(s.reads, v)
+	case event.KindCommit:
+		races = s.commit(a)
+	}
+
+	if s.observer != nil {
+		s.observer(a)
+	}
+	return races
+}
+
+// checkAccess performs the race-freedom check for an access to v by t.
+// A read is checked against the write lockset; a write additionally
+// against every read lockset. inTxn relaxes the check with TL
+// membership: an access inside a transaction is race-free against a
+// previous access that was also inside a transaction.
+func (s *SpecEngine) checkAccess(v event.Variable, t event.Tid, inTxn bool, a event.Action) *detect.Race {
+	ok := func(ls *Lockset) bool {
+		if ls == nil || ls.Empty() {
+			return true
+		}
+		if ls.HasThread(t) {
+			return true
+		}
+		// The TL exemption encodes "commit/commit pairs never race",
+		// which only holds when the semantics orders commits over a
+		// common variable; under write-to-read it does not apply.
+		return inTxn && s.sem != event.TxnWriteToRead && ls.Has(TL)
+	}
+	if !ok(s.writes[v]) {
+		return &detect.Race{Var: v, Access: a}
+	}
+	if a.Kind == event.KindWrite || (a.Kind == event.KindCommit && a.WritesVar(v)) {
+		for u, ls := range s.reads[v] {
+			if u == t {
+				continue
+			}
+			if !ok(ls) {
+				return &detect.Race{Var: v, Access: a}
+			}
+		}
+	}
+	return nil
+}
+
+// commit applies rule 9 of Figure 5, generalized with the read/write
+// distinction: an acquire phase over all locksets, a per-accessed-
+// variable check-and-reset phase, and a release phase over all locksets.
+func (s *SpecEngine) commit(a event.Action) []detect.Race {
+	t := a.Thread
+	te := ThreadElem(t)
+	rw := make([]event.Variable, 0, len(a.Reads)+len(a.Writes))
+	rw = append(rw, a.Reads...)
+	rw = append(rw, a.Writes...)
+
+	// Acquire phase: the committing thread becomes an owner of every
+	// variable whose lockset witnesses an incoming synchronizes-with
+	// edge under the configured transaction semantics.
+	acquires := func(ls *Lockset) bool {
+		switch s.sem {
+		case event.TxnAtomicOrder:
+			return ls.Has(TL)
+		case event.TxnWriteToRead:
+			return ls.IntersectsVars(a.Reads)
+		default:
+			return ls.IntersectsVars(rw)
+		}
+	}
+	s.forEach(func(ls *Lockset) {
+		if acquires(ls) {
+			ls.Add(te)
+		}
+	})
+
+	// Access phase: check and reset each accessed variable. A variable
+	// in both R and W is treated as a write.
+	var races []detect.Race
+	written := make(map[event.Variable]bool, len(a.Writes))
+	for _, v := range a.Writes {
+		written[v] = true
+	}
+	checked := make(map[event.Variable]bool, len(rw))
+	for _, v := range a.Writes {
+		if checked[v] {
+			continue
+		}
+		checked[v] = true
+		if r := s.checkAccess(v, t, true, a); r != nil {
+			races = append(races, *r)
+		}
+		s.writes[v] = NewLockset(te, TL)
+		delete(s.reads, v)
+	}
+	for _, v := range a.Reads {
+		if checked[v] || written[v] {
+			continue
+		}
+		checked[v] = true
+		if r := s.checkAccess(v, t, true, a); r != nil {
+			races = append(races, *r)
+		}
+		s.readerSet(v, t, NewLockset(te, TL))
+	}
+
+	// Release phase: every variable owned by the committing thread can
+	// now be re-acquired through the outgoing edge witnesses.
+	release := func(ls *Lockset) {
+		switch s.sem {
+		case event.TxnAtomicOrder:
+			ls.Add(TL)
+		case event.TxnWriteToRead:
+			ls.AddVars(a.Writes)
+		default:
+			ls.AddVars(rw)
+		}
+	}
+	s.forEach(func(ls *Lockset) {
+		if ls.Has(te) {
+			release(ls)
+		}
+	})
+	return races
+}
+
+func (s *SpecEngine) readerSet(v event.Variable, t event.Tid, ls *Lockset) {
+	byTid, ok := s.reads[v]
+	if !ok {
+		byTid = make(map[event.Tid]*Lockset)
+		s.reads[v] = byTid
+	}
+	byTid[t] = ls
+}

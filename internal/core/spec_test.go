@@ -1,0 +1,317 @@
+package core_test
+
+import (
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/scenarios"
+)
+
+// TestFigure6LocksetEvolution replays the Example 2 linearization and
+// checks the lockset of o.data after each step against Figure 6 of the
+// paper.
+func TestFigure6LocksetEvolution(t *testing.T) {
+	sc := scenarios.Ownership()
+	odata := scenarios.Var(scenarios.IntBox, scenarios.FieldData)
+
+	la := core.LockElem(scenarios.LockA)
+	lb := core.LockElem(scenarios.LockB)
+	t1, t2, t3 := core.ThreadElem(1), core.ThreadElem(2), core.ThreadElem(3)
+
+	// Expected write lockset of o.data after each action (nil: no write
+	// info yet).
+	want := []*core.Lockset{
+		0:  nil,                                 // alloc
+		1:  core.NewLockset(t1),                 // tmp1.data = 0: first access
+		2:  core.NewLockset(t1),                 // acq(ma)
+		3:  core.NewLockset(t1),                 // a = tmp1
+		4:  core.NewLockset(t1, la),             // rel(ma): T1 in LS, add ma
+		5:  core.NewLockset(t1, la, t2),         // acq(ma) by T2: ma in LS, add T2
+		6:  core.NewLockset(t1, la, t2),         // tmp2 = a
+		7:  core.NewLockset(t1, la, t2),         // acq(mb)
+		8:  core.NewLockset(t1, la, t2),         // b = tmp2
+		9:  core.NewLockset(t1, la, t2, lb),     // rel(mb): T2 in LS, add mb
+		10: core.NewLockset(t1, la, t2, lb),     // rel(ma): ma already in LS
+		11: core.NewLockset(t1, la, t2, lb, t3), // acq(mb) by T3: mb in LS, add T3
+		12: core.NewLockset(t3),                 // b.data = 2: T3 in LS, no race, reset
+		13: core.NewLockset(t3),                 // tmp3 = b
+		14: core.NewLockset(t3, lb),             // rel(mb): T3 in LS, add mb
+		15: core.NewLockset(t3),                 // tmp3.data = 3: no race, reset
+	}
+
+	spec := core.NewSpecEngine()
+	for i := 0; i < sc.Trace.Len(); i++ {
+		if races := spec.Step(sc.Trace.At(i)); len(races) > 0 {
+			t.Fatalf("step %d (%v): unexpected race %v", i, sc.Trace.At(i), races)
+		}
+		got := spec.WriteLockset(odata)
+		if want[i] == nil {
+			if got != nil {
+				t.Errorf("step %d: lockset = %v, want none", i, got)
+			}
+			continue
+		}
+		if got == nil || !got.Equal(want[i]) {
+			t.Errorf("step %d (%v): LS(o.data) = %v, want %v", i, sc.Trace.At(i), got, want[i])
+		}
+	}
+}
+
+// TestFigure7LocksetEvolution replays the Example 3 linearization and
+// checks the lockset of o.data after each step against Figure 7.
+func TestFigure7LocksetEvolution(t *testing.T) {
+	sc := scenarios.TxList()
+	odata := scenarios.Var(scenarios.Foo, scenarios.FieldData)
+
+	head := core.VarElem(scenarios.Var(scenarios.Globals, scenarios.FieldHead))
+	data := core.VarElem(odata)
+	nxt := core.VarElem(scenarios.Var(scenarios.Foo, scenarios.FieldNxt))
+	t1, t2, t3 := core.ThreadElem(1), core.ThreadElem(2), core.ThreadElem(3)
+
+	want := []*core.Lockset{
+		0: nil,                                               // alloc
+		1: core.NewLockset(t1),                               // t1.data = 42
+		2: core.NewLockset(t1, nxt, head),                    // T1 commit: add {o.nxt, &head}
+		3: core.NewLockset(core.TL, t2, head, data, nxt),     // T2 commit: reset {T2,TL}, add R∪W
+		4: core.NewLockset(core.TL, t2, head, data, nxt, t3), // T3 commit: add T3 (shares &head, o.nxt)
+		5: core.NewLockset(core.TL, t2, head, data, nxt, t3), // t3 reads o.data: read info only
+		6: core.NewLockset(t3),                               // t3.data++ write: no race, reset
+	}
+
+	spec := core.NewSpecEngine()
+	for i := 0; i < sc.Trace.Len(); i++ {
+		if races := spec.Step(sc.Trace.At(i)); len(races) > 0 {
+			t.Fatalf("step %d (%v): unexpected race %v", i, sc.Trace.At(i), races)
+		}
+		got := spec.WriteLockset(odata)
+		if want[i] == nil {
+			if got != nil {
+				t.Errorf("step %d: lockset = %v, want none", i, got)
+			}
+			continue
+		}
+		if got == nil || !got.Equal(want[i]) {
+			t.Errorf("step %d (%v): LS(o.data) = %v, want %v", i, sc.Trace.At(i), got, want[i])
+		}
+	}
+}
+
+// raceKeys normalizes detector output to (position, variable) pairs.
+func raceKeys(races []detect.Race) []string {
+	out := make([]string, len(races))
+	for i, r := range races {
+		out[i] = r.Var.String() + "@" + itoa(r.Pos)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// TestSpecScenarios checks the spec engine's verdicts on every paper
+// scenario.
+func TestSpecScenarios(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		t.Run(sc.Name, func(t *testing.T) {
+			if err := sc.Trace.Validate(); err != nil {
+				t.Fatalf("invalid scenario trace: %v", err)
+			}
+			r := detect.FirstRace(core.NewSpecEngine(), sc.Trace)
+			if sc.Racy {
+				if r == nil {
+					t.Fatalf("no race reported, want race on %v at %d", sc.RaceVar, sc.RacePos)
+				}
+				if r.Pos != sc.RacePos || r.Var != sc.RaceVar {
+					t.Errorf("race = %v at %d, want %v at %d", r.Var, r.Pos, sc.RaceVar, sc.RacePos)
+				}
+			} else if r != nil {
+				t.Errorf("false race: %v", r)
+			}
+		})
+	}
+}
+
+// TestSpecReadsDoNotRace checks the read/write distinction: concurrent
+// reads after a properly published write are race-free, while the
+// undistinguished Figure 5 rules would have flagged them.
+func TestSpecReadsDoNotRace(t *testing.T) {
+	tr := event.NewBuilder().
+		Write(1, 10, 0).
+		Fork(1, 2).
+		Fork(1, 3).
+		Read(2, 10, 0). // concurrent with T3's read: fine
+		Read(3, 10, 0).
+		Read(2, 10, 0).
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("read-read flagged: %v", r)
+	}
+}
+
+// TestSpecWriteAfterConcurrentReads: a write must be checked against
+// every thread's reads, not just the last write.
+func TestSpecWriteAfterConcurrentReads(t *testing.T) {
+	tr := event.NewBuilder().
+		Write(1, 10, 0).
+		Fork(1, 2).
+		Fork(1, 3).
+		Read(2, 10, 0).
+		Read(3, 10, 0).
+		Write(1, 10, 0). // races with both reads
+		Trace()
+	r := detect.FirstRace(core.NewSpecEngine(), tr)
+	if r == nil || r.Pos != 5 {
+		t.Errorf("write-after-reads race = %v, want at 5", r)
+	}
+}
+
+// TestSpecVolatileHandshake: ownership transfer through a volatile
+// flag (rule 2/3), the idiom behind barrier synchronization.
+func TestSpecVolatileHandshake(t *testing.T) {
+	tr := event.NewBuilder().
+		Write(1, 10, 0).
+		VolatileWrite(1, 1, 0). // T1 in LS: add (g, v0)
+		Fork(1, 2).
+		VolatileRead(2, 1, 0). // (g, v0) in LS: add T2
+		Write(2, 10, 0).       // no race
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("volatile handshake flagged: %v", r)
+	}
+
+	// Without the volatile read, the same access races. The write still
+	// happens after fork so the fork edge cannot save it.
+	tr2 := event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		VolatileWrite(1, 1, 0).
+		Write(2, 10, 0).
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr2); r == nil || r.Pos != 3 {
+		t.Errorf("unsynchronized write = %v, want race at 3", r)
+	}
+}
+
+// TestSpecForkJoin: rules 6 and 7.
+func TestSpecForkJoin(t *testing.T) {
+	tr := event.NewBuilder().
+		Write(1, 10, 0).
+		Fork(1, 2).
+		Write(2, 10, 0). // ordered by fork
+		Join(1, 2).
+		Write(1, 10, 0). // ordered by join
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("fork/join flagged: %v", r)
+	}
+}
+
+// TestSpecAllocResets: rule 8 — reusing an address after allocation
+// starts with empty locksets.
+func TestSpecAllocResets(t *testing.T) {
+	tr := event.NewBuilder().
+		Alloc(1, 10).
+		Write(1, 10, 0).
+		Fork(1, 2).
+		Alloc(2, 11).
+		Write(2, 11, 0).
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("fresh allocations flagged: %v", r)
+	}
+}
+
+// TestSpecTransactionVsPlainSameThread: a thread's own transactional and
+// plain accesses never race.
+func TestSpecTransactionVsPlainSameThread(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	tr := event.NewBuilder().
+		Write(1, 10, 0).
+		Commit(1, nil, []event.Variable{v}).
+		Write(1, 10, 0).
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("same-thread txn/plain flagged: %v", r)
+	}
+}
+
+// TestSpecTransactionReadVsPlainRead: a transactional read and a plain
+// read do not conflict even when unordered (no write anywhere).
+func TestSpecTransactionReadVsPlainRead(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Read(1, 10, 0).
+		Commit(2, []event.Variable{v}, nil).
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("txn-read vs plain-read flagged: %v", r)
+	}
+}
+
+// TestSpecTransactionWriteVsPlainRead: an unordered transactional write
+// against a plain read is a race (case 3 of the definition).
+func TestSpecTransactionWriteVsPlainRead(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Read(1, 10, 0).
+		Commit(2, nil, []event.Variable{v}).
+		Trace()
+	r := detect.FirstRace(core.NewSpecEngine(), tr)
+	if r == nil || r.Pos != 2 || r.Var != v {
+		t.Errorf("txn-write vs plain-read = %v, want race at 2", r)
+	}
+}
+
+// TestSpecTwoTransactionsNeverRace: commit/commit pairs are exempt.
+func TestSpecTwoTransactionsNeverRace(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Commit(1, nil, []event.Variable{v}).
+		Commit(2, nil, []event.Variable{v}).
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("txn-txn flagged: %v", r)
+	}
+}
+
+// TestSpecOwnershipTransferThroughTransaction: a variable never touched
+// by any transaction can still be handed over through one — the
+// data-variable lockset elements at work (Section 4's "ownership
+// transfer of variable without accessing the variable").
+func TestSpecOwnershipTransferThroughTransaction(t *testing.T) {
+	shared := event.Variable{Obj: 11, Field: 0}
+	tr := event.NewBuilder().
+		Fork(1, 2). // T2 exists before the writes: only the commits order them
+		Write(1, 10, 0).
+		Commit(1, nil, []event.Variable{shared}).
+		Commit(2, []event.Variable{shared}, nil).
+		Write(2, 10, 0).
+		Trace()
+	if r := detect.FirstRace(core.NewSpecEngine(), tr); r != nil {
+		t.Errorf("transaction handoff flagged: %v", r)
+	}
+}

@@ -1,0 +1,63 @@
+package detect_test
+
+import (
+	"strings"
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+func racyTrace() *event.Trace {
+	return event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		Write(2, 10, 0). // race at 2
+		Write(1, 11, 0).
+		Write(2, 11, 0). // race at 4
+		Trace()
+}
+
+func TestRunTraceAssignsPositions(t *testing.T) {
+	races := detect.RunTrace(core.New(), racyTrace())
+	if len(races) != 2 {
+		t.Fatalf("races = %d, want 2", len(races))
+	}
+	if races[0].Pos != 2 || races[1].Pos != 4 {
+		t.Errorf("positions = %d, %d", races[0].Pos, races[1].Pos)
+	}
+}
+
+func TestFirstRaceStopsEarly(t *testing.T) {
+	r := detect.FirstRace(core.New(), racyTrace())
+	if r == nil || r.Pos != 2 {
+		t.Fatalf("first race = %v", r)
+	}
+	if r.Var != (event.Variable{Obj: 10, Field: 0}) {
+		t.Errorf("var = %v", r.Var)
+	}
+}
+
+func TestRacyVars(t *testing.T) {
+	vars := detect.RacyVars(core.New(), racyTrace())
+	if len(vars) != 2 {
+		t.Errorf("racy vars = %v", vars)
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := detect.Race{
+		Var:    event.Variable{Obj: 10, Field: 0},
+		Access: event.Write(2, 10, 0),
+		Pos:    2,
+	}
+	if s := r.String(); !strings.Contains(s, "o10.f0") || !strings.Contains(s, "action 2") {
+		t.Errorf("String() = %q", s)
+	}
+	r.Prev = event.Write(1, 10, 0)
+	r.HasPrev = true
+	if s := r.String(); !strings.Contains(s, "conflicts with") {
+		t.Errorf("String() with prev = %q", s)
+	}
+}

@@ -1,0 +1,196 @@
+// Package eraser implements the Eraser dynamic race detector (Savage et
+// al., TOCS 1997) with its per-variable ownership state machine, as the
+// sound-but-imprecise baseline the paper contrasts Goldilocks with
+// (Section 4.1 and Related Work).
+//
+// Eraser enforces the discipline that every shared variable is protected
+// by a fixed set of locks. The candidate lockset of a variable only
+// shrinks; idioms such as ownership transfer, container-protected
+// objects, barrier synchronization (volatiles), and permanent
+// thread-locality after shared use all violate the discipline and
+// produce false alarms — exactly the imprecision Example 2 demonstrates.
+//
+// Transactions are handled the only way a lockset-discipline checker
+// can: accesses inside a transaction are treated as performed while
+// holding a fictitious global transaction lock.
+package eraser
+
+import (
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+// state is the Eraser ownership state of one variable.
+type state uint8
+
+const (
+	virgin state = iota
+	exclusive
+	shared
+	sharedModified
+)
+
+// txnLock is the fictitious lock "held" during transactional accesses.
+const txnLock event.Addr = -1
+
+type varState struct {
+	st    state
+	owner event.Tid
+	// cand is the candidate lockset; nil means "all locks" (not yet
+	// initialized — it is first set when the variable becomes shared).
+	cand     map[event.Addr]bool
+	reported bool
+}
+
+// Detector is an Eraser-style online detector implementing
+// detect.Detector.
+type Detector struct {
+	vars map[event.Variable]*varState
+	held map[event.Tid]map[event.Addr]int
+}
+
+// New returns an empty Eraser detector.
+func New() *Detector {
+	return &Detector{
+		vars: make(map[event.Variable]*varState),
+		held: make(map[event.Tid]map[event.Addr]int),
+	}
+}
+
+// Name implements detect.Detector.
+func (d *Detector) Name() string { return "eraser" }
+
+func (d *Detector) locksHeld(t event.Tid) map[event.Addr]int {
+	m, ok := d.held[t]
+	if !ok {
+		m = make(map[event.Addr]int)
+		d.held[t] = m
+	}
+	return m
+}
+
+// lockset returns the set of locks t currently holds, plus extra.
+func (d *Detector) lockset(t event.Tid, extra ...event.Addr) map[event.Addr]bool {
+	out := make(map[event.Addr]bool)
+	for l, n := range d.held[t] {
+		if n > 0 {
+			out[l] = true
+		}
+	}
+	for _, l := range extra {
+		out[l] = true
+	}
+	return out
+}
+
+// Step implements detect.Detector.
+func (d *Detector) Step(a event.Action) []detect.Race {
+	switch a.Kind {
+	case event.KindAcquire:
+		d.locksHeld(a.Thread)[a.Obj]++
+	case event.KindRelease:
+		if m := d.locksHeld(a.Thread); m[a.Obj] > 0 {
+			m[a.Obj]--
+		}
+	case event.KindAlloc:
+		for v := range d.vars {
+			if v.Obj == a.Obj {
+				delete(d.vars, v)
+			}
+		}
+	case event.KindRead:
+		if r := d.access(a.Thread, a.Variable(), false, a, nil); r != nil {
+			return []detect.Race{*r}
+		}
+	case event.KindWrite:
+		if r := d.access(a.Thread, a.Variable(), true, a, nil); r != nil {
+			return []detect.Race{*r}
+		}
+	case event.KindCommit:
+		var races []detect.Race
+		extra := []event.Addr{txnLock}
+		seen := make(map[event.Variable]bool)
+		for _, v := range a.Writes {
+			if !seen[v] {
+				seen[v] = true
+				if r := d.access(a.Thread, v, true, a, extra); r != nil {
+					races = append(races, *r)
+				}
+			}
+		}
+		for _, v := range a.Reads {
+			if !seen[v] {
+				seen[v] = true
+				if r := d.access(a.Thread, v, false, a, extra); r != nil {
+					races = append(races, *r)
+				}
+			}
+		}
+		return races
+	}
+	return nil
+}
+
+// access runs the Eraser state machine for one access.
+func (d *Detector) access(t event.Tid, v event.Variable, isWrite bool, a event.Action, extra []event.Addr) *detect.Race {
+	vs, ok := d.vars[v]
+	if !ok {
+		vs = &varState{st: virgin}
+		d.vars[v] = vs
+	}
+	held := d.lockset(t, extra...)
+
+	switch vs.st {
+	case virgin:
+		vs.st = exclusive
+		vs.owner = t
+		return nil
+	case exclusive:
+		if t == vs.owner {
+			return nil
+		}
+		// First access by a second thread: initialize the candidate set.
+		vs.cand = held
+		if isWrite {
+			vs.st = sharedModified
+		} else {
+			vs.st = shared
+		}
+		if vs.st == sharedModified && len(vs.cand) == 0 {
+			return d.report(vs, v, a)
+		}
+		return nil
+	case shared:
+		vs.intersect(held)
+		if isWrite {
+			vs.st = sharedModified
+			if len(vs.cand) == 0 {
+				return d.report(vs, v, a)
+			}
+		}
+		// Reads in shared state refine the set without reporting.
+		return nil
+	default: // sharedModified
+		vs.intersect(held)
+		if len(vs.cand) == 0 {
+			return d.report(vs, v, a)
+		}
+		return nil
+	}
+}
+
+func (vs *varState) intersect(held map[event.Addr]bool) {
+	for l := range vs.cand {
+		if !held[l] {
+			delete(vs.cand, l)
+		}
+	}
+}
+
+func (d *Detector) report(vs *varState, v event.Variable, a event.Action) *detect.Race {
+	if vs.reported {
+		return nil // one report per variable, like the original tool
+	}
+	vs.reported = true
+	return &detect.Race{Var: v, Access: a}
+}

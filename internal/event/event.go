@@ -1,0 +1,285 @@
+// Package event defines the action vocabulary of Goldilocks (PLDI 2007,
+// Section 3): thread and object identifiers, data and volatile variables,
+// and the ten action kinds that make up a monitored execution.
+//
+// An execution is a per-thread sequence of actions together with a total
+// order (the extended synchronization order) on the synchronization
+// actions. The race detectors in this repository consume a linearization
+// of the extended happens-before relation, represented here as a Trace.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tid identifies a thread. Thread ids are small dense integers assigned
+// by the runtime; NoTid is the zero value and never identifies a real
+// thread.
+type Tid int32
+
+// NoTid is the absent thread id.
+const NoTid Tid = 0
+
+func (t Tid) String() string { return fmt.Sprintf("T%d", int32(t)) }
+
+// Addr identifies a heap object. Object ids are assigned at allocation;
+// NilAddr never identifies a real object.
+type Addr int64
+
+// NilAddr is the absent object id.
+const NilAddr Addr = 0
+
+func (a Addr) String() string { return fmt.Sprintf("o%d", int64(a)) }
+
+// FieldID identifies a field within a class, or an array slot. The
+// detector treats each (Addr, FieldID) pair as a distinct variable; array
+// elements are modeled as distinct fields of the array object, as in the
+// paper's evaluation ("arrays were checked by treating each array element
+// as a separate variable").
+type FieldID int32
+
+// Variable is a data variable (o, d): a data field d of object o.
+type Variable struct {
+	Obj   Addr
+	Field FieldID
+}
+
+func (v Variable) String() string { return fmt.Sprintf("%v.f%d", v.Obj, int32(v.Field)) }
+
+// Volatile is a synchronization variable (o, v): a volatile field v of
+// object o. The per-object monitor lock is modeled, as in the paper, as
+// the distinguished volatile field LockField.
+type Volatile struct {
+	Obj   Addr
+	Field FieldID
+}
+
+func (v Volatile) String() string {
+	if v.Field == LockField {
+		return fmt.Sprintf("%v.lock", v.Obj)
+	}
+	return fmt.Sprintf("%v.v%d", v.Obj, int32(v.Field))
+}
+
+// LockField is the distinguished volatile field l used to model object
+// monitor locks (Section 3: "we use a special field l in Volatile ...
+// to model the semantics of an object lock").
+const LockField FieldID = -1
+
+// Lock returns the synchronization variable modeling the monitor of o.
+func Lock(o Addr) Volatile { return Volatile{Obj: o, Field: LockField} }
+
+// Kind enumerates the action kinds of Section 3.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind and never appears in a valid trace.
+	KindInvalid Kind = iota
+
+	// Data actions.
+	KindRead  // read(o, d)
+	KindWrite // write(o, d)
+
+	// Synchronization actions.
+	KindAcquire       // acq(o)
+	KindRelease       // rel(o)
+	KindVolatileRead  // read(o, v)
+	KindVolatileWrite // write(o, v)
+	KindFork          // fork(u)
+	KindJoin          // join(u)
+	KindCommit        // commit(R, W)
+
+	// Allocation.
+	KindAlloc // alloc(o)
+)
+
+var kindNames = [...]string{
+	KindInvalid:       "invalid",
+	KindRead:          "read",
+	KindWrite:         "write",
+	KindAcquire:       "acq",
+	KindRelease:       "rel",
+	KindVolatileRead:  "vread",
+	KindVolatileWrite: "vwrite",
+	KindFork:          "fork",
+	KindJoin:          "join",
+	KindCommit:        "commit",
+	KindAlloc:         "alloc",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsSync reports whether k is a synchronization action kind (a member of
+// SyncKind in the paper). Commit actions are synchronization actions:
+// they participate in the extended synchronization order.
+func (k Kind) IsSync() bool {
+	switch k {
+	case KindAcquire, KindRelease, KindVolatileRead, KindVolatileWrite,
+		KindFork, KindJoin, KindCommit:
+		return true
+	}
+	return false
+}
+
+// IsData reports whether k is a data access kind.
+func (k Kind) IsData() bool { return k == KindRead || k == KindWrite }
+
+// Action is one step of an execution. The meaning of the fields depends
+// on Kind:
+//
+//   - KindRead/KindWrite: Thread accesses data variable (Obj, Field).
+//   - KindAcquire/KindRelease: Thread acquires/releases the monitor of Obj.
+//   - KindVolatileRead/KindVolatileWrite: Thread reads/writes volatile
+//     (Obj, Field).
+//   - KindFork/KindJoin: Thread forks/joins the thread Peer.
+//   - KindCommit: Thread commits a transaction with read set Reads and
+//     write set Writes.
+//   - KindAlloc: Thread allocates object Obj.
+type Action struct {
+	Kind   Kind
+	Thread Tid
+	Obj    Addr
+	Field  FieldID
+	Peer   Tid
+	Reads  []Variable // commit only
+	Writes []Variable // commit only
+}
+
+// Variable returns the data variable accessed by a KindRead/KindWrite
+// action. It must not be called for other kinds.
+func (a Action) Variable() Variable {
+	if !a.Kind.IsData() {
+		panic(fmt.Sprintf("event: Variable called on %v action", a.Kind))
+	}
+	return Variable{Obj: a.Obj, Field: a.Field}
+}
+
+// Volatile returns the synchronization variable touched by a volatile
+// access, or the lock variable for acquire/release.
+func (a Action) Volatile() Volatile {
+	switch a.Kind {
+	case KindVolatileRead, KindVolatileWrite:
+		return Volatile{Obj: a.Obj, Field: a.Field}
+	case KindAcquire, KindRelease:
+		return Lock(a.Obj)
+	}
+	panic(fmt.Sprintf("event: Volatile called on %v action", a.Kind))
+}
+
+// Accesses reports whether the action accesses the data variable v: it is
+// a read or write of v, or a commit whose read or write set contains v.
+// This is the access notion used by Theorem 1.
+func (a Action) Accesses(v Variable) bool {
+	switch a.Kind {
+	case KindRead, KindWrite:
+		return a.Obj == v.Obj && a.Field == v.Field
+	case KindCommit:
+		for _, r := range a.Reads {
+			if r == v {
+				return true
+			}
+		}
+		for _, w := range a.Writes {
+			if w == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WritesVar reports whether the action writes v (a plain write, or a
+// commit whose write set contains v).
+func (a Action) WritesVar(v Variable) bool {
+	switch a.Kind {
+	case KindWrite:
+		return a.Obj == v.Obj && a.Field == v.Field
+	case KindCommit:
+		for _, w := range a.Writes {
+			if w == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case KindRead, KindWrite:
+		return fmt.Sprintf("%v:%v(%v)", a.Thread, a.Kind, a.Variable())
+	case KindAcquire, KindRelease, KindAlloc:
+		return fmt.Sprintf("%v:%v(%v)", a.Thread, a.Kind, a.Obj)
+	case KindVolatileRead, KindVolatileWrite:
+		return fmt.Sprintf("%v:%v(%v)", a.Thread, a.Kind, a.Volatile())
+	case KindFork, KindJoin:
+		return fmt.Sprintf("%v:%v(%v)", a.Thread, a.Kind, a.Peer)
+	case KindCommit:
+		return fmt.Sprintf("%v:commit(R=%s, W=%s)", a.Thread, varSetString(a.Reads), varSetString(a.Writes))
+	}
+	return fmt.Sprintf("%v:%v", a.Thread, a.Kind)
+}
+
+func varSetString(vs []Variable) string {
+	strs := make([]string, len(vs))
+	for i, v := range vs {
+		strs[i] = v.String()
+	}
+	sort.Strings(strs)
+	return "{" + strings.Join(strs, ",") + "}"
+}
+
+// Convenience constructors. They make trace-building code in tests and
+// workloads read close to the paper's notation.
+
+// Read constructs a read(o, d) action by thread t.
+func Read(t Tid, o Addr, d FieldID) Action {
+	return Action{Kind: KindRead, Thread: t, Obj: o, Field: d}
+}
+
+// Write constructs a write(o, d) action by thread t.
+func Write(t Tid, o Addr, d FieldID) Action {
+	return Action{Kind: KindWrite, Thread: t, Obj: o, Field: d}
+}
+
+// Acquire constructs an acq(o) action by thread t.
+func Acquire(t Tid, o Addr) Action {
+	return Action{Kind: KindAcquire, Thread: t, Obj: o}
+}
+
+// Release constructs a rel(o) action by thread t.
+func Release(t Tid, o Addr) Action {
+	return Action{Kind: KindRelease, Thread: t, Obj: o}
+}
+
+// VolatileRead constructs a read(o, v) action by thread t.
+func VolatileRead(t Tid, o Addr, v FieldID) Action {
+	return Action{Kind: KindVolatileRead, Thread: t, Obj: o, Field: v}
+}
+
+// VolatileWrite constructs a write(o, v) action by thread t.
+func VolatileWrite(t Tid, o Addr, v FieldID) Action {
+	return Action{Kind: KindVolatileWrite, Thread: t, Obj: o, Field: v}
+}
+
+// Fork constructs a fork(u) action by thread t.
+func Fork(t, u Tid) Action { return Action{Kind: KindFork, Thread: t, Peer: u} }
+
+// Join constructs a join(u) action by thread t.
+func Join(t, u Tid) Action { return Action{Kind: KindJoin, Thread: t, Peer: u} }
+
+// Alloc constructs an alloc(o) action by thread t.
+func Alloc(t Tid, o Addr) Action { return Action{Kind: KindAlloc, Thread: t, Obj: o} }
+
+// Commit constructs a commit(R, W) action by thread t. The slices are
+// retained, not copied.
+func Commit(t Tid, reads, writes []Variable) Action {
+	return Action{Kind: KindCommit, Thread: t, Reads: reads, Writes: writes}
+}

@@ -1,0 +1,177 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindIsSync(t *testing.T) {
+	syncKinds := []Kind{KindAcquire, KindRelease, KindVolatileRead, KindVolatileWrite, KindFork, KindJoin, KindCommit}
+	for _, k := range syncKinds {
+		if !k.IsSync() {
+			t.Errorf("%v.IsSync() = false, want true", k)
+		}
+		if k.IsData() {
+			t.Errorf("%v.IsData() = true, want false", k)
+		}
+	}
+	for _, k := range []Kind{KindRead, KindWrite} {
+		if k.IsSync() {
+			t.Errorf("%v.IsSync() = true, want false", k)
+		}
+		if !k.IsData() {
+			t.Errorf("%v.IsData() = false, want true", k)
+		}
+	}
+	if KindAlloc.IsSync() || KindAlloc.IsData() {
+		t.Error("alloc must be neither sync nor data")
+	}
+}
+
+func TestActionVariable(t *testing.T) {
+	a := Read(1, 10, 2)
+	if got := a.Variable(); got != (Variable{Obj: 10, Field: 2}) {
+		t.Errorf("Variable() = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Variable() on acq action did not panic")
+		}
+	}()
+	Acquire(1, 10).Variable()
+}
+
+func TestActionVolatile(t *testing.T) {
+	if got := VolatileRead(1, 10, 3).Volatile(); got != (Volatile{Obj: 10, Field: 3}) {
+		t.Errorf("Volatile() = %v", got)
+	}
+	if got := Acquire(1, 10).Volatile(); got != Lock(10) {
+		t.Errorf("acq Volatile() = %v, want lock", got)
+	}
+	if Lock(10).Field != LockField {
+		t.Error("Lock field is not LockField")
+	}
+}
+
+func TestActionAccesses(t *testing.T) {
+	v := Variable{Obj: 10, Field: 0}
+	w := Variable{Obj: 10, Field: 1}
+	cases := []struct {
+		a       Action
+		accV    bool
+		writesV bool
+	}{
+		{Read(1, 10, 0), true, false},
+		{Write(1, 10, 0), true, true},
+		{Read(1, 10, 1), false, false},
+		{Commit(1, []Variable{v}, nil), true, false},
+		{Commit(1, nil, []Variable{v}), true, true},
+		{Commit(1, []Variable{w}, []Variable{w}), false, false},
+		{Acquire(1, 10), false, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Accesses(v); got != c.accV {
+			t.Errorf("%v.Accesses(%v) = %v, want %v", c.a, v, got, c.accV)
+		}
+		if got := c.a.WritesVar(v); got != c.writesV {
+			t.Errorf("%v.WritesVar(%v) = %v, want %v", c.a, v, got, c.writesV)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := []struct {
+		a    Action
+		want string
+	}{
+		{Read(1, 10, 0), "T1:read(o10.f0)"},
+		{Write(2, 10, 1), "T2:write(o10.f1)"},
+		{Acquire(1, 5), "T1:acq(o5)"},
+		{VolatileWrite(1, 5, 2), "T1:vwrite(o5.v2)"},
+		{Fork(1, 2), "T1:fork(T2)"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	cs := Commit(1, []Variable{{10, 0}}, []Variable{{10, 1}}).String()
+	if !strings.Contains(cs, "commit") || !strings.Contains(cs, "o10.f0") || !strings.Contains(cs, "o10.f1") {
+		t.Errorf("commit String() = %q", cs)
+	}
+}
+
+func TestTraceThreadsVars(t *testing.T) {
+	tr := NewBuilder().
+		Write(1, 10, 0).
+		Fork(1, 2).
+		Read(2, 10, 0).
+		Commit(2, []Variable{{11, 0}}, []Variable{{10, 1}}).
+		Trace()
+	threads := tr.Threads()
+	if len(threads) != 2 || threads[0] != 1 || threads[1] != 2 {
+		t.Errorf("Threads() = %v", threads)
+	}
+	vars := tr.Vars()
+	want := []Variable{{10, 0}, {11, 0}, {10, 1}}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars() = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Vars()[%d] = %v, want %v", i, vars[i], want[i])
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	tr := NewBuilder().
+		Alloc(1, 10).
+		Write(1, 10, 0).
+		Acquire(1, 20).
+		Acquire(1, 20). // reentrant
+		Release(1, 20).
+		Release(1, 20).
+		Fork(1, 2).
+		Acquire(2, 20).
+		Read(2, 10, 0).
+		Release(2, 20).
+		Join(1, 2).
+		Trace()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace *Trace
+	}{
+		{"acquire held lock", NewBuilder().Acquire(1, 20).Fork(1, 2).Acquire(2, 20).Trace()},
+		{"release unheld", NewBuilder().Release(1, 20).Trace()},
+		{"release by non-owner", NewBuilder().Acquire(1, 20).Fork(1, 2).Release(2, 20).Trace()},
+		{"fork twice", NewBuilder().Fork(1, 2).Fork(1, 2).Trace()},
+		{"act after join", NewBuilder().Fork(1, 2).Write(2, 10, 0).Join(1, 2).Write(2, 10, 0).Trace()},
+		{"join unknown", NewBuilder().Join(1, 9).Trace()},
+		{"alloc after access", NewBuilder().Write(1, 10, 0).Alloc(1, 10).Trace()},
+		{"missing tid", NewTrace([]Action{{Kind: KindRead, Obj: 10}})},
+	}
+	for _, c := range cases {
+		if err := c.trace.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", c.name)
+		}
+	}
+}
+
+func TestBuilderSnapshotIsolation(t *testing.T) {
+	b := NewBuilder().Write(1, 10, 0)
+	tr1 := b.Trace()
+	b.Write(1, 10, 1)
+	if tr1.Len() != 1 {
+		t.Errorf("earlier trace grew: len = %d", tr1.Len())
+	}
+	if b.Trace().Len() != 2 {
+		t.Errorf("builder lost actions")
+	}
+}

@@ -1,0 +1,80 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonAction is the serialized form of an Action. Kind uses the String
+// names so trace files are greppable.
+type jsonAction struct {
+	Kind   string     `json:"kind"`
+	Thread Tid        `json:"t"`
+	Obj    Addr       `json:"o,omitempty"`
+	Field  FieldID    `json:"f,omitempty"`
+	Peer   Tid        `json:"peer,omitempty"`
+	Reads  []Variable `json:"reads,omitempty"`
+	Writes []Variable `json:"writes,omitempty"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = Kind(k)
+	}
+	return m
+}()
+
+// WriteTrace serializes tr as JSON (one object with an "actions" array).
+func WriteTrace(w io.Writer, tr *Trace) error {
+	out := struct {
+		Actions []jsonAction `json:"actions"`
+	}{Actions: make([]jsonAction, tr.Len())}
+	for i := 0; i < tr.Len(); i++ {
+		a := tr.At(i)
+		out.Actions[i] = jsonAction{
+			Kind:   a.Kind.String(),
+			Thread: a.Thread,
+			Obj:    a.Obj,
+			Field:  a.Field,
+			Peer:   a.Peer,
+			Reads:  a.Reads,
+			Writes: a.Writes,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadTrace deserializes a trace written by WriteTrace and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var in struct {
+		Actions []jsonAction `json:"actions"`
+	}
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("event: decoding trace: %w", err)
+	}
+	actions := make([]Action, len(in.Actions))
+	for i, ja := range in.Actions {
+		k, ok := kindByName[ja.Kind]
+		if !ok || k == KindInvalid {
+			return nil, fmt.Errorf("event: action %d: unknown kind %q", i, ja.Kind)
+		}
+		actions[i] = Action{
+			Kind:   k,
+			Thread: ja.Thread,
+			Obj:    ja.Obj,
+			Field:  ja.Field,
+			Peer:   ja.Peer,
+			Reads:  ja.Reads,
+			Writes: ja.Writes,
+		}
+	}
+	tr := NewTrace(actions)
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("event: invalid trace: %w", err)
+	}
+	return tr, nil
+}

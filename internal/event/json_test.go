@@ -1,0 +1,68 @@
+package event
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	orig := NewBuilder().
+		Alloc(1, 10).
+		Write(1, 10, 0).
+		Fork(1, 2).
+		Acquire(2, 20).
+		VolatileWrite(2, 1, 3).
+		VolatileRead(1, 1, 3).
+		Release(2, 20).
+		Commit(2, []Variable{{10, 0}}, []Variable{{10, 1}, {11, 2}}).
+		Join(1, 2).
+		Trace()
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("len %d, want %d", back.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		a, b := orig.At(i), back.At(i)
+		if a.String() != b.String() {
+			t.Errorf("action %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"actions":[{"kind":"teleport","t":1}]}`,
+		`{"actions":[{"kind":"invalid","t":1}]}`,
+		// Structurally invalid: release of an unheld lock.
+		`{"actions":[{"kind":"rel","t":1,"o":5}]}`,
+	}
+	for _, src := range cases {
+		if _, err := ReadTrace(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestWriteTraceIsReadable(t *testing.T) {
+	tr := NewBuilder().Write(1, 10, 0).Trace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind": "write"`, `"t": 1`, `"o": 10`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized trace missing %q:\n%s", want, out)
+		}
+	}
+}

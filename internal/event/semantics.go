@@ -1,0 +1,43 @@
+package event
+
+// TxnSemantics selects how transaction commits enter the extended
+// synchronizes-with relation. Section 3 of the paper defines the
+// shared-variable interpretation and notes that "other ways of
+// specifying the interaction between strongly-atomic transactions and
+// the Java memory model can easily be incorporated"; all three named
+// variants are implemented uniformly by the oracle and every precise
+// detector.
+type TxnSemantics uint8
+
+const (
+	// TxnSharedVariable: commit(R,W) synchronizes-with a later
+	// commit(R',W') iff (R∪W) ∩ (R'∪W') ≠ ∅ — the paper's primary
+	// definition (transactions over disjoint variables do not
+	// synchronize).
+	TxnSharedVariable TxnSemantics = iota
+	// TxnAtomicOrder: every commit synchronizes with every later commit
+	// (the atomic order of all transactions is a synchronization
+	// order).
+	TxnAtomicOrder
+	// TxnWriteToRead: commit(R,W) synchronizes-with a later
+	// commit(R',W') iff W ∩ R' ≠ ∅ — publication edges only, the
+	// weakest of the three.
+	TxnWriteToRead
+)
+
+func (s TxnSemantics) String() string {
+	switch s {
+	case TxnSharedVariable:
+		return "shared-variable"
+	case TxnAtomicOrder:
+		return "atomic-order"
+	case TxnWriteToRead:
+		return "write-to-read"
+	}
+	return "TxnSemantics(?)"
+}
+
+// AllTxnSemantics lists the implemented interpretations.
+func AllTxnSemantics() []TxnSemantics {
+	return []TxnSemantics{TxnSharedVariable, TxnAtomicOrder, TxnWriteToRead}
+}

@@ -1,0 +1,218 @@
+package event
+
+import (
+	"fmt"
+)
+
+// Trace is a linearization of an execution: a sequence of actions that is
+// consistent with each thread's program order and with the extended
+// synchronization order. Detectors consume traces action by action.
+type Trace struct {
+	actions []Action
+}
+
+// NewTrace returns a trace over the given actions. The slice is retained.
+func NewTrace(actions []Action) *Trace { return &Trace{actions: actions} }
+
+// Len returns the number of actions in the trace.
+func (tr *Trace) Len() int { return len(tr.actions) }
+
+// At returns the i-th action.
+func (tr *Trace) At(i int) Action { return tr.actions[i] }
+
+// Actions returns the underlying action slice. Callers must not modify it.
+func (tr *Trace) Actions() []Action { return tr.actions }
+
+// Threads returns the set of thread ids appearing in the trace, in first-
+// appearance order.
+func (tr *Trace) Threads() []Tid {
+	seen := make(map[Tid]bool)
+	var out []Tid
+	for _, a := range tr.actions {
+		if !seen[a.Thread] {
+			seen[a.Thread] = true
+			out = append(out, a.Thread)
+		}
+	}
+	return out
+}
+
+// Vars returns the set of data variables accessed (directly or through
+// commits) in the trace, in first-access order.
+func (tr *Trace) Vars() []Variable {
+	seen := make(map[Variable]bool)
+	var out []Variable
+	add := func(v Variable) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, a := range tr.actions {
+		switch a.Kind {
+		case KindRead, KindWrite:
+			add(a.Variable())
+		case KindCommit:
+			for _, v := range a.Reads {
+				add(v)
+			}
+			for _, v := range a.Writes {
+				add(v)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness of the trace:
+//
+//   - lock acquire/release alternate correctly per object (reentrancy is
+//     permitted: nested acquires by the owner count up);
+//   - a release is performed only by the lock's current owner;
+//   - a fork(u) precedes any action of u, and each thread is forked at
+//     most once;
+//   - a join(u) is preceded by at least one action of u or a fork of u
+//     (thread existence), and no action of u follows a join(u);
+//   - every object accessed was allocated earlier, when allocations are
+//     present for that object (traces without explicit allocs are
+//     permitted: detectors treat first contact as creation).
+//
+// The first violation found is returned.
+func (tr *Trace) Validate() error {
+	lockOwner := make(map[Addr]Tid)
+	lockDepth := make(map[Addr]int)
+	forked := make(map[Tid]bool)
+	started := make(map[Tid]bool)
+	joined := make(map[Tid]bool)
+	allocated := make(map[Addr]bool)
+
+	for i, a := range tr.actions {
+		if a.Thread == NoTid {
+			return fmt.Errorf("action %d (%v): missing thread id", i, a)
+		}
+		if joined[a.Thread] {
+			return fmt.Errorf("action %d (%v): thread %v acts after being joined", i, a, a.Thread)
+		}
+		started[a.Thread] = true
+		switch a.Kind {
+		case KindAcquire:
+			if owner, held := lockOwner[a.Obj]; held && owner != a.Thread {
+				return fmt.Errorf("action %d (%v): lock %v held by %v", i, a, a.Obj, owner)
+			}
+			lockOwner[a.Obj] = a.Thread
+			lockDepth[a.Obj]++
+		case KindRelease:
+			owner, held := lockOwner[a.Obj]
+			if !held {
+				return fmt.Errorf("action %d (%v): release of unheld lock %v", i, a, a.Obj)
+			}
+			if owner != a.Thread {
+				return fmt.Errorf("action %d (%v): release by non-owner (owner %v)", i, a, owner)
+			}
+			lockDepth[a.Obj]--
+			if lockDepth[a.Obj] == 0 {
+				delete(lockOwner, a.Obj)
+				delete(lockDepth, a.Obj)
+			}
+		case KindFork:
+			if forked[a.Peer] {
+				return fmt.Errorf("action %d (%v): thread %v forked twice", i, a, a.Peer)
+			}
+			if started[a.Peer] {
+				return fmt.Errorf("action %d (%v): thread %v forked after it acted", i, a, a.Peer)
+			}
+			forked[a.Peer] = true
+		case KindJoin:
+			if !forked[a.Peer] && !started[a.Peer] {
+				return fmt.Errorf("action %d (%v): join of unknown thread %v", i, a, a.Peer)
+			}
+			joined[a.Peer] = true
+		case KindAlloc:
+			allocated[a.Obj] = true
+		case KindRead, KindWrite:
+			// Accessing an object that is later allocated means the trace
+			// reused an address without an intervening alloc: reject only
+			// the clearly-inverted case (alloc after access) below.
+		}
+		if a.Kind == KindAlloc {
+			continue
+		}
+	}
+	// Second pass: an alloc(o) must not follow an access to o (address
+	// reuse without allocation ordering makes lockset resets unsound).
+	touched := make(map[Addr]bool)
+	for i, a := range tr.actions {
+		switch a.Kind {
+		case KindRead, KindWrite:
+			touched[a.Obj] = true
+		case KindCommit:
+			for _, v := range a.Reads {
+				touched[v.Obj] = true
+			}
+			for _, v := range a.Writes {
+				touched[v.Obj] = true
+			}
+		case KindAlloc:
+			if touched[a.Obj] {
+				return fmt.Errorf("action %d (%v): alloc of %v after it was accessed", i, a, a.Obj)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder incrementally constructs a trace. It is a convenience for tests
+// and workload generators; methods return the builder for chaining.
+type Builder struct {
+	actions []Action
+}
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Append adds an arbitrary action.
+func (b *Builder) Append(a Action) *Builder { b.actions = append(b.actions, a); return b }
+
+// Read appends read(o, d) by t.
+func (b *Builder) Read(t Tid, o Addr, d FieldID) *Builder { return b.Append(Read(t, o, d)) }
+
+// Write appends write(o, d) by t.
+func (b *Builder) Write(t Tid, o Addr, d FieldID) *Builder { return b.Append(Write(t, o, d)) }
+
+// Acquire appends acq(o) by t.
+func (b *Builder) Acquire(t Tid, o Addr) *Builder { return b.Append(Acquire(t, o)) }
+
+// Release appends rel(o) by t.
+func (b *Builder) Release(t Tid, o Addr) *Builder { return b.Append(Release(t, o)) }
+
+// VolatileRead appends read(o, v) by t.
+func (b *Builder) VolatileRead(t Tid, o Addr, v FieldID) *Builder {
+	return b.Append(VolatileRead(t, o, v))
+}
+
+// VolatileWrite appends write(o, v) by t.
+func (b *Builder) VolatileWrite(t Tid, o Addr, v FieldID) *Builder {
+	return b.Append(VolatileWrite(t, o, v))
+}
+
+// Fork appends fork(u) by t.
+func (b *Builder) Fork(t, u Tid) *Builder { return b.Append(Fork(t, u)) }
+
+// Join appends join(u) by t.
+func (b *Builder) Join(t, u Tid) *Builder { return b.Append(Join(t, u)) }
+
+// Alloc appends alloc(o) by t.
+func (b *Builder) Alloc(t Tid, o Addr) *Builder { return b.Append(Alloc(t, o)) }
+
+// Commit appends commit(R, W) by t.
+func (b *Builder) Commit(t Tid, reads, writes []Variable) *Builder {
+	return b.Append(Commit(t, reads, writes))
+}
+
+// Trace finalizes the builder. The builder may continue to be used; the
+// returned trace sees no later appends.
+func (b *Builder) Trace() *Trace {
+	actions := make([]Action, len(b.actions))
+	copy(actions, b.actions)
+	return NewTrace(actions)
+}

@@ -1,0 +1,181 @@
+// Package explore enumerates thread schedules systematically: a
+// CHESS-style depth-first search over the deterministic scheduler's
+// decision points. Where seed-scanning samples the interleaving space,
+// exploration covers it — for small programs exhaustively — turning
+// statements like "a DataRaceException is thrown in some interleaving"
+// or "no interleaving races" into checked facts.
+//
+// The explored program must be deterministic apart from scheduling: the
+// same decision sequence must reproduce the same run (the jrt
+// deterministic scheduler guarantees this for MJ and Go-API programs
+// that don't consult outside state).
+package explore
+
+import (
+	"goldilocks/internal/jrt"
+)
+
+// Run is one explored schedule's outcome.
+type Run struct {
+	// Choices is the decision sequence that produced the run.
+	Choices []int
+	// Races is the number of races the schedule exhibited.
+	Races int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Schedules is the number of schedules executed.
+	Schedules int
+	// Racy is the number of schedules with at least one race.
+	Racy int
+	// FirstRacy is the decision sequence of the first racy schedule
+	// found (nil if none).
+	FirstRacy []int
+	// Exhausted reports whether the whole schedule space was covered
+	// (false if MaxSchedules stopped the search first).
+	Exhausted bool
+	// Truncated counts runs that exceeded MaxDecisions and finished
+	// under fair rotation instead of full branching.
+	Truncated int
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxSchedules stops the search after this many runs (0: 10000).
+	MaxSchedules int
+	// MaxDecisions bounds the branching depth of a single schedule
+	// (0: 1 << 16). A run that exceeds it — a thread pinned in a spin
+	// loop by the DFS's continue-current default — switches to fair
+	// rotation for the rest of the run, which terminates any program
+	// that terminates under a fair scheduler; the run is counted in
+	// Result.Truncated and not branched further.
+	MaxDecisions int
+	// PreemptionBound, when positive, limits each schedule to that many
+	// preemptions (switching away from a thread that could continue) —
+	// the CHESS result: most concurrency bugs manifest within two
+	// preemptions, and the bounded space is polynomial instead of
+	// exponential. Forced switches (the current thread blocked or
+	// exited) are free. Zero means unbounded.
+	PreemptionBound int
+}
+
+// dfsChooser replays a decision prefix, then takes the first candidate,
+// recording the fan-out at every decision point. With a preemption
+// bound, decision points after the budget is spent are forced to
+// "continue the current thread" and recorded as non-branching.
+type dfsChooser struct {
+	prefix    []int
+	chosen    []int
+	counts    []int
+	depth     int
+	limit     int // soft: switch to fair rotation beyond this
+	hardLimit int // fail loudly: the program does not terminate fairly
+	bound     int // 0: unbounded
+	preempts  int
+	rr        int // fair-rotation state
+	truncated bool
+}
+
+// Choose implements jrt.Chooser (used only if the scheduler does not
+// pass preemption context).
+func (c *dfsChooser) Choose(n int) int { return c.ChoosePreempt(n, false) }
+
+// ChoosePreempt implements jrt.PreemptAware.
+func (c *dfsChooser) ChoosePreempt(n int, currentRunnable bool) int {
+	if c.depth >= c.hardLimit {
+		panic("explore: program does not terminate even under fair scheduling")
+	}
+	if c.depth >= c.limit {
+		c.truncated = true
+	}
+	if c.truncated || (c.bound > 0 && c.preempts >= c.bound) {
+		// No more branching: rotate fairly instead of pinning the
+		// current thread, so spin-waiting threads cannot livelock the
+		// schedule (the rotation is deterministic, so the tail is still
+		// a single schedule per prefix).
+		c.rr++
+		c.chosen = append(c.chosen, 0)
+		c.counts = append(c.counts, 1)
+		c.depth++
+		return c.rr % n
+	}
+	pick := 0
+	if c.depth < len(c.prefix) {
+		pick = c.prefix[c.depth]
+		if pick >= n {
+			// The replayed prefix diverged (should not happen for
+			// deterministic programs); clamp defensively.
+			pick = n - 1
+		}
+	}
+	if currentRunnable && pick > 0 {
+		c.preempts++
+	}
+	c.chosen = append(c.chosen, pick)
+	c.counts = append(c.counts, n)
+	c.depth++
+	return pick
+}
+
+// next computes the lexicographically-next decision prefix, or nil when
+// the space is exhausted.
+func nextPrefix(chosen, counts []int) []int {
+	for i := len(chosen) - 1; i >= 0; i-- {
+		if chosen[i]+1 < counts[i] {
+			out := make([]int, i+1)
+			copy(out, chosen[:i])
+			out[i] = chosen[i] + 1
+			return out
+		}
+	}
+	return nil
+}
+
+// Schedules runs body once per schedule in depth-first order. body
+// receives a jrt.Chooser to plug into jrt.Config and returns the number
+// of races that schedule exhibited; visit (optional) observes each run.
+func Schedules(opts Options, body func(c jrt.Chooser) int, visit func(Run)) Result {
+	maxRuns := opts.MaxSchedules
+	if maxRuns == 0 {
+		maxRuns = 10000
+	}
+	maxDecisions := opts.MaxDecisions
+	if maxDecisions == 0 {
+		maxDecisions = 1 << 16
+	}
+
+	res := Result{}
+	prefix := []int{}
+	for {
+		if res.Schedules >= maxRuns {
+			return res
+		}
+		c := &dfsChooser{prefix: prefix, limit: maxDecisions, hardLimit: 64 * maxDecisions, bound: opts.PreemptionBound}
+		races := body(c)
+		res.Schedules++
+		if c.truncated {
+			res.Truncated++
+		}
+		if races > 0 {
+			res.Racy++
+			if res.FirstRacy == nil {
+				res.FirstRacy = append([]int(nil), c.chosen...)
+			}
+		}
+		if visit != nil {
+			visit(Run{Choices: append([]int(nil), c.chosen...), Races: races})
+		}
+		prefix = nextPrefix(c.chosen, c.counts)
+		if prefix == nil {
+			res.Exhausted = true
+			return res
+		}
+	}
+}
+
+// Replay runs body once under the given decision sequence.
+func Replay(choices []int, body func(c jrt.Chooser) int) int {
+	c := &dfsChooser{prefix: choices, limit: 1 << 16, hardLimit: 64 << 16}
+	return body(c)
+}

@@ -1,0 +1,287 @@
+package explore_test
+
+import (
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/explore"
+	"goldilocks/internal/hb"
+	"goldilocks/internal/jrt"
+	"goldilocks/internal/mj"
+	"goldilocks/internal/mjgen"
+)
+
+// runMJ builds the schedule-runner for an MJ program: each call executes
+// the program under the supplied chooser and returns the race count.
+func runMJ(t *testing.T, src string) func(c jrt.Chooser) int {
+	t.Helper()
+	return func(c jrt.Chooser) int {
+		prog := mj.MustCheck(src)
+		rt := jrt.NewRuntime(jrt.Config{
+			Detector: core.New(),
+			Policy:   jrt.Log,
+			Mode:     jrt.Deterministic,
+			Chooser:  c,
+		})
+		interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		races, err := interp.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return len(races)
+	}
+}
+
+const racyProgram = `
+class D { int v; }
+class Main {
+	D d;
+	void racer() { d.v = 1; }
+	void main() {
+		d = new D();
+		thread t = spawn this.racer();
+		d.v = 2;
+		join(t);
+	}
+}
+`
+
+// TestExploreFindsRaceInEverySchedule: the two unsynchronized writes
+// race under every interleaving; exhaustive exploration proves it.
+func TestExploreFindsRaceInEverySchedule(t *testing.T) {
+	res := explore.Schedules(explore.Options{MaxSchedules: 5000}, runMJ(t, racyProgram), nil)
+	if !res.Exhausted {
+		t.Fatalf("space not exhausted in %d schedules", res.Schedules)
+	}
+	if res.Schedules < 2 {
+		t.Fatalf("only %d schedules explored; expected real branching", res.Schedules)
+	}
+	if res.Racy != res.Schedules {
+		t.Errorf("racy in %d of %d schedules; the race exists in all of them", res.Racy, res.Schedules)
+	}
+	if res.FirstRacy == nil {
+		t.Fatal("no racy schedule recorded")
+	}
+	// The recorded decision sequence replays to the same verdict.
+	if n := explore.Replay(res.FirstRacy, runMJ(t, racyProgram)); n == 0 {
+		t.Error("replay of the racy schedule found no race")
+	}
+}
+
+const guardedProgram = `
+class D { int v; }
+class L { int unused; }
+class Main {
+	D d;
+	L lock;
+	void worker() { synchronized (lock) { d.v = 1; } }
+	void main() {
+		d = new D();
+		lock = new L();
+		thread t = spawn this.worker();
+		synchronized (lock) { d.v = 2; }
+		join(t);
+	}
+}
+`
+
+// TestExploreProvesRaceFreedom: exhaustive exploration of the guarded
+// program finds no racy schedule — "no interleaving races" as a checked
+// fact rather than a sampled one. (Exhaustive coverage is only feasible
+// for tiny programs; every yield with several runnable threads is a
+// decision point.)
+func TestExploreProvesRaceFreedom(t *testing.T) {
+	res := explore.Schedules(explore.Options{MaxSchedules: 200000}, runMJ(t, guardedProgram), nil)
+	if !res.Exhausted {
+		t.Fatalf("space not exhausted in %d schedules", res.Schedules)
+	}
+	if res.Racy != 0 {
+		t.Errorf("%d racy schedules on a race-free program (replay %v)", res.Racy, res.FirstRacy)
+	}
+	if res.Schedules < 10 {
+		t.Errorf("only %d schedules; expected a nontrivial space", res.Schedules)
+	}
+}
+
+const sometimesRacy = `
+class D { int v; volatile boolean done; }
+class Main {
+	D d;
+	void racer() {
+		d.v = 1;
+		d.done = true;
+	}
+	void main() {
+		d = new D();
+		thread t = spawn this.racer();
+		if (d.done) {
+			int x = d.v; // ordered: the volatile read observed the flag
+		} else {
+			d.v = 2; // races iff the racer has not finished
+		}
+		join(t);
+	}
+}
+`
+
+// TestExploreSchedulesDiffer: a program whose verdict depends on the
+// schedule shows both outcomes under exploration, and every schedule's
+// live verdict matches the oracle on its own recording.
+func TestExploreSchedulesDiffer(t *testing.T) {
+	racy, clean := 0, 0
+	body := func(c jrt.Chooser) int {
+		prog := mj.MustCheck(sometimesRacy)
+		rec := jrt.Record(core.New())
+		rt := jrt.NewRuntime(jrt.Config{
+			Detector: rec,
+			Policy:   jrt.Log,
+			Mode:     jrt.Deterministic,
+			Chooser:  c,
+		})
+		interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		races, err := interp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, oracleRacy := hb.NewOracle(rec.Trace()).FirstRacePos()
+		if oracleRacy != (len(races) > 0) {
+			t.Fatalf("live races %d, oracle racy %v", len(races), oracleRacy)
+		}
+		return len(races)
+	}
+	res := explore.Schedules(explore.Options{MaxSchedules: 20000}, body, func(r explore.Run) {
+		if r.Races > 0 {
+			racy++
+		} else {
+			clean++
+		}
+	})
+	if !res.Exhausted {
+		t.Fatalf("space not exhausted in %d schedules", res.Schedules)
+	}
+	if racy == 0 || clean == 0 {
+		t.Errorf("expected both outcomes: %d racy, %d clean of %d", racy, clean, res.Schedules)
+	}
+}
+
+// TestExploreGeneratedPrograms: exploration agrees with itself across
+// replays on generated programs (determinism of the chooser protocol),
+// bounded by MaxSchedules.
+func TestExploreGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		src := mjgen.FromSeed(seed)
+		body := runMJ(t, src)
+		var first []explore.Run
+		explore.Schedules(explore.Options{MaxSchedules: 25}, body, func(r explore.Run) {
+			first = append(first, r)
+		})
+		for _, r := range first {
+			if got := explore.Replay(r.Choices, body); (got > 0) != (r.Races > 0) {
+				t.Fatalf("seed %d: schedule %v verdict changed on replay: %d vs %d",
+					seed, r.Choices, r.Races, got)
+			}
+		}
+	}
+}
+
+// TestExploreMaxSchedulesBound: the search respects its budget.
+func TestExploreMaxSchedulesBound(t *testing.T) {
+	res := explore.Schedules(explore.Options{MaxSchedules: 3}, runMJ(t, racyProgram), nil)
+	if res.Schedules != 3 || res.Exhausted {
+		t.Errorf("schedules = %d exhausted = %v, want exactly 3, not exhausted", res.Schedules, res.Exhausted)
+	}
+}
+
+const incrementProgram = `
+class D { int v; }
+class L { int unused; }
+class Main {
+	D d;
+	L lock;
+	void worker() { synchronized (lock) { d.v = d.v + 1; } }
+	void main() {
+		d = new D();
+		lock = new L();
+		thread t = spawn this.worker();
+		synchronized (lock) { d.v = d.v + 1; }
+		join(t);
+		int check = d.v;
+	}
+}
+`
+
+// TestPreemptionBoundedExploration: the unbounded space of the
+// increment program is too large to exhaust cheaply, but the
+// 2-preemption-bounded space covers it and proves race freedom — the
+// CHESS trade.
+func TestPreemptionBoundedExploration(t *testing.T) {
+	unbounded := explore.Schedules(explore.Options{MaxSchedules: 2000}, runMJ(t, incrementProgram), nil)
+	if unbounded.Exhausted {
+		t.Skip("unbounded space unexpectedly small; bound adds nothing here")
+	}
+	bounded := explore.Schedules(explore.Options{MaxSchedules: 100000, PreemptionBound: 2}, runMJ(t, incrementProgram), nil)
+	if !bounded.Exhausted {
+		t.Fatalf("bounded space not exhausted in %d schedules", bounded.Schedules)
+	}
+	if bounded.Racy != 0 {
+		t.Errorf("%d racy schedules on a race-free program", bounded.Racy)
+	}
+	if bounded.Schedules < 5 {
+		t.Errorf("bounded exploration covered only %d schedules", bounded.Schedules)
+	}
+}
+
+// TestPreemptionBoundFindsRaces: one preemption suffices to expose the
+// always-racy program's race.
+func TestPreemptionBoundFindsRaces(t *testing.T) {
+	res := explore.Schedules(explore.Options{MaxSchedules: 10000, PreemptionBound: 1}, runMJ(t, racyProgram), nil)
+	if !res.Exhausted {
+		t.Fatalf("space not exhausted in %d schedules", res.Schedules)
+	}
+	if res.Racy != res.Schedules {
+		t.Errorf("racy in %d of %d bounded schedules", res.Racy, res.Schedules)
+	}
+}
+
+const spinProgram = `
+class Box { int payload; volatile boolean ready; }
+class Main {
+	Box b;
+	void consumer() {
+		while (!b.ready) { }
+		int got = b.payload;
+	}
+	void main() {
+		b = new Box();
+		thread t = spawn this.consumer();
+		b.payload = 99;
+		b.ready = true;
+		join(t);
+	}
+}
+`
+
+// TestExploreSpinLoopTruncation: the DFS's continue-current default
+// pins a spin-waiting thread into an infinite schedule; the decision
+// budget flips such runs into fair rotation so they terminate, are
+// counted as truncated, and the search proceeds. Every schedule of the
+// handshake is race-free.
+func TestExploreSpinLoopTruncation(t *testing.T) {
+	res := explore.Schedules(explore.Options{MaxSchedules: 300, MaxDecisions: 256},
+		runMJ(t, spinProgram), nil)
+	if res.Schedules != 300 {
+		t.Fatalf("schedules = %d", res.Schedules)
+	}
+	if res.Racy != 0 {
+		t.Errorf("%d racy schedules on the race-free handshake", res.Racy)
+	}
+	if res.Truncated == 0 {
+		t.Error("no truncated runs; the spin pin should have tripped the budget")
+	}
+}

@@ -1,0 +1,315 @@
+// Package hb implements the extended happens-before relation of Section 3
+// of the Goldilocks paper, in two forms:
+//
+//   - Oracle: an offline reference implementation that assigns a vector
+//     clock to every event of a trace and answers happens-before and
+//     extended-race queries. It is the ground truth against which the
+//     Goldilocks engines are property-tested (Theorem 1).
+//   - Detector: an online pure vector-clock race detector (in the style
+//     of Djit+/TRaDe), the "precise but typically computationally
+//     expensive" baseline the paper contrasts with Goldilocks.
+package hb
+
+import (
+	"goldilocks/internal/event"
+	"goldilocks/internal/vclock"
+)
+
+// Oracle holds per-event vector clocks for a fixed trace. Build one with
+// NewOracle (the paper's shared-variable transaction semantics) or
+// NewOracleSem; it is immutable afterwards.
+type Oracle struct {
+	trace  *event.Trace
+	sem    event.TxnSemantics
+	clocks []*vclock.VC // clock snapshot of each event, inclusive of itself
+}
+
+// NewOracle computes the extended happens-before relation for tr.
+//
+// The computation processes the linearization in order, maintaining:
+// per-thread clocks, per-lock release clocks (a release synchronizes
+// with every later acquire of the same lock), per-volatile write clocks
+// (a volatile write synchronizes with every later read), fork/join
+// edges, and per-variable transactional clocks (a commit synchronizes
+// with every later commit sharing at least one accessed variable).
+func NewOracle(tr *event.Trace) *Oracle {
+	return NewOracleSem(tr, event.TxnSharedVariable)
+}
+
+// NewOracleSem computes the extended happens-before relation for tr
+// under the chosen transaction semantics.
+func NewOracleSem(tr *event.Trace, sem event.TxnSemantics) *Oracle {
+	o := &Oracle{trace: tr, sem: sem, clocks: make([]*vclock.VC, tr.Len())}
+
+	threads := make(map[event.Tid]*vclock.VC)
+	locks := make(map[event.Addr]*vclock.VC)
+	volatiles := make(map[event.Volatile]*vclock.VC)
+	txn := make(map[event.Variable]*vclock.VC) // accumulated commit clocks per variable
+	txnAll := vclock.New()                     // accumulated commit clocks (atomic-order semantics)
+
+	clockOf := func(t event.Tid) *vclock.VC {
+		c, ok := threads[t]
+		if !ok {
+			c = vclock.New()
+			threads[t] = c
+		}
+		return c
+	}
+
+	for i := 0; i < tr.Len(); i++ {
+		a := tr.At(i)
+		c := clockOf(a.Thread)
+
+		// Incoming extended synchronizes-with edges.
+		switch a.Kind {
+		case event.KindAcquire:
+			if lc, ok := locks[a.Obj]; ok {
+				c.Join(lc)
+			}
+		case event.KindVolatileRead:
+			if wc, ok := volatiles[a.Volatile()]; ok {
+				c.Join(wc)
+			}
+		case event.KindJoin:
+			if uc, ok := threads[a.Peer]; ok {
+				c.Join(uc)
+			}
+		case event.KindCommit:
+			switch sem {
+			case event.TxnAtomicOrder:
+				c.Join(txnAll)
+			case event.TxnWriteToRead:
+				// Publication edges: a commit sees every earlier commit
+				// that wrote a variable it reads.
+				for _, v := range a.Reads {
+					if tc, ok := txn[v]; ok {
+						c.Join(tc)
+					}
+				}
+			default: // shared variable
+				for _, v := range a.Reads {
+					if tc, ok := txn[v]; ok {
+						c.Join(tc)
+					}
+				}
+				for _, v := range a.Writes {
+					if tc, ok := txn[v]; ok {
+						c.Join(tc)
+					}
+				}
+			}
+		}
+
+		c.Tick(a.Thread)
+		o.clocks[i] = c.Copy()
+
+		// Outgoing extended synchronizes-with edges.
+		switch a.Kind {
+		case event.KindRelease:
+			lc, ok := locks[a.Obj]
+			if !ok {
+				lc = vclock.New()
+				locks[a.Obj] = lc
+			}
+			lc.Join(c)
+		case event.KindVolatileWrite:
+			vv := a.Volatile()
+			wc, ok := volatiles[vv]
+			if !ok {
+				wc = vclock.New()
+				volatiles[vv] = wc
+			}
+			wc.Join(c)
+		case event.KindFork:
+			// fork(u) happens-before every action of u: seed u's clock.
+			clockOf(a.Peer).Join(c)
+		case event.KindCommit:
+			switch sem {
+			case event.TxnAtomicOrder:
+				txnAll.Join(c)
+			case event.TxnWriteToRead:
+				for _, v := range a.Writes {
+					joinInto(txn, v, c)
+				}
+			default:
+				for _, v := range a.Reads {
+					joinInto(txn, v, c)
+				}
+				for _, v := range a.Writes {
+					joinInto(txn, v, c)
+				}
+			}
+		}
+	}
+	return o
+}
+
+func joinInto(m map[event.Variable]*vclock.VC, v event.Variable, c *vclock.VC) {
+	tc, ok := m[v]
+	if !ok {
+		tc = vclock.New()
+		m[v] = tc
+	}
+	tc.Join(c)
+}
+
+// Trace returns the trace the oracle was built over.
+func (o *Oracle) Trace() *event.Trace { return o.trace }
+
+// HappensBefore reports whether event i happens-before event j under the
+// extended happens-before relation (i may equal j; an event trivially
+// happens-before-or-equals itself).
+func (o *Oracle) HappensBefore(i, j int) bool {
+	return o.clocks[i].LessEq(o.clocks[j])
+}
+
+// Ordered reports whether events i and j are ordered either way.
+func (o *Oracle) Ordered(i, j int) bool {
+	return o.HappensBefore(i, j) || o.HappensBefore(j, i)
+}
+
+// conflicting reports whether actions a and b form one of the
+// conflicting pairs of the extended-race definition on variable v:
+//
+//  1. write(o,d) vs read/write(o,d)
+//  2. write(o,d) vs commit with (o,d) ∈ R∪W
+//  3. read(o,d) vs commit with (o,d) ∈ W
+//
+// Two plain reads never conflict. Commit/commit pairs are exempt under
+// the shared-variable and atomic-order semantics, where any two commits
+// touching a common variable are ordered by construction; under the
+// write-to-read semantics that guarantee disappears, so a commit pair
+// conflicts exactly like plain accesses would (one of them must write
+// v).
+func (o *Oracle) conflicting(a, b event.Action, v event.Variable) bool {
+	if a.Kind == event.KindCommit && b.Kind == event.KindCommit {
+		if o.sem != event.TxnWriteToRead {
+			return false
+		}
+		return a.WritesVar(v) || b.WritesVar(v)
+	}
+	// Normalize: let x be the plain access, y the other action.
+	pairs := [2][2]event.Action{{a, b}, {b, a}}
+	for _, p := range pairs {
+		x, y := p[0], p[1]
+		switch x.Kind {
+		case event.KindWrite:
+			if !x.Accesses(v) {
+				continue
+			}
+			if y.Accesses(v) { // read, write, or commit touching v
+				return true
+			}
+		case event.KindRead:
+			if !x.Accesses(v) {
+				continue
+			}
+			if y.Kind == event.KindWrite && y.Accesses(v) {
+				return true
+			}
+			if y.Kind == event.KindCommit && y.WritesVar(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RacePair describes an extended race found by the oracle: two unordered
+// conflicting accesses to Var at trace positions I < J.
+type RacePair struct {
+	Var  event.Variable
+	I, J int
+}
+
+// Races enumerates every extended race in the trace: all unordered
+// conflicting pairs, grouped by variable, in (J, I) lexicographic order.
+// Cost is quadratic in the number of accesses per variable; the oracle
+// exists for testing, not production monitoring.
+func (o *Oracle) Races() []RacePair {
+	var out []RacePair
+	accessesOf := o.accessIndex()
+	for j := 0; j < o.trace.Len(); j++ {
+		b := o.trace.At(j)
+		for _, v := range actionVars(b) {
+			for _, i := range accessesOf[v] {
+				if i >= j {
+					break
+				}
+				a := o.trace.At(i)
+				if o.conflicting(a, b, v) && !o.Ordered(i, j) {
+					out = append(out, RacePair{Var: v, I: i, J: j})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FirstRacePos returns the earliest trace position j that completes an
+// extended race (the position where a precise online detector must
+// report), and the corresponding pair; ok is false if the trace is free
+// of extended races.
+func (o *Oracle) FirstRacePos() (pair RacePair, ok bool) {
+	accessesOf := o.accessIndex()
+	for j := 0; j < o.trace.Len(); j++ {
+		b := o.trace.At(j)
+		for _, v := range actionVars(b) {
+			for _, i := range accessesOf[v] {
+				if i >= j {
+					break
+				}
+				a := o.trace.At(i)
+				if o.conflicting(a, b, v) && !o.Ordered(i, j) {
+					return RacePair{Var: v, I: i, J: j}, true
+				}
+			}
+		}
+	}
+	return RacePair{}, false
+}
+
+// RacyVars returns the set of variables involved in at least one
+// extended race anywhere in the trace.
+func (o *Oracle) RacyVars() map[event.Variable]bool {
+	out := make(map[event.Variable]bool)
+	for _, r := range o.Races() {
+		out[r.Var] = true
+	}
+	return out
+}
+
+func (o *Oracle) accessIndex() map[event.Variable][]int {
+	idx := make(map[event.Variable][]int)
+	for i := 0; i < o.trace.Len(); i++ {
+		for _, v := range actionVars(o.trace.At(i)) {
+			idx[v] = append(idx[v], i)
+		}
+	}
+	return idx
+}
+
+// actionVars returns the data variables an action accesses.
+func actionVars(a event.Action) []event.Variable {
+	switch a.Kind {
+	case event.KindRead, event.KindWrite:
+		return []event.Variable{a.Variable()}
+	case event.KindCommit:
+		seen := make(map[event.Variable]bool, len(a.Reads)+len(a.Writes))
+		var out []event.Variable
+		for _, v := range a.Reads {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		for _, v := range a.Writes {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package hb_test
+
+import (
+	"testing"
+
+	"goldilocks/internal/event"
+	"goldilocks/internal/hb"
+)
+
+func mkOracle(b *event.Builder) *hb.Oracle { return hb.NewOracle(b.Trace()) }
+
+func TestProgramOrder(t *testing.T) {
+	o := mkOracle(event.NewBuilder().
+		Write(1, 10, 0).
+		Write(1, 10, 1).
+		Write(1, 10, 2))
+	for i := 0; i < 3; i++ {
+		for j := i; j < 3; j++ {
+			if !o.HappensBefore(i, j) {
+				t.Errorf("program order: %d must happen-before %d", i, j)
+			}
+		}
+	}
+	if o.HappensBefore(2, 0) {
+		t.Error("later action happens-before earlier one")
+	}
+}
+
+func TestLockEdges(t *testing.T) {
+	// T1 releases, T2 acquires the same lock: edge. A different lock: no
+	// edge.
+	tr := event.NewBuilder().
+		Acquire(1, 20). // 0
+		Release(1, 20). // 1
+		Acquire(2, 21). // 2
+		Acquire(2, 20). // 3
+		Write(2, 10, 0) // 4
+	o := mkOracle(tr)
+	if !o.HappensBefore(1, 3) {
+		t.Error("release must happen-before later acquire of same lock")
+	}
+	if o.HappensBefore(1, 2) {
+		t.Error("release edges must not leak to other locks")
+	}
+	if !o.HappensBefore(0, 4) {
+		t.Error("transitivity through lock edge failed")
+	}
+}
+
+func TestVolatileEdges(t *testing.T) {
+	tr := event.NewBuilder().
+		VolatileWrite(1, 1, 0). // 0
+		VolatileRead(2, 1, 0).  // 1
+		VolatileRead(2, 1, 1)   // 2
+	o := mkOracle(tr)
+	if !o.HappensBefore(0, 1) {
+		t.Error("volatile write must happen-before later read")
+	}
+	// A read of a different volatile sees no edge; (2) is only ordered
+	// after (1) by T2's program order, not after (0)... except via (1).
+	tr2 := event.NewBuilder().
+		VolatileWrite(1, 1, 0).
+		VolatileRead(2, 1, 1)
+	o2 := mkOracle(tr2)
+	if o2.HappensBefore(0, 1) {
+		t.Error("edge leaked across distinct volatiles")
+	}
+}
+
+func TestForkJoinEdges(t *testing.T) {
+	tr := event.NewBuilder().
+		Write(1, 10, 0). // 0
+		Fork(1, 2).      // 1
+		Write(2, 10, 0). // 2
+		Join(1, 2).      // 3
+		Write(1, 10, 0)  // 4
+	o := mkOracle(tr)
+	if !o.HappensBefore(0, 2) {
+		t.Error("pre-fork action must happen-before child's actions")
+	}
+	if !o.HappensBefore(2, 4) {
+		t.Error("child's action must happen-before post-join actions")
+	}
+	if _, racy := o.FirstRacePos(); racy {
+		t.Error("fork/join chain reported racy")
+	}
+}
+
+func TestCommitEdges(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	w := event.Variable{Obj: 10, Field: 1}
+	tr := event.NewBuilder().
+		Fork(1, 2).                          // 0
+		Commit(1, nil, []event.Variable{v}). // 1
+		Commit(2, []event.Variable{v}, nil). // 2: shares v with 1
+		Commit(1, nil, []event.Variable{w}). // 3
+		Commit(2, []event.Variable{}, nil)   // 4: shares nothing
+	o := mkOracle(tr)
+	if !o.HappensBefore(1, 2) {
+		t.Error("commits sharing a variable must be ordered")
+	}
+	if o.HappensBefore(3, 4) {
+		t.Error("disjoint commits must not be ordered")
+	}
+}
+
+func TestRaceEnumeration(t *testing.T) {
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0). // 1
+		Write(2, 10, 0). // 2: races with 1
+		Read(2, 10, 1).  // 3
+		Write(1, 10, 1)  // 4: races with 3
+	o := mkOracle(tr)
+	races := o.Races()
+	if len(races) != 2 {
+		t.Fatalf("races = %v, want 2", races)
+	}
+	if races[0].I != 1 || races[0].J != 2 {
+		t.Errorf("first pair = %+v", races[0])
+	}
+	if races[1].I != 3 || races[1].J != 4 {
+		t.Errorf("second pair = %+v", races[1])
+	}
+	first, ok := o.FirstRacePos()
+	if !ok || first.J != 2 {
+		t.Errorf("FirstRacePos = %+v, %v", first, ok)
+	}
+	rv := o.RacyVars()
+	if len(rv) != 2 {
+		t.Errorf("RacyVars = %v", rv)
+	}
+}
+
+func TestReadReadNotConflicting(t *testing.T) {
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Read(1, 10, 0).
+		Read(2, 10, 0)
+	if _, racy := mkOracle(tr).FirstRacePos(); racy {
+		t.Error("read-read pair reported as race")
+	}
+}
+
+func TestCommitCommitNotConflicting(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Commit(1, nil, []event.Variable{v}).
+		Commit(2, nil, []event.Variable{v})
+	if _, racy := mkOracle(tr).FirstRacePos(); racy {
+		t.Error("commit-commit pair reported as race")
+	}
+}
+
+func TestCommitVsPlainConflicts(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	// Case 2: plain write vs commit reading v.
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		Commit(2, []event.Variable{v}, nil)
+	if _, racy := mkOracle(tr).FirstRacePos(); !racy {
+		t.Error("plain write vs commit-read not reported")
+	}
+	// Case 3: plain read vs commit writing v.
+	tr = event.NewBuilder().
+		Fork(1, 2).
+		Read(1, 10, 0).
+		Commit(2, nil, []event.Variable{v})
+	if _, racy := mkOracle(tr).FirstRacePos(); !racy {
+		t.Error("plain read vs commit-write not reported")
+	}
+	// Plain read vs commit merely reading v: no conflict.
+	tr = event.NewBuilder().
+		Fork(1, 2).
+		Read(1, 10, 0).
+		Commit(2, []event.Variable{v}, nil)
+	if _, racy := mkOracle(tr).FirstRacePos(); racy {
+		t.Error("plain read vs commit-read reported as race")
+	}
+}
+
+func TestOrderedHelper(t *testing.T) {
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		Write(2, 11, 0)
+	o := mkOracle(tr)
+	if !o.Ordered(0, 1) || !o.Ordered(1, 0) {
+		t.Error("Ordered must be symmetric in its verdict")
+	}
+	if o.Ordered(1, 2) {
+		t.Error("post-fork actions of different threads reported ordered")
+	}
+}

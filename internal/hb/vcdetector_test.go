@@ -1,0 +1,178 @@
+package hb_test
+
+import (
+	"testing"
+
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/hb"
+)
+
+func run(tr *event.Trace) []detect.Race { return detect.RunTrace(hb.NewDetector(), tr) }
+
+func TestVCLockDiscipline(t *testing.T) {
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Acquire(1, 20).Write(1, 10, 0).Release(1, 20).
+		Acquire(2, 20).Write(2, 10, 0).Release(2, 20).
+		Trace()
+	if rs := run(tr); len(rs) != 0 {
+		t.Errorf("lock discipline flagged: %v", rs)
+	}
+}
+
+func TestVCUnsyncWriteWrite(t *testing.T) {
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		Write(2, 10, 0).
+		Trace()
+	rs := run(tr)
+	if len(rs) != 1 || rs[0].Pos != 2 {
+		t.Errorf("races = %v", rs)
+	}
+}
+
+func TestVCReadSharingThenWrite(t *testing.T) {
+	tr := event.NewBuilder().
+		Write(1, 10, 0).
+		Fork(1, 2).
+		Fork(1, 3).
+		Read(2, 10, 0).
+		Read(3, 10, 0).  // read-read fine
+		Write(1, 10, 0). // races with both reads
+		Trace()
+	rs := run(tr)
+	if len(rs) != 1 || rs[0].Pos != 5 {
+		t.Errorf("races = %v", rs)
+	}
+}
+
+func TestVCVolatileEdge(t *testing.T) {
+	tr := event.NewBuilder().
+		Write(1, 10, 0).
+		VolatileWrite(1, 1, 0).
+		Fork(1, 2).
+		VolatileRead(2, 1, 0).
+		Write(2, 10, 0).
+		Trace()
+	if rs := run(tr); len(rs) != 0 {
+		t.Errorf("volatile handshake flagged: %v", rs)
+	}
+}
+
+func TestVCJoinEdge(t *testing.T) {
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Write(2, 10, 0).
+		Join(1, 2).
+		Write(1, 10, 0).
+		Trace()
+	if rs := run(tr); len(rs) != 0 {
+		t.Errorf("join edge flagged: %v", rs)
+	}
+}
+
+func TestVCAllocResets(t *testing.T) {
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		Write(2, 11, 0).
+		Alloc(1, 12).
+		Write(1, 12, 0).
+		Trace()
+	if rs := run(tr); len(rs) != 0 {
+		t.Errorf("fresh alloc flagged: %v", rs)
+	}
+}
+
+func TestVCTransactionCases(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	// Commit-write vs plain read: race.
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Read(1, 10, 0).
+		Commit(2, nil, []event.Variable{v}).
+		Trace()
+	if rs := run(tr); len(rs) != 1 {
+		t.Errorf("txn-write vs plain-read: %v", rs)
+	}
+	// Commit-read vs plain read: fine.
+	tr = event.NewBuilder().
+		Fork(1, 2).
+		Read(1, 10, 0).
+		Commit(2, []event.Variable{v}, nil).
+		Trace()
+	if rs := run(tr); len(rs) != 0 {
+		t.Errorf("txn-read vs plain-read: %v", rs)
+	}
+	// Plain write after unordered commit access: race (case 2 at the
+	// later write).
+	tr = event.NewBuilder().
+		Fork(1, 2).
+		Commit(2, []event.Variable{v}, nil).
+		Write(1, 10, 0).
+		Trace()
+	if rs := run(tr); len(rs) != 1 {
+		t.Errorf("plain-write vs txn-read: %v", rs)
+	}
+	// Plain read after unordered commit write: race at the read.
+	tr = event.NewBuilder().
+		Fork(1, 2).
+		Commit(2, nil, []event.Variable{v}).
+		Read(1, 10, 0).
+		Trace()
+	if rs := run(tr); len(rs) != 1 {
+		t.Errorf("plain-read vs txn-write: %v", rs)
+	}
+	// Chained commits order a downstream plain access.
+	w := event.Variable{Obj: 11, Field: 0}
+	tr = event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		Commit(1, nil, []event.Variable{w}).
+		Commit(2, []event.Variable{w}, nil).
+		Write(2, 10, 0).
+		Trace()
+	if rs := run(tr); len(rs) != 0 {
+		t.Errorf("commit chain flagged: %v", rs)
+	}
+}
+
+func TestVCName(t *testing.T) {
+	if hb.NewDetector().Name() != "vectorclock" {
+		t.Error("name changed")
+	}
+}
+
+func TestVCSemanticsVariants(t *testing.T) {
+	v := event.Variable{Obj: 10, Field: 0}
+	w := event.Variable{Obj: 11, Field: 0}
+	// Disjoint commits then a downstream plain access: only
+	// atomic-order sees the edge.
+	tr := event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 20, 0).
+		Commit(1, nil, []event.Variable{v}).
+		Commit(2, nil, []event.Variable{w}).
+		Write(2, 20, 0).
+		Trace()
+	if rs := detect.RunTrace(hb.NewDetectorSem(event.TxnAtomicOrder), tr); len(rs) != 0 {
+		t.Errorf("atomic-order: %v", rs)
+	}
+	if rs := detect.RunTrace(hb.NewDetectorSem(event.TxnSharedVariable), tr); len(rs) == 0 {
+		t.Error("shared-variable missed the disjoint-commit race")
+	}
+	// Under write-to-read, two commits writing the same variable race.
+	tr = event.NewBuilder().
+		Fork(1, 2).
+		Commit(1, nil, []event.Variable{v}).
+		Commit(2, nil, []event.Variable{v}).
+		Trace()
+	if rs := detect.RunTrace(hb.NewDetectorSem(event.TxnWriteToRead), tr); len(rs) == 0 {
+		t.Error("write-to-read: unordered writer commits must race")
+	}
+	if rs := detect.RunTrace(hb.NewDetectorSem(event.TxnSharedVariable), tr); len(rs) != 0 {
+		t.Errorf("shared-variable: commit pair exempt: %v", rs)
+	}
+}

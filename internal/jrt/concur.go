@@ -1,0 +1,165 @@
+package jrt
+
+import (
+	"goldilocks/internal/event"
+)
+
+// This file provides java.util.concurrent-style primitives implemented
+// entirely from the runtime's own monitors and volatile fields — as in
+// the paper, Goldilocks needs no special rules for them because "these
+// primitives are built using locks and volatile variables".
+
+// AwaitVolatile blocks until pred holds for the value of volatile field
+// f of o, then performs the volatile read (one synchronization action)
+// and returns the value. It is the runtime's stand-in for the spin loop
+// a volatile-based barrier performs: the blocking itself is free, and
+// the happens-before edge comes from the single volatile read that
+// observes the written value.
+func (t *Thread) AwaitVolatile(o *Object, f event.FieldID, pred func(Value) bool) Value {
+	for {
+		t.rt.sched.yield(t)
+		t.rt.sched.exec(t, func() bool { return pred(o.load(f)) })
+		v := t.GetVolatile(o, f)
+		if pred(v) {
+			return v
+		}
+	}
+}
+
+// Barrier is a cyclic sense-reversing barrier: arrivals are counted
+// under the barrier object's monitor, and the release is broadcast
+// through a volatile sense flag — the synchronization structure of the
+// Java Grande barriers whose volatile traffic dominates moldyn and
+// raytracer in Table 1.
+type Barrier struct {
+	obj     *Object
+	parties int
+
+	fCount event.FieldID // data field, monitor-guarded
+	fSense event.FieldID // volatile release flag
+}
+
+// NewBarrier creates a barrier for the given number of parties.
+func NewBarrier(t *Thread, parties int) *Barrier {
+	c := t.rt.DefineClass("jrt.Barrier",
+		FieldDecl{Name: "count"},
+		FieldDecl{Name: "sense", Volatile: true},
+	)
+	b := &Barrier{
+		obj:     t.New(c),
+		parties: parties,
+		fCount:  c.MustFieldID("count"),
+		fSense:  c.MustFieldID("sense"),
+	}
+	t.Synchronized(b.obj, func() {
+		t.Set(b.obj, b.fCount, 0)
+	})
+	t.SetVolatile(b.obj, b.fSense, false)
+	return b
+}
+
+// Await blocks until all parties have arrived.
+func (b *Barrier) Await(t *Thread) {
+	sense, _ := t.GetVolatile(b.obj, b.fSense).(bool)
+	last := false
+	t.Synchronized(b.obj, func() {
+		n, _ := t.Get(b.obj, b.fCount).(int)
+		n++
+		if n == b.parties {
+			t.Set(b.obj, b.fCount, 0)
+			last = true
+		} else {
+			t.Set(b.obj, b.fCount, n)
+		}
+	})
+	if last {
+		t.SetVolatile(b.obj, b.fSense, !sense)
+		return
+	}
+	t.AwaitVolatile(b.obj, b.fSense, func(v Value) bool {
+		s, _ := v.(bool)
+		return s != sense
+	})
+}
+
+// Semaphore is a counting semaphore built on a monitor with wait/notify.
+type Semaphore struct {
+	obj      *Object
+	fPermits event.FieldID
+}
+
+// NewSemaphore creates a semaphore with the given number of permits.
+func NewSemaphore(t *Thread, permits int) *Semaphore {
+	c := t.rt.DefineClass("jrt.Semaphore", FieldDecl{Name: "permits"})
+	s := &Semaphore{obj: t.New(c), fPermits: c.MustFieldID("permits")}
+	t.Synchronized(s.obj, func() {
+		t.Set(s.obj, s.fPermits, permits)
+	})
+	return s
+}
+
+// Acquire takes one permit, blocking while none are available.
+func (s *Semaphore) Acquire(t *Thread) {
+	t.MonitorEnter(s.obj)
+	defer t.MonitorExit(s.obj)
+	for {
+		n, _ := t.Get(s.obj, s.fPermits).(int)
+		if n > 0 {
+			t.Set(s.obj, s.fPermits, n-1)
+			return
+		}
+		t.Wait(s.obj)
+	}
+}
+
+// Release returns one permit.
+func (s *Semaphore) Release(t *Thread) {
+	t.Synchronized(s.obj, func() {
+		n, _ := t.Get(s.obj, s.fPermits).(int)
+		t.Set(s.obj, s.fPermits, n+1)
+		t.Notify(s.obj)
+	})
+}
+
+// Latch is a CountDownLatch built on a monitor with wait/notifyAll.
+type Latch struct {
+	obj    *Object
+	fCount event.FieldID
+}
+
+// NewLatch creates a latch that opens after n countdowns.
+func NewLatch(t *Thread, n int) *Latch {
+	c := t.rt.DefineClass("jrt.Latch", FieldDecl{Name: "count"})
+	l := &Latch{obj: t.New(c), fCount: c.MustFieldID("count")}
+	t.Synchronized(l.obj, func() {
+		t.Set(l.obj, l.fCount, n)
+	})
+	return l
+}
+
+// CountDown decrements the latch, waking waiters at zero.
+func (l *Latch) CountDown(t *Thread) {
+	t.Synchronized(l.obj, func() {
+		n, _ := t.Get(l.obj, l.fCount).(int)
+		if n > 0 {
+			n--
+			t.Set(l.obj, l.fCount, n)
+		}
+		if n == 0 {
+			t.NotifyAll(l.obj)
+		}
+	})
+}
+
+// Await blocks until the latch reaches zero.
+func (l *Latch) Await(t *Thread) {
+	t.MonitorEnter(l.obj)
+	defer t.MonitorExit(l.obj)
+	for {
+		n, _ := t.Get(l.obj, l.fCount).(int)
+		if n == 0 {
+			return
+		}
+		t.Wait(l.obj)
+	}
+}

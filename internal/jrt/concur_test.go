@@ -1,0 +1,217 @@
+package jrt_test
+
+import (
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/jrt"
+)
+
+func TestBarrierPhases(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rt := newDetRuntime(seed)
+		const workers, phases = 4, 3
+		rt.Run(func(th *jrt.Thread) {
+			bar := jrt.NewBarrier(th, workers)
+			// Each worker writes its slot each phase; after the barrier
+			// every worker reads every slot. Race-free iff the barrier
+			// orders phases correctly.
+			arr := th.NewArray(workers)
+			for i := 0; i < workers; i++ {
+				th.Store(arr, i, 0)
+			}
+			done := jrt.NewLatch(th, workers)
+			for w := 0; w < workers; w++ {
+				w := w
+				th.Spawn(func(u *jrt.Thread) {
+					for p := 1; p <= phases; p++ {
+						u.Store(arr, w, p)
+						bar.Await(u)
+						sum := 0
+						for i := 0; i < workers; i++ {
+							v, _ := u.Load(arr, i).(int)
+							sum += v
+						}
+						if sum != p*workers {
+							t.Errorf("seed %d: phase %d sum = %d", seed, p, sum)
+						}
+						bar.Await(u) // second barrier before next phase's writes
+					}
+					done.CountDown(u)
+				})
+			}
+			done.Await(th)
+		})
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Fatalf("seed %d: barrier phases raced: %v", seed, rs)
+		}
+	}
+}
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rt := newDetRuntime(seed)
+		rt.Run(func(th *jrt.Thread) {
+			sem := jrt.NewSemaphore(th, 1)
+			c := rt.DefineClass("Counter", jrt.FieldDecl{Name: "n"})
+			o := th.New(c)
+			th.SetField(o, "n", 0)
+			done := jrt.NewLatch(th, 3)
+			for w := 0; w < 3; w++ {
+				th.Spawn(func(u *jrt.Thread) {
+					for i := 0; i < 5; i++ {
+						sem.Acquire(u)
+						n, _ := u.GetField(o, "n").(int)
+						u.SetField(o, "n", n+1)
+						sem.Release(u)
+					}
+					done.CountDown(u)
+				})
+			}
+			done.Await(th)
+			sem.Acquire(th)
+			if n, _ := th.GetField(o, "n").(int); n != 15 {
+				t.Errorf("seed %d: n = %d, want 15", seed, n)
+			}
+			sem.Release(th)
+		})
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Fatalf("seed %d: semaphore-guarded counter raced: %v", seed, rs)
+		}
+	}
+}
+
+// The detector must still catch a race when the semaphore has more than
+// one permit (no mutual exclusion).
+func TestSemaphoreTwoPermitsRaces(t *testing.T) {
+	raced := false
+	for seed := int64(0); seed < 30 && !raced; seed++ {
+		rt := jrt.NewRuntime(jrt.Config{
+			Detector: core.New(),
+			Policy:   jrt.Log,
+			Mode:     jrt.Deterministic,
+			Seed:     seed,
+		})
+		rt.Run(func(th *jrt.Thread) {
+			sem := jrt.NewSemaphore(th, 2)
+			c := rt.DefineClass("Counter", jrt.FieldDecl{Name: "n"})
+			o := th.New(c)
+			th.SetField(o, "n", 0)
+			done := jrt.NewLatch(th, 2)
+			for w := 0; w < 2; w++ {
+				th.Spawn(func(u *jrt.Thread) {
+					sem.Acquire(u)
+					n, _ := u.GetField(o, "n").(int)
+					u.SetField(o, "n", n+1)
+					sem.Release(u)
+					done.CountDown(u)
+				})
+			}
+			done.Await(th)
+		})
+		if len(rt.Races()) > 0 {
+			raced = true
+		}
+	}
+	if !raced {
+		t.Error("no interleaving in 30 seeds exposed the two-permit race")
+	}
+}
+
+func TestLatchReleasesAllWaiters(t *testing.T) {
+	rt := newDetRuntime(4)
+	rt.Run(func(th *jrt.Thread) {
+		l := jrt.NewLatch(th, 2)
+		c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+		o := th.New(c)
+		th.SetField(o, "v", 0)
+		var waiters []*jrt.Thread
+		for i := 0; i < 3; i++ {
+			waiters = append(waiters, th.Spawn(func(u *jrt.Thread) {
+				l.Await(u)
+				if v, _ := u.GetField(o, "v").(int); v != 99 {
+					t.Errorf("waiter saw v = %v before latch opened", v)
+				}
+			}))
+		}
+		th.SetField(o, "v", 99)
+		l.CountDown(th)
+		l.CountDown(th)
+		for _, u := range waiters {
+			th.Join(u)
+		}
+	})
+	if rs := rt.Races(); len(rs) != 0 {
+		t.Fatalf("latch publication raced: %v", rs)
+	}
+}
+
+// TestFreeModeStress exercises the free (goroutine) scheduler with the
+// Goldilocks engine attached; run with -race to validate the runtime's
+// own synchronization.
+func TestFreeModeStress(t *testing.T) {
+	rt := jrt.NewRuntime(jrt.Config{
+		Detector: core.New(),
+		Policy:   jrt.Throw,
+		Mode:     jrt.Free,
+	})
+	rt.Run(func(th *jrt.Thread) {
+		const workers = 8
+		c := rt.DefineClass("Cell", jrt.FieldDecl{Name: "v"})
+		shared := th.New(c)
+		lock := th.New(rt.DefineClass("L"))
+		th.Synchronized(lock, func() { th.SetField(shared, "v", 0) })
+		bar := jrt.NewBarrier(th, workers)
+		done := jrt.NewLatch(th, workers)
+		for w := 0; w < workers; w++ {
+			th.Spawn(func(u *jrt.Thread) {
+				local := u.New(c)
+				for i := 0; i < 100; i++ {
+					u.SetField(local, "v", i)
+					u.Synchronized(lock, func() {
+						n, _ := u.GetField(shared, "v").(int)
+						u.SetField(shared, "v", n+1)
+					})
+				}
+				bar.Await(u)
+				if n, _ := u.GetField(shared, "v").(int); n != workers*100 {
+					// Reading after the barrier without the lock: the
+					// barrier orders all increments before all reads.
+					t.Errorf("post-barrier read saw %d", n)
+				}
+				done.CountDown(u)
+			})
+		}
+		done.Await(th)
+	})
+	if rs := rt.Races(); len(rs) != 0 {
+		t.Fatalf("free-mode stress raced: %v", rs)
+	}
+}
+
+// TestFreeModeRaceDetected: the engine finds a real race under the free
+// scheduler too (whichever access loses the per-variable serialization
+// reports).
+func TestFreeModeRaceDetected(t *testing.T) {
+	rt := jrt.NewRuntime(jrt.Config{
+		Detector: core.New(),
+		Policy:   jrt.Log,
+		Mode:     jrt.Free,
+	})
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+		o := th.New(c)
+		done := jrt.NewLatch(th, 2)
+		for w := 0; w < 2; w++ {
+			w := w
+			th.Spawn(func(u *jrt.Thread) {
+				u.SetField(o, "v", w)
+				done.CountDown(u)
+			})
+		}
+		done.Await(th)
+	})
+	if len(rt.Races()) == 0 {
+		t.Error("unsynchronized writers in free mode not reported")
+	}
+}

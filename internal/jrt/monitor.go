@@ -1,0 +1,146 @@
+package jrt
+
+import (
+	"fmt"
+
+	"goldilocks/internal/event"
+)
+
+// MonitorEnter acquires the reentrant monitor of o, blocking while
+// another thread owns it. Only the outermost acquire is a
+// synchronization action, matching the Java memory model. The state
+// transition and the detector event are atomic, so the detector's
+// synchronization order agrees with the real lock order.
+func (t *Thread) MonitorEnter(o *Object) {
+	t.rt.sched.yield(t)
+	t.rt.sched.exec(t, func() bool {
+		m := &o.mon
+		if m.owner != nil && m.owner != t {
+			return false
+		}
+		m.owner = t
+		m.depth++
+		if m.depth == 1 {
+			t.rt.sync(event.Acquire(t.id, o.addr))
+		}
+		return true
+	})
+}
+
+// MonitorExit releases one level of the monitor of o. Releasing a
+// monitor the thread does not own panics, mirroring
+// IllegalMonitorStateException.
+func (t *Thread) MonitorExit(o *Object) {
+	t.rt.sched.yield(t)
+	t.rt.sched.exec(t, func() bool {
+		m := &o.mon
+		if m.owner != t {
+			panic(&IllegalMonitorState{Object: o, Thread: t.id})
+		}
+		m.depth--
+		if m.depth == 0 {
+			m.owner = nil
+			t.rt.sync(event.Release(t.id, o.addr))
+		}
+		return true
+	})
+}
+
+// Synchronized runs body while holding the monitor of o (the
+// synchronized-block statement).
+func (t *Thread) Synchronized(o *Object, body func()) {
+	t.MonitorEnter(o)
+	defer t.MonitorExit(o)
+	body()
+}
+
+// IllegalMonitorState mirrors Java's IllegalMonitorStateException.
+type IllegalMonitorState struct {
+	Object *Object
+	Thread event.Tid
+}
+
+func (e *IllegalMonitorState) Error() string {
+	return fmt.Sprintf("thread %v does not own monitor of %v", e.Thread, e.Object)
+}
+
+// Wait implements o.wait(): the caller must own the monitor; it releases
+// it fully, sleeps until notified, and reacquires it to the same depth.
+// As in the JMM, the release and the reacquire are ordinary
+// synchronization actions (which is how Goldilocks handles wait/notify
+// with no special rules).
+func (t *Thread) Wait(o *Object) {
+	t.rt.sched.yield(t)
+	var depth int
+	t.rt.sched.exec(t, func() bool {
+		m := &o.mon
+		if m.owner != t {
+			panic(&IllegalMonitorState{Object: o, Thread: t.id})
+		}
+		depth = m.depth
+		m.owner = nil
+		m.depth = 0
+		m.waiting = append(m.waiting, t)
+		t.rt.sync(event.Release(t.id, o.addr))
+		return true
+	})
+	// Sleep until notified and the monitor is free, then reacquire.
+	t.rt.sched.exec(t, func() bool {
+		m := &o.mon
+		if !m.notified[t] {
+			return false
+		}
+		if m.owner != nil {
+			return false
+		}
+		delete(m.notified, t)
+		m.owner = t
+		m.depth = depth
+		t.rt.sync(event.Acquire(t.id, o.addr))
+		return true
+	})
+}
+
+// Notify wakes one thread waiting on o. The caller must own the monitor.
+func (t *Thread) Notify(o *Object) {
+	t.rt.sched.yield(t)
+	t.rt.sched.exec(t, func() bool {
+		m := &o.mon
+		if m.owner != t {
+			panic(&IllegalMonitorState{Object: o, Thread: t.id})
+		}
+		if len(m.waiting) > 0 {
+			u := m.waiting[0]
+			m.waiting = m.waiting[1:]
+			m.notified[u] = true
+		}
+		return true
+	})
+}
+
+// NotifyAll wakes every thread waiting on o.
+func (t *Thread) NotifyAll(o *Object) {
+	t.rt.sched.yield(t)
+	t.rt.sched.exec(t, func() bool {
+		m := &o.mon
+		if m.owner != t {
+			panic(&IllegalMonitorState{Object: o, Thread: t.id})
+		}
+		for _, u := range m.waiting {
+			m.notified[u] = true
+		}
+		m.waiting = nil
+		return true
+	})
+}
+
+// HoldsMonitor reports whether t currently owns the monitor of o (test
+// support).
+func (t *Thread) HoldsMonitor(o *Object) bool {
+	held := false
+	t.rt.sched.exec(t, func() bool {
+		held = o.mon.owner == t
+		return true
+	})
+	return held
+}

@@ -1,0 +1,98 @@
+package jrt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"goldilocks/internal/event"
+)
+
+// Object is a heap object: a class, an address, data/volatile slots, and
+// a monitor. Slots hold boxed values behind atomic pointers so that a
+// program that races (and chooses to continue past the
+// DataRaceException) still cannot corrupt the runtime itself.
+type Object struct {
+	class *Class
+	addr  event.Addr
+	slots []atomic.Pointer[Value]
+
+	// monitor state; guarded by the runtime scheduler's state lock.
+	mon monitor
+
+	// arrayLen >= 0 marks an array object.
+	arrayLen int
+}
+
+// monitor is the per-object reentrant monitor.
+type monitor struct {
+	owner    *Thread
+	depth    int
+	waiting  []*Thread // threads in o.wait()
+	notified map[*Thread]bool
+}
+
+// Class returns the object's class ([] for arrays).
+func (o *Object) Class() *Class { return o.class }
+
+// Addr returns the object's runtime address (its identity for the
+// detector).
+func (o *Object) Addr() event.Addr { return o.addr }
+
+// IsArray reports whether the object is an array.
+func (o *Object) IsArray() bool { return o.arrayLen >= 0 }
+
+// Len returns the array length; 0 for non-arrays.
+func (o *Object) Len() int {
+	if o.arrayLen < 0 {
+		return 0
+	}
+	return o.arrayLen
+}
+
+// Variable returns the detector variable for field f of this object.
+func (o *Object) Variable(f event.FieldID) event.Variable {
+	return event.Variable{Obj: o.addr, Field: f}
+}
+
+func (o *Object) load(f event.FieldID) Value {
+	p := o.slots[f].Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+func (o *Object) store(f event.FieldID, v Value) {
+	o.slots[f].Store(&v)
+}
+
+func (o *Object) String() string {
+	if o == nil {
+		return "null"
+	}
+	if o.IsArray() {
+		return fmt.Sprintf("%s[%d]@%d", o.class.Name, o.arrayLen, o.addr)
+	}
+	return fmt.Sprintf("%s@%d", o.class.Name, o.addr)
+}
+
+// checkIndex panics with a runtime error on out-of-bounds access,
+// mirroring ArrayIndexOutOfBoundsException.
+func (o *Object) checkIndex(i int) {
+	if !o.IsArray() {
+		panic(fmt.Sprintf("jrt: %v is not an array", o))
+	}
+	if i < 0 || i >= o.arrayLen {
+		panic(&IndexOutOfBounds{Object: o, Index: i})
+	}
+}
+
+// IndexOutOfBounds is the runtime's ArrayIndexOutOfBoundsException.
+type IndexOutOfBounds struct {
+	Object *Object
+	Index  int
+}
+
+func (e *IndexOutOfBounds) Error() string {
+	return fmt.Sprintf("index %d out of bounds for %v", e.Index, e.Object)
+}

@@ -1,0 +1,313 @@
+package jrt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+// Detector is the runtime-facing race-detector interface: concurrent
+// entry points for each action class. *core.Engine satisfies it
+// natively; Serialize adapts any trace-based detect.Detector.
+type Detector interface {
+	Sync(a event.Action)
+	Read(t event.Tid, o event.Addr, f event.FieldID) *detect.Race
+	Write(t event.Tid, o event.Addr, f event.FieldID) *detect.Race
+	Commit(t event.Tid, reads, writes []event.Variable) []detect.Race
+	Alloc(t event.Tid, o event.Addr)
+}
+
+var _ Detector = (*core.Engine)(nil)
+
+// Serialize wraps a single-threaded detect.Detector (the vector-clock
+// detector, Eraser, ...) behind a mutex so it can serve as a runtime
+// detector. The serialization also fixes the linearization the detector
+// observes.
+func Serialize(d detect.Detector) Detector { return &serialized{d: d} }
+
+type serialized struct {
+	mu sync.Mutex
+	d  detect.Detector
+}
+
+func (s *serialized) step(a event.Action) []detect.Race {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Step(a)
+}
+
+func (s *serialized) Sync(a event.Action) { s.step(a) }
+
+func (s *serialized) Read(t event.Tid, o event.Addr, f event.FieldID) *detect.Race {
+	if rs := s.step(event.Read(t, o, f)); len(rs) > 0 {
+		return &rs[0]
+	}
+	return nil
+}
+
+func (s *serialized) Write(t event.Tid, o event.Addr, f event.FieldID) *detect.Race {
+	if rs := s.step(event.Write(t, o, f)); len(rs) > 0 {
+		return &rs[0]
+	}
+	return nil
+}
+
+func (s *serialized) Commit(t event.Tid, reads, writes []event.Variable) []detect.Race {
+	return s.step(event.Commit(t, reads, writes))
+}
+
+func (s *serialized) Alloc(t event.Tid, o event.Addr) { s.step(event.Alloc(t, o)) }
+
+// RacePolicy selects what the runtime does when the detector reports a
+// race at an access.
+type RacePolicy uint8
+
+const (
+	// Throw raises a DataRaceException in the accessing thread (the
+	// paper's runtime).
+	Throw RacePolicy = iota
+	// Log records the race and lets the access proceed (debugging-tool
+	// mode).
+	Log
+)
+
+// Mode selects the thread scheduler.
+type Mode uint8
+
+const (
+	// Deterministic runs threads under a seeded cooperative scheduler;
+	// every run with the same seed produces the same interleaving.
+	Deterministic Mode = iota
+	// Free runs threads as ordinary goroutines.
+	Free
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Detector checks accesses; nil disables race checking entirely
+	// (the "uninstrumented" baseline of Table 1).
+	Detector Detector
+	// Policy is what to do on a detected race.
+	Policy RacePolicy
+	// Mode selects the scheduler.
+	Mode Mode
+	// Seed drives the Deterministic scheduler.
+	Seed int64
+	// Chooser, when non-nil, overrides Seed: scheduling decisions are
+	// delegated to it (systematic exploration).
+	Chooser Chooser
+	// DisableArrayAfterRace mirrors the paper's measurement policy:
+	// once any element of an array races, checks for every index of
+	// that array are disabled ("checks for all the indices of an array
+	// were disabled when a race is detected on any index of the
+	// array").
+	DisableArrayAfterRace bool
+}
+
+// Runtime is a race-aware managed runtime instance.
+type Runtime struct {
+	det    Detector
+	policy RacePolicy
+	sched  scheduler
+
+	classMu sync.Mutex
+	classes map[string]*Class
+
+	nextAddr atomic.Int64
+	nextTid  atomic.Int32
+
+	disableArrays bool
+	disabledMu    sync.Mutex
+	disabledObjs  map[event.Addr]bool
+
+	// Statistics for Tables 1 and 2.
+	totalAccesses   atomic.Uint64
+	checkedAccesses atomic.Uint64
+	varsCreated     atomic.Uint64
+	syncOps         atomic.Uint64
+	racesThrown     atomic.Uint64
+
+	raceMu   sync.Mutex
+	races    []detect.Race
+	uncaught []*DataRaceException
+}
+
+// NewRuntime creates a runtime from cfg.
+func NewRuntime(cfg Config) *Runtime {
+	rt := &Runtime{
+		det:           cfg.Detector,
+		policy:        cfg.Policy,
+		classes:       make(map[string]*Class),
+		disableArrays: cfg.DisableArrayAfterRace,
+		disabledObjs:  make(map[event.Addr]bool),
+	}
+	switch cfg.Mode {
+	case Free:
+		rt.sched = newFreeSched()
+	default:
+		if cfg.Chooser != nil {
+			rt.sched = newDetSchedChooser(cfg.Chooser)
+		} else {
+			rt.sched = newDetSched(cfg.Seed)
+		}
+	}
+	return rt
+}
+
+// DataRaceException is thrown (as a panic in the accessing thread) when
+// an access that would complete an actual data race is about to execute.
+// Catch it with Thread.Try.
+type DataRaceException struct {
+	Race   detect.Race
+	Thread event.Tid
+}
+
+func (e *DataRaceException) Error() string {
+	return fmt.Sprintf("DataRaceException in %v: %v", e.Thread, &e.Race)
+}
+
+// DefineClass registers (or returns the existing) class with the given
+// fields.
+func (rt *Runtime) DefineClass(name string, fields ...FieldDecl) *Class {
+	rt.classMu.Lock()
+	defer rt.classMu.Unlock()
+	if c, ok := rt.classes[name]; ok {
+		return c
+	}
+	c := &Class{Name: name, Fields: fields, byName: make(map[string]event.FieldID, len(fields))}
+	for i, f := range fields {
+		c.byName[f.Name] = event.FieldID(i)
+	}
+	rt.classes[name] = c
+	return c
+}
+
+// Class returns the class registered under name, or nil.
+func (rt *Runtime) Class(name string) *Class {
+	rt.classMu.Lock()
+	defer rt.classMu.Unlock()
+	return rt.classes[name]
+}
+
+// Run executes main as the initial thread and returns after every thread
+// spawned (transitively) has terminated. It returns the list of races
+// observed (thrown or logged).
+func (rt *Runtime) Run(main func(t *Thread)) []detect.Race {
+	t := rt.newThread()
+	if ds, ok := rt.sched.(*detSched); ok {
+		ds.register(t, true)
+	}
+	// In free mode the main thread is the calling goroutine; the wait
+	// group tracks only spawned threads, which is exactly what waitAll
+	// must wait for after main returns.
+	func() {
+		defer rt.sched.mainDone(t)
+		if drx := t.Try(func() { main(t) }); drx != nil {
+			rt.noteUncaught(drx)
+		}
+	}()
+	rt.sched.waitAll()
+	rt.raceMu.Lock()
+	defer rt.raceMu.Unlock()
+	out := make([]detect.Race, len(rt.races))
+	copy(out, rt.races)
+	return out
+}
+
+func (rt *Runtime) newThread() *Thread {
+	return &Thread{rt: rt, id: event.Tid(rt.nextTid.Add(1))}
+}
+
+// Stats reports the runtime's access accounting.
+type Stats struct {
+	// TotalAccesses counts every data access performed, checked or not.
+	TotalAccesses uint64
+	// CheckedAccesses counts accesses submitted to the detector.
+	CheckedAccesses uint64
+	// VarsCreated counts data variables brought into existence by
+	// allocation (fields of objects, elements of arrays).
+	VarsCreated uint64
+	// SyncOps counts synchronization operations performed.
+	SyncOps uint64
+	// RacesThrown counts DataRaceExceptions raised.
+	RacesThrown uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		TotalAccesses:   rt.totalAccesses.Load(),
+		CheckedAccesses: rt.checkedAccesses.Load(),
+		VarsCreated:     rt.varsCreated.Load(),
+		SyncOps:         rt.syncOps.Load(),
+		RacesThrown:     rt.racesThrown.Load(),
+	}
+}
+
+// Races returns the races observed so far.
+func (rt *Runtime) Races() []detect.Race {
+	rt.raceMu.Lock()
+	defer rt.raceMu.Unlock()
+	out := make([]detect.Race, len(rt.races))
+	copy(out, rt.races)
+	return out
+}
+
+// racesSeen returns the number of races recorded so far.
+func (rt *Runtime) racesSeen() int {
+	rt.raceMu.Lock()
+	defer rt.raceMu.Unlock()
+	return len(rt.races)
+}
+
+func (rt *Runtime) recordRace(r detect.Race) {
+	rt.raceMu.Lock()
+	rt.races = append(rt.races, r)
+	rt.raceMu.Unlock()
+}
+
+// noteUncaught records a DataRaceException that no handler caught; the
+// throwing thread has terminated, mirroring Java's uncaught-exception
+// behaviour.
+func (rt *Runtime) noteUncaught(drx *DataRaceException) {
+	rt.raceMu.Lock()
+	rt.uncaught = append(rt.uncaught, drx)
+	rt.raceMu.Unlock()
+}
+
+// Uncaught returns the DataRaceExceptions that terminated threads
+// because no handler caught them.
+func (rt *Runtime) Uncaught() []*DataRaceException {
+	rt.raceMu.Lock()
+	defer rt.raceMu.Unlock()
+	out := make([]*DataRaceException, len(rt.uncaught))
+	copy(out, rt.uncaught)
+	return out
+}
+
+// arrayDisabled reports whether checks for the whole object are off.
+func (rt *Runtime) arrayDisabled(o event.Addr) bool {
+	if !rt.disableArrays {
+		return false
+	}
+	rt.disabledMu.Lock()
+	defer rt.disabledMu.Unlock()
+	return rt.disabledObjs[o]
+}
+
+func (rt *Runtime) disableArray(o event.Addr) {
+	rt.disabledMu.Lock()
+	rt.disabledObjs[o] = true
+	rt.disabledMu.Unlock()
+}
+
+func (rt *Runtime) sync(a event.Action) {
+	rt.syncOps.Add(1)
+	if rt.det != nil {
+		rt.det.Sync(a)
+	}
+}

@@ -1,0 +1,568 @@
+package jrt_test
+
+import (
+	"strings"
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detectors/eraser"
+	"goldilocks/internal/jrt"
+)
+
+// newDetRuntime builds a deterministic runtime with a default Goldilocks
+// engine.
+func newDetRuntime(seed int64) *jrt.Runtime {
+	return jrt.NewRuntime(jrt.Config{
+		Detector: core.New(),
+		Policy:   jrt.Throw,
+		Mode:     jrt.Deterministic,
+		Seed:     seed,
+	})
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	rt := newDetRuntime(1)
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("Point", jrt.FieldDecl{Name: "x"}, jrt.FieldDecl{Name: "y"})
+		p := th.New(c)
+		th.SetField(p, "x", 3)
+		th.SetField(p, "y", "seven")
+		if got := th.GetField(p, "x"); got != 3 {
+			t.Errorf("x = %v", got)
+		}
+		if got := th.GetField(p, "y"); got != "seven" {
+			t.Errorf("y = %v", got)
+		}
+		if th.GetField(p, "x") == nil {
+			t.Error("second read lost value")
+		}
+	})
+	if rs := rt.Races(); len(rs) != 0 {
+		t.Errorf("single-threaded program raced: %v", rs)
+	}
+}
+
+func TestArrayRoundTripAndBounds(t *testing.T) {
+	rt := newDetRuntime(1)
+	rt.Run(func(th *jrt.Thread) {
+		a := th.NewArray(4)
+		if a.Len() != 4 || !a.IsArray() {
+			t.Fatalf("array metadata wrong: %v", a)
+		}
+		for i := 0; i < 4; i++ {
+			th.Store(a, i, i*i)
+		}
+		if got := th.Load(a, 3); got != 9 {
+			t.Errorf("a[3] = %v", got)
+		}
+		func() {
+			defer func() {
+				if _, ok := recover().(*jrt.IndexOutOfBounds); !ok {
+					t.Error("out-of-bounds access did not panic with IndexOutOfBounds")
+				}
+			}()
+			th.Load(a, 4)
+		}()
+	})
+}
+
+func TestMonitorReentrancy(t *testing.T) {
+	rt := newDetRuntime(1)
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("L")
+		o := th.New(c)
+		th.MonitorEnter(o)
+		th.MonitorEnter(o)
+		if !th.HoldsMonitor(o) {
+			t.Error("owner not recorded")
+		}
+		th.MonitorExit(o)
+		if !th.HoldsMonitor(o) {
+			t.Error("inner exit released the monitor")
+		}
+		th.MonitorExit(o)
+		if th.HoldsMonitor(o) {
+			t.Error("monitor still held after outer exit")
+		}
+	})
+}
+
+func TestIllegalMonitorState(t *testing.T) {
+	rt := newDetRuntime(1)
+	rt.Run(func(th *jrt.Thread) {
+		o := th.New(rt.DefineClass("L"))
+		defer func() {
+			if _, ok := recover().(*jrt.IllegalMonitorState); !ok {
+				t.Error("exit of unowned monitor did not panic")
+			}
+		}()
+		th.MonitorExit(o)
+	})
+}
+
+func TestDataRaceExceptionThrownAndCaught(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rt := newDetRuntime(seed)
+		caught := 0
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+			o := th.New(c)
+			th.SetField(o, "v", 0)
+			u := th.Spawn(func(u *jrt.Thread) {
+				if e := u.Try(func() { u.SetField(o, "v", 1) }); e != nil {
+					caught++
+				}
+			})
+			if e := th.Try(func() { th.SetField(o, "v", 2) }); e != nil {
+				caught++
+			}
+			th.Join(u)
+		})
+		// Exactly one of the two unsynchronized writers observes the
+		// race (whichever runs second), on every interleaving.
+		if caught != 1 {
+			t.Errorf("seed %d: caught %d DataRaceExceptions, want 1", seed, caught)
+		}
+		if rt.Stats().RacesThrown != 1 {
+			t.Errorf("seed %d: RacesThrown = %d", seed, rt.Stats().RacesThrown)
+		}
+	}
+}
+
+func TestLockHandoffNoException(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rt := newDetRuntime(seed)
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+			o := th.New(c)
+			lock := th.New(rt.DefineClass("L"))
+			u := th.Spawn(func(u *jrt.Thread) {
+				u.Synchronized(lock, func() {
+					n, _ := u.GetField(o, "v").(int)
+					u.SetField(o, "v", n+1)
+				})
+			})
+			th.Synchronized(lock, func() {
+				n, _ := th.GetField(o, "v").(int)
+				th.SetField(o, "v", n+1)
+			})
+			th.Join(u)
+			if n, _ := th.GetField(o, "v").(int); n != 2 {
+				t.Errorf("seed %d: v = %d, want 2", seed, n)
+			}
+		})
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Errorf("seed %d: lock-guarded program raced: %v", seed, rs)
+		}
+	}
+}
+
+func TestVolatilePublication(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rt := newDetRuntime(seed)
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("Box",
+				jrt.FieldDecl{Name: "data"},
+				jrt.FieldDecl{Name: "ready", Volatile: true},
+			)
+			o := th.New(c)
+			th.SetVolatile(o, c.MustFieldID("ready"), false)
+			u := th.Spawn(func(u *jrt.Thread) {
+				u.AwaitVolatile(o, c.MustFieldID("ready"), func(v jrt.Value) bool {
+					b, _ := v.(bool)
+					return b
+				})
+				if got := u.GetField(o, "data"); got != 42 {
+					t.Errorf("seed %d: consumer saw %v", seed, got)
+				}
+			})
+			th.SetField(o, "data", 42)
+			th.SetVolatile(o, c.MustFieldID("ready"), true)
+			th.Join(u)
+		})
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Errorf("seed %d: volatile publication raced: %v", seed, rs)
+		}
+	}
+}
+
+func TestWaitNotifyProducerConsumer(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rt := newDetRuntime(seed)
+		var got []int
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("Q", jrt.FieldDecl{Name: "item"}, jrt.FieldDecl{Name: "full"})
+			q := th.New(c)
+			th.Synchronized(q, func() { th.SetField(q, "full", false) })
+			consumer := th.Spawn(func(u *jrt.Thread) {
+				for i := 0; i < 5; i++ {
+					u.MonitorEnter(q)
+					for {
+						full, _ := u.GetField(q, "full").(bool)
+						if full {
+							break
+						}
+						u.Wait(q)
+					}
+					v, _ := u.GetField(q, "item").(int)
+					got = append(got, v)
+					u.SetField(q, "full", false)
+					u.NotifyAll(q)
+					u.MonitorExit(q)
+				}
+			})
+			for i := 0; i < 5; i++ {
+				th.MonitorEnter(q)
+				for {
+					full, _ := th.GetField(q, "full").(bool)
+					if !full {
+						break
+					}
+					th.Wait(q)
+				}
+				th.SetField(q, "item", i*10)
+				th.SetField(q, "full", true)
+				th.NotifyAll(q)
+				th.MonitorExit(q)
+			}
+			th.Join(consumer)
+		})
+		if len(got) != 5 {
+			t.Fatalf("seed %d: consumed %v", seed, got)
+		}
+		for i, v := range got {
+			if v != i*10 {
+				t.Errorf("seed %d: got[%d] = %d", seed, i, v)
+			}
+		}
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Errorf("seed %d: producer/consumer raced: %v", seed, rs)
+		}
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	rt := newDetRuntime(3)
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+		o := th.New(c)
+		th.SetField(o, "v", 1) // pre-fork write
+		u := th.Spawn(func(u *jrt.Thread) {
+			n, _ := u.GetField(o, "v").(int)
+			u.SetField(o, "v", n+1)
+		})
+		th.Join(u)
+		if n, _ := th.GetField(o, "v").(int); n != 2 {
+			t.Errorf("v = %d", n)
+		}
+	})
+	if rs := rt.Races(); len(rs) != 0 {
+		t.Errorf("fork/join chain raced: %v", rs)
+	}
+}
+
+func TestNoCheckFieldSkipsDetection(t *testing.T) {
+	rt := newDetRuntime(5)
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("D", jrt.FieldDecl{Name: "v", NoCheck: true})
+		o := th.New(c)
+		u := th.Spawn(func(u *jrt.Thread) { u.SetField(o, "v", 1) })
+		th.SetField(o, "v", 2) // an actual race, but checking is off
+		th.Join(u)
+	})
+	if rs := rt.Races(); len(rs) != 0 {
+		t.Errorf("NoCheck field was checked: %v", rs)
+	}
+	st := rt.Stats()
+	if st.CheckedAccesses != 0 {
+		t.Errorf("CheckedAccesses = %d, want 0", st.CheckedAccesses)
+	}
+	if st.TotalAccesses < 2 {
+		t.Errorf("TotalAccesses = %d", st.TotalAccesses)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rt := newDetRuntime(5)
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("D", jrt.FieldDecl{Name: "a"}, jrt.FieldDecl{Name: "b"})
+		o := th.New(c)
+		th.SetField(o, "a", 1)
+		th.GetField(o, "a")
+		arr := th.NewArray(10)
+		th.Store(arr, 0, 1)
+		th.LoadUnchecked(arr, 0)
+	})
+	st := rt.Stats()
+	if st.VarsCreated != 12 { // 2 fields + 10 elements
+		t.Errorf("VarsCreated = %d, want 12", st.VarsCreated)
+	}
+	if st.TotalAccesses != 4 {
+		t.Errorf("TotalAccesses = %d, want 4", st.TotalAccesses)
+	}
+	if st.CheckedAccesses != 3 {
+		t.Errorf("CheckedAccesses = %d, want 3", st.CheckedAccesses)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []string {
+		rt := newDetRuntime(seed)
+		var order []string
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+			o := th.New(c)
+			lock := th.New(rt.DefineClass("L"))
+			th.Synchronized(lock, func() { th.SetField(o, "v", 0) })
+			var ts []*jrt.Thread
+			for i := 0; i < 3; i++ {
+				name := string(rune('A' + i))
+				ts = append(ts, th.Spawn(func(u *jrt.Thread) {
+					u.Synchronized(lock, func() {
+						order = append(order, name)
+					})
+				}))
+			}
+			for _, u := range ts {
+				th.Join(u)
+			}
+		})
+		return order
+	}
+	a, b := run(7), run(7)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("runs incomplete: %v %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	// Different seeds should eventually produce a different order.
+	diff := false
+	for seed := int64(8); seed < 40 && !diff; seed++ {
+		c := run(seed)
+		for i := range a {
+			if c[i] != a[i] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("32 different seeds all produced the identical schedule")
+	}
+}
+
+func TestSerializeAdapterWithEraser(t *testing.T) {
+	rt := jrt.NewRuntime(jrt.Config{
+		Detector: jrt.Serialize(eraser.New()),
+		Policy:   jrt.Log,
+		Mode:     jrt.Deterministic,
+		Seed:     1,
+	})
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+		o := th.New(c)
+		u := th.Spawn(func(u *jrt.Thread) { u.SetField(o, "v", 1) })
+		th.Join(u)
+		th.SetField(o, "v", 2) // ordered by join: Goldilocks-clean, but
+		// Eraser's lock discipline alarms (no common lock).
+	})
+	if len(rt.Races()) == 0 {
+		t.Error("Eraser behind the Serialize adapter reported nothing")
+	}
+}
+
+func TestLogPolicyContinues(t *testing.T) {
+	rt := jrt.NewRuntime(jrt.Config{
+		Detector: core.New(),
+		Policy:   jrt.Log,
+		Mode:     jrt.Deterministic,
+		Seed:     2,
+	})
+	completed := false
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+		o := th.New(c)
+		u := th.Spawn(func(u *jrt.Thread) { u.SetField(o, "v", 1) })
+		th.SetField(o, "v", 2)
+		th.Join(u)
+		completed = true
+	})
+	if !completed {
+		t.Error("Log policy interrupted execution")
+	}
+	if len(rt.Races()) == 0 {
+		t.Error("race not recorded under Log policy")
+	}
+	if rt.Stats().RacesThrown != 0 {
+		t.Error("Log policy threw")
+	}
+}
+
+// TestDeadlockDetection: the deterministic scheduler reports a deadlock
+// instead of hanging when every thread blocks.
+func TestDeadlockDetection(t *testing.T) {
+	rt := newDetRuntime(9)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlock not detected")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "deadlock") {
+			t.Fatalf("panic = %v, want deadlock report", r)
+		}
+	}()
+	rt.Run(func(th *jrt.Thread) {
+		a := th.New(rt.DefineClass("A"))
+		b := th.New(rt.DefineClass("B"))
+		flags := rt.DefineClass("F", jrt.FieldDecl{Name: "bHeld", Volatile: true})
+		f := th.New(flags)
+		th.SetVolatile(f, 0, false)
+		th.MonitorEnter(a) // hold a before u exists: u will block on a
+		u := th.Spawn(func(u *jrt.Thread) {
+			u.MonitorEnter(b)
+			u.SetVolatile(f, 0, true)
+			u.MonitorEnter(a) // blocks forever: main holds a
+			u.MonitorExit(a)
+			u.MonitorExit(b)
+		})
+		th.AwaitVolatile(f, 0, func(v jrt.Value) bool { held, _ := v.(bool); return held })
+		th.MonitorEnter(b) // blocks: u holds b -> guaranteed deadlock
+		th.MonitorExit(b)
+		th.MonitorExit(a)
+		th.Join(u)
+	})
+}
+
+// TestWaitWithoutNotifyDeadlocks: a lost-wakeup hangs deterministically
+// and is reported.
+func TestWaitWithoutNotifyDeadlocks(t *testing.T) {
+	rt := newDetRuntime(3)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("lost wakeup not reported as deadlock")
+		}
+	}()
+	rt.Run(func(th *jrt.Thread) {
+		o := th.New(rt.DefineClass("O"))
+		th.MonitorEnter(o)
+		th.Wait(o) // nobody will ever notify
+	})
+}
+
+// TestDisableArrayAfterRace: the paper's measurement policy — a race on
+// any element turns off checks for the whole array.
+func TestDisableArrayAfterRace(t *testing.T) {
+	rt := jrt.NewRuntime(jrt.Config{
+		Detector:              core.New(),
+		Policy:                jrt.Log,
+		Mode:                  jrt.Deterministic,
+		Seed:                  1,
+		DisableArrayAfterRace: true,
+	})
+	rt.Run(func(th *jrt.Thread) {
+		arr := th.NewArray(4)
+		u := th.Spawn(func(u *jrt.Thread) {
+			for i := 0; i < 4; i++ {
+				u.Store(arr, i, i)
+			}
+		})
+		th.Join(u)
+		// Unordered with nothing: ordered via join, so seed more racing
+		// accesses from a second unjoined thread.
+		w := th.Spawn(func(w *jrt.Thread) {
+			for i := 0; i < 4; i++ {
+				w.Store(arr, i, i*2)
+			}
+		})
+		for i := 0; i < 4; i++ {
+			th.Store(arr, i, i*3) // races with w
+		}
+		th.Join(w)
+	})
+	// Without widening, up to 4 distinct element races are reported;
+	// with it, the first race disables the remaining elements.
+	if n := len(rt.Races()); n == 0 || n >= 4 {
+		t.Errorf("races = %d, want 1..3 with whole-array disabling", n)
+	}
+	st := rt.Stats()
+	if st.CheckedAccesses >= st.TotalAccesses {
+		t.Errorf("no accesses were skipped: checked %d of %d", st.CheckedAccesses, st.TotalAccesses)
+	}
+}
+
+// TestWaitRestoresReentrantDepth: wait() releases a reentrantly-held
+// monitor fully and reacquires it to the same depth.
+func TestWaitRestoresReentrantDepth(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rt := newDetRuntime(seed)
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("Q", jrt.FieldDecl{Name: "ready"})
+			q := th.New(c)
+			th.Synchronized(q, func() { th.SetField(q, "ready", false) })
+			u := th.Spawn(func(u *jrt.Thread) {
+				u.Synchronized(q, func() {
+					u.SetField(q, "ready", true)
+					u.NotifyAll(q)
+				})
+			})
+			th.MonitorEnter(q)
+			th.MonitorEnter(q) // depth 2
+			for {
+				ready, _ := th.GetField(q, "ready").(bool)
+				if ready {
+					break
+				}
+				th.Wait(q) // must fully release so u can enter
+			}
+			if !th.HoldsMonitor(q) {
+				t.Fatal("monitor not reacquired after wait")
+			}
+			th.MonitorExit(q)
+			if !th.HoldsMonitor(q) {
+				t.Fatal("reentrant depth not restored: one exit released the monitor")
+			}
+			th.MonitorExit(q)
+			if th.HoldsMonitor(q) {
+				t.Fatal("monitor still held after matching exits")
+			}
+			th.Join(u)
+		})
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Fatalf("seed %d: raced: %v", seed, rs)
+		}
+	}
+}
+
+// TestMonitorReleasedOnException: a DataRaceException thrown inside a
+// synchronized block unwinds through the deferred MonitorExit, so the
+// lock is usable afterwards (Java try-finally semantics).
+func TestMonitorReleasedOnException(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rt := newDetRuntime(seed)
+		completed := false
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("D", jrt.FieldDecl{Name: "v"})
+			o := th.New(c)
+			lock := th.New(rt.DefineClass("L"))
+			u := th.Spawn(func(u *jrt.Thread) {
+				u.Try(func() { u.SetField(o, "v", 1) }) // racy write
+			})
+			th.Try(func() {
+				th.Synchronized(lock, func() {
+					th.SetField(o, "v", 2) // may throw inside the block
+				})
+			})
+			th.Join(u)
+			// The monitor must be free regardless of which thread threw.
+			th.Synchronized(lock, func() { completed = true })
+			if th.HoldsMonitor(lock) {
+				t.Fatalf("seed %d: monitor leaked", seed)
+			}
+		})
+		if !completed {
+			t.Errorf("seed %d: lock unusable after exception", seed)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package jrt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// scheduler abstracts how threads interleave. All monitor/join/wait
+// state transitions go through exec, whose attempt callback must be a
+// try-operation: it either applies its effect and returns true, or
+// leaves state untouched and returns false (the scheduler then blocks
+// the thread until a retry succeeds).
+type scheduler interface {
+	// yield is an interleaving point, called before every managed
+	// action.
+	yield(t *Thread)
+	// exec runs attempt atomically with respect to all other runtime
+	// state transitions, blocking the thread until it succeeds.
+	exec(t *Thread, attempt func() bool)
+	// start launches the goroutine for a newly spawned thread.
+	start(t *Thread, body func())
+	// exited marks t terminated and schedules someone else.
+	exited(t *Thread)
+	// mainDone is called when the main thread's body returns (the main
+	// thread keeps scheduling duties until then).
+	mainDone(t *Thread)
+	// waitAll blocks until every thread has exited.
+	waitAll()
+}
+
+// freeSched runs threads as plain goroutines. State transitions are
+// serialized by a single mutex; blocked attempts wait on a condition
+// variable that is broadcast after every successful transition.
+type freeSched struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+}
+
+func newFreeSched() *freeSched {
+	s := &freeSched{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *freeSched) yield(*Thread) {}
+
+func (s *freeSched) exec(_ *Thread, attempt func() bool) {
+	s.mu.Lock()
+	for !attempt() {
+		s.cond.Wait()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *freeSched) start(_ *Thread, body func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		body()
+	}()
+}
+
+func (s *freeSched) exited(t *Thread) {
+	s.exec(t, func() bool { t.terminated = true; return true })
+}
+
+func (s *freeSched) mainDone(t *Thread) { s.exited(t) }
+
+func (s *freeSched) waitAll() { s.wg.Wait() }
+
+// Chooser selects scheduling decisions for the deterministic scheduler:
+// Choose(n) returns an index in [0, n). The default chooser is a seeded
+// RNG; the explore package supplies systematic choosers that enumerate
+// the schedule space.
+//
+// The candidate pool is ordered with the currently-running thread first
+// whenever it remains runnable, so index 0 means "continue without
+// preempting". A Chooser that additionally implements PreemptAware is
+// told whether the current thread is in the pool, which lets it count
+// preemptions exactly.
+type Chooser interface {
+	Choose(n int) int
+}
+
+// PreemptAware is an optional Chooser refinement: ChoosePreempt is
+// called instead of Choose, with currentRunnable reporting whether
+// index 0 is the currently-running thread (so any other choice is a
+// preemption) or the switch is forced (the current thread blocked or
+// exited).
+type PreemptAware interface {
+	ChoosePreempt(n int, currentRunnable bool) int
+}
+
+type rngChooser struct{ rng *rand.Rand }
+
+func (c rngChooser) Choose(n int) int { return c.rng.Intn(n) }
+
+// detSched is the deterministic cooperative scheduler: exactly one
+// thread holds the turn token; at every yield point the holder picks the
+// next thread to run through the Chooser. Blocked threads register
+// their pending attempt as a predicate that the token holder retries
+// when choosing a successor.
+type detSched struct {
+	choose Chooser
+
+	mu      sync.Mutex
+	states  map[*Thread]*detState
+	order   []*Thread // stable iteration order for determinism
+	allDone chan struct{}
+	live    int
+}
+
+type detThreadState uint8
+
+const (
+	detReady detThreadState = iota
+	detRunning
+	detBlocked
+	detDone
+)
+
+type detState struct {
+	st      detThreadState
+	turn    chan struct{}
+	attempt func() bool // pending try-operation while blocked
+}
+
+func newDetSched(seed int64) *detSched {
+	return newDetSchedChooser(rngChooser{rng: rand.New(rand.NewSource(seed))})
+}
+
+func newDetSchedChooser(c Chooser) *detSched {
+	return &detSched{
+		choose:  c,
+		states:  make(map[*Thread]*detState),
+		allDone: make(chan struct{}),
+	}
+}
+
+// register adds a thread in the ready state. The main thread registers
+// as running (it is born holding the token).
+func (s *detSched) register(t *Thread, running bool) *detState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &detState{st: detReady, turn: make(chan struct{}, 1)}
+	if running {
+		st.st = detRunning
+	}
+	s.states[t] = st
+	s.order = append(s.order, t)
+	s.live++
+	return st
+}
+
+func (s *detSched) yield(t *Thread) {
+	s.mu.Lock()
+	self := s.states[t]
+	next := s.pick(t)
+	if next == t {
+		s.mu.Unlock()
+		return
+	}
+	self.st = detReady
+	ns := s.states[next]
+	ns.st = detRunning
+	s.mu.Unlock()
+	ns.turn <- struct{}{}
+	<-self.turn
+}
+
+func (s *detSched) exec(t *Thread, attempt func() bool) {
+	// The token holder is exclusive: try directly.
+	if attempt() {
+		return
+	}
+	s.mu.Lock()
+	self := s.states[t]
+	self.st = detBlocked
+	self.attempt = attempt
+	next := s.pick(t)
+	if next == nil {
+		s.mu.Unlock()
+		panic(s.deadlockReport())
+	}
+	if next == t {
+		// pick retried our attempt and it succeeded (state changed by a
+		// concurrent effect applied during selection); nothing to wait
+		// for.
+		self.st = detRunning
+		s.mu.Unlock()
+		return
+	}
+	ns := s.states[next]
+	ns.st = detRunning
+	s.mu.Unlock()
+	ns.turn <- struct{}{}
+	<-self.turn
+	// Woken only after the scheduler ran attempt successfully on our
+	// behalf.
+}
+
+// pick chooses the next thread to run, including t itself. Caller holds
+// mu. Blocked candidates have their attempt retried; a successful
+// attempt applies its effect and unblocks the thread. The pool is
+// ordered with the current thread first when it is still runnable, so
+// choice 0 always means "do not preempt".
+func (s *detSched) pick(t *Thread) *Thread {
+	var pool []*Thread
+	currentRunnable := false
+	if st, ok := s.states[t]; ok && st.st == detRunning {
+		pool = append(pool, t)
+		currentRunnable = true
+	}
+	for _, u := range s.order {
+		st := s.states[u]
+		if st.st == detReady && u != t {
+			pool = append(pool, u)
+		}
+	}
+	// Blocked threads join the candidate pool; their attempt decides at
+	// selection time.
+	for _, u := range s.order {
+		if s.states[u].st == detBlocked {
+			pool = append(pool, u)
+		}
+	}
+	for len(pool) > 0 {
+		var i int
+		if pa, ok := s.choose.(PreemptAware); ok {
+			i = pa.ChoosePreempt(len(pool), currentRunnable)
+		} else {
+			i = s.choose.Choose(len(pool))
+		}
+		u := pool[i]
+		pool = append(pool[:i], pool[i+1:]...)
+		if currentRunnable && i == 0 {
+			// The running current thread continues; it is always viable.
+			return u
+		}
+		if i == 0 {
+			currentRunnable = false // any retry round is a forced switch
+		}
+		st := s.states[u]
+		if st.st == detBlocked {
+			// This covers a blocked caller selecting itself: its pending
+			// attempt must hold before it may continue.
+			if st.attempt() {
+				st.attempt = nil
+				st.st = detReady
+				return u
+			}
+			continue
+		}
+		return u
+	}
+	return nil
+}
+
+func (s *detSched) deadlockReport() string {
+	msg := "jrt: deadlock — all threads blocked:"
+	for _, u := range s.order {
+		st := s.states[u]
+		if st.st == detBlocked {
+			msg += fmt.Sprintf(" %v", u.ID())
+		}
+	}
+	return msg
+}
+
+func (s *detSched) start(t *Thread, body func()) {
+	st := s.register(t, false)
+	go func() {
+		<-st.turn
+		body()
+	}()
+}
+
+func (s *detSched) exited(t *Thread) {
+	s.mu.Lock()
+	self := s.states[t]
+	self.st = detDone
+	t.terminated = true
+	s.live--
+	if s.live == 0 {
+		close(s.allDone)
+		s.mu.Unlock()
+		return
+	}
+	next := s.pick(t)
+	if next == nil || next == t {
+		s.mu.Unlock()
+		panic(s.deadlockReport())
+	}
+	ns := s.states[next]
+	ns.st = detRunning
+	s.mu.Unlock()
+	ns.turn <- struct{}{}
+}
+
+func (s *detSched) mainDone(t *Thread) { s.exited(t) }
+
+func (s *detSched) waitAll() { <-s.allDone }

@@ -1,0 +1,69 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the front end must never panic on arbitrary input — it
+// either produces a program or an error — and anything that parses must
+// survive checking, printing, and reparsing without panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"class Main { void main() { } }",
+		"class D { int v; volatile boolean b; }",
+		`class Main { void main() { int x = 1 + 2 * 3; print(x); } }`,
+		`class Main { void main() { atomic { } } }`,
+		`class Main { void main() { try { } catch { } } }`,
+		`class W { void run() {} } class Main { W w; void main() { thread t = spawn w.run(); join(t); } }`,
+		`class Main { void main() { int[][] m = new int[2][3]; m[0][1] = m.length; } }`,
+		`class Main { void main() { synchronized (this) { wait(this); notifyall(this); } } }`,
+		"class { broken",
+		"//@ race_free D.v trusted\nclass D { int v; }",
+		"class Main { void main() { string s = \"a\\n\\\"b\\\"\"; print(s, s.length); } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := Check(prog); err != nil {
+			return
+		}
+		printed := Format(prog)
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed output does not reparse: %v\n%s", err, printed)
+		}
+		if err := Check(re); err != nil {
+			t.Fatalf("printed output does not recheck: %v\n%s", err, printed)
+		}
+		if again := Format(re); again != printed {
+			t.Fatalf("printer not a fixpoint:\n%s\nvs\n%s", printed, again)
+		}
+	})
+}
+
+// FuzzLex: the lexer never panics and pragma extraction stays in
+// bounds.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{
+		"class", "//@ pragma text", "/* block */ x", "\"str\"", "1.25 && ||",
+		"//@\n//@ x\nclass C { }", "\x00\xff", strings.Repeat("(", 1000),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, _, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream must end in EOF")
+		}
+	})
+}

@@ -1,0 +1,549 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/jrt"
+)
+
+func detCfg(seed int64) jrt.Config {
+	return jrt.Config{Detector: core.New(), Policy: jrt.Throw, Mode: jrt.Deterministic, Seed: seed}
+}
+
+// runMJ runs src and fails the test on front-end or runtime error.
+func runMJ(t *testing.T, src string, cfg jrt.Config) (races int, out string) {
+	t.Helper()
+	rs, output, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	return len(rs), output
+}
+
+func TestInterpArithmeticAndControl(t *testing.T) {
+	_, out := runMJ(t, `
+class Main {
+	int fib(int n) {
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	void main() {
+		print(fib(10));
+		int sum = 0;
+		for (int i = 0; i < 10; i = i + 1) {
+			if (i % 2 == 0) { continue; }
+			sum = sum + i;
+		}
+		print(sum);
+		print(7 / 2, 7 % 2, -3);
+		print(1.5 + 1, 3 * 0.5);
+		print("a" + "b");
+		print(true && false, true || false, !true);
+		print(2 < 3, 3 <= 3, 4 > 5, 5 >= 5, 1 == 1.0, "x" == "x");
+	}
+}
+`, detCfg(1))
+	want := "55\n25\n3 1 -3\n2.5 1.5\nab\nfalse true false\ntrue true false true true true\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestInterpObjectsAndArrays(t *testing.T) {
+	_, out := runMJ(t, `
+class Point { int x; int y;
+	int sum() { return x + y; }
+}
+class Main {
+	void main() {
+		Point p = new Point();
+		p.x = 3;
+		p.y = 4;
+		print(p.sum());
+		int[][] m = new int[2][3];
+		m[1][2] = 9;
+		print(m.length, m[1].length, m[1][2], m[0][0]);
+		Point q = null;
+		print(q == null, p == p, p == q);
+		string s = "hello";
+		print(s.length);
+	}
+}
+`, detCfg(1))
+	want := "7\n2 3 9 0\ntrue true false\n5\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestInterpZeroValues(t *testing.T) {
+	_, out := runMJ(t, `
+class D { int i; double d; boolean b; string s; D next; }
+class Main {
+	void main() {
+		D x = new D();
+		print(x.i, x.d, x.b, x.next == null);
+		int u;
+		print(u);
+	}
+}
+`, detCfg(1))
+	want := "0 0 false true\n0\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestInterpNullPointer(t *testing.T) {
+	_, _, err := RunSource(`
+class D { int v; }
+class Main { void main() { D d = null; d.v = 1; } }
+`, detCfg(1))
+	if err == nil || !strings.Contains(err.Error(), "null") {
+		t.Errorf("err = %v, want null dereference", err)
+	}
+}
+
+func TestInterpDivisionByZero(t *testing.T) {
+	_, _, err := RunSource(`
+class Main { void main() { int x = 0; print(1 / x); } }
+`, detCfg(1))
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInterpSpawnJoinAndLocking(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		races, out := runMJ(t, `
+class Counter {
+	int n;
+	synchronized void inc() { n = n + 1; }
+}
+class Main {
+	Counter c;
+	void work() {
+		for (int i = 0; i < 25; i = i + 1) { c.inc(); }
+	}
+	void main() {
+		c = new Counter();
+		thread a = spawn this.work();
+		thread b = spawn this.work();
+		join(a);
+		join(b);
+		print(c.n);
+	}
+}
+`, detCfg(seed))
+		if races != 0 {
+			t.Fatalf("seed %d: synchronized counter raced", seed)
+		}
+		if out != "50\n" {
+			t.Errorf("seed %d: out = %q", seed, out)
+		}
+	}
+}
+
+func TestInterpRaceCaughtWithTry(t *testing.T) {
+	caught := 0
+	for seed := int64(0); seed < 10; seed++ {
+		_, out := runMJ(t, `
+class D { int v; }
+class Main {
+	D d;
+	void racer() { d.v = 1; }
+	void main() {
+		d = new D();
+		thread t = spawn this.racer();
+		try {
+			d.v = 2;
+			print("no exception here");
+		} catch {
+			print("caught race");
+		}
+		join(t);
+	}
+}
+`, jrt.Config{Detector: core.New(), Policy: jrt.Throw, Mode: jrt.Deterministic, Seed: seed})
+		if strings.Contains(out, "caught race") {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Error("no seed delivered the DataRaceException to the try/catch")
+	}
+}
+
+func TestInterpVolatileHandshake(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		races, out := runMJ(t, `
+class Box {
+	int data;
+	volatile boolean ready;
+}
+class Main {
+	Box b;
+	void consumer() {
+		while (!b.ready) { }
+		print(b.data);
+	}
+	void main() {
+		b = new Box();
+		thread t = spawn this.consumer();
+		b.data = 42;
+		b.ready = true;
+		join(t);
+	}
+}
+`, detCfg(seed))
+		if races != 0 {
+			t.Fatalf("seed %d: volatile publication raced", seed)
+		}
+		if out != "42\n" {
+			t.Errorf("seed %d: out = %q", seed, out)
+		}
+	}
+}
+
+func TestInterpWaitNotify(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		races, out := runMJ(t, `
+class Chan {
+	int item;
+	boolean full;
+}
+class Main {
+	Chan ch;
+	void producer() {
+		for (int i = 1; i <= 3; i = i + 1) {
+			synchronized (ch) {
+				while (ch.full) { wait(ch); }
+				ch.item = i * 10;
+				ch.full = true;
+				notifyall(ch);
+			}
+		}
+	}
+	void main() {
+		ch = new Chan();
+		thread p = spawn this.producer();
+		for (int i = 0; i < 3; i = i + 1) {
+			synchronized (ch) {
+				while (!ch.full) { wait(ch); }
+				print(ch.item);
+				ch.full = false;
+				notifyall(ch);
+			}
+		}
+		join(p);
+	}
+}
+`, detCfg(seed))
+		if races != 0 {
+			t.Fatalf("seed %d: wait/notify program raced", seed)
+		}
+		if out != "10\n20\n30\n" {
+			t.Errorf("seed %d: out = %q", seed, out)
+		}
+	}
+}
+
+func TestInterpAtomicBlocks(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		races, out := runMJ(t, `
+class Acct { int bal; }
+class Main {
+	Acct a;
+	Acct b;
+	void mover() {
+		for (int i = 0; i < 10; i = i + 1) {
+			atomic {
+				a.bal = a.bal - 1;
+				b.bal = b.bal + 1;
+			}
+		}
+	}
+	void main() {
+		a = new Acct();
+		b = new Acct();
+		atomic { a.bal = 100; b.bal = 0; }
+		thread t1 = spawn this.mover();
+		thread t2 = spawn this.mover();
+		join(t1);
+		join(t2);
+		int total = 0;
+		atomic { total = a.bal + b.bal; }
+		print(total, b.bal);
+	}
+}
+`, detCfg(seed))
+		if races != 0 {
+			t.Fatalf("seed %d: transactional movers raced", seed)
+		}
+		if out != "100 20\n" {
+			t.Errorf("seed %d: out = %q", seed, out)
+		}
+	}
+}
+
+// TestInterpAtomicLocalRollback: locals assigned inside an aborted
+// transaction attempt are restored before the retry, so retries do not
+// compound.
+func TestInterpAtomicLocalRollback(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, out := runMJ(t, `
+class Acct { int bal; }
+class Main {
+	Acct a;
+	int observed;
+	void bump() {
+		atomic {
+			int x = a.bal;
+			x = x + 1;
+			a.bal = x;
+		}
+	}
+	void main() {
+		a = new Acct();
+		atomic { a.bal = 0; }
+		thread t1 = spawn this.bump();
+		thread t2 = spawn this.bump();
+		join(t1);
+		join(t2);
+		atomic { observed = a.bal; }
+		print(observed);
+	}
+}
+`, detCfg(seed))
+		if out != "2\n" {
+			t.Errorf("seed %d: out = %q, want 2", seed, out)
+		}
+	}
+}
+
+func TestInterpMixedAtomicPlainRace(t *testing.T) {
+	raced := false
+	for seed := int64(0); seed < 20 && !raced; seed++ {
+		rs, _, err := RunSource(`
+class D { int v; }
+class Main {
+	D d;
+	void plain() { d.v = 1; }
+	void main() {
+		d = new D();
+		thread t = spawn this.plain();
+		atomic { d.v = 2; }
+		join(t);
+	}
+}
+`, jrt.Config{Detector: core.New(), Policy: jrt.Log, Mode: jrt.Deterministic, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) > 0 {
+			raced = true
+		}
+	}
+	if !raced {
+		t.Error("mixed atomic/plain conflict never reported in 20 seeds")
+	}
+}
+
+func TestInterpNoMainErrors(t *testing.T) {
+	if _, _, err := RunSource(`class Foo { void main() {} }`, detCfg(1)); err == nil {
+		t.Error("missing Main class not reported")
+	}
+	if _, _, err := RunSource(`class Main { void main(int x) {} }`, detCfg(1)); err == nil {
+		t.Error("main with params not reported")
+	}
+}
+
+func TestInterpFreeMode(t *testing.T) {
+	races, out := runMJ(t, `
+class Counter { int n; synchronized void inc() { n = n + 1; } }
+class Main {
+	Counter c;
+	void work() { for (int i = 0; i < 50; i = i + 1) { c.inc(); } }
+	void main() {
+		c = new Counter();
+		thread a = spawn this.work();
+		thread b = spawn this.work();
+		thread d = spawn this.work();
+		join(a); join(b); join(d);
+		print(c.n);
+	}
+}
+`, jrt.Config{Detector: core.New(), Policy: jrt.Throw, Mode: jrt.Free})
+	if races != 0 {
+		t.Fatal("free-mode counter raced")
+	}
+	if out != "150\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestInterpShadowingScopes(t *testing.T) {
+	_, out := runMJ(t, `
+class Main {
+	void main() {
+		int x = 1;
+		{
+			int y = x + 1;
+			print(y);
+		}
+		for (int i = 0; i < 2; i = i + 1) { int z = i; print(z); }
+		print(x);
+	}
+}
+`, detCfg(1))
+	if out != "2\n0\n1\n1\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+// TestInterpSpawnedThreadException: a runtime exception in a spawned
+// thread terminates that thread (Java semantics) and surfaces as an
+// error from Run, rather than crashing the host process.
+func TestInterpSpawnedThreadException(t *testing.T) {
+	_, _, err := RunSource(`
+class D { int v; }
+class Main {
+	void boom() {
+		D d = null;
+		d.v = 1;
+	}
+	void main() {
+		thread t = spawn this.boom();
+		join(t);
+		print("main survived");
+	}
+}
+`, detCfg(1))
+	if err == nil || !strings.Contains(err.Error(), "null dereference") {
+		t.Errorf("err = %v, want thread-terminating null dereference", err)
+	}
+}
+
+// TestInterpTryWithControlFlow: return and break inside a try body
+// escape the closure correctly.
+func TestInterpTryWithControlFlow(t *testing.T) {
+	_, out := runMJ(t, `
+class Main {
+	int f() {
+		try {
+			return 7;
+		} catch {
+			return 8;
+		}
+	}
+	void main() {
+		print(f());
+		for (int i = 0; i < 10; i = i + 1) {
+			try {
+				if (i == 2) { break; }
+			} catch { }
+		}
+		int i = 0;
+		while (i < 5) {
+			try {
+				i = i + 1;
+				if (i == 3) { continue; }
+			} catch { }
+		}
+		print(i);
+	}
+}
+`, detCfg(1))
+	if out != "7\n5\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestInterpNumericEdgeCases(t *testing.T) {
+	_, out := runMJ(t, `
+class Main {
+	void main() {
+		print(-7 / 2, -7 % 2);
+		print(0.1 + 0.2 > 0.3 - 0.0000001);
+		double d = 10;
+		print(d / 4);
+		print(1 == 1.0, 2.5 == 2.5);
+		int big = 1000000000;
+		print(big * 3);
+	}
+}
+`, detCfg(1))
+	want := "-3 -1\ntrue\n2.5\ntrue true\n3000000000\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestInterpJoinNullThread(t *testing.T) {
+	_, _, err := RunSource(`
+class Main {
+	void main() {
+		thread t;
+		join(t);
+	}
+}
+`, detCfg(1))
+	if err == nil || !strings.Contains(err.Error(), "null") {
+		t.Errorf("err = %v, want null dereference on join of unset thread", err)
+	}
+}
+
+func TestInterpDeepRecursion(t *testing.T) {
+	_, out := runMJ(t, `
+class Main {
+	int sum(int n) {
+		if (n == 0) { return 0; }
+		return n + sum(n - 1);
+	}
+	void main() { print(sum(500)); }
+}
+`, detCfg(1))
+	if out != "125250\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestInterpThreadArrayFanOut(t *testing.T) {
+	races, out := runMJ(t, `
+class Counter { int n; synchronized void inc() { n = n + 1; } }
+class Main {
+	Counter c;
+	void work(int reps) { for (int i = 0; i < reps; i = i + 1) { c.inc(); } }
+	void main() {
+		c = new Counter();
+		thread[] ts = new thread[6];
+		for (int w = 0; w < 6; w = w + 1) { ts[w] = spawn this.work(w + 1); }
+		for (int w = 0; w < 6; w = w + 1) { join(ts[w]); }
+		print(c.n);
+	}
+}
+`, detCfg(3))
+	if races != 0 {
+		t.Fatal("fan-out raced")
+	}
+	if out != "21\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestInterpStringEquality(t *testing.T) {
+	_, out := runMJ(t, `
+class Main {
+	void main() {
+		string a = "ab";
+		string b = "a" + "b";
+		print(a == b, a != b, a == "ab");
+	}
+}
+`, detCfg(1))
+	if out != "true false true\n" {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,275 @@
+package mj
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// LexError is a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+// Lex tokenizes src. Comments (// and /* */) are skipped; pragma
+// comments of the form //@ ... are turned into the Pragmas list for the
+// static analyses.
+func Lex(src string) ([]Token, []Pragma, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, l.pragmas, nil
+		}
+	}
+}
+
+// Pragma is a //@ comment, the annotation channel for the RccJava-style
+// analysis (e.g. "//@ race_free Data.sum phased").
+type Pragma struct {
+	Pos  Pos
+	Text string
+}
+
+type lexer struct {
+	src     string
+	off     int
+	line    int
+	col     int
+	pragmas []Pragma
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &LexError{Pos: Pos{l.line, l.col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			start := Pos{l.line, l.col}
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			line := l.src[:l.off]
+			if i := strings.LastIndexByte(line, '\n'); i >= 0 {
+				line = line[i+1:]
+			}
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "//@"); ok {
+				l.pragmas = append(l.pragmas, Pragma{Pos: start, Text: strings.TrimSpace(rest)})
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		kind := TokInt
+		if l.peek() == '.' && isDigit(l.peek2()) {
+			kind = TokFloat
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return Token{Kind: kind, Text: l.src[start:l.off], Pos: pos}, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\n' {
+				return Token{}, l.errf("newline in string literal")
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, l.errf("unterminated escape")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return Token{}, l.errf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+	}
+
+	two := func(k TokKind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: tokNames[k], Pos: pos}, nil
+	}
+	one := func(k TokKind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: tokNames[k], Pos: pos}, nil
+	}
+
+	switch c {
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '.':
+		return one(TokDot)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '=':
+		if l.peek2() == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(TokNe)
+		}
+		return one(TokNot)
+	case '<':
+		if l.peek2() == '=' {
+			return two(TokLe)
+		}
+		return one(TokLt)
+	case '>':
+		if l.peek2() == '=' {
+			return two(TokGe)
+		}
+		return one(TokGt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(TokAnd)
+		}
+	case '|':
+		if l.peek2() == '|' {
+			return two(TokOr)
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}

@@ -1,0 +1,129 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, _, err := Lex(`class Foo { int x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokClass, TokIdent, TokLBrace, TokInt_, TokIdent, TokSemi, TokRBrace, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, _, err := Lex(`== != <= >= && || = < > ! + - * / %`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNe, TokLe, TokGe, TokAnd, TokOr, TokAssign,
+		TokLt, TokGt, TokNot, TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbersAndStrings(t *testing.T) {
+	toks, _, err := Lex(`42 3.14 "hi\n\"there\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Text != "42" {
+		t.Errorf("int token = %v", toks[0])
+	}
+	if toks[1].Kind != TokFloat || toks[1].Text != "3.14" {
+		t.Errorf("float token = %v", toks[1])
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "hi\n\"there\"" {
+		t.Errorf("string token = %q", toks[2].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, pragmas, err := Lex(`
+// plain comment
+//@ race_free Foo.x guarded_by_this
+/* block
+   comment */ class
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokClass {
+		t.Errorf("comments not skipped: %v", toks[0])
+	}
+	if len(pragmas) != 1 || pragmas[0].Text != "race_free Foo.x guarded_by_this" {
+		t.Errorf("pragmas = %v", pragmas)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _, err := Lex("class\n  Foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("class pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("Foo pos = %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		`@`,
+		`/* unterminated`,
+		"\"newline\nin string\"",
+	}
+	for _, src := range cases {
+		if _, _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, _, err := Lex("classes atomicx spawned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != TokIdent {
+			t.Errorf("token %d (%s) lexed as %v, want identifier", i, toks[i].Text, toks[i].Kind)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if s := (Token{Kind: TokIdent, Text: "x"}).String(); !strings.Contains(s, "x") {
+		t.Errorf("Token.String = %q", s)
+	}
+	if s := TokClass.String(); s != "class" {
+		t.Errorf("TokClass.String = %q", s)
+	}
+}

@@ -1,0 +1,811 @@
+package mj
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError is a syntax error with its position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+// Parse lexes and parses an MJ source file.
+func Parse(src string) (*Program, error) {
+	toks, pragmas, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Pragmas: pragmas}
+	for !p.at(TokEOF) {
+		c, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, c)
+	}
+	return prog, nil
+}
+
+// MustParse parses src, panicking on error (test and workload support).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) peek2() Token {
+	return p.toks[min(p.i+2, len(p.toks)-1)]
+}
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %v, found %v", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	kw, err := p.expect(TokClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{Pos: kw.Pos, Name: name.Text}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		if err := p.member(c); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// member parses one field or method.
+//
+//	field:  ["volatile"] type Ident ";"
+//	method: ["synchronized"] (type | "void") Ident "(" params ")" block
+func (p *parser) member(c *ClassDecl) error {
+	pos := p.cur().Pos
+	vol := p.accept(TokVolatile)
+	sync := false
+	if !vol {
+		sync = p.accept(TokSynchronized)
+	}
+
+	var ret *Type
+	if p.accept(TokVoid) {
+		ret = VoidType
+	} else {
+		t, err := p.typeName()
+		if err != nil {
+			return err
+		}
+		ret = t
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+
+	if p.at(TokLParen) {
+		if vol {
+			return p.errf("volatile is not a method modifier")
+		}
+		m := &MethodDecl{Pos: pos, Name: name.Text, Class: c, Synchronized: sync, Ret: ret}
+		p.advance() // (
+		for !p.at(TokRParen) {
+			pt, err := p.typeName()
+			if err != nil {
+				return err
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			m.Params = append(m.Params, &Param{Pos: pn.Pos, Name: pn.Text, Type: pt})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return err
+		}
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		m.Body = body
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+
+	if sync {
+		return p.errf("synchronized is not a field modifier")
+	}
+	if ret.Kind == TypeVoid {
+		return p.errf("fields cannot have type void")
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	c.Fields = append(c.Fields, &FieldDeclNode{Pos: pos, Name: name.Text, Type: ret, Volatile: vol})
+	return nil
+}
+
+// typeName parses a type: basetype with [] suffixes.
+func (p *parser) typeName() (*Type, error) {
+	var t *Type
+	switch p.cur().Kind {
+	case TokInt_:
+		t = IntType
+	case TokDouble_:
+		t = DoubleType
+	case TokBoolean_:
+		t = BoolType
+	case TokString_:
+		t = StringType
+	case TokThread_:
+		t = ThreadType
+	case TokIdent:
+		t = ObjectType(p.cur().Text)
+	default:
+		return nil, p.errf("expected type, found %v", p.cur())
+	}
+	p.advance()
+	for p.at(TokLBracket) && p.peek().Kind == TokRBracket {
+		p.advance()
+		p.advance()
+		t = ArrayType(t)
+	}
+	return t, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// startsVarDecl reports whether the current position begins a local
+// variable declaration.
+func (p *parser) startsVarDecl() bool {
+	switch p.cur().Kind {
+	case TokInt_, TokDouble_, TokBoolean_, TokString_, TokThread_:
+		return true
+	case TokIdent:
+		// "C x", "C[] x".
+		if p.peek().Kind == TokIdent {
+			return true
+		}
+		if p.peek().Kind == TokLBracket && p.peek2().Kind == TokRBracket {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.block()
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		p.advance()
+		var val Expr
+		if !p.at(TokSemi) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			val = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: pos, Value: val}, nil
+	case TokBreak:
+		p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case TokContinue:
+		p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case TokSynchronized:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		lock, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &SyncStmt{Pos: pos, Lock: lock, Body: body}, nil
+	case TokAtomic:
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Pos: pos, Body: body}, nil
+	case TokWait, TokNotify, TokNotifyAll, TokJoin:
+		kind := p.advance().Kind
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		switch kind {
+		case TokWait:
+			return &WaitStmt{Pos: pos, Obj: e}, nil
+		case TokNotify:
+			return &NotifyStmt{Pos: pos, Obj: e}, nil
+		case TokNotifyAll:
+			return &NotifyStmt{Pos: pos, Obj: e, All: true}, nil
+		default:
+			return &JoinStmt{Pos: pos, Thread: e}, nil
+		}
+	case TokTry:
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokCatch); err != nil {
+			return nil, err
+		}
+		handler, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &TryStmt{Pos: pos, Body: body, Catch: handler}, nil
+	case TokPrint:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for !p.at(TokRParen) {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Pos: pos, Args: args}, nil
+	}
+
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.advance().Pos // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(TokElse) {
+		if p.at(TokIf) {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &Block{Pos: elif.StmtPos(), Stmts: []Stmt{elif}}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	pos := p.advance().Pos // for
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: pos}
+	if !p.at(TokSemi) {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokSemi) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// simpleStmt parses a declaration, assignment, or expression statement
+// (without the trailing semicolon).
+func (p *parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	if p.startsVarDecl() {
+		t, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		st := &VarDeclStmt{Pos: pos, Name: name.Text, Type: t}
+		if p.accept(TokAssign) {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		return st, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokAssign) {
+		switch e.(type) {
+		case *IdentExpr, *FieldExpr, *IndexExpr:
+		default:
+			return nil, &ParseError{Pos: e.ExprPos(), Msg: "invalid assignment target"}
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Target: e, Value: v}, nil
+	}
+	return &ExprStmt{Pos: pos, E: e}, nil
+}
+
+// Expression grammar, precedence climbing.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOr) {
+		pos := p.advance().Pos
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: TokOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAnd) {
+		pos := p.advance().Pos
+		r, err := p.eqExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: TokAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokEq) || p.at(TokNe) {
+		op := p.advance()
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokLt) || p.at(TokLe) || p.at(TokGt) || p.at(TokGe) {
+		op := p.advance()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		op := p.advance()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(TokNot) || p.at(TokMinus) {
+		op := p.advance()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.Pos, Op: op.Kind, E: e}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokDot):
+			p.advance()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(TokLParen) {
+				args, err := p.callArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = &CallExpr{Pos: name.Pos, Recv: e, Name: name.Text, Args: args}
+			} else {
+				e = &FieldExpr{Pos: name.Pos, Recv: e, Name: name.Text}
+			}
+		case p.at(TokLBracket):
+			pos := p.advance().Pos
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Pos: pos, Arr: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.at(TokRParen) {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: "invalid integer literal"}
+		}
+		return &IntLit{Pos: t.Pos, V: v}, nil
+	case TokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: "invalid float literal"}
+		}
+		return &FloatLit{Pos: t.Pos, V: v}, nil
+	case TokString:
+		p.advance()
+		return &StringLit{Pos: t.Pos, V: t.Text}, nil
+	case TokTrue, TokFalse:
+		p.advance()
+		return &BoolLit{Pos: t.Pos, V: t.Kind == TokTrue}, nil
+	case TokNull:
+		p.advance()
+		return &NullLit{Pos: t.Pos}, nil
+	case TokThis:
+		p.advance()
+		return &ThisExpr{Pos: t.Pos}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokNew:
+		return p.newExpr()
+	case TokSpawn:
+		p.advance()
+		e, err := p.postfixExpr()
+		if err != nil {
+			return nil, err
+		}
+		call, ok := e.(*CallExpr)
+		if !ok {
+			return nil, &ParseError{Pos: t.Pos, Msg: "spawn requires a method call"}
+		}
+		return &SpawnExpr{Pos: t.Pos, Call: call}, nil
+	case TokIdent:
+		p.advance()
+		if p.at(TokLParen) {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &IdentExpr{Pos: t.Pos, Name: t.Text}, nil
+	}
+	return nil, p.errf("unexpected token %v in expression", t)
+}
+
+// newExpr parses "new C()" or "new T[len]{[len]}".
+func (p *parser) newExpr() (Expr, error) {
+	pos := p.advance().Pos // new
+	var base *Type
+	switch p.cur().Kind {
+	case TokInt_:
+		base = IntType
+	case TokDouble_:
+		base = DoubleType
+	case TokBoolean_:
+		base = BoolType
+	case TokString_:
+		base = StringType
+	case TokThread_:
+		base = ThreadType
+	case TokIdent:
+		base = ObjectType(p.cur().Text)
+	default:
+		return nil, p.errf("expected class or element type after new")
+	}
+	name := p.cur().Text
+	p.advance()
+
+	if p.at(TokLParen) {
+		if base.Kind != TypeObject {
+			return nil, p.errf("cannot construct %v with new()", base)
+		}
+		p.advance()
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &NewExpr{Pos: pos, Class: name}, nil
+	}
+
+	// Array allocation: one or more sized dimensions.
+	var lens []Expr
+	for p.at(TokLBracket) {
+		p.advance()
+		ln, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		lens = append(lens, ln)
+	}
+	if len(lens) == 0 {
+		return nil, p.errf("expected () or [length] after new %v", base)
+	}
+	// new int[a][b] desugars to nested NewArrayExpr handled by the
+	// interpreter via the Dims list.
+	elem := base
+	for i := 1; i < len(lens); i++ {
+		elem = ArrayType(elem)
+	}
+	e := &NewArrayExpr{Pos: pos, Elem: elem, Len: lens[0]}
+	e.extraDims = lens[1:]
+	return e, nil
+}

@@ -1,0 +1,210 @@
+package mj
+
+import (
+	"testing"
+)
+
+func TestParseClassShape(t *testing.T) {
+	prog := MustParse(`
+class Point {
+	int x;
+	volatile boolean ready;
+	double[] coords;
+	synchronized void move(int dx, int dy) { x = x + dx; }
+	int getX() { return x; }
+}
+`)
+	if len(prog.Classes) != 1 {
+		t.Fatalf("classes = %d", len(prog.Classes))
+	}
+	c := prog.Classes[0]
+	if c.Name != "Point" || len(c.Fields) != 3 || len(c.Methods) != 2 {
+		t.Fatalf("shape: %s fields=%d methods=%d", c.Name, len(c.Fields), len(c.Methods))
+	}
+	if !c.Fields[1].Volatile {
+		t.Error("ready not volatile")
+	}
+	if c.Fields[2].Type.Kind != TypeArray || c.Fields[2].Type.Elem.Kind != TypeDouble {
+		t.Errorf("coords type = %v", c.Fields[2].Type)
+	}
+	if !c.Methods[0].Synchronized {
+		t.Error("move not synchronized")
+	}
+	if len(c.Methods[0].Params) != 2 {
+		t.Error("move params")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	prog := MustParse(`
+class Main {
+	int n;
+	void main() {
+		int i = 0;
+		while (i < 10) { i = i + 1; if (i == 5) { break; } }
+		for (int j = 0; j < 3; j = j + 1) { n = n + j; }
+		synchronized (this) { n = 0; }
+		atomic { n = 1; }
+		try { n = 2; } catch { n = 3; }
+		print("done", n);
+		return;
+	}
+}
+`)
+	body := prog.Classes[0].Methods[0].Body
+	wantKinds := []string{"*mj.VarDeclStmt", "*mj.WhileStmt", "*mj.ForStmt",
+		"*mj.SyncStmt", "*mj.AtomicStmt", "*mj.TryStmt", "*mj.PrintStmt", "*mj.ReturnStmt"}
+	if len(body.Stmts) != len(wantKinds) {
+		t.Fatalf("stmts = %d, want %d", len(body.Stmts), len(wantKinds))
+	}
+	for i, s := range body.Stmts {
+		if got := typeName(s); got != wantKinds[i] {
+			t.Errorf("stmt %d = %s, want %s", i, got, wantKinds[i])
+		}
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *VarDeclStmt:
+		return "*mj.VarDeclStmt"
+	case *WhileStmt:
+		return "*mj.WhileStmt"
+	case *ForStmt:
+		return "*mj.ForStmt"
+	case *SyncStmt:
+		return "*mj.SyncStmt"
+	case *AtomicStmt:
+		return "*mj.AtomicStmt"
+	case *TryStmt:
+		return "*mj.TryStmt"
+	case *PrintStmt:
+		return "*mj.PrintStmt"
+	case *ReturnStmt:
+		return "*mj.ReturnStmt"
+	}
+	return "?"
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse(`
+class Main { void main() { boolean b = 1 + 2 * 3 == 7 && !false; } }
+`)
+	decl := prog.Classes[0].Methods[0].Body.Stmts[0].(*VarDeclStmt)
+	and, ok := decl.Init.(*BinaryExpr)
+	if !ok || and.Op != TokAnd {
+		t.Fatalf("top = %T", decl.Init)
+	}
+	eq, ok := and.L.(*BinaryExpr)
+	if !ok || eq.Op != TokEq {
+		t.Fatalf("left of && = %T", and.L)
+	}
+	add, ok := eq.L.(*BinaryExpr)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("left of == = %T", eq.L)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("right of + = %T", add.R)
+	}
+}
+
+func TestParseNewForms(t *testing.T) {
+	prog := MustParse(`
+class Box { int v; }
+class Main {
+	void main() {
+		Box b = new Box();
+		int[] a = new int[10];
+		int[][] m = new int[3][4];
+		Box[] bs = new Box[5];
+	}
+}
+`)
+	stmts := prog.Classes[1].Methods[0].Body.Stmts
+	if _, ok := stmts[0].(*VarDeclStmt).Init.(*NewExpr); !ok {
+		t.Error("new Box() not a NewExpr")
+	}
+	na := stmts[2].(*VarDeclStmt).Init.(*NewArrayExpr)
+	if len(na.ExtraDims()) != 1 {
+		t.Errorf("2-d new dims = %d", len(na.ExtraDims()))
+	}
+}
+
+func TestParseSpawnAndChaining(t *testing.T) {
+	prog := MustParse(`
+class Worker { void run(int id) { } }
+class Main {
+	Worker w;
+	void main() {
+		thread t = spawn w.run(1);
+		join(t);
+		wait(w);
+		notify(w);
+		notifyall(w);
+	}
+}
+`)
+	stmts := prog.Classes[1].Methods[0].Body.Stmts
+	sp := stmts[0].(*VarDeclStmt).Init.(*SpawnExpr)
+	if sp.Call.Name != "run" || len(sp.Call.Args) != 1 {
+		t.Errorf("spawn call = %+v", sp.Call)
+	}
+}
+
+func TestParseIndexVsArrayDecl(t *testing.T) {
+	prog := MustParse(`
+class Main {
+	int[] a;
+	void main() {
+		int[] b = new int[2];
+		a = b;
+		a[0] = 1;
+		b[a[0]] = 2;
+	}
+}
+`)
+	stmts := prog.Classes[0].Methods[0].Body.Stmts
+	if _, ok := stmts[2].(*AssignStmt).Target.(*IndexExpr); !ok {
+		t.Error("a[0] not an IndexExpr target")
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog := MustParse(`
+class Main { void main() { int x = 0;
+	if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; }
+} }
+`)
+	ifs := prog.Classes[0].Methods[0].Body.Stmts[1].(*IfStmt)
+	if ifs.Else == nil || len(ifs.Else.Stmts) != 1 {
+		t.Fatal("else-if not wrapped")
+	}
+	inner, ok := ifs.Else.Stmts[0].(*IfStmt)
+	if !ok || inner.Else == nil {
+		t.Fatal("chained else missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`class {}`,
+		`class C`,
+		`class C { int; }`,
+		`class C { void m() { 1 = 2; } }`,
+		`class C { void m() { if x { } } }`,
+		`class C { volatile void m() {} }`,
+		`class C { synchronized int f; }`,
+		`class C { void f; }`,
+		`class C { void m() { spawn 1; } }`,
+		`class C { void m() { new int(); } }`,
+		`class C { void m() { new C; } }`,
+		`class C { void m() { x = ; } }`,
+		`class C { void m() { try { } } }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

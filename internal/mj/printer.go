@@ -1,0 +1,283 @@
+package mj
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a program back to MJ source. The output parses to an
+// identical AST (the printer/parser pair is fixpoint-tested), which
+// makes it useful for golden tests, program transformation, and
+// debugging the front end.
+func Format(prog *Program) string {
+	p := &printer{}
+	for _, pr := range prog.Pragmas {
+		p.linef("//@ %s", pr.Text)
+	}
+	for i, c := range prog.Classes {
+		if i > 0 || len(prog.Pragmas) > 0 {
+			p.line("")
+		}
+		p.class(c)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(s string) {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteByte('\t')
+	}
+	p.sb.WriteString(s)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) linef(format string, args ...any) { p.line(fmt.Sprintf(format, args...)) }
+
+func (p *printer) class(c *ClassDecl) {
+	p.linef("class %s {", c.Name)
+	p.indent++
+	for _, f := range c.Fields {
+		mod := ""
+		if f.Volatile {
+			mod = "volatile "
+		}
+		p.linef("%s%s %s;", mod, f.Type, f.Name)
+	}
+	for _, m := range c.Methods {
+		mod := ""
+		if m.Synchronized {
+			mod = "synchronized "
+		}
+		var params []string
+		for _, pa := range m.Params {
+			params = append(params, fmt.Sprintf("%s %s", pa.Type, pa.Name))
+		}
+		p.linef("%s%s %s(%s) {", mod, m.Ret, m.Name, strings.Join(params, ", "))
+		p.indent++
+		p.stmts(m.Body)
+		p.indent--
+		p.line("}")
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmts(b *Block) {
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) blockLine(prefix string, b *Block) {
+	p.linef("%s {", prefix)
+	p.indent++
+	p.stmts(b)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		p.blockLine("", st)
+	case *VarDeclStmt:
+		if st.Init != nil {
+			p.linef("%s %s = %s;", st.Type, st.Name, expr(st.Init))
+		} else {
+			p.linef("%s %s;", st.Type, st.Name)
+		}
+	case *AssignStmt:
+		p.linef("%s = %s;", expr(st.Target), expr(st.Value))
+	case *IfStmt:
+		p.linef("if (%s) {", expr(st.Cond))
+		p.indent++
+		p.stmts(st.Then)
+		p.indent--
+		if st.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.stmts(st.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.blockLine(fmt.Sprintf("while (%s)", expr(st.Cond)), st.Body)
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = simple(st.Init)
+		}
+		if st.Cond != nil {
+			cond = expr(st.Cond)
+		}
+		if st.Post != nil {
+			post = simple(st.Post)
+		}
+		p.blockLine(fmt.Sprintf("for (%s; %s; %s)", init, cond, post), st.Body)
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.linef("return %s;", expr(st.Value))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ExprStmt:
+		p.linef("%s;", expr(st.E))
+	case *SyncStmt:
+		p.blockLine(fmt.Sprintf("synchronized (%s)", expr(st.Lock)), st.Body)
+	case *AtomicStmt:
+		p.blockLine("atomic", st.Body)
+	case *WaitStmt:
+		p.linef("wait(%s);", expr(st.Obj))
+	case *NotifyStmt:
+		if st.All {
+			p.linef("notifyall(%s);", expr(st.Obj))
+		} else {
+			p.linef("notify(%s);", expr(st.Obj))
+		}
+	case *JoinStmt:
+		p.linef("join(%s);", expr(st.Thread))
+	case *PrintStmt:
+		var args []string
+		for _, a := range st.Args {
+			args = append(args, expr(a))
+		}
+		p.linef("print(%s);", strings.Join(args, ", "))
+	case *TryStmt:
+		p.line("try {")
+		p.indent++
+		p.stmts(st.Body)
+		p.indent--
+		p.line("} catch {")
+		p.indent++
+		p.stmts(st.Catch)
+		p.indent--
+		p.line("}")
+	default:
+		panic(fmt.Sprintf("mj: printer: unhandled statement %T", s))
+	}
+}
+
+// simple renders a for-clause statement without the trailing semicolon.
+func simple(s Stmt) string {
+	switch st := s.(type) {
+	case *VarDeclStmt:
+		if st.Init != nil {
+			return fmt.Sprintf("%s %s = %s", st.Type, st.Name, expr(st.Init))
+		}
+		return fmt.Sprintf("%s %s", st.Type, st.Name)
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", expr(st.Target), expr(st.Value))
+	case *ExprStmt:
+		return expr(st.E)
+	}
+	panic(fmt.Sprintf("mj: printer: bad for-clause %T", s))
+}
+
+// expr renders an expression, parenthesizing conservatively: any
+// compound subexpression of a compound expression gets parentheses, so
+// the output re-parses to the identical tree without a precedence
+// table.
+func expr(e Expr) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(ex.V, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(ex.V, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if ex.V {
+			return "true"
+		}
+		return "false"
+	case *StringLit:
+		return quoteMJ(ex.V)
+	case *NullLit:
+		return "null"
+	case *ThisExpr:
+		return "this"
+	case *IdentExpr:
+		return ex.Name
+	case *FieldExpr:
+		return fmt.Sprintf("%s.%s", sub(ex.Recv), ex.Name)
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", sub(ex.Arr), expr(ex.Index))
+	case *LenExpr:
+		return fmt.Sprintf("%s.length", sub(ex.Arr))
+	case *CallExpr:
+		var args []string
+		for _, a := range ex.Args {
+			args = append(args, expr(a))
+		}
+		if _, isThis := ex.Recv.(*ThisExpr); isThis || ex.Recv == nil {
+			return fmt.Sprintf("this.%s(%s)", ex.Name, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%s.%s(%s)", sub(ex.Recv), ex.Name, strings.Join(args, ", "))
+	case *NewExpr:
+		return fmt.Sprintf("new %s()", ex.Class)
+	case *NewArrayExpr:
+		dims := fmt.Sprintf("[%s]", expr(ex.Len))
+		for _, d := range ex.extraDims {
+			dims += fmt.Sprintf("[%s]", expr(d))
+		}
+		// Elem already folds the inner dimensions; print the base type.
+		base := ex.Elem
+		for range ex.extraDims {
+			base = base.Elem
+		}
+		return fmt.Sprintf("new %s%s", base, dims)
+	case *SpawnExpr:
+		return "spawn " + expr(ex.Call)
+	case *UnaryExpr:
+		op := "!"
+		if ex.Op == TokMinus {
+			op = "-"
+		}
+		return op + sub(ex.E)
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", sub(ex.L), tokNames[ex.Op], sub(ex.R))
+	}
+	panic(fmt.Sprintf("mj: printer: unhandled expression %T", e))
+}
+
+// sub renders a subexpression, parenthesizing compounds.
+func sub(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *UnaryExpr, *SpawnExpr:
+		return "(" + expr(e) + ")"
+	}
+	return expr(e)
+}
+
+func quoteMJ(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

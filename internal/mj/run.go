@@ -1,0 +1,29 @@
+package mj
+
+import (
+	"bytes"
+
+	"goldilocks/internal/detect"
+	"goldilocks/internal/jrt"
+)
+
+// RunSource parses, checks, and runs an MJ program on a fresh runtime
+// with the given configuration, returning the races observed, the
+// program's print output, and any front-end or runtime error.
+func RunSource(src string, cfg jrt.Config) ([]detect.Race, string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := Check(prog); err != nil {
+		return nil, "", err
+	}
+	rt := jrt.NewRuntime(cfg)
+	var out bytes.Buffer
+	in, err := NewInterp(prog, InterpConfig{Runtime: rt, Out: &out})
+	if err != nil {
+		return nil, "", err
+	}
+	races, err := in.Run()
+	return races, out.String(), err
+}

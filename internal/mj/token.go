@@ -1,0 +1,144 @@
+// Package mj implements MJ, a mini-Java language that runs on the jrt
+// race-aware runtime: classes with data and volatile fields,
+// synchronized methods and blocks, wait/notify, thread spawn/join,
+// arrays, and atomic (transaction) blocks executed through the stm
+// package. MJ is the vehicle for the paper's evaluation: the Table 1/2
+// workloads are MJ programs interpreted on jrt (the analog of running
+// Java benchmarks on the instrumented Kaffe interpreter), and the
+// static race analyses of internal/static operate on MJ ASTs.
+//
+// The pipeline is conventional: Lex -> Parse -> Check -> Interp.
+package mj
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+
+	// Punctuation.
+	TokLBrace
+	TokRBrace
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+
+	// Operators.
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq  // ==
+	TokNe  // !=
+	TokLt  // <
+	TokLe  // <=
+	TokGt  // >
+	TokGe  // >=
+	TokAnd // &&
+	TokOr  // ||
+	TokNot // !
+
+	// Keywords.
+	TokClass
+	TokVolatile
+	TokSynchronized
+	TokAtomic
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokNew
+	TokNull
+	TokTrue
+	TokFalse
+	TokThis
+	TokSpawn
+	TokJoin
+	TokWait
+	TokNotify
+	TokNotifyAll
+	TokPrint
+	TokInt_
+	TokDouble_
+	TokBoolean_
+	TokString_
+	TokVoid
+	TokThread_
+	TokBreak
+	TokContinue
+	TokTry
+	TokCatch
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "int literal",
+	TokFloat: "float literal", TokString: "string literal",
+	TokLBrace: "{", TokRBrace: "}", TokLParen: "(", TokRParen: ")",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",", TokDot: ".",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokAnd: "&&", TokOr: "||", TokNot: "!",
+	TokClass: "class", TokVolatile: "volatile", TokSynchronized: "synchronized",
+	TokAtomic: "atomic", TokIf: "if", TokElse: "else", TokWhile: "while",
+	TokFor: "for", TokReturn: "return", TokNew: "new", TokNull: "null",
+	TokTrue: "true", TokFalse: "false", TokThis: "this", TokSpawn: "spawn",
+	TokJoin: "join", TokWait: "wait", TokNotify: "notify", TokNotifyAll: "notifyall",
+	TokPrint: "print", TokInt_: "int", TokDouble_: "double",
+	TokBoolean_: "boolean", TokString_: "string", TokVoid: "void",
+	TokThread_: "thread", TokBreak: "break", TokContinue: "continue",
+	TokTry: "try", TokCatch: "catch",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"class": TokClass, "volatile": TokVolatile, "synchronized": TokSynchronized,
+	"atomic": TokAtomic, "if": TokIf, "else": TokElse, "while": TokWhile,
+	"for": TokFor, "return": TokReturn, "new": TokNew, "null": TokNull,
+	"true": TokTrue, "false": TokFalse, "this": TokThis, "spawn": TokSpawn,
+	"join": TokJoin, "wait": TokWait, "notify": TokNotify,
+	"notifyall": TokNotifyAll, "print": TokPrint, "int": TokInt_,
+	"double": TokDouble_, "boolean": TokBoolean_, "string": TokString_,
+	"void": TokVoid, "thread": TokThread_, "break": TokBreak,
+	"continue": TokContinue, "try": TokTry, "catch": TokCatch,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokInt, TokFloat, TokString:
+		return fmt.Sprintf("%v(%s)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

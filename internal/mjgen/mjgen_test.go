@@ -1,0 +1,194 @@
+package mjgen_test
+
+import (
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/hb"
+	"goldilocks/internal/jrt"
+	"goldilocks/internal/mj"
+	"goldilocks/internal/mjgen"
+)
+
+// TestGeneratedProgramsCompile: every generated program passes the MJ
+// front end and survives a printer round trip.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		src := mjgen.FromSeed(seed)
+		prog, err := mj.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if err := mj.Check(prog); err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+		printed := mj.Format(prog)
+		if _, err := mj.Parse(printed); err != nil {
+			t.Fatalf("seed %d: reparse of printed output: %v", seed, err)
+		}
+	}
+}
+
+// runRecorded executes src deterministically with a recording Goldilocks
+// detector and returns the live races plus the recorded linearization.
+func runRecorded(t *testing.T, src string, seed int64) ([]detect.Race, *jrt.Runtime, *jrt.Recorder) {
+	t.Helper()
+	prog := mj.MustCheck(src)
+	rec := jrt.Record(core.New())
+	rt := jrt.NewRuntime(jrt.Config{
+		Detector: rec,
+		Policy:   jrt.Log, // keep control flow identical whether or not races occur
+		Mode:     jrt.Deterministic,
+		Seed:     seed,
+	})
+	interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	races, err := interp.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return races, rt, rec
+}
+
+// TestEndToEndLiveVsOracle is the repository's strongest integration
+// property: for random concurrent MJ programs under random schedules,
+// the DataRaceExceptions the live runtime raises must agree with the
+// happens-before oracle evaluated on the very linearization the
+// detector observed — same verdict, and the same first racy access.
+func TestEndToEndLiveVsOracle(t *testing.T) {
+	progRacy, progClean := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		src := mjgen.FromSeed(seed)
+		schedSeed := seed * 31
+		live, _, rec := runRecorded(t, src, schedSeed)
+		tr := rec.Trace()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: recorded trace invalid: %v", seed, err)
+		}
+		oracle := hb.NewOracle(tr)
+		first, racy := oracle.FirstRacePos()
+
+		if racy != (len(live) > 0) {
+			t.Fatalf("seed %d: live races %d, oracle racy %v\n%s", seed, len(live), racy, src)
+		}
+		if racy {
+			progRacy++
+			// The first live race must be the access completing the
+			// oracle's first race: same variable among those racing at
+			// that position.
+			vars := map[string]bool{}
+			for _, p := range oracle.Races() {
+				if p.J == first.J {
+					vars[p.Var.String()] = true
+				}
+			}
+			if !vars[live[0].Var.String()] {
+				t.Fatalf("seed %d: first live race on %v, oracle's first position races on %v",
+					seed, live[0].Var, vars)
+			}
+			// And the spec engine on the recording agrees position-wise.
+			specFirst := detect.FirstRace(core.NewSpecEngine(), tr)
+			if specFirst == nil || specFirst.Pos != first.J {
+				t.Fatalf("seed %d: spec on recording = %v, oracle pos %d", seed, specFirst, first.J)
+			}
+		} else {
+			progClean++
+		}
+	}
+	if progRacy < 15 || progClean < 15 {
+		t.Errorf("degenerate generator: %d racy, %d clean of 120", progRacy, progClean)
+	}
+}
+
+// TestEndToEndThrowTermination: under the Throw policy, racy generated
+// programs still terminate (exceptions interrupt accesses, threads die
+// gracefully, main joins what it can) and the runtime records the
+// exception flow.
+func TestEndToEndThrowTermination(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		src := mjgen.FromSeed(seed)
+		prog := mj.MustCheck(src)
+		rt := jrt.NewRuntime(jrt.Config{
+			Detector: core.New(),
+			Policy:   jrt.Throw,
+			Mode:     jrt.Deterministic,
+			Seed:     seed,
+		})
+		interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		races, err := interp.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// A commit can record several races but throws one exception, so
+		// thrown <= recorded, and both agree on zero/nonzero.
+		thrown := int(rt.Stats().RacesThrown)
+		if thrown > len(races) || (len(races) > 0) != (thrown > 0) {
+			t.Errorf("seed %d: %d races recorded, %d thrown", seed, len(races), thrown)
+		}
+		// A thrown-and-uncaught exception must have terminated its
+		// thread gracefully, not vanished.
+		if len(races) > 0 && len(rt.Uncaught()) == 0 {
+			t.Errorf("seed %d: races thrown but none surfaced as uncaught", seed)
+		}
+	}
+}
+
+// TestRecorderFidelity: replaying a recording through a second fresh
+// engine yields the identical race sequence the live engine produced.
+func TestRecorderFidelity(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		src := mjgen.FromSeed(seed)
+		live, _, rec := runRecorded(t, src, seed)
+		replay := detect.RunTrace(core.New(), rec.Trace())
+		if len(replay) != len(live) {
+			t.Fatalf("seed %d: live %d races, replay %d", seed, len(live), len(replay))
+		}
+		for i := range live {
+			if live[i].Var != replay[i].Var {
+				t.Fatalf("seed %d: race %d differs: live %v, replay %v", seed, i, live[i].Var, replay[i].Var)
+			}
+		}
+	}
+}
+
+// TestEndToEndFreeMode repeats the live-vs-oracle property under the
+// free (real goroutine) scheduler: the recorder serializes detector
+// calls, so the recording is still the exact linearization the engine
+// observed, and the oracle verdict on it must match the live one. Run
+// with -race to validate the runtime's own synchronization on racy MJ
+// programs.
+func TestEndToEndFreeMode(t *testing.T) {
+	agree := 0
+	for seed := int64(0); seed < 40; seed++ {
+		src := mjgen.FromSeed(seed)
+		prog := mj.MustCheck(src)
+		rec := jrt.Record(core.New())
+		rt := jrt.NewRuntime(jrt.Config{Detector: rec, Policy: jrt.Log, Mode: jrt.Free})
+		interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, err := interp.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := rec.Trace()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: free-mode recording invalid: %v", seed, err)
+		}
+		_, racy := hb.NewOracle(tr).FirstRacePos()
+		if racy != (len(live) > 0) {
+			t.Fatalf("seed %d: live races %d, oracle racy %v", seed, len(live), racy)
+		}
+		agree++
+	}
+	if agree != 40 {
+		t.Errorf("agreement on %d/40 free-mode runs", agree)
+	}
+}

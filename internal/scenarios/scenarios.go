@@ -1,0 +1,172 @@
+// Package scenarios encodes the motivating examples of Section 2 of the
+// Goldilocks paper as event traces, with their ground-truth verdicts.
+// They are shared by the detector test suites (every precise detector
+// must agree with the verdicts; the Eraser-style baselines demonstrably
+// do not) and by the runnable examples.
+package scenarios
+
+import "goldilocks/internal/event"
+
+// Scenario is a named trace with its ground-truth race verdict.
+type Scenario struct {
+	Name string
+	// Trace is a linearization of the scenario's execution.
+	Trace *event.Trace
+	// Racy reports whether the trace contains an extended race.
+	Racy bool
+	// RacePos, when Racy, is the index of the access at which a precise
+	// online detector must report (the access completing the first
+	// race). -1 when not racy.
+	RacePos int
+	// RaceVar, when Racy, is the racy variable.
+	RaceVar event.Variable
+}
+
+// Object and field layout shared by the scenarios.
+const (
+	Globals event.Addr = 1 // holds global reference variables a, b, head
+
+	FieldA    event.FieldID = 0 // global a
+	FieldB    event.FieldID = 1 // global b
+	FieldHead event.FieldID = 2 // global head
+
+	Conn event.Addr = 5 // the ftp connection object of Example 1
+
+	FieldClosed  event.FieldID = 0 // m_isConnectionClosed (volatile in fix)
+	FieldRequest event.FieldID = 1 // m_request
+	FieldWriter  event.FieldID = 2 // m_writer
+	FieldReader  event.FieldID = 3 // m_reader
+
+	IntBox event.Addr = 10 // the IntBox o of Example 2
+	Foo    event.Addr = 11 // the Foo object o of Example 3
+
+	FieldData event.FieldID = 0 // data field of IntBox / Foo / Account
+	FieldNxt  event.FieldID = 1 // nxt field of Foo
+
+	LockA event.Addr = 20 // ma of Example 2
+	LockB event.Addr = 21 // mb of Example 2
+
+	Savings  event.Addr = 30 // Example 4 accounts
+	Checking event.Addr = 31
+)
+
+// Var is shorthand for a data variable.
+func Var(o event.Addr, f event.FieldID) event.Variable { return event.Variable{Obj: o, Field: f} }
+
+// FTPServer is Example 1: the run() thread (T1) services commands while
+// the time-out thread (T2) closes the connection; close() nulls the
+// connection fields without synchronizing with run()'s accesses, so
+// run()'s next read of m_writer races.
+func FTPServer() Scenario {
+	b := event.NewBuilder()
+	b.Alloc(1, Conn)
+	// Connection setup by T1 before the time-out thread exists; the
+	// fork edge orders these writes before everything T2 does.
+	b.Write(1, Conn, FieldRequest)
+	b.Write(1, Conn, FieldWriter)
+	b.Write(1, Conn, FieldReader)
+	b.Fork(1, 2)
+	// T2 times the connection out: the closed flag is lock-guarded, the
+	// field writes are not.
+	b.Acquire(2, Conn)
+	b.Write(2, Conn, FieldClosed)
+	b.Release(2, Conn)
+	b.Write(2, Conn, FieldRequest)
+	b.Write(2, Conn, FieldWriter)
+	b.Write(2, Conn, FieldReader)
+	// T1's servicing loop touches m_writer: the race completes here —
+	// the access a DataRaceException interrupts.
+	b.Read(1, Conn, FieldWriter) // action 11
+	tr := b.Trace()
+	return Scenario{Name: "ftpserver", Trace: tr, Racy: true, RacePos: 11, RaceVar: Var(Conn, FieldWriter)}
+}
+
+// Ownership is Example 2 (and the Figure 6 linearization): an IntBox is
+// created and initialized by T1, published under lock ma, moved from
+// global a to global b by T2 (under ma then mb), and finally mutated by
+// T3 under mb and, after T3 releases mb, without any lock — race-free
+// throughout, because ownership is transferred hand over hand.
+func Ownership() Scenario {
+	b := event.NewBuilder()
+	b.Alloc(1, IntBox)
+	b.Write(1, IntBox, FieldData) // tmp1.data = 0: first access, LS={T1}
+	b.Acquire(1, LockA)
+	b.Write(1, Globals, FieldA) // a = tmp1
+	b.Release(1, LockA)         // LS(o.data) grows to {T1, ma}
+
+	b.Acquire(2, LockA) // LS grows to {T1, ma, T2}
+	b.Read(2, Globals, FieldA)
+	b.Acquire(2, LockB)
+	b.Write(2, Globals, FieldB) // b = tmp2
+	b.Release(2, LockB)         // LS grows to {T1, ma, T2, mb}
+	b.Release(2, LockA)
+
+	b.Acquire(3, LockB)           // LS grows to {T1, ma, T2, mb, T3}
+	b.Write(3, IntBox, FieldData) // b.data = 2: T3 in LS, no race; LS={T3}
+	b.Read(3, Globals, FieldB)    // tmp3 = b
+	b.Release(3, LockB)           // LS grows to {T3, mb}
+	b.Write(3, IntBox, FieldData) // tmp3.data = 3: no race; LS={T3}
+	tr := b.Trace()
+	return Scenario{Name: "ownership", Trace: tr, Racy: false, RacePos: -1}
+}
+
+// TxList is Example 3 (and the Figure 7 linearization): a Foo object is
+// initialized while thread-local, inserted into a transactional linked
+// list, mutated inside a transaction by T2, removed inside a transaction
+// by T3, and finally mutated by T3 outside any transaction — race-free,
+// because transactions over shared variables create happens-before
+// edges.
+func TxList() Scenario {
+	head := Var(Globals, FieldHead)
+	data := Var(Foo, FieldData)
+	nxt := Var(Foo, FieldNxt)
+
+	b := event.NewBuilder()
+	b.Alloc(1, Foo)
+	b.Write(1, Foo, FieldData) // t1.data = 42 while local: LS={T1}
+	// T1: atomic { t1.nxt = head; head = t1 }
+	b.Commit(1, []event.Variable{head}, []event.Variable{nxt, head})
+	// T2: atomic { for iter = head; ...; iter = iter.nxt: iter.data = 0 }
+	b.Commit(2, []event.Variable{head, nxt, data}, []event.Variable{data})
+	// T3: atomic { t3 = head; head = t3.nxt }
+	b.Commit(3, []event.Variable{head, nxt}, []event.Variable{head})
+	// T3: t3.data++ outside any transaction.
+	b.Read(3, Foo, FieldData)
+	b.Write(3, Foo, FieldData)
+	tr := b.Trace()
+	return Scenario{Name: "txlist", Trace: tr, Racy: false, RacePos: -1}
+}
+
+// Accounts is Example 4: T1 transfers between accounts inside a
+// transaction while T2 withdraws using the synchronized withdraw method.
+// The transaction and the monitor do not synchronize with each other, so
+// the accesses to checking.bal race; the race must be reported even
+// though every access is "protected" by something.
+func Accounts() Scenario {
+	sav := Var(Savings, FieldData)
+	chk := Var(Checking, FieldData)
+
+	b := event.NewBuilder()
+	// Both threads exist up front; the accounts are pre-existing shared
+	// state written by T1 before T2 starts (via fork) so that setup does
+	// not race.
+	b.Alloc(1, Savings)
+	b.Alloc(1, Checking)
+	b.Write(1, Savings, FieldData)
+	b.Write(1, Checking, FieldData)
+	b.Fork(1, 2)
+	// T2: synchronized withdraw on checking.
+	b.Acquire(2, Checking)
+	b.Read(2, Checking, FieldData)
+	b.Write(2, Checking, FieldData)
+	b.Release(2, Checking)
+	// T1: atomic { savings.bal -= 42; checking.bal += 42 }
+	b.Commit(1, []event.Variable{sav, chk}, []event.Variable{sav, chk})
+	tr := b.Trace()
+	return Scenario{Name: "accounts", Trace: tr, Racy: true, RacePos: 9, RaceVar: chk}
+}
+
+// All returns every scenario.
+func All() []Scenario {
+	return []Scenario{FTPServer(), Ownership(), TxList(), Accounts()}
+}

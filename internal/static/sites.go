@@ -1,0 +1,357 @@
+package static
+
+import (
+	"goldilocks/internal/mj"
+)
+
+// collectSites walks every method and records its field and array access
+// sites with their guard context.
+func (f *Facts) collectSites() {
+	for _, cd := range f.Prog.Classes {
+		for _, m := range cd.Methods {
+			locals := analyzeLocals(m)
+			sc := &siteCollector{
+				facts:  f,
+				method: m,
+				locals: locals,
+			}
+			if m.Synchronized {
+				sc.held = append(sc.held, "this")
+			}
+			sc.stmt(m.Body)
+		}
+	}
+}
+
+// localInfo classifies a method's local variables for the escape
+// analysis.
+type localInfo struct {
+	// freshOnly: every value the local ever holds is a new allocation
+	// made in this method.
+	freshOnly bool
+	// escapes: the local's value may become reachable by other threads
+	// (stored to a field/array, passed to a call or spawn, returned, or
+	// copied to another variable).
+	escapes bool
+	// reassigned: the local is assigned more than once (disqualifies it
+	// as a must-alias lock witness).
+	reassigned bool
+}
+
+// analyzeLocals runs the intra-method escape/rebind analysis.
+func analyzeLocals(m *mj.MethodDecl) map[string]*localInfo {
+	locals := make(map[string]*localInfo)
+	get := func(name string) *localInfo {
+		li, ok := locals[name]
+		if !ok {
+			li = &localInfo{freshOnly: true}
+			locals[name] = li
+		}
+		return li
+	}
+	for _, p := range m.Params {
+		li := get(p.Name)
+		li.freshOnly = false // parameters arrive from outside
+		li.escapes = true
+	}
+
+	// leak marks every local read inside e as escaping, except when e is
+	// exactly a fresh allocation.
+	var leak func(e mj.Expr)
+	leak = func(e mj.Expr) {
+		if e == nil {
+			return
+		}
+		if id, ok := e.(*mj.IdentExpr); ok {
+			get(id.Name).escapes = true
+			return
+		}
+		switch ex := e.(type) {
+		case *mj.FieldExpr:
+			// Reading x.f does not leak x itself.
+			markReceiverUse(ex.Recv, get)
+		case *mj.IndexExpr:
+			markReceiverUse(ex.Arr, get)
+			leak(ex.Index)
+		case *mj.LenExpr:
+			markReceiverUse(ex.Arr, get)
+		case *mj.CallExpr:
+			leak(ex.Recv)
+			for _, a := range ex.Args {
+				leak(a)
+			}
+		case *mj.SpawnExpr:
+			leak(ex.Call)
+		case *mj.UnaryExpr:
+			leak(ex.E)
+		case *mj.BinaryExpr:
+			leak(ex.L)
+			leak(ex.R)
+		case *mj.NewArrayExpr:
+			leak(ex.Len)
+			for _, d := range ex.ExtraDims() {
+				leak(d)
+			}
+		}
+	}
+
+	assignTo := func(name string, value mj.Expr, isDecl bool) {
+		li := get(name)
+		if !isDecl {
+			li.reassigned = true
+		}
+		switch value.(type) {
+		case *mj.NewExpr, *mj.NewArrayExpr:
+			// Fresh allocation: freshOnly preserved. A multi-dimensional
+			// allocation stores inner arrays into the outer one, but
+			// those inner arrays are also fresh and only reachable
+			// through the outer.
+		case nil:
+			// Declaration without initializer: zero value is fine.
+		default:
+			li.freshOnly = false
+			leak(value)
+		}
+	}
+
+	mj.WalkStmts(m.Body, func(s mj.Stmt) {
+		switch st := s.(type) {
+		case *mj.VarDeclStmt:
+			assignTo(st.Name, st.Init, true)
+		case *mj.AssignStmt:
+			switch target := st.Target.(type) {
+			case *mj.IdentExpr:
+				assignTo(target.Name, st.Value, false)
+			case *mj.FieldExpr:
+				markReceiverUse(target.Recv, get)
+				leak(st.Value) // stored into the heap: escapes
+			case *mj.IndexExpr:
+				markReceiverUse(target.Arr, get)
+				leak(st.Value)
+				leak(target.Index)
+			}
+		case *mj.ExprStmt:
+			leak(st.E)
+		case *mj.ReturnStmt:
+			leak(st.Value)
+		case *mj.IfStmt:
+			leak(st.Cond)
+		case *mj.WhileStmt:
+			leak(st.Cond)
+		case *mj.ForStmt:
+			leak(st.Cond)
+		case *mj.SyncStmt:
+			markReceiverUse(st.Lock, get)
+		case *mj.WaitStmt:
+			markReceiverUse(st.Obj, get)
+		case *mj.NotifyStmt:
+			markReceiverUse(st.Obj, get)
+		case *mj.JoinStmt:
+			leak(st.Thread)
+		case *mj.PrintStmt:
+			for _, a := range st.Args {
+				leak(a)
+			}
+		}
+	})
+	return locals
+}
+
+// markReceiverUse handles a local used purely as an access receiver or
+// lock — a use that does not leak the reference.
+func markReceiverUse(e mj.Expr, get func(string) *localInfo) {
+	switch ex := e.(type) {
+	case *mj.IdentExpr:
+		// Receiver position: no escape.
+		_ = get(ex.Name)
+	case *mj.ThisExpr:
+	case nil:
+	default:
+		// A compound receiver (a.b.c, arr[i]) reads its own parts;
+		// conservatively treat inner locals as escaping via leak-like
+		// traversal.
+		switch inner := e.(type) {
+		case *mj.FieldExpr:
+			markReceiverUse(inner.Recv, get)
+		case *mj.IndexExpr:
+			markReceiverUse(inner.Arr, get)
+			if id, ok := inner.Index.(*mj.IdentExpr); ok {
+				_ = get(id.Name) // int index: harmless
+			}
+		}
+	}
+}
+
+// siteCollector walks one method's statements with guard context.
+type siteCollector struct {
+	facts  *Facts
+	method *mj.MethodDecl
+	locals map[string]*localInfo
+	held   []string // self-guard witnesses currently held ("this" or local names)
+	atomic bool
+}
+
+func (sc *siteCollector) stmt(s mj.Stmt) {
+	switch st := s.(type) {
+	case *mj.Block:
+		for _, sub := range st.Stmts {
+			sc.stmt(sub)
+		}
+	case *mj.VarDeclStmt:
+		sc.expr(st.Init, false)
+	case *mj.AssignStmt:
+		sc.expr(st.Target, true)
+		sc.expr(st.Value, false)
+	case *mj.IfStmt:
+		sc.expr(st.Cond, false)
+		sc.stmt(st.Then)
+		if st.Else != nil {
+			sc.stmt(st.Else)
+		}
+	case *mj.WhileStmt:
+		sc.expr(st.Cond, false)
+		sc.stmt(st.Body)
+	case *mj.ForStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init)
+		}
+		sc.expr(st.Cond, false)
+		if st.Post != nil {
+			sc.stmt(st.Post)
+		}
+		sc.stmt(st.Body)
+	case *mj.ReturnStmt:
+		sc.expr(st.Value, false)
+	case *mj.ExprStmt:
+		sc.expr(st.E, false)
+	case *mj.SyncStmt:
+		sc.expr(st.Lock, false)
+		if w, ok := sc.lockWitness(st.Lock); ok {
+			sc.held = append(sc.held, w)
+			sc.stmt(st.Body)
+			sc.held = sc.held[:len(sc.held)-1]
+		} else {
+			sc.stmt(st.Body)
+		}
+	case *mj.AtomicStmt:
+		sc.atomic = true
+		sc.stmt(st.Body)
+		sc.atomic = false
+	case *mj.TryStmt:
+		sc.stmt(st.Body)
+		sc.stmt(st.Catch)
+	case *mj.WaitStmt:
+		sc.expr(st.Obj, false)
+	case *mj.NotifyStmt:
+		sc.expr(st.Obj, false)
+	case *mj.JoinStmt:
+		sc.expr(st.Thread, false)
+	case *mj.PrintStmt:
+		for _, a := range st.Args {
+			sc.expr(a, false)
+		}
+	}
+}
+
+// lockWitness returns the must-alias witness name for a lock expression:
+// "this", or the name of a never-reassigned local.
+func (sc *siteCollector) lockWitness(e mj.Expr) (string, bool) {
+	switch ex := e.(type) {
+	case *mj.ThisExpr:
+		return "this", true
+	case *mj.IdentExpr:
+		if li := sc.locals[ex.Name]; li != nil && !li.reassigned {
+			return ex.Name, true
+		}
+	}
+	return "", false
+}
+
+func (sc *siteCollector) heldFor(recv mj.Expr) bool {
+	w, ok := sc.lockWitness(recv)
+	if !ok {
+		return false
+	}
+	for _, h := range sc.held {
+		if h == w {
+			return true
+		}
+	}
+	return false
+}
+
+// localOnly reports whether recv is a non-escaping fresh local.
+func (sc *siteCollector) localOnly(recv mj.Expr) bool {
+	id, ok := recv.(*mj.IdentExpr)
+	if !ok {
+		return false
+	}
+	li := sc.locals[id.Name]
+	return li != nil && li.freshOnly && !li.escapes
+}
+
+func (sc *siteCollector) expr(e mj.Expr, isWrite bool) {
+	if e == nil {
+		return
+	}
+	switch ex := e.(type) {
+	case *mj.FieldExpr:
+		sc.expr(ex.Recv, false)
+		if ex.Decl != nil && !ex.Decl.Volatile {
+			recvClass := ""
+			if rt := ex.Recv.Type(); rt != nil {
+				recvClass = rt.Class
+			}
+			sc.add(&Site{
+				ID:          ex.SiteID,
+				Field:       FieldKey{Class: recvClass, Field: ex.Name},
+				Write:       isWrite,
+				Method:      sc.method,
+				SelfGuarded: sc.heldFor(ex.Recv),
+				Atomic:      sc.atomic,
+				LocalOnly:   sc.localOnly(ex.Recv),
+			})
+		}
+	case *mj.IndexExpr:
+		sc.expr(ex.Arr, false)
+		sc.expr(ex.Index, false)
+		elem := "?"
+		if at := ex.Arr.Type(); at != nil && at.Elem != nil {
+			elem = at.Elem.String()
+		}
+		sc.add(&Site{
+			ID:          ex.SiteID,
+			Field:       FieldKey{Class: "[]", Field: elem},
+			Write:       isWrite,
+			Method:      sc.method,
+			SelfGuarded: sc.heldFor(ex.Arr),
+			Atomic:      sc.atomic,
+			LocalOnly:   sc.localOnly(ex.Arr),
+		})
+	case *mj.LenExpr:
+		sc.expr(ex.Arr, false)
+	case *mj.CallExpr:
+		sc.expr(ex.Recv, false)
+		for _, a := range ex.Args {
+			sc.expr(a, false)
+		}
+	case *mj.SpawnExpr:
+		sc.expr(ex.Call, false)
+	case *mj.UnaryExpr:
+		sc.expr(ex.E, false)
+	case *mj.BinaryExpr:
+		sc.expr(ex.L, false)
+		sc.expr(ex.R, false)
+	case *mj.NewArrayExpr:
+		sc.expr(ex.Len, false)
+		for _, d := range ex.ExtraDims() {
+			sc.expr(d, false)
+		}
+	}
+}
+
+func (sc *siteCollector) add(s *Site) {
+	s.Roots = sc.facts.MethodRoots[sc.method]
+	sc.facts.Sites = append(sc.facts.Sites, s)
+	sc.facts.FieldSites[s.Field] = append(sc.facts.FieldSites[s.Field], s)
+}

@@ -1,0 +1,289 @@
+// Package stm is a software transactional memory for the jrt runtime,
+// in the style of the lock-based source-to-source translation of
+// Hindman and Grossman that the paper uses for its transactional
+// experiments (Section 6.1).
+//
+// Transactions use two-phase locking on per-object internal locks:
+// every object is locked at first touch, writes are buffered, and at
+// commit the buffered writes are applied and the locks released. Lock
+// acquisition is try-lock with full abort and retry, so transactions
+// cannot deadlock. The internal locks are runtime-invisible
+// synchronization: the race detector never sees them. What it sees is
+// exactly what the paper requires a transaction implementation to
+// provide — a commit(R, W) action carrying the transaction's read and
+// write sets at its commit point. Strong atomicity then follows from
+// race-freedom: if no DataRaceException is thrown, plain accesses and
+// transactions are correctly synchronized.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"goldilocks/internal/event"
+	"goldilocks/internal/jrt"
+)
+
+// ErrAborted is returned by Atomic when the body called Tx.Abort.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// retrySentinel restarts the transaction (internal contention); it
+// carries the lock that was busy so the retry can wait for it instead
+// of spinning into the same conflict (unthrottled retry livelocks under
+// contention, and detection work lengthens lock hold times, compounding
+// the problem).
+type retrySentinel struct {
+	busy *objLock
+}
+
+// abortSentinel implements Tx.Abort.
+type abortSentinel struct{}
+
+// TM is a transaction manager instance. One TM serves one runtime; the
+// per-object internal locks live here.
+type TM struct {
+	mu    sync.Mutex
+	locks map[event.Addr]*objLock
+
+	// Stats.
+	commits uint64
+	aborts  uint64
+}
+
+type objLock struct {
+	owner *Tx
+}
+
+// New creates a transaction manager.
+func New() *TM {
+	return &TM{locks: make(map[event.Addr]*objLock)}
+}
+
+// Stats returns (committed, aborted-and-retried) transaction counts.
+func (m *TM) Stats() (commits, aborts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits, m.aborts
+}
+
+func (m *TM) lockFor(o event.Addr) *objLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[o]
+	if !ok {
+		l = &objLock{}
+		m.locks[o] = l
+	}
+	return l
+}
+
+// Tx is an in-flight transaction. It must only be used inside the body
+// passed to Atomic, from the owning thread.
+type Tx struct {
+	tm *TM
+	t  *jrt.Thread
+
+	reads  map[event.Variable]bool
+	writes map[event.Variable]jrt.Value
+	objs   map[event.Addr]*objLock // internal locks held
+	held   []event.Addr            // acquisition order (release order is reverse)
+	objRef map[event.Addr]*jrt.Object
+}
+
+// Atomic runs body as a transaction: all of its reads and writes commit
+// atomically, or none do. On internal lock contention the transaction
+// rolls back and retries. If the body calls Tx.Abort, Atomic rolls back
+// and returns ErrAborted. A DataRaceException raised at the commit point
+// (the transaction conflicts with unsynchronized plain accesses) rolls
+// the transaction back before propagating, so a caller that catches it
+// observes no partial effects.
+func (m *TM) Atomic(t *jrt.Thread, body func(tx *Tx)) error {
+	for {
+		tx := &Tx{
+			tm:     m,
+			t:      t,
+			reads:  make(map[event.Variable]bool),
+			writes: make(map[event.Variable]jrt.Value),
+			objs:   make(map[event.Addr]*objLock),
+			objRef: make(map[event.Addr]*jrt.Object),
+		}
+		busy, retry, err := tx.run(body)
+		if retry {
+			m.noteAbort()
+			if busy != nil {
+				// Back off until the conflicting transaction finishes.
+				t.Exec(func() bool { return busy.owner == nil })
+			}
+			continue
+		}
+		return err
+	}
+}
+
+func (m *TM) noteAbort() {
+	m.mu.Lock()
+	m.aborts++
+	m.mu.Unlock()
+}
+
+func (m *TM) noteCommit() {
+	m.mu.Lock()
+	m.commits++
+	m.mu.Unlock()
+}
+
+// run executes one attempt of the transaction body plus commit.
+func (tx *Tx) run(body func(tx *Tx)) (busy *objLock, retry bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tx.releaseAll()
+			switch sentinel := r.(type) {
+			case retrySentinel:
+				retry = true
+				busy = sentinel.busy
+			case abortSentinel:
+				err = ErrAborted
+			default:
+				panic(r) // includes DataRaceException from the commit point
+			}
+		}
+	}()
+	body(tx)
+	tx.commit()
+	return nil, false, nil
+}
+
+// Abort rolls the transaction back; Atomic returns ErrAborted.
+func (tx *Tx) Abort() { panic(abortSentinel{}) }
+
+// acquire takes the internal lock of o (first touch), aborting and
+// retrying the whole transaction on contention.
+func (tx *Tx) acquire(o *jrt.Object) {
+	addr := o.Addr()
+	if _, ok := tx.objs[addr]; ok {
+		return
+	}
+	l := tx.tm.lockFor(addr)
+	got := false
+	tx.t.Exec(func() bool {
+		if l.owner == nil || l.owner == tx {
+			l.owner = tx
+			got = true
+		}
+		return true // the attempt itself always completes; got records the outcome
+	})
+	if !got {
+		panic(retrySentinel{busy: l})
+	}
+	tx.objs[addr] = l
+	tx.held = append(tx.held, addr)
+	tx.objRef[addr] = o
+}
+
+func (tx *Tx) releaseAll() {
+	for i := len(tx.held) - 1; i >= 0; i-- {
+		l := tx.objs[tx.held[i]]
+		tx.t.Exec(func() bool {
+			l.owner = nil
+			return true
+		})
+	}
+	tx.held = nil
+	tx.objs = make(map[event.Addr]*objLock)
+}
+
+// Get reads data field f of o transactionally.
+func (tx *Tx) Get(o *jrt.Object, f event.FieldID) jrt.Value {
+	tx.acquire(o)
+	v := event.Variable{Obj: o.Addr(), Field: f}
+	if buf, ok := tx.writes[v]; ok {
+		return buf
+	}
+	tx.reads[v] = true
+	return tx.t.GetUnchecked(o, f)
+}
+
+// Set writes data field f of o transactionally (buffered until commit).
+func (tx *Tx) Set(o *jrt.Object, f event.FieldID, val jrt.Value) {
+	tx.acquire(o)
+	v := event.Variable{Obj: o.Addr(), Field: f}
+	tx.writes[v] = val
+}
+
+// GetField and SetField address fields by name.
+func (tx *Tx) GetField(o *jrt.Object, name string) jrt.Value {
+	return tx.Get(o, o.Class().MustFieldID(name))
+}
+
+// SetField writes the named field transactionally.
+func (tx *Tx) SetField(o *jrt.Object, name string, v jrt.Value) {
+	tx.Set(o, o.Class().MustFieldID(name), v)
+}
+
+// Load reads array element i transactionally.
+func (tx *Tx) Load(o *jrt.Object, i int) jrt.Value {
+	if i < 0 || i >= o.Len() {
+		panic(&jrt.IndexOutOfBounds{Object: o, Index: i})
+	}
+	return tx.Get(o, event.FieldID(i))
+}
+
+// Store writes array element i transactionally.
+func (tx *Tx) Store(o *jrt.Object, i int, v jrt.Value) {
+	if i < 0 || i >= o.Len() {
+		panic(&jrt.IndexOutOfBounds{Object: o, Index: i})
+	}
+	tx.Set(o, event.FieldID(i), v)
+}
+
+// commit is the commit point: report (R, W) to the detector, apply the
+// write buffer, release the internal locks.
+func (tx *Tx) commit() {
+	reads := make([]event.Variable, 0, len(tx.reads))
+	for v := range tx.reads {
+		if _, written := tx.writes[v]; !written {
+			reads = append(reads, v)
+		}
+	}
+	writes := make([]event.Variable, 0, len(tx.writes))
+	for v := range tx.writes {
+		writes = append(writes, v)
+	}
+	// Deterministic ordering keeps detector traces reproducible.
+	sortVars(reads)
+	sortVars(writes)
+
+	// The detector sees the commit before the effects become visible;
+	// the internal locks are still held, so no other thread can observe
+	// the window. If the commit races (mixed transactional/plain use),
+	// CommitTxn throws and run's recover rolls everything back.
+	tx.t.CommitTxn(reads, writes)
+
+	for v, val := range tx.writes {
+		o := tx.objRef[v.Obj]
+		if o.IsArray() {
+			tx.t.StoreUnchecked(o, int(v.Field), val)
+		} else {
+			tx.t.SetUnchecked(o, v.Field, val)
+		}
+	}
+	tx.releaseAll()
+	tx.tm.noteCommit()
+}
+
+func sortVars(vs []event.Variable) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Obj != vs[j].Obj {
+			return vs[i].Obj < vs[j].Obj
+		}
+		return vs[i].Field < vs[j].Field
+	})
+}
+
+// String renders transaction state for diagnostics.
+func (tx *Tx) String() string {
+	return fmt.Sprintf("tx{thread %v, %d reads, %d writes, %d locks}",
+		tx.t.ID(), len(tx.reads), len(tx.writes), len(tx.held))
+}

@@ -1,0 +1,213 @@
+// Package tracegen generates random well-formed execution traces for
+// property testing and benchmarking the race detectors.
+//
+// Generated traces respect the structural rules checked by
+// event.Trace.Validate: lock acquires block on ownership, releases are
+// performed by owners, forked threads act only after their fork, joined
+// threads never act again. Within those rules the generator freely mixes
+// lock-based, volatile-based, fork/join and transactional
+// synchronization with unsynchronized accesses, so both racy and
+// race-free traces are produced; detectors are expected to agree on
+// which is which.
+package tracegen
+
+import (
+	"math/rand"
+
+	"goldilocks/internal/event"
+)
+
+// Config bounds the shape of generated traces.
+type Config struct {
+	// Steps is the number of actions to generate.
+	Steps int
+	// MaxThreads bounds the number of threads (including the initial
+	// thread T1).
+	MaxThreads int
+	// Objects is the number of shared data objects; each has Fields
+	// data fields.
+	Objects int
+	// Fields is the number of data fields per object.
+	Fields int
+	// Locks is the number of dedicated lock objects.
+	Locks int
+	// Volatiles is the number of volatile flags (fields of a globals
+	// object).
+	Volatiles int
+	// TxnBias, in [0,1], is the probability that a generated data
+	// operation is folded into a transaction commit instead of a plain
+	// access pair.
+	TxnBias float64
+	// SyncBias, in [0,1], is the probability that a thread performs a
+	// synchronization action rather than a data access at each step.
+	SyncBias float64
+}
+
+// Default returns a configuration that produces small, densely
+// interacting traces: few objects and locks, frequent handoffs — the
+// regime where precise and imprecise detectors disagree most.
+func Default() Config {
+	return Config{
+		Steps:      60,
+		MaxThreads: 4,
+		Objects:    3,
+		Fields:     2,
+		Locks:      2,
+		Volatiles:  2,
+		TxnBias:    0.2,
+		SyncBias:   0.5,
+	}
+}
+
+// Object ids used by the generator: globals object is 1, data objects
+// start at 10, lock objects at 100.
+const (
+	globalsObj  event.Addr = 1
+	dataObjBase event.Addr = 10
+	lockObjBase event.Addr = 100
+)
+
+type genThread struct {
+	id    event.Tid
+	alive bool
+	held  map[event.Addr]int
+}
+
+// Generate produces a well-formed trace from rng under cfg.
+func Generate(rng *rand.Rand, cfg Config) *event.Trace {
+	b := event.NewBuilder()
+	threads := []*genThread{{id: 1, alive: true, held: map[event.Addr]int{}}}
+	lockOwner := map[event.Addr]event.Tid{}
+	nextTid := event.Tid(2)
+
+	// The object pool starts with the static objects and grows with
+	// fresh allocations (exercising rule 8: allocation resets
+	// locksets). Allocations replace a random pool slot so later
+	// accesses use the fresh object.
+	pool := make([]event.Addr, cfg.Objects)
+	for i := range pool {
+		pool[i] = dataObjBase + event.Addr(i)
+	}
+	nextFresh := dataObjBase + event.Addr(cfg.Objects)
+
+	alive := func() []*genThread {
+		var out []*genThread
+		for _, t := range threads {
+			if t.alive {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+
+	randVar := func() event.Variable {
+		o := pool[rng.Intn(len(pool))]
+		f := event.FieldID(rng.Intn(cfg.Fields))
+		return event.Variable{Obj: o, Field: f}
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		live := alive()
+		if len(live) == 0 {
+			break
+		}
+		th := live[rng.Intn(len(live))]
+		t := th.id
+
+		if rng.Float64() < cfg.SyncBias {
+			switch rng.Intn(7) {
+			case 0: // acquire a lock that is free or already ours
+				l := lockObjBase + event.Addr(rng.Intn(cfg.Locks))
+				if owner, held := lockOwner[l]; !held || owner == t {
+					lockOwner[l] = t
+					th.held[l]++
+					b.Acquire(t, l)
+				}
+			case 1: // release a held lock
+				for l, n := range th.held {
+					if n > 0 {
+						th.held[l]--
+						if th.held[l] == 0 {
+							delete(th.held, l)
+							delete(lockOwner, l)
+						}
+						b.Release(t, l)
+						break
+					}
+				}
+			case 2: // volatile write
+				if cfg.Volatiles > 0 {
+					b.VolatileWrite(t, globalsObj, event.FieldID(rng.Intn(cfg.Volatiles)))
+				}
+			case 3: // volatile read
+				if cfg.Volatiles > 0 {
+					b.VolatileRead(t, globalsObj, event.FieldID(rng.Intn(cfg.Volatiles)))
+				}
+			case 4: // fork
+				if len(threads) < cfg.MaxThreads {
+					u := nextTid
+					nextTid++
+					threads = append(threads, &genThread{id: u, alive: true, held: map[event.Addr]int{}})
+					b.Fork(t, u)
+				}
+			case 5: // terminate + join a peer holding no locks
+				for _, peer := range threads {
+					if peer.alive && peer.id != t && len(peer.held) == 0 {
+						peer.alive = false
+						b.Join(t, peer.id)
+						break
+					}
+				}
+			case 6: // allocate a fresh object into a random pool slot
+				o := nextFresh
+				nextFresh++
+				pool[rng.Intn(len(pool))] = o
+				b.Alloc(t, o)
+			}
+			continue
+		}
+
+		if rng.Float64() < cfg.TxnBias {
+			// A transaction over 1..3 distinct variables.
+			n := 1 + rng.Intn(3)
+			seen := map[event.Variable]bool{}
+			var reads, writes []event.Variable
+			for i := 0; i < n; i++ {
+				v := randVar()
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if rng.Intn(2) == 0 {
+					writes = append(writes, v)
+				} else {
+					reads = append(reads, v)
+				}
+			}
+			if len(reads)+len(writes) > 0 {
+				b.Commit(t, reads, writes)
+			}
+			continue
+		}
+
+		v := randVar()
+		if rng.Intn(2) == 0 {
+			b.Read(t, v.Obj, v.Field)
+		} else {
+			b.Write(t, v.Obj, v.Field)
+		}
+	}
+	return b.Trace()
+}
+
+// FromSeed generates a trace deterministically from a seed with the
+// default configuration.
+func FromSeed(seed int64) *event.Trace {
+	return Generate(rand.New(rand.NewSource(seed)), Default())
+}
+
+// FromSeedConfig generates a trace deterministically from a seed under
+// cfg.
+func FromSeedConfig(seed int64, cfg Config) *event.Trace {
+	return Generate(rand.New(rand.NewSource(seed)), cfg)
+}

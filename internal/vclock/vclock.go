@@ -1,0 +1,109 @@
+// Package vclock implements vector clocks (Mattern 1988), used by the
+// happens-before oracle and the vector-clock race-detector baseline that
+// the paper compares Goldilocks against.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goldilocks/internal/event"
+)
+
+// VC is a vector clock: a map from thread id to logical time. The zero
+// value (nil map semantics via methods on a struct) is not used; create
+// clocks with New.
+type VC struct {
+	m map[event.Tid]uint64
+}
+
+// New returns an empty (all-zero) vector clock.
+func New() *VC { return &VC{m: make(map[event.Tid]uint64)} }
+
+// Get returns the component for thread t (zero if absent).
+func (v *VC) Get(t event.Tid) uint64 { return v.m[t] }
+
+// Set sets the component for thread t.
+func (v *VC) Set(t event.Tid, n uint64) {
+	if n == 0 {
+		delete(v.m, t)
+		return
+	}
+	v.m[t] = n
+}
+
+// Tick increments the component for thread t and returns the new value.
+func (v *VC) Tick(t event.Tid) uint64 {
+	v.m[t]++
+	return v.m[t]
+}
+
+// Join sets v to the componentwise maximum of v and u.
+func (v *VC) Join(u *VC) {
+	for t, n := range u.m {
+		if n > v.m[t] {
+			v.m[t] = n
+		}
+	}
+}
+
+// Copy returns an independent copy of v.
+func (v *VC) Copy() *VC {
+	c := &VC{m: make(map[event.Tid]uint64, len(v.m))}
+	for t, n := range v.m {
+		c.m[t] = n
+	}
+	return c
+}
+
+// LessEq reports whether v happens-before-or-equals u componentwise
+// (v ⊑ u).
+func (v *VC) LessEq(u *VC) bool {
+	for t, n := range v.m {
+		if n > u.m[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither v ⊑ u nor u ⊑ v.
+func (v *VC) Concurrent(u *VC) bool { return !v.LessEq(u) && !u.LessEq(v) }
+
+// Equal reports componentwise equality.
+func (v *VC) Equal(u *VC) bool { return v.LessEq(u) && u.LessEq(v) }
+
+// String renders the clock deterministically, e.g. "[T1:3 T2:1]".
+func (v *VC) String() string {
+	parts := make([]string, 0, len(v.m))
+	for t, n := range v.m {
+		parts = append(parts, fmt.Sprintf("%v:%d", t, n))
+	}
+	sort.Strings(parts)
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Epoch is the FastTrack-style compressed clock: a single (thread, time)
+// pair. It is used by the vector-clock baseline to cheaply represent
+// last-write metadata; Goldilocks itself does not need it, but the
+// comparison detector benefits from the same representation tricks real
+// vector-clock race detectors use.
+type Epoch struct {
+	Tid  event.Tid
+	Time uint64
+}
+
+// Zero reports whether the epoch is the initial (never-written) epoch.
+func (e Epoch) Zero() bool { return e.Time == 0 }
+
+// LessEq reports whether the epoch happens-before-or-equals clock u: the
+// single component is covered by u.
+func (e Epoch) LessEq(u *VC) bool { return e.Time <= u.Get(e.Tid) }
+
+func (e Epoch) String() string {
+	if e.Zero() {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d@%v", e.Time, e.Tid)
+}

@@ -1,0 +1,161 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldilocks/internal/event"
+)
+
+func TestBasicOps(t *testing.T) {
+	v := New()
+	if v.Get(1) != 0 {
+		t.Error("fresh clock has nonzero component")
+	}
+	if v.Tick(1) != 1 || v.Tick(1) != 2 {
+		t.Error("Tick did not increment")
+	}
+	v.Set(2, 7)
+	if v.Get(2) != 7 {
+		t.Error("Set/Get mismatch")
+	}
+	v.Set(2, 0)
+	if v.Get(2) != 0 {
+		t.Error("Set 0 did not clear")
+	}
+}
+
+func TestJoinLessEq(t *testing.T) {
+	a, b := New(), New()
+	a.Set(1, 3)
+	b.Set(2, 5)
+	if a.LessEq(b) || b.LessEq(a) {
+		t.Error("disjoint clocks should be incomparable")
+	}
+	if !a.Concurrent(b) {
+		t.Error("disjoint clocks should be concurrent")
+	}
+	j := a.Copy()
+	j.Join(b)
+	if !a.LessEq(j) || !b.LessEq(j) {
+		t.Error("join is not an upper bound")
+	}
+	if j.Get(1) != 3 || j.Get(2) != 5 {
+		t.Error("join lost components")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := New()
+	a.Set(1, 1)
+	c := a.Copy()
+	c.Tick(1)
+	if a.Get(1) != 1 {
+		t.Error("Copy shares state")
+	}
+}
+
+func TestString(t *testing.T) {
+	a := New()
+	a.Set(2, 1)
+	a.Set(1, 3)
+	if got := a.String(); got != "[T1:3 T2:1]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New().String(); got != "[]" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	var e Epoch
+	if !e.Zero() {
+		t.Error("zero epoch not Zero")
+	}
+	c := New()
+	if !e.LessEq(c) {
+		t.Error("zero epoch must precede everything")
+	}
+	e = Epoch{Tid: 1, Time: 2}
+	if e.LessEq(c) {
+		t.Error("epoch 2@T1 precedes empty clock")
+	}
+	c.Set(1, 2)
+	if !e.LessEq(c) {
+		t.Error("epoch 2@T1 should precede [T1:2]")
+	}
+	if e.String() != "2@T1" {
+		t.Errorf("String() = %q", e.String())
+	}
+}
+
+// randomVC builds a clock from fuzz input.
+func randomVC(rng *rand.Rand) *VC {
+	v := New()
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		v.Set(event.Tid(1+rng.Intn(4)), uint64(1+rng.Intn(8)))
+	}
+	return v
+}
+
+func TestQuickJoinProperties(t *testing.T) {
+	// Join is a least upper bound: commutative, associative, idempotent,
+	// and monotone w.r.t. LessEq.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomVC(rng), randomVC(rng), randomVC(rng)
+
+		ab := a.Copy()
+		ab.Join(b)
+		ba := b.Copy()
+		ba.Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+
+		abc1 := ab.Copy()
+		abc1.Join(c)
+		bc := b.Copy()
+		bc.Join(c)
+		abc2 := a.Copy()
+		abc2.Join(bc)
+		if !abc1.Equal(abc2) {
+			return false
+		}
+
+		aa := a.Copy()
+		aa.Join(a)
+		if !aa.Equal(a) {
+			return false
+		}
+		return a.LessEq(ab) && b.LessEq(ab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLessEqPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomVC(rng), randomVC(rng), randomVC(rng)
+		// Reflexivity.
+		if !a.LessEq(a) {
+			return false
+		}
+		// Antisymmetry.
+		if a.LessEq(b) && b.LessEq(a) && !a.Equal(b) {
+			return false
+		}
+		// Transitivity.
+		if a.LessEq(b) && b.LessEq(c) && !a.LessEq(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
