@@ -11,12 +11,18 @@
 // (throw or log), and the scheduler (deterministic with a seed, or
 // free). On exit it prints the races observed and, with -stats, the
 // detector and runtime counters.
+//
+// Exit codes: 0 clean run, 1 at least one race reported, 2 usage error,
+// 3 runtime failure (I/O, parse, or a deterministic-scheduler deadlock).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
@@ -27,8 +33,45 @@ import (
 	"goldilocks/internal/hb"
 	"goldilocks/internal/jrt"
 	"goldilocks/internal/mj"
+	"goldilocks/internal/resilience"
 	"goldilocks/internal/static"
 )
+
+// errUsage marks errors caused by bad flags or arguments so exitFor can
+// map them to ExitUsage.
+var errUsage = errors.New("usage error")
+
+func usageErrf(format string, a ...any) error {
+	return fmt.Errorf("%w: %s", errUsage, fmt.Sprintf(format, a...))
+}
+
+// exitFor maps a run outcome to the standard exit code.
+func exitFor(nraces int, err error) int {
+	switch {
+	case errors.Is(err, errUsage):
+		return resilience.ExitUsage
+	case err != nil:
+		return resilience.ExitRuntime
+	case nraces > 0:
+		return resilience.ExitRace
+	default:
+		return resilience.ExitClean
+	}
+}
+
+// runConfig carries the flag settings into run.
+type runConfig struct {
+	detector string
+	static   string
+	policy   string
+	sched    string
+	seed     int64
+	stats    bool
+	noSC     bool
+	record   string
+	onError  string // quarantine | abort
+	budget   int    // event-list cell budget; 0: unbounded
+}
 
 func main() {
 	var (
@@ -39,40 +82,47 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for the deterministic scheduler")
 		stats    = flag.Bool("stats", false, "print runtime and detector statistics")
 		noSC     = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks (ablation)")
-		record   = flag.String("record", "", "write the observed linearization to this file (replay with cmd/racereplay)")
+		record   = flag.String("record", "", "write the observed linearization to this file (.jsonl: checksummed streaming format; replay with cmd/racereplay)")
+		onError  = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
+		budget   = flag.Int("memory-budget", 0, "event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
 		exploreN = flag.Int("explore", 0, "systematically explore up to N schedules and report how many race (implies -sched det)")
 		exploreP = flag.Int("explore-bound", 0, "preemption bound for -explore (0: unbounded)")
+		exploreT = flag.Duration("explore-timeout", 0, "wall-clock budget for -explore (0: unbounded)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: goldilocks [flags] program.mj")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(resilience.ExitUsage)
 	}
 	if *exploreN > 0 {
-		racy, err := exploreSchedules(flag.Arg(0), *exploreN, *exploreP)
+		racy, err := exploreSchedules(flag.Arg(0), *exploreN, *exploreP, *exploreT)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "goldilocks:", err)
-			os.Exit(1)
 		}
-		if racy > 0 {
-			os.Exit(3)
-		}
-		return
+		os.Exit(exitFor(racy, err))
 	}
-	nraces, err := run(flag.Arg(0), *detName, *analysis, *policy, *sched, *seed, *stats, *noSC, *record)
+	nraces, err := run(flag.Arg(0), runConfig{
+		detector: *detName,
+		static:   *analysis,
+		policy:   *policy,
+		sched:    *sched,
+		seed:     *seed,
+		stats:    *stats,
+		noSC:     *noSC,
+		record:   *record,
+		onError:  *onError,
+		budget:   *budget,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goldilocks:", err)
-		os.Exit(1)
 	}
-	if nraces > 0 {
-		os.Exit(3)
-	}
+	os.Exit(exitFor(nraces, err))
 }
 
 // exploreSchedules runs the program under systematic schedule
 // exploration and reports the racy/clean split.
-func exploreSchedules(path string, maxSchedules, preemptionBound int) (int, error) {
+func exploreSchedules(path string, maxSchedules, preemptionBound int, timeout time.Duration) (int, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
@@ -108,10 +158,17 @@ func exploreSchedules(path string, maxSchedules, preemptionBound int) (int, erro
 		}
 		return len(races)
 	}
-	res := explore.Schedules(explore.Options{MaxSchedules: maxSchedules, PreemptionBound: preemptionBound}, body, nil)
+	res := explore.Schedules(explore.Options{
+		MaxSchedules:    maxSchedules,
+		PreemptionBound: preemptionBound,
+		Timeout:         timeout,
+	}, body, nil)
 	coverage := "bounded"
 	if res.Exhausted {
 		coverage = "exhaustive"
+	}
+	if res.TimedOut {
+		coverage = "timed out"
 	}
 	fmt.Printf("explored %d schedules (%s): %d racy, %d race-free\n",
 		res.Schedules, coverage, res.Racy, res.Schedules-res.Racy)
@@ -122,7 +179,12 @@ func exploreSchedules(path string, maxSchedules, preemptionBound int) (int, erro
 }
 
 // run executes the program and returns the number of races reported.
-func run(path, detName, analysis, policy, sched string, seed int64, stats, noSC bool, recordPath string) (int, error) {
+func run(path string, c runConfig) (int, error) {
+	errPolicy, err := resilience.ParseErrorPolicy(c.onError)
+	if err != nil {
+		return 0, usageErrf("%v", err)
+	}
+
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
@@ -136,7 +198,7 @@ func run(path, detName, analysis, policy, sched string, seed int64, stats, noSC 
 	}
 
 	var mask []bool
-	switch analysis {
+	switch c.static {
 	case "none":
 	case "chord":
 		r := static.Chord(prog)
@@ -150,31 +212,37 @@ func run(path, detName, analysis, policy, sched string, seed int64, stats, noSC 
 		mask = r.Apply(prog)
 		fmt.Fprintf(os.Stderr, "rcc: %d/%d access sites proven race-free\n", r.SafeSiteCount(), mj.NumSites(prog))
 	default:
-		return 0, fmt.Errorf("unknown static analysis %q", analysis)
+		return 0, usageErrf("unknown static analysis %q", c.static)
 	}
 
 	cfg := jrt.Config{}
 	var engine *core.Engine
-	switch detName {
+	var guard *jrt.Guarded
+	switch c.detector {
 	case "goldilocks":
 		opts := core.DefaultOptions()
-		if noSC {
+		if c.noSC {
 			opts.SC1, opts.SC2, opts.SC3, opts.XactSC = false, false, false, false
 		}
+		opts.OnError = errPolicy
+		opts.MemoryBudget = c.budget
 		engine = core.NewEngine(opts)
 		cfg.Detector = engine
 	case "vectorclock":
-		cfg.Detector = jrt.Serialize(hb.NewDetector())
+		guard = jrt.Guard(jrt.Serialize(hb.NewDetector()), errPolicy)
+		cfg.Detector = guard
 	case "eraser":
-		cfg.Detector = jrt.Serialize(eraser.New())
+		guard = jrt.Guard(jrt.Serialize(eraser.New()), errPolicy)
+		cfg.Detector = guard
 	case "basic":
-		cfg.Detector = jrt.Serialize(basic.New())
+		guard = jrt.Guard(jrt.Serialize(basic.New()), errPolicy)
+		cfg.Detector = guard
 	case "none":
 	default:
-		return 0, fmt.Errorf("unknown detector %q", detName)
+		return 0, usageErrf("unknown detector %q", c.detector)
 	}
 	var recorder *jrt.Recorder
-	if recordPath != "" {
+	if c.record != "" {
 		inner := cfg.Detector
 		if inner == nil {
 			inner = nopDetector{}
@@ -182,22 +250,22 @@ func run(path, detName, analysis, policy, sched string, seed int64, stats, noSC 
 		recorder = jrt.Record(inner)
 		cfg.Detector = recorder
 	}
-	switch policy {
+	switch c.policy {
 	case "throw":
 		cfg.Policy = jrt.Throw
 	case "log":
 		cfg.Policy = jrt.Log
 	default:
-		return 0, fmt.Errorf("unknown policy %q", policy)
+		return 0, usageErrf("unknown policy %q", c.policy)
 	}
-	switch sched {
+	switch c.sched {
 	case "free":
 		cfg.Mode = jrt.Free
 	case "det":
 		cfg.Mode = jrt.Deterministic
-		cfg.Seed = seed
+		cfg.Seed = c.seed
 	default:
-		return 0, fmt.Errorf("unknown scheduler %q", sched)
+		return 0, usageErrf("unknown scheduler %q", c.sched)
 	}
 
 	rt := jrt.NewRuntime(cfg)
@@ -216,7 +284,7 @@ func run(path, detName, analysis, policy, sched string, seed int64, stats, noSC 
 	for _, u := range rt.Uncaught() {
 		fmt.Fprintf(os.Stderr, "uncaught %v (thread terminated)\n", u)
 	}
-	if stats {
+	if c.stats {
 		rs := rt.Stats()
 		fmt.Fprintf(os.Stderr, "runtime: %d accesses (%d checked), %d variables, %d sync ops, %d races thrown\n",
 			rs.TotalAccesses, rs.CheckedAccesses, rs.VarsCreated, rs.SyncOps, rs.RacesThrown)
@@ -224,20 +292,41 @@ func run(path, detName, analysis, policy, sched string, seed int64, stats, noSC 
 			es := engine.Stats()
 			fmt.Fprintf(os.Stderr, "goldilocks: %d pair checks, short-circuit %.1f%%, %d full walks over %d cells, %d collections\n",
 				es.PairChecks, 100*es.ShortCircuitRate(), es.FullWalks, es.WalkCells, es.Collections)
+			fmt.Fprintf(os.Stderr, "resilience: %d panics recovered, %d vars quarantined, rung %v (%d escalations), %d aggressive GCs, %d cache sheds, %d eager sweeps, %d degraded checks\n",
+				es.PanicsRecovered, es.VarsQuarantined, es.GovernorRung, es.Escalations,
+				es.AggressiveGCs, es.CacheSheds, es.EagerSweeps, es.DegradedChecks)
+		}
+		if guard != nil {
+			panics, quarantined := guard.GuardStats()
+			fmt.Fprintf(os.Stderr, "resilience: %d panics recovered, %d vars quarantined\n", panics, quarantined)
 		}
 	}
 	if recorder != nil {
-		f, err := os.Create(recordPath)
-		if err != nil {
+		if err := writeRecording(c.record, recorder.Trace()); err != nil {
 			return 0, err
 		}
-		defer f.Close()
-		if err := event.WriteTrace(f, recorder.Trace()); err != nil {
-			return 0, err
-		}
-		fmt.Fprintf(os.Stderr, "recorded %d actions to %s\n", recorder.Trace().Len(), recordPath)
+		fmt.Fprintf(os.Stderr, "recorded %d actions to %s\n", recorder.Trace().Len(), c.record)
+	}
+	if rep := rt.Failure(); rep != nil {
+		fmt.Fprintf(os.Stderr, "goldilocks: %v\n", rep)
+		return len(races), rep
 	}
 	return len(races), nil
+}
+
+// writeRecording writes the trace in the format the path's extension
+// selects: .jsonl is the checksummed streaming format (robust to
+// truncation), anything else the legacy single-object JSON.
+func writeRecording(path string, tr *event.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return event.WriteTraceStream(f, tr)
+	}
+	return event.WriteTrace(f, tr)
 }
 
 // nopDetector lets -record work with -detector none.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
 )
 
 func writeProgram(t *testing.T, src string) string {
@@ -17,6 +19,12 @@ func writeProgram(t *testing.T, src string) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// cfg returns a runConfig with the historical defaults; tests override
+// fields as needed.
+func cfg() runConfig {
+	return runConfig{detector: "goldilocks", static: "none", policy: "throw", sched: "det", seed: 1, onError: "quarantine"}
 }
 
 const cleanSrc = `
@@ -33,32 +41,59 @@ class Main {
 }
 `
 
+const racySrc = `
+class D { int v; }
+class Main {
+	D d;
+	void racer() { d.v = 1; }
+	void main() {
+		d = new D();
+		thread t = spawn this.racer();
+		d.v = 2;
+		join(t);
+	}
+}
+`
+
 func TestRunCleanProgramAllDetectors(t *testing.T) {
 	path := writeProgram(t, cleanSrc)
 	for _, det := range []string{"goldilocks", "vectorclock", "eraser", "none"} {
-		n, err := run(path, det, "none", "throw", "det", 1, true, false, "")
+		c := cfg()
+		c.detector = det
+		c.stats = true
+		n, err := run(path, c)
 		if err != nil {
 			t.Errorf("detector %s: %v", det, err)
 		}
 		if n != 0 {
 			t.Errorf("detector %s: %d races on a race-free program", det, n)
 		}
+		if code := exitFor(n, err); code != resilience.ExitClean {
+			t.Errorf("detector %s: exit code %d, want %d", det, code, resilience.ExitClean)
+		}
 	}
 	// The naive lockset detector false-alarms on the unprotected
 	// initialization, demonstrating the precision gap from the CLI too.
-	n, err := run(path, "basic", "none", "log", "det", 1, false, false, "")
+	c := cfg()
+	c.detector, c.policy = "basic", "log"
+	n, err := run(path, c)
 	if err != nil {
 		t.Fatalf("basic: %v", err)
 	}
 	if n == 0 {
 		t.Error("basic-lockset did not false-alarm")
 	}
+	if code := exitFor(n, err); code != resilience.ExitRace {
+		t.Errorf("racy exit code %d, want %d", code, resilience.ExitRace)
+	}
 }
 
 func TestRunStaticAnalyses(t *testing.T) {
 	path := writeProgram(t, cleanSrc)
 	for _, analysis := range []string{"chord", "rcc"} {
-		if _, err := run(path, "goldilocks", analysis, "log", "det", 1, false, false, ""); err != nil {
+		c := cfg()
+		c.static, c.policy = analysis, "log"
+		if _, err := run(path, c); err != nil {
 			t.Errorf("static %s: %v", analysis, err)
 		}
 	}
@@ -66,44 +101,126 @@ func TestRunStaticAnalyses(t *testing.T) {
 
 func TestRunNoShortCircuit(t *testing.T) {
 	path := writeProgram(t, cleanSrc)
-	if _, err := run(path, "goldilocks", "none", "throw", "free", 0, true, true, ""); err != nil {
+	c := cfg()
+	c.sched, c.seed, c.stats, c.noSC = "free", 0, true, true
+	if _, err := run(path, c); err != nil {
 		t.Errorf("no-shortcircuit: %v", err)
 	}
 }
 
-func TestRunRejectsBadFlags(t *testing.T) {
+func TestRunMemoryBudget(t *testing.T) {
 	path := writeProgram(t, cleanSrc)
-	cases := [][4]string{
-		{"bogus", "none", "throw", "det"},
-		{"goldilocks", "bogus", "throw", "det"},
-		{"goldilocks", "none", "bogus", "det"},
-		{"goldilocks", "none", "throw", "bogus"},
+	c := cfg()
+	c.budget, c.stats = 16, true
+	n, err := run(path, c)
+	if err != nil {
+		t.Fatalf("memory budget: %v", err)
 	}
+	if n != 0 {
+		t.Errorf("%d races under a memory budget on a race-free program", n)
+	}
+}
+
+func TestRunRejectsBadFlagsWithUsageExit(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	cases := []runConfig{}
+	c := cfg()
+	c.detector = "bogus"
+	cases = append(cases, c)
+	c = cfg()
+	c.static = "bogus"
+	cases = append(cases, c)
+	c = cfg()
+	c.policy = "bogus"
+	cases = append(cases, c)
+	c = cfg()
+	c.sched = "bogus"
+	cases = append(cases, c)
+	c = cfg()
+	c.onError = "bogus"
+	cases = append(cases, c)
 	for _, c := range cases {
-		if _, err := run(path, c[0], c[1], c[2], c[3], 1, false, false, ""); err == nil {
-			t.Errorf("flags %v accepted", c)
+		n, err := run(path, c)
+		if err == nil {
+			t.Errorf("config %+v accepted", c)
+			continue
+		}
+		if !errors.Is(err, errUsage) {
+			t.Errorf("config %+v: error %v is not a usage error", c, err)
+		}
+		if code := exitFor(n, err); code != resilience.ExitUsage {
+			t.Errorf("config %+v: exit code %d, want %d", c, code, resilience.ExitUsage)
 		}
 	}
 }
 
-func TestRunFrontEndErrors(t *testing.T) {
-	if _, err := run(filepath.Join(t.TempDir(), "missing.mj"), "goldilocks", "none", "throw", "det", 1, false, false, ""); err == nil {
+func TestRunFrontEndErrorsExitRuntime(t *testing.T) {
+	n, err := run(filepath.Join(t.TempDir(), "missing.mj"), cfg())
+	if err == nil {
 		t.Error("missing file accepted")
 	}
+	if code := exitFor(n, err); code != resilience.ExitRuntime {
+		t.Errorf("missing file: exit code %d, want %d", code, resilience.ExitRuntime)
+	}
 	bad := writeProgram(t, "class {")
-	if _, err := run(bad, "goldilocks", "none", "throw", "det", 1, false, false, ""); err == nil {
+	if _, err := run(bad, cfg()); err == nil {
 		t.Error("syntax error accepted")
 	}
 	unchecked := writeProgram(t, "class C { void m() { x = 1; } }")
-	if _, err := run(unchecked, "goldilocks", "none", "throw", "det", 1, false, false, ""); err == nil {
+	if _, err := run(unchecked, cfg()); err == nil {
 		t.Error("type error accepted")
 	}
+}
+
+// TestRunDeadlockExitsRuntime: a deterministic deadlock produces a
+// structured failure and the runtime-error exit code, not a crash.
+func TestRunDeadlockExitsRuntime(t *testing.T) {
+	path := writeProgram(t, `
+class L { int x; }
+class Main {
+	L a; L b;
+	void left() {
+		synchronized (a) { synchronized (b) { b.x = 1; } }
+	}
+	void main() {
+		a = new L(); b = new L();
+		thread t = spawn this.left();
+		synchronized (b) { synchronized (a) { a.x = 2; } }
+		join(t);
+	}
+}
+`)
+	// A deadlock needs the right interleaving; scan seeds until one
+	// manifests (the clean exits are legitimate runs).
+	for seed := int64(1); seed <= 50; seed++ {
+		c := cfg()
+		c.policy = "log"
+		c.seed = seed
+		n, err := run(path, c)
+		if err == nil {
+			continue
+		}
+		var rep *resilience.Report
+		if !errors.As(err, &rep) {
+			t.Fatalf("seed %d: error %v is not a resilience.Report", seed, err)
+		}
+		if rep.Kind != resilience.Deadlock {
+			t.Fatalf("seed %d: Kind = %v, want Deadlock", seed, rep.Kind)
+		}
+		if code := exitFor(n, err); code != resilience.ExitRuntime {
+			t.Fatalf("seed %d: exit code %d, want %d", seed, code, resilience.ExitRuntime)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..50 deadlocked the lock-inversion program")
 }
 
 func TestRecordFlagWritesReplayableTrace(t *testing.T) {
 	path := writeProgram(t, cleanSrc)
 	trace := filepath.Join(t.TempDir(), "out.json")
-	if _, err := run(path, "goldilocks", "none", "log", "det", 1, false, false, trace); err != nil {
+	c := cfg()
+	c.policy, c.record = "log", trace
+	if _, err := run(path, c); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(trace)
@@ -124,29 +241,50 @@ func TestRecordFlagWritesReplayableTrace(t *testing.T) {
 	}
 }
 
-func TestExploreFlag(t *testing.T) {
-	racy := writeProgram(t, `
-class D { int v; }
-class Main {
-	D d;
-	void racer() { d.v = 1; }
-	void main() {
-		d = new D();
-		thread t = spawn this.racer();
-		d.v = 2;
-		join(t);
+// TestRecordStreamFormat: a .jsonl path selects the checksummed
+// streaming format, which reads back loss-free.
+func TestRecordStreamFormat(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	trace := filepath.Join(t.TempDir(), "out.jsonl")
+	c := cfg()
+	c.policy, c.record = "log", trace
+	if _, err := run(path, c); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, dropped, err := event.ReadTraceStream(f)
+	if err != nil {
+		t.Fatalf("streamed trace unreadable: %v", err)
+	}
+	if dropped != 0 {
+		t.Errorf("dropped = %d on an intact recording", dropped)
+	}
+	if tr.Len() == 0 {
+		t.Error("empty recording")
+	}
+	if rs := detect.RunTrace(core.New(), tr); len(rs) != 0 {
+		t.Errorf("replay found races: %v", rs)
 	}
 }
-`)
-	n, err := exploreSchedules(racy, 100, 0)
+
+func TestExploreFlag(t *testing.T) {
+	racy := writeProgram(t, racySrc)
+	n, err := exploreSchedules(racy, 100, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n == 0 {
 		t.Error("exploration found no racy schedule of an always-racy program")
 	}
+	if code := exitFor(n, err); code != resilience.ExitRace {
+		t.Errorf("racy exploration exit code %d, want %d", code, resilience.ExitRace)
+	}
 	clean := writeProgram(t, cleanSrc)
-	n, err = exploreSchedules(clean, 2000, 2)
+	n, err = exploreSchedules(clean, 2000, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

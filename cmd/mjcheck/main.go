@@ -6,6 +6,8 @@
 // Usage:
 //
 //	mjcheck [-analysis chord|rcc|both] program.mj
+//
+// Exit codes: 0 success, 2 usage error, 3 runtime failure.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"sort"
 
 	"goldilocks/internal/mj"
+	"goldilocks/internal/resilience"
 	"goldilocks/internal/static"
 )
 
@@ -23,21 +26,21 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mjcheck [-analysis chord|rcc|both] program.mj")
-		os.Exit(2)
+		os.Exit(resilience.ExitUsage)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mjcheck:", err)
-		os.Exit(1)
+		os.Exit(resilience.ExitRuntime)
 	}
 	prog, err := mj.Parse(string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mjcheck:", err)
-		os.Exit(1)
+		os.Exit(resilience.ExitRuntime)
 	}
 	if err := mj.Check(prog); err != nil {
 		fmt.Fprintln(os.Stderr, "mjcheck:", err)
-		os.Exit(1)
+		os.Exit(resilience.ExitRuntime)
 	}
 
 	if *analysis == "chord" || *analysis == "both" {
@@ -48,12 +51,12 @@ func main() {
 		prog2, _ := mj.Parse(string(src))
 		if err := mj.Check(prog2); err != nil {
 			fmt.Fprintln(os.Stderr, "mjcheck:", err)
-			os.Exit(1)
+			os.Exit(resilience.ExitRuntime)
 		}
 		r, err := static.Rcc(prog2)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mjcheck: rcc:", err)
-			os.Exit(1)
+			os.Exit(resilience.ExitRuntime)
 		}
 		report("rcc", r, prog2)
 	}

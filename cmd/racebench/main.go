@@ -11,6 +11,8 @@
 //	racebench -figure 6             # Figure 6
 //	racebench -figure 7             # Figure 7
 //	racebench -all [-full]          # everything
+//
+// Exit codes: 0 success, 2 usage error, 3 runtime failure.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"goldilocks/internal/bench"
+	"goldilocks/internal/resilience"
 )
 
 func main() {
@@ -41,7 +44,7 @@ func main() {
 	ran := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "racebench:", err)
-		os.Exit(1)
+		os.Exit(resilience.ExitRuntime)
 	}
 
 	if *all || *table == 1 {
@@ -90,6 +93,6 @@ func main() {
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(resilience.ExitUsage)
 	}
 }

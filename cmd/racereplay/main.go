@@ -1,15 +1,23 @@
 // Command racereplay analyzes a recorded execution trace offline: it
 // replays the linearization through the chosen detectors and the
 // happens-before oracle and reports every race. Traces are produced by
-// cmd/goldilocks -record, or by any tool using event.WriteTrace.
+// cmd/goldilocks -record (legacy JSON or the .jsonl checksummed
+// streaming format), or by any tool using event.WriteTrace /
+// event.WriteTraceStream. A truncated or partially corrupted streaming
+// trace is salvaged: the longest valid prefix replays and the number of
+// dropped records is reported.
 //
 // Usage:
 //
 //	racereplay [-detector goldilocks|spec|vectorclock|eraser|basic|all] trace.json
 //	racereplay -oracle trace.json     # exact extended-race pairs
+//
+// Exit codes: 0 no races, 1 at least one race, 2 usage error, 3 runtime
+// failure (unreadable trace).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +28,25 @@ import (
 	"goldilocks/internal/detectors/eraser"
 	"goldilocks/internal/event"
 	"goldilocks/internal/hb"
+	"goldilocks/internal/resilience"
 )
+
+// errUsage marks bad flags or arguments for exit-code mapping.
+var errUsage = errors.New("usage error")
+
+// exitFor maps a replay outcome to the standard exit code.
+func exitFor(nraces int, err error) int {
+	switch {
+	case errors.Is(err, errUsage):
+		return resilience.ExitUsage
+	case err != nil:
+		return resilience.ExitRuntime
+	case nraces > 0:
+		return resilience.ExitRace
+	default:
+		return resilience.ExitClean
+	}
+}
 
 func main() {
 	var (
@@ -31,16 +57,13 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: racereplay [flags] trace.json")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(resilience.ExitUsage)
 	}
 	n, err := replay(flag.Arg(0), *detName, *oracle, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racereplay:", err)
-		os.Exit(1)
 	}
-	if n > 0 {
-		os.Exit(3)
-	}
+	os.Exit(exitFor(n, err))
 }
 
 var detectorFactories = map[string]func() detect.Detector{
@@ -59,12 +82,16 @@ func replay(path, detName string, useOracle bool, out *os.File) (int, error) {
 		return 0, err
 	}
 	defer f.Close()
-	tr, err := event.ReadTrace(f)
+	tr, dropped, err := event.ReadTraceAuto(f)
 	if err != nil {
 		return 0, err
 	}
 	fmt.Fprintf(out, "trace: %d actions, %d threads, %d variables\n",
 		tr.Len(), len(tr.Threads()), len(tr.Vars()))
+	if dropped > 0 {
+		fmt.Fprintf(out, "trace damaged: replaying the valid %d-action prefix, %d records dropped\n",
+			tr.Len(), dropped)
+	}
 
 	if useOracle {
 		o := hb.NewOracle(tr)
@@ -85,7 +112,7 @@ func replay(path, detName string, useOracle bool, out *os.File) (int, error) {
 	for _, name := range names {
 		mk, ok := detectorFactories[name]
 		if !ok {
-			return 0, fmt.Errorf("unknown detector %q", name)
+			return 0, fmt.Errorf("%w: unknown detector %q", errUsage, name)
 		}
 		races := detect.RunTrace(mk(), tr)
 		fmt.Fprintf(out, "%s: %d races\n", name, len(races))

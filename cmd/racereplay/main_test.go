@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
 )
 
 func writeTraceFile(t *testing.T, tr *event.Trace) string {
@@ -17,6 +20,20 @@ func writeTraceFile(t *testing.T, tr *event.Trace) string {
 	}
 	defer f.Close()
 	if err := event.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeStreamFile(t *testing.T, tr *event.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := event.WriteTraceStream(f, tr); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -49,6 +66,9 @@ func TestReplayDetectors(t *testing.T) {
 		if n == 0 {
 			t.Errorf("%s: no race on racy trace", det)
 		}
+		if code := exitFor(n, err); code != resilience.ExitRace {
+			t.Errorf("%s: exit code %d, want %d", det, code, resilience.ExitRace)
+		}
 	}
 	for _, det := range []string{"goldilocks", "spec", "vectorclock"} {
 		n, err := replay(clean, det, false, os.Stdout)
@@ -58,6 +78,59 @@ func TestReplayDetectors(t *testing.T) {
 		if n != 0 {
 			t.Errorf("%s: %d false races on clean trace", det, n)
 		}
+		if code := exitFor(n, err); code != resilience.ExitClean {
+			t.Errorf("%s: exit code %d, want %d", det, code, resilience.ExitClean)
+		}
+	}
+}
+
+// TestReplayStreamFormat: the auto-detected streaming format replays
+// identically to the legacy format.
+func TestReplayStreamFormat(t *testing.T) {
+	racy := writeStreamFile(t, racyTrace())
+	n, err := replay(racy, "goldilocks", false, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no race on racy streaming trace")
+	}
+}
+
+// TestReplayTruncatedStream: a streaming trace cut mid-record still
+// replays its valid prefix and reports the dropped tail.
+func TestReplayTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := event.WriteTraceStream(&buf, racyTrace()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the final record: the racy second write is lost, the
+	// fork and first write survive.
+	cut := bytes.LastIndexByte(full[:len(full)-1], '\n') + 5
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := os.Create(filepath.Join(t.TempDir(), "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	n, err := replay(path, "goldilocks", false, out)
+	if err != nil {
+		t.Fatalf("truncated stream not salvaged: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("%d races from a prefix that lost the racing access", n)
+	}
+	data, _ := os.ReadFile(out.Name())
+	if !bytes.Contains(data, []byte("1 records dropped")) {
+		t.Errorf("output does not report the dropped record:\n%s", data)
+	}
+	if !bytes.Contains(data, []byte("trace: 2 actions")) {
+		t.Errorf("output does not show the 2-action prefix:\n%s", data)
 	}
 }
 
@@ -73,8 +146,12 @@ func TestReplayOracle(t *testing.T) {
 }
 
 func TestReplayErrors(t *testing.T) {
-	if _, err := replay(filepath.Join(t.TempDir(), "nope.json"), "goldilocks", false, os.Stdout); err == nil {
+	n, err := replay(filepath.Join(t.TempDir(), "nope.json"), "goldilocks", false, os.Stdout)
+	if err == nil {
 		t.Error("missing file accepted")
+	}
+	if code := exitFor(n, err); code != resilience.ExitRuntime {
+		t.Errorf("missing file: exit code %d, want %d", code, resilience.ExitRuntime)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{"), 0o644)
@@ -82,7 +159,14 @@ func TestReplayErrors(t *testing.T) {
 		t.Error("corrupt file accepted")
 	}
 	good := writeTraceFile(t, cleanTrace())
-	if _, err := replay(good, "nonsense", false, os.Stdout); err == nil {
+	n, err = replay(good, "nonsense", false, os.Stdout)
+	if err == nil {
 		t.Error("unknown detector accepted")
+	}
+	if !errors.Is(err, errUsage) {
+		t.Errorf("unknown detector error %v is not a usage error", err)
+	}
+	if code := exitFor(n, err); code != resilience.ExitUsage {
+		t.Errorf("unknown detector: exit code %d, want %d", code, resilience.ExitUsage)
 	}
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
 )
 
 // Read checks a plain (non-transactional) read of (o, d) by thread t and
@@ -75,19 +78,49 @@ func (e *Engine) Commit(t event.Tid, reads, writes []event.Variable) []detect.Ra
 // access is the common entry point for all data accesses: it creates the
 // Info record, performs the happens-before checks required by the
 // read/write distinction, and installs the record.
-func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Action, isWrite, xact bool, ls *Lockset) *detect.Race {
+//
+// The whole check runs behind a recover barrier: under the Quarantine
+// policy a panicking check (a detector bug, or an injected fault)
+// quarantines the variable — its state is dropped, it is never checked
+// again — and the access proceeds race-free from the monitored
+// program's point of view. Under Abort the panic propagates unchanged.
+func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Action, isWrite, xact bool, ls *Lockset) (race *detect.Race) {
 	vs := e.stateOf(o, d)
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
-	if vs.disabled {
+	if vs.disabled || vs.quarantined {
 		return nil
 	}
 	e.accessesChecked.Add(1)
-
-	in := e.newInfo(t, a, xact, ls)
 	v := event.Variable{Obj: o, Field: d}
 
-	var race *detect.Race
+	var in *info
+	installed := false
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e.opts.OnError == resilience.Abort {
+			panic(r)
+		}
+		// Quarantine (o, d): release the uninstalled Info's list pin so
+		// it cannot block collection forever, drop the variable's state,
+		// and stop checking it.
+		if in != nil && !installed {
+			in.release()
+		}
+		vs.dropAll()
+		vs.quarantined = true
+		e.panicsRecovered.Add(1)
+		e.varsQuarantined.Add(1)
+		race = nil
+	}()
+	if e.opts.Injector.ShouldPanic(v) {
+		panic(fmt.Sprintf("resilience: injected detector fault on %v", v))
+	}
+
+	in = e.newInfo(t, a, xact, ls)
 	// Every access is checked against the last write.
 	if !e.checkHB(vs.write, t, xact, in.pos) {
 		race = &detect.Race{Var: v, Access: a, Prev: vs.write.action, HasPrev: true}
@@ -114,6 +147,7 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 
 	// Install the record: a write supersedes the previous write and all
 	// reads; a read supersedes this thread's previous read.
+	installed = true
 	if isWrite {
 		if vs.write != nil {
 			vs.write.release()
@@ -182,6 +216,15 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell) bool {
 	if e.opts.SC2 && prev.alock != event.NilAddr && e.holds(t, prev.alock) {
 		e.sc2Hits.Add(1)
 		e.cacheHB(prev, t)
+		return true
+	}
+	// Rung 3 of the degradation ladder: the event list is frozen, so a
+	// lockset walk would be built on stale data. Short-circuit-only mode
+	// assumes inconclusive pairs are ordered — races that needed a walk
+	// are missed, counted in DegradedChecks, and the program keeps
+	// running in bounded memory.
+	if e.degraded.Load() {
+		e.degradedChecks.Add(1)
 		return true
 	}
 	acceptTL := xact && e.opts.TxnSemantics != event.TxnWriteToRead

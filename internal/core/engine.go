@@ -6,6 +6,7 @@ import (
 
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
 )
 
 // Options configures the optimized Engine. The zero value is not useful;
@@ -60,6 +61,19 @@ type Options struct {
 	// interpretations). The zero value is the paper's shared-variable
 	// semantics.
 	TxnSemantics event.TxnSemantics
+	// OnError selects what the engine does when a detector check
+	// panics: quarantine the offending variable (the zero value) and
+	// let the monitored program continue, or abort by re-raising.
+	OnError resilience.ErrorPolicy
+	// MemoryBudget caps the retained event-list cells. When the list
+	// exceeds it, the memory governor climbs the degradation ladder
+	// (aggressive collection → cache shedding with fully-eager sweeps →
+	// short-circuit-only checking) instead of letting the process OOM.
+	// Zero disables the governor.
+	MemoryBudget int
+	// Injector injects faults for resilience testing; nil injects
+	// nothing.
+	Injector *resilience.Injector
 }
 
 // DefaultOptions returns the configuration used by the paper's
@@ -98,6 +112,16 @@ type Stats struct {
 	CellsCollected  uint64
 	Collections     uint64
 	InfosAdvanced   uint64 // partially-eager advances
+
+	// Resilience counters (docs/ROBUSTNESS.md).
+	PanicsRecovered  uint64 // detector-check panics caught by the barrier
+	VarsQuarantined  uint64 // variables no longer checked after a panic
+	GovernorRung     resilience.DegradationRung
+	Escalations      uint64 // governor rung climbs
+	AggressiveGCs    uint64 // rung-1 aggressive collections
+	CacheSheds       uint64 // rung-2 happens-before cache sheds
+	EagerSweeps      uint64 // rung-2/3 fully-eager Info sweeps
+	DegradedChecks   uint64 // rung-3 checks resolved by assumption
 }
 
 // ShortCircuitRate returns the fraction of pair checks resolved by a
@@ -140,6 +164,10 @@ type varState struct {
 	reads        map[event.Tid]*info
 	readsAllXact bool
 	disabled     bool
+	// quarantined marks a variable whose check panicked under the
+	// Quarantine policy: it is never checked again (until its object is
+	// reallocated, which makes it a fresh variable).
+	quarantined bool
 }
 
 // threadLocks tracks the monitors a thread currently holds, for the
@@ -181,6 +209,19 @@ type Engine struct {
 	varsTracked     atomic.Uint64
 	collections     atomic.Uint64
 	infosAdvanced   atomic.Uint64
+
+	// Resilience state: the recover barrier's counters and the memory
+	// governor's ladder position. degraded mirrors rung == RungDegraded
+	// as a flag cheap enough for the per-check hot path.
+	panicsRecovered atomic.Uint64
+	varsQuarantined atomic.Uint64
+	rung            atomic.Int32
+	escalations     atomic.Uint64
+	aggressiveGCs   atomic.Uint64
+	cacheSheds      atomic.Uint64
+	eagerSweeps     atomic.Uint64
+	degradedChecks  atomic.Uint64
+	degraded        atomic.Bool
 }
 
 // NewEngine returns an Engine with the given options.
@@ -217,7 +258,21 @@ func (e *Engine) Stats() Stats {
 		CellsCollected:  e.list.collected.Load(),
 		Collections:     e.collections.Load(),
 		InfosAdvanced:   e.infosAdvanced.Load(),
+
+		PanicsRecovered: e.panicsRecovered.Load(),
+		VarsQuarantined: e.varsQuarantined.Load(),
+		GovernorRung:    resilience.DegradationRung(e.rung.Load()),
+		Escalations:     e.escalations.Load(),
+		AggressiveGCs:   e.aggressiveGCs.Load(),
+		CacheSheds:      e.cacheSheds.Load(),
+		EagerSweeps:     e.eagerSweeps.Load(),
+		DegradedChecks:  e.degradedChecks.Load(),
 	}
+}
+
+// Rung returns the memory governor's current degradation rung.
+func (e *Engine) Rung() resilience.DegradationRung {
+	return resilience.DegradationRung(e.rung.Load())
 }
 
 // ListLen returns the current synchronization event list length
@@ -275,9 +330,18 @@ func (e *Engine) Sync(a event.Action) {
 		}
 		e.locksMu.Unlock()
 	}
+	if e.degraded.Load() {
+		// Rung 3: the event list is frozen. Lock tracking above stays
+		// live (it feeds the short-circuits), but no cell is appended,
+		// hard-bounding memory.
+		return
+	}
 	n := e.list.enqueue(a)
 	if e.opts.GCThreshold > 0 && n > e.opts.GCThreshold {
 		e.Collect()
+	}
+	if e.opts.MemoryBudget > 0 && n+e.opts.Injector.Pressure() > e.opts.MemoryBudget {
+		e.govern()
 	}
 }
 
@@ -362,6 +426,7 @@ func (vs *varState) dropAll() {
 	}
 	vs.reads = nil
 	vs.disabled = false
+	vs.quarantined = false
 }
 
 func (in *info) release() { in.pos.refs.Add(-1) }

@@ -1,6 +1,9 @@
 package core
 
-import "goldilocks/internal/event"
+import (
+	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
+)
 
 // Collect garbage-collects the synchronization event list (Section 5.4).
 //
@@ -17,10 +20,15 @@ import "goldilocks/internal/event"
 func (e *Engine) Collect() {
 	e.gcMu.Lock()
 	defer e.gcMu.Unlock()
-	e.collections.Add(1)
+	e.collectLocked(e.opts.GCTrimFraction)
+}
 
+// collectLocked is Collect's body; the caller holds gcMu. frac is the
+// fraction of the list the partially-eager advance targets.
+func (e *Engine) collectLocked(frac float64) {
+	e.collections.Add(1)
 	if e.opts.PartialEager {
-		n := int(float64(e.list.len()) * e.opts.GCTrimFraction)
+		n := int(float64(e.list.len()) * frac)
 		if n < 1 {
 			n = 1
 		}
@@ -31,19 +39,109 @@ func (e *Engine) Collect() {
 	e.list.trim(nil)
 }
 
-// advanceInfosBefore applies partially-eager evaluation: every Info
-// positioned before limit has its lockset brought forward to limit.
-func (e *Engine) advanceInfosBefore(limit *cell) {
+// aggressiveTrimFraction is the rung-1 partially-eager advance target:
+// half the list, regardless of the configured GCTrimFraction.
+const aggressiveTrimFraction = 0.5
+
+// govern enforces Options.MemoryBudget: called after an enqueue that
+// left the list over budget, it climbs the degradation ladder
+// (resilience.DegradationRung) until the list fits or the engine is
+// degraded to short-circuit-only checking. The ladder is a one-way
+// ratchet: precision lost to pressure is not re-bought when pressure
+// subsides, keeping the engine's behaviour explainable after the fact
+// (the -stats rung says how far it fell).
+func (e *Engine) govern() {
+	e.gcMu.Lock()
+	defer e.gcMu.Unlock()
+	over := func() bool {
+		return e.list.len()+e.opts.Injector.Pressure() > e.opts.MemoryBudget
+	}
+	for over() {
+		switch resilience.DegradationRung(e.rung.Load()) {
+		case resilience.RungNormal:
+			e.escalateLocked(resilience.RungAggressiveGC)
+		case resilience.RungAggressiveGC:
+			e.aggressiveGCs.Add(1)
+			e.collectLocked(aggressiveTrimFraction)
+			if over() {
+				e.escalateLocked(resilience.RungShedCaches)
+			}
+		case resilience.RungShedCaches:
+			e.shedCaches()
+			e.eagerSweepLocked()
+			if over() {
+				e.escalateLocked(resilience.RungDegraded)
+			}
+		case resilience.RungDegraded:
+			// Freeze the list and flush what remains; from here on Sync
+			// appends nothing and checkHB answers from short-circuits
+			// alone.
+			e.degraded.Store(true)
+			e.eagerSweepLocked()
+			return
+		}
+	}
+}
+
+func (e *Engine) escalateLocked(to resilience.DegradationRung) {
+	e.rung.Store(int32(to))
+	e.escalations.Add(1)
+}
+
+// shedCaches drops every memoized happens-before transitivity cache.
+// The caches are pure accelerators — rebuilding them costs repeat pair
+// checks, never precision.
+func (e *Engine) shedCaches() {
+	e.cacheSheds.Add(1)
+	for _, vs := range e.allVarStates() {
+		vs.mu.Lock()
+		if vs.write != nil {
+			vs.write.hbAfter = nil
+		}
+		for _, in := range vs.reads {
+			in.hbAfter = nil
+		}
+		vs.mu.Unlock()
+	}
+}
+
+// eagerSweepLocked advances every Info to the current list tail — a
+// fully-eager evaluation pass, the opposite end of the lazy/eager
+// spectrum from normal operation — so the entire retained prefix
+// becomes unreferenced and is trimmed. Precision is preserved (the
+// advance applies the same update rules a lazy walk would); the cost is
+// O(vars × retained list) per sweep, paid only under memory pressure.
+func (e *Engine) eagerSweepLocked() {
+	e.eagerSweeps.Add(1)
+	tail := e.list.snapshotTail()
+	for _, vs := range e.allVarStates() {
+		vs.mu.Lock()
+		e.advanceInfo(vs.write, tail)
+		for _, in := range vs.reads {
+			e.advanceInfo(in, tail)
+		}
+		vs.mu.Unlock()
+	}
+	e.list.trim(nil)
+}
+
+// allVarStates snapshots the variable states under the read lock.
+func (e *Engine) allVarStates() []*varState {
 	e.varsMu.RLock()
+	defer e.varsMu.RUnlock()
 	states := make([]*varState, 0, len(e.vars))
 	for _, fields := range e.vars {
 		for _, vs := range fields {
 			states = append(states, vs)
 		}
 	}
-	e.varsMu.RUnlock()
+	return states
+}
 
-	for _, vs := range states {
+// advanceInfosBefore applies partially-eager evaluation: every Info
+// positioned before limit has its lockset brought forward to limit.
+func (e *Engine) advanceInfosBefore(limit *cell) {
+	for _, vs := range e.allVarStates() {
 		vs.mu.Lock()
 		e.advanceInfo(vs.write, limit)
 		for _, in := range vs.reads {

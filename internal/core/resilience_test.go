@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
+)
+
+// TestInjectedPanicQuarantinesVariable: a detector check made to panic
+// quarantines that variable only; the access reports no race, later
+// accesses to the variable are skipped, and other variables keep full
+// precision.
+func TestInjectedPanicQuarantinesVariable(t *testing.T) {
+	bad := event.Variable{Obj: 10, Field: 0}
+	opts := DefaultOptions()
+	opts.Injector = &resilience.Injector{PanicOnVars: []event.Variable{bad}}
+	e := NewEngine(opts)
+
+	if r := e.Write(1, bad.Obj, bad.Field); r != nil {
+		t.Fatalf("quarantined access reported race %v", r)
+	}
+	st := e.Stats()
+	if st.PanicsRecovered != 1 || st.VarsQuarantined != 1 {
+		t.Fatalf("stats = %d recovered / %d quarantined, want 1/1", st.PanicsRecovered, st.VarsQuarantined)
+	}
+	// The variable is dead to the detector now: a blatant race on it
+	// goes unreported, by design.
+	if r := e.Write(2, bad.Obj, bad.Field); r != nil {
+		t.Errorf("access to quarantined variable still checked: %v", r)
+	}
+	if got := e.Stats().PanicsRecovered; got != 1 {
+		t.Errorf("quarantined access re-entered the barrier: %d panics", got)
+	}
+	// A different variable still races normally.
+	e.Write(1, 20, 0)
+	if r := e.Write(2, 20, 0); r == nil {
+		t.Error("race on healthy variable lost after a quarantine elsewhere")
+	}
+	// The quarantined variable's dropped Info must not pin the event
+	// list: pile up sync events and collect.
+	for i := 0; i < 100; i++ {
+		e.Sync(event.Acquire(1, 99))
+		e.Sync(event.Release(1, 99))
+	}
+	e.Collect()
+	if n := e.ListLen(); n > 210 {
+		t.Errorf("list length %d after collect: quarantined Info pinned the list", n)
+	}
+}
+
+// TestAbortPolicyPropagates: under Abort the injected panic reaches the
+// caller (the pre-hardening behaviour, for debugging the detector).
+func TestAbortPolicyPropagates(t *testing.T) {
+	bad := event.Variable{Obj: 10, Field: 0}
+	opts := DefaultOptions()
+	opts.OnError = resilience.Abort
+	opts.Injector = &resilience.Injector{PanicOnVars: []event.Variable{bad}}
+	e := NewEngine(opts)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("injected panic did not propagate under Abort")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "injected detector fault") {
+			t.Fatalf("panic = %v, want injected fault", r)
+		}
+	}()
+	e.Write(1, bad.Obj, bad.Field)
+}
+
+// TestAllocLiftsQuarantine: reallocating the object makes its fields
+// fresh variables, checked again.
+func TestAllocLiftsQuarantine(t *testing.T) {
+	bad := event.Variable{Obj: 10, Field: 0}
+	opts := DefaultOptions()
+	opts.Injector = &resilience.Injector{PanicOnVars: []event.Variable{bad}}
+	e := NewEngine(opts)
+	e.Write(1, bad.Obj, bad.Field) // quarantines
+	opts.Injector.PanicOnVars = nil
+	e.Alloc(1, bad.Obj)
+	e.Write(1, bad.Obj, bad.Field)
+	if r := e.Write(2, bad.Obj, bad.Field); r == nil {
+		t.Error("race on reallocated variable not reported: quarantine survived alloc")
+	}
+}
+
+// TestGovernorKeepsBudgetAndFindsRace: under a tight cell budget the
+// governor's collections keep the event list bounded while the seeded
+// race — whose detection needs exactly the events the governor is
+// trimming — is still reported, because partially-eager advances
+// preserve lockset semantics.
+func TestGovernorKeepsBudgetAndFindsRace(t *testing.T) {
+	const budget = 64
+	opts := DefaultOptions()
+	opts.GCThreshold = 0 // all collection decisions go through the governor
+	opts.MemoryBudget = budget
+	e := NewEngine(opts)
+
+	e.Write(1, 500, 0) // seeded race, part 1: T1 writes X unprotected
+	for i := 0; i < 50*budget; i++ {
+		lock := event.Addr(600 + i%8)
+		e.Sync(event.Acquire(1, lock))
+		e.Write(1, event.Addr(700+i%16), 0) // pinned Infos spread through the list
+		e.Sync(event.Release(1, lock))
+		if n := e.ListLen(); n > budget+1 {
+			t.Fatalf("list length %d exceeds budget %d at event %d", n, budget, i)
+		}
+	}
+	r := e.Write(2, 500, 0) // seeded race, part 2: T2, no ordering edge
+	if r == nil {
+		t.Fatal("seeded race lost under memory governor")
+	}
+	st := e.Stats()
+	if st.Escalations == 0 || st.GovernorRung < resilience.RungAggressiveGC {
+		t.Errorf("governor never escalated: rung %v, %d escalations", st.GovernorRung, st.Escalations)
+	}
+	if st.GovernorRung >= resilience.RungDegraded {
+		t.Errorf("governor degraded (%v) though aggressive GC sufficed", st.GovernorRung)
+	}
+	if st.DegradedChecks != 0 {
+		t.Errorf("%d degraded checks while precise", st.DegradedChecks)
+	}
+}
+
+// TestGovernorDegradesUnderUnrelievablePressure: simulated allocation
+// pressure that no collection can relieve ratchets the governor through
+// cache shedding down to short-circuit-only mode; the engine keeps
+// answering (imprecisely) in hard-bounded memory instead of dying.
+func TestGovernorDegradesUnderUnrelievablePressure(t *testing.T) {
+	const budget = 32
+	opts := DefaultOptions()
+	opts.GCThreshold = 0
+	opts.MemoryBudget = budget
+	opts.Injector = &resilience.Injector{ExtraListCells: budget * 2}
+	e := NewEngine(opts)
+
+	e.Write(1, 500, 0)
+	e.Sync(event.Acquire(1, 600)) // first enqueue over budget: full ratchet
+	st := e.Stats()
+	if st.GovernorRung != resilience.RungDegraded {
+		t.Fatalf("rung = %v, want degraded", st.GovernorRung)
+	}
+	if st.CacheSheds == 0 || st.EagerSweeps == 0 {
+		t.Errorf("ladder skipped rung 2: %d sheds, %d sweeps", st.CacheSheds, st.EagerSweeps)
+	}
+
+	// The list is frozen: sync events no longer grow it.
+	before := e.ListLen()
+	for i := 0; i < 100; i++ {
+		e.Sync(event.Acquire(1, event.Addr(600+i)))
+	}
+	if after := e.ListLen(); after > before {
+		t.Errorf("frozen list grew %d -> %d", before, after)
+	}
+
+	// Checks still answer: same-thread pairs stay precise (SC1), cross-
+	// thread inconclusive pairs are assumed ordered and counted.
+	if r := e.Write(1, 500, 0); r != nil {
+		t.Errorf("SC1 pair misreported in degraded mode: %v", r)
+	}
+	if r := e.Write(2, 500, 0); r != nil {
+		t.Errorf("degraded mode reported a race it cannot prove: %v", r)
+	}
+	if got := e.Stats().DegradedChecks; got == 0 {
+		t.Error("no degraded checks counted")
+	}
+}

@@ -1,0 +1,302 @@
+package event
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The streaming trace format is line-delimited so that a truncated or
+// partially corrupted file still yields its valid prefix: a header line
+// identifying the format, then one record per action. Each record
+// carries a CRC-32 (IEEE) checksum of the serialized action, so torn
+// writes and bit rot are detected per record instead of poisoning the
+// whole file.
+//
+//	{"format":"goldilocks-stream","version":1}
+//	{"a":{"kind":"acquire","t":1,"o":2},"crc":"7f1c0d3a"}
+//	...
+//
+// Trace validity is prefix-closed (Trace.Validate checks each action
+// against the state built by the actions before it), so every valid
+// prefix of a recorded execution is itself a replayable trace.
+
+// StreamFormatName identifies the line-delimited trace format.
+const StreamFormatName = "goldilocks-stream"
+
+// StreamFormatVersion is the current format version.
+const StreamFormatVersion = 1
+
+type streamHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+type streamRecord struct {
+	Action json.RawMessage `json:"a"`
+	CRC    string          `json:"crc"`
+}
+
+func actionCRC(serialized []byte) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(serialized))
+}
+
+// StreamWriter writes actions incrementally in the streaming format.
+// Unlike WriteTrace it needs no completed Trace up front, so a recording
+// cut short by a crash (or by fault injection) keeps everything written
+// so far.
+type StreamWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewStreamWriter writes the header and returns a writer ready for
+// Append calls.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	sw := &StreamWriter{w: bufio.NewWriter(w)}
+	hdr, err := json.Marshal(streamHeader{Format: StreamFormatName, Version: StreamFormatVersion})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sw.w.Write(append(hdr, '\n')); err != nil {
+		return nil, fmt.Errorf("event: writing stream header: %w", err)
+	}
+	return sw, nil
+}
+
+// Append writes one action record. After the first error every
+// subsequent Append is a no-op returning that error.
+func (sw *StreamWriter) Append(a Action) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	ja := jsonAction{
+		Kind:   a.Kind.String(),
+		Thread: a.Thread,
+		Obj:    a.Obj,
+		Field:  a.Field,
+		Peer:   a.Peer,
+		Reads:  a.Reads,
+		Writes: a.Writes,
+	}
+	body, err := json.Marshal(ja)
+	if err != nil {
+		sw.err = err
+		return err
+	}
+	rec, err := json.Marshal(streamRecord{Action: body, CRC: actionCRC(body)})
+	if err != nil {
+		sw.err = err
+		return err
+	}
+	if _, err := sw.w.Write(append(rec, '\n')); err != nil {
+		sw.err = fmt.Errorf("event: writing stream record: %w", err)
+		return sw.err
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (sw *StreamWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// WriteTraceStream writes a whole trace in the streaming format.
+func WriteTraceStream(w io.Writer, tr *Trace) error {
+	sw, err := NewStreamWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if err := sw.Append(tr.At(i)); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// ReadTraceStream reads a streaming-format trace, salvaging the longest
+// valid prefix. It stops at the first unreadable record — truncated
+// line, malformed JSON, checksum mismatch, unknown kind, or an action
+// that is invalid after the prefix before it — and returns the prefix
+// trace together with the number of records dropped (the bad record, if
+// distinguishable, plus everything after it). A best-effort count of
+// remaining lines is made by scanning forward. err is non-nil only when
+// the header itself is unusable.
+func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("event: empty stream trace")
+	}
+	var hdr streamHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != StreamFormatName {
+		return nil, 0, fmt.Errorf("event: not a %s trace", StreamFormatName)
+	}
+	if hdr.Version != StreamFormatVersion {
+		return nil, 0, fmt.Errorf("event: unsupported stream version %d", hdr.Version)
+	}
+
+	var actions []Action
+	val := newStreamValidator()
+	bad := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if bad {
+			dropped++
+			continue
+		}
+		a, ok := decodeStreamLine(line)
+		if !ok {
+			bad = true
+			dropped++
+			continue
+		}
+		// Validity is prefix-closed: check the extended trace before
+		// accepting the record.
+		if val.step(a) != nil {
+			bad = true
+			dropped++
+			continue
+		}
+		actions = append(actions, a)
+	}
+	// A read error (not io.EOF) ends the salvage the same way a bad
+	// record does: the prefix is what we have.
+	_ = sc.Err()
+	return NewTrace(actions), dropped, nil
+}
+
+// streamValidator is Trace.Validate as an incremental state machine, so
+// salvage is O(n) instead of revalidating the whole prefix per record.
+// step(a) errors exactly when Validate would error on the prefix
+// extended with a (both of Validate's passes are streamable: the
+// alloc-after-access check only consults the already-seen touched set).
+type streamValidator struct {
+	lockOwner map[Addr]Tid
+	lockDepth map[Addr]int
+	forked    map[Tid]bool
+	started   map[Tid]bool
+	joined    map[Tid]bool
+	touched   map[Addr]bool
+}
+
+func newStreamValidator() *streamValidator {
+	return &streamValidator{
+		lockOwner: make(map[Addr]Tid),
+		lockDepth: make(map[Addr]int),
+		forked:    make(map[Tid]bool),
+		started:   make(map[Tid]bool),
+		joined:    make(map[Tid]bool),
+		touched:   make(map[Addr]bool),
+	}
+}
+
+func (v *streamValidator) step(a Action) error {
+	if a.Thread == NoTid {
+		return fmt.Errorf("event: missing thread id in %v", a)
+	}
+	if v.joined[a.Thread] {
+		return fmt.Errorf("event: thread %v acts after being joined", a.Thread)
+	}
+	v.started[a.Thread] = true
+	switch a.Kind {
+	case KindAcquire:
+		if owner, held := v.lockOwner[a.Obj]; held && owner != a.Thread {
+			return fmt.Errorf("event: lock %v held by %v", a.Obj, owner)
+		}
+		v.lockOwner[a.Obj] = a.Thread
+		v.lockDepth[a.Obj]++
+	case KindRelease:
+		owner, held := v.lockOwner[a.Obj]
+		if !held {
+			return fmt.Errorf("event: release of unheld lock %v", a.Obj)
+		}
+		if owner != a.Thread {
+			return fmt.Errorf("event: release by non-owner (owner %v)", owner)
+		}
+		v.lockDepth[a.Obj]--
+		if v.lockDepth[a.Obj] == 0 {
+			delete(v.lockOwner, a.Obj)
+			delete(v.lockDepth, a.Obj)
+		}
+	case KindFork:
+		if v.forked[a.Peer] {
+			return fmt.Errorf("event: thread %v forked twice", a.Peer)
+		}
+		if v.started[a.Peer] {
+			return fmt.Errorf("event: thread %v forked after it acted", a.Peer)
+		}
+		v.forked[a.Peer] = true
+	case KindJoin:
+		if !v.forked[a.Peer] && !v.started[a.Peer] {
+			return fmt.Errorf("event: join of unknown thread %v", a.Peer)
+		}
+		v.joined[a.Peer] = true
+	case KindAlloc:
+		if v.touched[a.Obj] {
+			return fmt.Errorf("event: alloc of %v after it was accessed", a.Obj)
+		}
+	case KindRead, KindWrite:
+		v.touched[a.Obj] = true
+	case KindCommit:
+		for _, x := range a.Reads {
+			v.touched[x.Obj] = true
+		}
+		for _, x := range a.Writes {
+			v.touched[x.Obj] = true
+		}
+	}
+	return nil
+}
+
+// decodeStreamLine parses and checksum-verifies one record line.
+func decodeStreamLine(line []byte) (Action, bool) {
+	var rec streamRecord
+	if err := json.Unmarshal(line, &rec); err != nil || len(rec.Action) == 0 {
+		return Action{}, false
+	}
+	if actionCRC(rec.Action) != rec.CRC {
+		return Action{}, false
+	}
+	var ja jsonAction
+	if err := json.Unmarshal(rec.Action, &ja); err != nil {
+		return Action{}, false
+	}
+	k, ok := kindByName[ja.Kind]
+	if !ok || k == KindInvalid {
+		return Action{}, false
+	}
+	return Action{
+		Kind:   k,
+		Thread: ja.Thread,
+		Obj:    ja.Obj,
+		Field:  ja.Field,
+		Peer:   ja.Peer,
+		Reads:  ja.Reads,
+		Writes: ja.Writes,
+	}, true
+}
+
+// ReadTraceAuto sniffs the format: a streaming header selects
+// ReadTraceStream (returning any salvage count), anything else is read
+// as the legacy single-object format (dropped is always 0 there — the
+// legacy format is all-or-nothing).
+func ReadTraceAuto(r io.Reader) (tr *Trace, dropped int, err error) {
+	br := bufio.NewReader(r)
+	peek, _ := br.Peek(64)
+	if bytes.Contains(peek, []byte(StreamFormatName)) {
+		return ReadTraceStream(br)
+	}
+	tr, err = ReadTrace(br)
+	return tr, 0, err
+}

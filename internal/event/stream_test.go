@@ -1,0 +1,223 @@
+package event_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
+)
+
+func sampleTrace() *event.Trace {
+	return event.NewBuilder().
+		Alloc(1, 10).
+		Fork(1, 2).
+		Acquire(1, 20).
+		Write(1, 10, 0).
+		Release(1, 20).
+		Acquire(2, 20).
+		Read(2, 10, 0).
+		Release(2, 20).
+		Join(1, 2).
+		Trace()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := event.WriteTraceStream(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, dropped, err := event.ReadTraceStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.At(i), got.At(i)
+		if a.Kind != b.Kind || a.Thread != b.Thread || a.Obj != b.Obj || a.Field != b.Field || a.Peer != b.Peer {
+			t.Fatalf("action %d: got %v, want %v", i, b, a)
+		}
+	}
+}
+
+// TestStreamTruncatedTail: a file cut mid-record (as a crash or the
+// fault injector's truncating writer produces) yields the valid prefix.
+func TestStreamTruncatedTail(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := event.WriteTraceStream(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the last record's line.
+	cut := bytes.LastIndexByte(full[:len(full)-1], '\n') + 4
+	got, dropped, err := event.ReadTraceStream(bytes.NewReader(full[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len()-1 {
+		t.Fatalf("prefix Len = %d, want %d", got.Len(), tr.Len()-1)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("salvaged prefix invalid: %v", err)
+	}
+}
+
+// TestStreamCorruptRecord: a flipped byte in the middle fails that
+// record's checksum; the prefix before it survives and everything from
+// the corruption on is dropped.
+func TestStreamCorruptRecord(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := event.WriteTraceStream(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Corrupt the 5th record (line 0 is the header): change a digit
+	// inside its action body without touching the JSON structure.
+	corrupt := strings.Replace(lines[5], `"t":`, `"t":4`, 1)
+	if corrupt == lines[5] {
+		t.Fatalf("corruption did not apply to %q", lines[5])
+	}
+	lines[5] = corrupt
+	got, dropped, err := event.ReadTraceStream(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("prefix Len = %d, want 4", got.Len())
+	}
+	if dropped != len(lines)-1-4 {
+		t.Fatalf("dropped = %d, want %d", dropped, len(lines)-1-4)
+	}
+}
+
+// TestStreamInvalidSuffixRejected: records that decode fine but violate
+// trace well-formedness after the prefix are dropped too (the salvage
+// never returns an invalid trace).
+func TestStreamInvalidSuffixRejected(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := event.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(a event.Action) {
+		if err := sw.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(event.Acquire(1, 7))
+	must(event.Release(2, 7)) // invalid: release by non-owner
+	must(event.Read(1, 3, 0))
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, dropped, err := event.ReadTraceStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || dropped != 2 {
+		t.Fatalf("Len = %d dropped = %d, want 1 and 2", got.Len(), dropped)
+	}
+}
+
+// TestStreamSalvageMatchesValidate: the incremental validator must agree
+// with Trace.Validate — a salvaged prefix always validates.
+func TestStreamSalvageMatchesValidate(t *testing.T) {
+	var buf bytes.Buffer
+	sw, _ := event.NewStreamWriter(&buf)
+	b := event.NewBuilder().
+		Fork(1, 2).
+		Alloc(1, 5).
+		Write(1, 5, 0).
+		Commit(2, []event.Variable{{Obj: 5, Field: 0}}, nil).
+		Alloc(2, 5) // invalid: alloc after access
+	for _, a := range b.Trace().Actions() {
+		sw.Append(a)
+	}
+	sw.Flush()
+	got, dropped, err := event.ReadTraceStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("salvaged prefix invalid: %v", err)
+	}
+}
+
+func TestReadTraceAuto(t *testing.T) {
+	tr := sampleTrace()
+
+	var legacy bytes.Buffer
+	if err := event.WriteTrace(&legacy, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, dropped, err := event.ReadTraceAuto(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || dropped != 0 {
+		t.Fatalf("legacy auto-read: Len = %d dropped = %d", got.Len(), dropped)
+	}
+
+	var stream bytes.Buffer
+	if err := event.WriteTraceStream(&stream, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, dropped, err = event.ReadTraceAuto(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || dropped != 0 {
+		t.Fatalf("stream auto-read: Len = %d dropped = %d", got.Len(), dropped)
+	}
+}
+
+// TestStreamSurvivesInjectedTruncation wires the fault injector's
+// truncating writer in front of the stream writer: the tool believes
+// every write succeeded, yet the reader still salvages a valid prefix.
+func TestStreamSurvivesInjectedTruncation(t *testing.T) {
+	tr := sampleTrace()
+	var intact bytes.Buffer
+	if err := event.WriteTraceStream(&intact, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	limit := intact.Len() / 2
+	var buf bytes.Buffer
+	inj := &resilience.Injector{TruncateTraceBytes: limit}
+	w := inj.WrapTraceWriter(&buf)
+	if err := event.WriteTraceStream(w, tr); err != nil {
+		t.Fatalf("truncating writer leaked an error: %v", err)
+	}
+	if buf.Len() > limit {
+		t.Fatalf("writer wrote %d bytes past the %d-byte fault", buf.Len(), limit)
+	}
+
+	got, dropped, err := event.ReadTraceStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 || got.Len() >= tr.Len() {
+		t.Fatalf("salvaged Len = %d, want a proper non-empty prefix of %d", got.Len(), tr.Len())
+	}
+	if dropped == 0 {
+		t.Fatal("truncation dropped no records")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("salvaged prefix invalid: %v", err)
+	}
+}

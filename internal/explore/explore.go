@@ -12,6 +12,8 @@
 package explore
 
 import (
+	"time"
+
 	"goldilocks/internal/jrt"
 )
 
@@ -33,8 +35,12 @@ type Result struct {
 	// found (nil if none).
 	FirstRacy []int
 	// Exhausted reports whether the whole schedule space was covered
-	// (false if MaxSchedules stopped the search first).
+	// (false if MaxSchedules or Timeout stopped the search first).
 	Exhausted bool
+	// TimedOut reports that Options.Timeout expired before the space
+	// was covered; the counts above describe the schedules completed in
+	// time (a schedule in flight at the deadline finishes).
+	TimedOut bool
 	// Truncated counts runs that exceeded MaxDecisions and finished
 	// under fair rotation instead of full branching.
 	Truncated int
@@ -58,6 +64,12 @@ type Options struct {
 	// exponential. Forced switches (the current thread blocked or
 	// exited) are free. Zero means unbounded.
 	PreemptionBound int
+	// Timeout, when positive, bounds the wall-clock time of the whole
+	// search. Exploration stops between schedules once it expires (the
+	// schedule in flight completes), with Result.TimedOut set. It is a
+	// robustness backstop for exploring programs whose schedule space
+	// turns out to be far larger than anticipated.
+	Timeout time.Duration
 }
 
 // dfsChooser replays a decision prefix, then takes the first candidate,
@@ -145,10 +157,19 @@ func Schedules(opts Options, body func(c jrt.Chooser) int, visit func(Run)) Resu
 		maxDecisions = 1 << 16
 	}
 
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+
 	res := Result{}
 	prefix := []int{}
 	for {
 		if res.Schedules >= maxRuns {
+			return res
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			res.TimedOut = true
 			return res
 		}
 		c := &dfsChooser{prefix: prefix, limit: maxDecisions, hardLimit: 64 * maxDecisions, bound: opts.PreemptionBound}

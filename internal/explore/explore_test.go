@@ -1,6 +1,8 @@
 package explore_test
 
 import (
+	"time"
+
 	"testing"
 
 	"goldilocks/internal/core"
@@ -283,5 +285,38 @@ func TestExploreSpinLoopTruncation(t *testing.T) {
 	}
 	if res.Truncated == 0 {
 		t.Error("no truncated runs; the spin pin should have tripped the budget")
+	}
+}
+
+// TestExploreTimeout: a wall-clock budget stops the search between
+// schedules with TimedOut set instead of running the space dry.
+func TestExploreTimeout(t *testing.T) {
+	runs := 0
+	res := explore.Schedules(explore.Options{MaxSchedules: 1 << 30, Timeout: 20 * time.Millisecond},
+		func(c jrt.Chooser) int {
+			runs++
+			runMJ(t, racyProgram)(c)
+			time.Sleep(5 * time.Millisecond)
+			return 0
+		}, nil)
+	if !res.TimedOut {
+		t.Fatalf("TimedOut = false after %d runs; result %+v", runs, res)
+	}
+	if res.Exhausted {
+		t.Error("Exhausted set on a timed-out search")
+	}
+	if res.Schedules == 0 {
+		t.Error("no schedules completed before the deadline")
+	}
+}
+
+// TestExploreNoTimeoutUnaffected: Timeout zero keeps the old behavior.
+func TestExploreNoTimeoutUnaffected(t *testing.T) {
+	res := explore.Schedules(explore.Options{}, runMJ(t, racyProgram), nil)
+	if res.TimedOut {
+		t.Error("TimedOut set with no timeout configured")
+	}
+	if !res.Exhausted {
+		t.Error("small space not exhausted")
 	}
 }

@@ -1,0 +1,136 @@
+package jrt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
+)
+
+// Guarded wraps any runtime Detector with the panic-isolation barrier
+// the optimized engine has built in: a panicking check quarantines the
+// offending variable (it is never checked again) instead of crashing
+// the monitored program. Use it for the serialized detectors
+// (vectorclock, eraser, basic) — *core.Engine enforces the same policy
+// internally and does not need wrapping.
+type Guarded struct {
+	inner  Detector
+	policy resilience.ErrorPolicy
+
+	mu          sync.Mutex
+	quarantined map[event.Variable]bool
+
+	panics      atomic.Uint64
+	varsDropped atomic.Uint64
+}
+
+// Guard wraps det with panic isolation under the given policy.
+func Guard(det Detector, policy resilience.ErrorPolicy) *Guarded {
+	return &Guarded{inner: det, policy: policy, quarantined: make(map[event.Variable]bool)}
+}
+
+// GuardStats returns the number of panics recovered and variables
+// quarantined so far.
+func (g *Guarded) GuardStats() (panics, quarantined uint64) {
+	return g.panics.Load(), g.varsDropped.Load()
+}
+
+// handle processes a recovered panic value: it quarantines vars and
+// counts. Abort re-raises. (recover itself must be called directly in
+// the deferred function, so callers pass the recovered value in.)
+func (g *Guarded) handle(r any, vars ...event.Variable) {
+	if g.policy == resilience.Abort {
+		panic(r)
+	}
+	g.panics.Add(1)
+	g.mu.Lock()
+	for _, v := range vars {
+		if !g.quarantined[v] {
+			g.quarantined[v] = true
+			g.varsDropped.Add(1)
+		}
+	}
+	g.mu.Unlock()
+}
+
+func (g *Guarded) isQuarantined(v event.Variable) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.quarantined[v]
+}
+
+// Sync implements Detector. A panic here has no variable to blame; it
+// is recovered and counted, and the event is dropped.
+func (g *Guarded) Sync(a event.Action) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.handle(r)
+		}
+	}()
+	g.inner.Sync(a)
+}
+
+// Read implements Detector.
+func (g *Guarded) Read(t event.Tid, o event.Addr, f event.FieldID) (race *detect.Race) {
+	v := event.Variable{Obj: o, Field: f}
+	if g.isQuarantined(v) {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			g.handle(r, v)
+			race = nil
+		}
+	}()
+	return g.inner.Read(t, o, f)
+}
+
+// Write implements Detector.
+func (g *Guarded) Write(t event.Tid, o event.Addr, f event.FieldID) (race *detect.Race) {
+	v := event.Variable{Obj: o, Field: f}
+	if g.isQuarantined(v) {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			g.handle(r, v)
+			race = nil
+		}
+	}()
+	return g.inner.Write(t, o, f)
+}
+
+// Commit implements Detector. A panic cannot be attributed to a single
+// variable, so the whole read and write set is quarantined —
+// conservative, but a commit is one detector step.
+func (g *Guarded) Commit(t event.Tid, reads, writes []event.Variable) (races []detect.Race) {
+	defer func() {
+		if r := recover(); r != nil {
+			vars := append(append([]event.Variable(nil), reads...), writes...)
+			g.handle(r, vars...)
+			races = nil
+		}
+	}()
+	return g.inner.Commit(t, reads, writes)
+}
+
+// Alloc implements Detector. Allocation makes the object's fields fresh
+// variables, so their quarantine is lifted (mirroring the engine's
+// rule-8 reset).
+func (g *Guarded) Alloc(t event.Tid, o event.Addr) {
+	g.mu.Lock()
+	for v := range g.quarantined {
+		if v.Obj == o {
+			delete(g.quarantined, v)
+		}
+	}
+	g.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			g.handle(r)
+		}
+	}()
+	g.inner.Alloc(t, o)
+}

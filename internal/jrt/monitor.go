@@ -21,6 +21,7 @@ func (t *Thread) MonitorEnter(o *Object) {
 		m.owner = t
 		m.depth++
 		if m.depth == 1 {
+			t.noteMonitorHeld(o.addr)
 			t.rt.sync(event.Acquire(t.id, o.addr))
 		}
 		return true
@@ -40,6 +41,7 @@ func (t *Thread) MonitorExit(o *Object) {
 		m.depth--
 		if m.depth == 0 {
 			m.owner = nil
+			t.noteMonitorFreed(o.addr)
 			t.rt.sync(event.Release(t.id, o.addr))
 		}
 		return true
@@ -81,6 +83,7 @@ func (t *Thread) Wait(o *Object) {
 		m.owner = nil
 		m.depth = 0
 		m.waiting = append(m.waiting, t)
+		t.noteMonitorFreed(o.addr)
 		t.rt.sync(event.Release(t.id, o.addr))
 		return true
 	})
@@ -96,6 +99,7 @@ func (t *Thread) Wait(o *Object) {
 		delete(m.notified, t)
 		m.owner = t
 		m.depth = depth
+		t.noteMonitorHeld(o.addr)
 		t.rt.sync(event.Acquire(t.id, o.addr))
 		return true
 	})

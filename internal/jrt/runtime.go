@@ -8,6 +8,7 @@ import (
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
 )
 
 // Detector is the runtime-facing race-detector interface: concurrent
@@ -134,6 +135,7 @@ type Runtime struct {
 	raceMu   sync.Mutex
 	races    []detect.Race
 	uncaught []*DataRaceException
+	failure  *resilience.Report
 }
 
 // NewRuntime creates a runtime from cfg.
@@ -196,6 +198,10 @@ func (rt *Runtime) Class(name string) *Class {
 // Run executes main as the initial thread and returns after every thread
 // spawned (transitively) has terminated. It returns the list of races
 // observed (thrown or logged).
+//
+// A deterministic-scheduler deadlock does not crash the process: Run
+// returns the races observed so far and Failure() carries the
+// structured resilience.Report (blocked threads, held locks, elapsed).
 func (rt *Runtime) Run(main func(t *Thread)) []detect.Race {
 	t := rt.newThread()
 	if ds, ok := rt.sched.(*detSched); ok {
@@ -205,6 +211,15 @@ func (rt *Runtime) Run(main func(t *Thread)) []detect.Race {
 	// group tracks only spawned threads, which is exactly what waitAll
 	// must wait for after main returns.
 	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rep, ok := r.(*resilience.Report); ok {
+					rt.noteFailure(rep)
+					return
+				}
+				panic(r)
+			}
+		}()
 		defer rt.sched.mainDone(t)
 		if drx := t.Try(func() { main(t) }); drx != nil {
 			rt.noteUncaught(drx)
@@ -277,6 +292,24 @@ func (rt *Runtime) noteUncaught(drx *DataRaceException) {
 	rt.raceMu.Lock()
 	rt.uncaught = append(rt.uncaught, drx)
 	rt.raceMu.Unlock()
+}
+
+// noteFailure records the first scheduler failure report.
+func (rt *Runtime) noteFailure(r *resilience.Report) {
+	rt.raceMu.Lock()
+	if rt.failure == nil {
+		rt.failure = r
+	}
+	rt.raceMu.Unlock()
+}
+
+// Failure returns the structured report of the scheduler failure that
+// ended the run (a deterministic-mode deadlock), or nil if the run
+// completed normally.
+func (rt *Runtime) Failure() *resilience.Report {
+	rt.raceMu.Lock()
+	defer rt.raceMu.Unlock()
+	return rt.failure
 }
 
 // Uncaught returns the DataRaceExceptions that terminated threads

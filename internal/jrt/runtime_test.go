@@ -7,6 +7,7 @@ import (
 	"goldilocks/internal/core"
 	"goldilocks/internal/detectors/eraser"
 	"goldilocks/internal/jrt"
+	"goldilocks/internal/resilience"
 )
 
 // newDetRuntime builds a deterministic runtime with a default Goldilocks
@@ -401,18 +402,10 @@ func TestLogPolicyContinues(t *testing.T) {
 }
 
 // TestDeadlockDetection: the deterministic scheduler reports a deadlock
-// instead of hanging when every thread blocks.
+// as a structured resilience.Report instead of hanging (or crashing the
+// process) when every thread blocks.
 func TestDeadlockDetection(t *testing.T) {
 	rt := newDetRuntime(9)
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("deadlock not detected")
-		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "deadlock") {
-			t.Fatalf("panic = %v, want deadlock report", r)
-		}
-	}()
 	rt.Run(func(th *jrt.Thread) {
 		a := th.New(rt.DefineClass("A"))
 		b := th.New(rt.DefineClass("B"))
@@ -433,22 +426,44 @@ func TestDeadlockDetection(t *testing.T) {
 		th.MonitorExit(a)
 		th.Join(u)
 	})
+	rep := rt.Failure()
+	if rep == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if rep.Kind != resilience.Deadlock {
+		t.Fatalf("Kind = %v, want Deadlock", rep.Kind)
+	}
+	if !strings.Contains(rep.Error(), "deadlock") {
+		t.Fatalf("Error() = %q, want mention of deadlock", rep.Error())
+	}
+	if len(rep.Blocked) != 2 {
+		t.Fatalf("Blocked = %+v, want both threads", rep.Blocked)
+	}
+	// Main holds a and waits for b; u holds b and waits for a — each
+	// blocked thread should report exactly one held monitor.
+	for _, ts := range rep.Blocked {
+		if len(ts.Held) != 1 {
+			t.Errorf("thread %s holds %v, want exactly one monitor", ts.Thread, ts.Held)
+		}
+	}
 }
 
 // TestWaitWithoutNotifyDeadlocks: a lost-wakeup hangs deterministically
-// and is reported.
+// and is reported as a failure without crashing Run.
 func TestWaitWithoutNotifyDeadlocks(t *testing.T) {
 	rt := newDetRuntime(3)
-	defer func() {
-		if r := recover(); r == nil {
-			t.Fatal("lost wakeup not reported as deadlock")
-		}
-	}()
 	rt.Run(func(th *jrt.Thread) {
 		o := th.New(rt.DefineClass("O"))
 		th.MonitorEnter(o)
 		th.Wait(o) // nobody will ever notify
 	})
+	rep := rt.Failure()
+	if rep == nil {
+		t.Fatal("lost wakeup not reported as deadlock")
+	}
+	if rep.Kind != resilience.Deadlock {
+		t.Fatalf("Kind = %v, want Deadlock", rep.Kind)
+	}
 }
 
 // TestDisableArrayAfterRace: the paper's measurement policy — a race on

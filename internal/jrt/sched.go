@@ -1,9 +1,11 @@
 package jrt
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
+	"time"
+
+	"goldilocks/internal/resilience"
 )
 
 // scheduler abstracts how threads interleave. All monitor/join/wait
@@ -105,12 +107,18 @@ func (c rngChooser) Choose(n int) int { return c.rng.Intn(n) }
 // when choosing a successor.
 type detSched struct {
 	choose Chooser
+	began  time.Time
 
-	mu      sync.Mutex
-	states  map[*Thread]*detState
-	order   []*Thread // stable iteration order for determinism
-	allDone chan struct{}
-	live    int
+	mu       sync.Mutex
+	states   map[*Thread]*detState
+	order    []*Thread // stable iteration order for determinism
+	allDone  chan struct{}
+	doneOnce sync.Once
+	live     int
+	// failure is the structured deadlock report, set at most once. After
+	// a failure the scheduler is dead: threads unwinding through it are
+	// let through without scheduling.
+	failure *resilience.Report
 }
 
 type detThreadState uint8
@@ -135,9 +143,26 @@ func newDetSched(seed int64) *detSched {
 func newDetSchedChooser(c Chooser) *detSched {
 	return &detSched{
 		choose:  c,
+		began:   time.Now(),
 		states:  make(map[*Thread]*detState),
 		allDone: make(chan struct{}),
 	}
+}
+
+func (s *detSched) finish() { s.doneOnce.Do(func() { close(s.allDone) }) }
+
+// fail records the first structured failure report, releases waitAll,
+// and unwinds the calling goroutine with the report as the panic value.
+// Runtime.Run and Thread.Spawn recover it; the remaining (parked)
+// goroutines are abandoned — the run is over. Caller holds s.mu.
+func (s *detSched) fail(r *resilience.Report) {
+	if s.failure == nil {
+		s.failure = r
+	}
+	r = s.failure
+	s.finish()
+	s.mu.Unlock()
+	panic(r)
 }
 
 // register adds a thread in the ready state. The main thread registers
@@ -157,6 +182,12 @@ func (s *detSched) register(t *Thread, running bool) *detState {
 
 func (s *detSched) yield(t *Thread) {
 	s.mu.Lock()
+	if s.failure != nil {
+		// The run already failed; t is unwinding through deferred
+		// cleanup. Scheduling is over — let it proceed.
+		s.mu.Unlock()
+		return
+	}
 	self := s.states[t]
 	next := s.pick(t)
 	if next == t {
@@ -177,13 +208,18 @@ func (s *detSched) exec(t *Thread, attempt func() bool) {
 		return
 	}
 	s.mu.Lock()
+	if s.failure != nil {
+		// Unwinding after a failure and the attempt cannot succeed
+		// (nobody will ever change state): re-raise the report so the
+		// unwind continues to the recover barrier.
+		s.fail(s.failure)
+	}
 	self := s.states[t]
 	self.st = detBlocked
 	self.attempt = attempt
 	next := s.pick(t)
 	if next == nil {
-		s.mu.Unlock()
-		panic(s.deadlockReport())
+		s.fail(s.deadlockReport())
 	}
 	if next == t {
 		// pick retried our attempt and it succeeded (state changed by a
@@ -259,15 +295,22 @@ func (s *detSched) pick(t *Thread) *Thread {
 	return nil
 }
 
-func (s *detSched) deadlockReport() string {
-	msg := "jrt: deadlock — all threads blocked:"
+// deadlockReport builds the structured report: every blocked thread and
+// the monitors it holds. Caller holds s.mu.
+func (s *detSched) deadlockReport() *resilience.Report {
+	r := &resilience.Report{Kind: resilience.Deadlock, Elapsed: time.Since(s.began)}
 	for _, u := range s.order {
 		st := s.states[u]
-		if st.st == detBlocked {
-			msg += fmt.Sprintf(" %v", u.ID())
+		if st.st != detBlocked {
+			continue
 		}
+		ts := resilience.ThreadState{Thread: u.ID().String()}
+		for _, o := range u.heldMons {
+			ts.Held = append(ts.Held, o.String())
+		}
+		r.Blocked = append(r.Blocked, ts)
 	}
-	return msg
+	return r
 }
 
 func (s *detSched) start(t *Thread, body func()) {
@@ -284,15 +327,22 @@ func (s *detSched) exited(t *Thread) {
 	self.st = detDone
 	t.terminated = true
 	s.live--
+	if s.failure != nil {
+		// Post-failure unwind: no scheduling left to do.
+		if s.live == 0 {
+			s.finish()
+		}
+		s.mu.Unlock()
+		return
+	}
 	if s.live == 0 {
-		close(s.allDone)
+		s.finish()
 		s.mu.Unlock()
 		return
 	}
 	next := s.pick(t)
 	if next == nil || next == t {
-		s.mu.Unlock()
-		panic(s.deadlockReport())
+		s.fail(s.deadlockReport())
 	}
 	ns := s.states[next]
 	ns.st = detRunning

@@ -7,6 +7,7 @@ import (
 
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/resilience"
 )
 
 // Thread is a managed thread. All object, monitor, and thread operations
@@ -16,6 +17,20 @@ type Thread struct {
 	rt         *Runtime
 	id         event.Tid
 	terminated bool
+	// heldMons are the monitors the thread currently owns (outermost
+	// acquires only), maintained inside scheduler-atomic transitions;
+	// the deadlock reporter reads it to say who holds what.
+	heldMons []event.Addr
+}
+
+func (t *Thread) noteMonitorHeld(o event.Addr) { t.heldMons = append(t.heldMons, o) }
+func (t *Thread) noteMonitorFreed(o event.Addr) {
+	for i := len(t.heldMons) - 1; i >= 0; i-- {
+		if t.heldMons[i] == o {
+			t.heldMons = append(t.heldMons[:i], t.heldMons[i+1:]...)
+			return
+		}
+	}
 }
 
 // ID returns the thread's identifier.
@@ -33,10 +48,23 @@ func (t *Thread) Spawn(body func(u *Thread)) *Thread {
 	u := t.rt.newThread()
 	t.rt.sched.yield(t)
 	t.rt.sync(event.Fork(t.id, u.id))
-	t.rt.sched.start(u, func() {
-		defer t.rt.sched.exited(u)
+	rt := t.rt
+	rt.sched.start(u, func() {
+		// A scheduler failure (deadlock) unwinds the goroutine with a
+		// *resilience.Report; record it and let the goroutine die
+		// quietly — the run is over and waitAll has been released.
+		defer func() {
+			if r := recover(); r != nil {
+				if rep, ok := r.(*resilience.Report); ok {
+					rt.noteFailure(rep)
+					return
+				}
+				panic(r)
+			}
+		}()
+		defer rt.sched.exited(u)
 		if drx := u.Try(func() { body(u) }); drx != nil {
-			t.rt.noteUncaught(drx)
+			rt.noteUncaught(drx)
 		}
 	})
 	return u

@@ -1,0 +1,255 @@
+// Package resilience is the hardening layer of the detection pipeline.
+// The paper's central claim is that DataRaceException turns races into
+// recoverable, language-level events; this package extends the same
+// philosophy to the detector itself: a detector bug, a deadlocked
+// schedule, or unbounded event-list growth must degrade the *detector*,
+// never crash the monitored program.
+//
+// It provides four pieces, threaded through internal/core, internal/jrt
+// and the commands:
+//
+//   - ErrorPolicy: what a recover barrier does with a panicking detector
+//     check (quarantine the variable, or abort as before);
+//   - DegradationRung: the memory governor's escalation ladder, from
+//     normal lazy evaluation down to short-circuit-only checking;
+//   - Report: a structured description of a scheduler deadlock or an
+//     exploration timeout (blocked threads, held locks, elapsed time),
+//     replacing raw-string panics;
+//   - Injector: fault injection (forced detector panics, simulated
+//     allocation pressure, trace-write truncation) so every recovery
+//     path can be exercised end-to-end by tests.
+//
+// See docs/ROBUSTNESS.md for the operational story.
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"goldilocks/internal/event"
+)
+
+// ErrorPolicy selects what the detection pipeline does when a detector
+// check panics.
+type ErrorPolicy uint8
+
+const (
+	// Quarantine recovers the panic, stops checking the offending
+	// variable, counts it in the stats, and lets the monitored program
+	// continue. This is the default: a detector bug costs coverage of
+	// one variable, not the process.
+	Quarantine ErrorPolicy = iota
+	// Abort re-raises the panic (the pre-hardening behaviour), for
+	// debugging the detector itself.
+	Abort
+)
+
+// ParseErrorPolicy parses the -on-detector-error flag values.
+func ParseErrorPolicy(s string) (ErrorPolicy, error) {
+	switch s {
+	case "quarantine":
+		return Quarantine, nil
+	case "abort":
+		return Abort, nil
+	}
+	return Quarantine, fmt.Errorf("unknown detector-error policy %q (want quarantine or abort)", s)
+}
+
+func (p ErrorPolicy) String() string {
+	if p == Abort {
+		return "abort"
+	}
+	return "quarantine"
+}
+
+// DegradationRung is one step of the memory governor's escalation
+// ladder. The governor climbs (never descends) while the event list
+// stays over its budget; each rung trades precision or speed for
+// bounded memory.
+type DegradationRung int32
+
+const (
+	// RungNormal: lazy lockset evaluation, GC at Options.GCThreshold.
+	RungNormal DegradationRung = iota
+	// RungAggressiveGC: collections use an aggressive partially-eager
+	// trim (half the list) instead of the configured fraction.
+	RungAggressiveGC
+	// RungShedCaches: memoized happens-before caches are shed and every
+	// Info is advanced to the list tail (a fully-eager sweep), so the
+	// whole retained prefix can be freed. Precision is kept; per-sweep
+	// cost is O(vars · list).
+	RungShedCaches
+	// RungDegraded: the event list is frozen and checks fall back to the
+	// short-circuits alone; inconclusive checks are assumed ordered.
+	// Races that need a lockset walk are missed (Eraser-style
+	// imprecision, in the false-negative direction), but memory is hard-
+	// bounded and the program keeps running.
+	RungDegraded
+)
+
+func (r DegradationRung) String() string {
+	switch r {
+	case RungNormal:
+		return "normal"
+	case RungAggressiveGC:
+		return "aggressive-gc"
+	case RungShedCaches:
+		return "shed-caches"
+	case RungDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("rung(%d)", int32(r))
+}
+
+// ReportKind discriminates structured failure reports.
+type ReportKind uint8
+
+const (
+	// Deadlock: every live thread of the deterministic scheduler is
+	// blocked.
+	Deadlock ReportKind = iota
+	// Timeout: a wall-clock budget expired (systematic exploration).
+	Timeout
+)
+
+func (k ReportKind) String() string {
+	if k == Timeout {
+		return "timeout"
+	}
+	return "deadlock"
+}
+
+// ThreadState describes one blocked thread in a Report.
+type ThreadState struct {
+	Thread string   // thread id, e.g. "T2"
+	Held   []string // monitors the thread holds, e.g. ["o3", "o7"]
+}
+
+// Report is a structured scheduler-failure report: what raw-string
+// panics used to carry, now machine-readable and recoverable. It
+// implements error.
+type Report struct {
+	Kind    ReportKind
+	Blocked []ThreadState // blocked threads and the locks they hold
+	Elapsed time.Duration // wall-clock time since the run started
+	Detail  string        // free-form context (e.g. schedules explored)
+}
+
+func (r *Report) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "resilience: %v after %v", r.Kind, r.Elapsed.Round(time.Millisecond))
+	if len(r.Blocked) > 0 {
+		b.WriteString(" — blocked:")
+		for _, ts := range r.Blocked {
+			b.WriteString(" ")
+			b.WriteString(ts.Thread)
+			if len(ts.Held) > 0 {
+				held := append([]string(nil), ts.Held...)
+				sort.Strings(held)
+				fmt.Fprintf(&b, "(holds %s)", strings.Join(held, ","))
+			}
+		}
+	}
+	if r.Detail != "" {
+		b.WriteString(" — ")
+		b.WriteString(r.Detail)
+	}
+	return b.String()
+}
+
+// Injector injects faults into the detection pipeline for resilience
+// testing. The zero value (and a nil *Injector) injects nothing; every
+// method is nil-receiver safe so production code can consult it
+// unconditionally.
+type Injector struct {
+	// PanicOnVars forces the detector check of each listed variable to
+	// panic, exercising the quarantine path.
+	PanicOnVars []event.Variable
+	// PanicEveryN, when positive, panics on every N-th detector check
+	// (counted across all variables).
+	PanicEveryN int64
+	// ExtraListCells simulates allocation pressure: the memory governor
+	// sees the event list as this many cells longer than it really is.
+	ExtraListCells int
+	// TruncateTraceBytes, when positive, makes writers wrapped by
+	// WrapTraceWriter silently discard everything past this many bytes,
+	// simulating a crash in the middle of a trace write.
+	TruncateTraceBytes int
+
+	checks atomic.Int64
+}
+
+// ShouldPanic reports whether the detector check of v must be made to
+// fail now.
+func (inj *Injector) ShouldPanic(v event.Variable) bool {
+	if inj == nil {
+		return false
+	}
+	for _, pv := range inj.PanicOnVars {
+		if pv == v {
+			return true
+		}
+	}
+	if inj.PanicEveryN > 0 && inj.checks.Add(1)%inj.PanicEveryN == 0 {
+		return true
+	}
+	return false
+}
+
+// Pressure returns the simulated extra event-list cells.
+func (inj *Injector) Pressure() int {
+	if inj == nil {
+		return 0
+	}
+	return inj.ExtraListCells
+}
+
+// WrapTraceWriter wraps w so that writes past TruncateTraceBytes are
+// silently dropped (byte-exact truncation mid-record, as a crash would
+// leave). With no truncation configured it returns w unchanged.
+func (inj *Injector) WrapTraceWriter(w io.Writer) io.Writer {
+	if inj == nil || inj.TruncateTraceBytes <= 0 {
+		return w
+	}
+	return &truncWriter{w: w, left: inj.TruncateTraceBytes}
+}
+
+type truncWriter struct {
+	w    io.Writer
+	left int
+}
+
+// Write forwards at most left bytes and then pretends the rest
+// succeeded: the caller sees no error, exactly like a crash after the
+// kernel buffered a partial write.
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return len(p), nil
+	}
+	n := len(p)
+	if n > t.left {
+		n = t.left
+	}
+	if _, err := t.w.Write(p[:n]); err != nil {
+		return 0, err
+	}
+	t.left -= n
+	return len(p), nil
+}
+
+// Standard exit codes shared by cmd/goldilocks and cmd/racereplay.
+const (
+	// ExitClean: run completed, no races.
+	ExitClean = 0
+	// ExitRace: run completed and at least one race was reported.
+	ExitRace = 1
+	// ExitUsage: bad flags or arguments.
+	ExitUsage = 2
+	// ExitRuntime: runtime failure — I/O or parse errors, interpreter
+	// errors, scheduler deadlock, exploration timeout.
+	ExitRuntime = 3
+)

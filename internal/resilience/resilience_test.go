@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"goldilocks/internal/event"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.ShouldPanic(event.Variable{Obj: 1, Field: 0}) {
+		t.Error("nil injector panicked a check")
+	}
+	if inj.Pressure() != 0 {
+		t.Error("nil injector reported pressure")
+	}
+	var buf bytes.Buffer
+	w := inj.WrapTraceWriter(&buf)
+	w.Write([]byte("abc"))
+	if buf.String() != "abc" {
+		t.Error("nil injector altered writes")
+	}
+}
+
+func TestInjectorPanicOnVars(t *testing.T) {
+	v := event.Variable{Obj: 7, Field: 2}
+	inj := &Injector{PanicOnVars: []event.Variable{v}}
+	if !inj.ShouldPanic(v) {
+		t.Error("listed variable not panicked")
+	}
+	if inj.ShouldPanic(event.Variable{Obj: 7, Field: 3}) {
+		t.Error("unlisted variable panicked")
+	}
+}
+
+func TestInjectorPanicEveryN(t *testing.T) {
+	inj := &Injector{PanicEveryN: 3}
+	v := event.Variable{Obj: 1, Field: 0}
+	hits := 0
+	for i := 0; i < 9; i++ {
+		if inj.ShouldPanic(v) {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Errorf("PanicEveryN=3 over 9 checks hit %d times, want 3", hits)
+	}
+}
+
+func TestTruncatingWriter(t *testing.T) {
+	inj := &Injector{TruncateTraceBytes: 5}
+	var buf bytes.Buffer
+	w := inj.WrapTraceWriter(&buf)
+	// The caller must observe complete success, as a crashed process
+	// would have before the crash.
+	for _, chunk := range []string{"abc", "defg", "hij"} {
+		n, err := w.Write([]byte(chunk))
+		if err != nil || n != len(chunk) {
+			t.Fatalf("write(%q) = (%d, %v)", chunk, n, err)
+		}
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Errorf("truncated output = %q, want %q", got, "abcde")
+	}
+}
+
+func TestParseErrorPolicy(t *testing.T) {
+	for s, want := range map[string]ErrorPolicy{"quarantine": Quarantine, "abort": Abort} {
+		got, err := ParseErrorPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseErrorPolicy(%q) = (%v, %v), want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseErrorPolicy("explode"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestReportError(t *testing.T) {
+	r := &Report{
+		Kind: Deadlock,
+		Blocked: []ThreadState{
+			{Thread: "T1", Held: []string{"o3"}},
+			{Thread: "T2", Held: []string{"o5", "o4"}},
+		},
+		Elapsed: 1500 * time.Millisecond,
+	}
+	msg := r.Error()
+	for _, want := range []string{"deadlock", "T1", "T2", "o3", "o4,o5", "1.5s"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("report %q missing %q", msg, want)
+		}
+	}
+	to := &Report{Kind: Timeout, Elapsed: time.Second, Detail: "explored 12 schedules"}
+	if msg := to.Error(); !strings.Contains(msg, "timeout") || !strings.Contains(msg, "12 schedules") {
+		t.Errorf("timeout report %q", msg)
+	}
+}
+
+func TestRungStrings(t *testing.T) {
+	want := map[DegradationRung]string{
+		RungNormal:       "normal",
+		RungAggressiveGC: "aggressive-gc",
+		RungShedCaches:   "shed-caches",
+		RungDegraded:     "degraded",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
