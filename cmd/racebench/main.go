@@ -10,6 +10,7 @@
 //	racebench -table 3 [-ops N]     # Table 3 (threads 5..500)
 //	racebench -figure 6             # Figure 6
 //	racebench -figure 7             # Figure 7
+//	racebench -scale [-scaleout F]  # GOMAXPROCS scalability sweep → JSON
 //	racebench -all [-full]          # everything
 //
 // Exit codes: 0 success, 2 usage error, 3 runtime failure.
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"goldilocks/internal/bench"
 	"goldilocks/internal/resilience"
@@ -32,6 +34,9 @@ func main() {
 		all     = flag.Bool("all", false, "regenerate everything")
 		full    = flag.Bool("full", false, "full-scale parameters (slower)")
 		ops     = flag.Int("ops", 12, "per-thread operations for Table 3")
+		scale   = flag.Bool("scale", false, "GOMAXPROCS scalability sweep")
+		scaleMS = flag.Int("scalems", 200, "milliseconds per scale sweep point")
+		scaleTo = flag.String("scaleout", "BENCH_scale.json", "scale sweep JSON output path")
 		verbose = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -90,6 +95,20 @@ func main() {
 	if *all || *figure == 7 {
 		ran = true
 		fmt.Println(bench.Figure7())
+	}
+	if *all || *scale {
+		ran = true
+		procs := []int{1, 2, 4, 8}
+		rep := bench.Scale(procs, time.Duration(*scaleMS)*time.Millisecond, progress)
+		data, err := bench.MarshalScale(rep)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*scaleTo, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatScale(rep))
+		fmt.Println("wrote", *scaleTo)
 	}
 	if !ran {
 		flag.Usage()

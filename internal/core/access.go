@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
@@ -12,14 +13,14 @@ import (
 // records it. It returns the race the read causes, or nil.
 func (e *Engine) Read(t event.Tid, o event.Addr, d event.FieldID) *detect.Race {
 	a := event.Read(t, o, d)
-	return e.access(t, o, d, a, false, false, NewLockset(ThreadElem(t)))
+	return e.access(t, o, d, a, false, false, nil)
 }
 
 // Write checks a plain (non-transactional) write of (o, d) by thread t
 // and records it. It returns the race the write causes, or nil.
 func (e *Engine) Write(t event.Tid, o event.Addr, d event.FieldID) *detect.Race {
 	a := event.Write(t, o, d)
-	return e.access(t, o, d, a, true, false, NewLockset(ThreadElem(t)))
+	return e.access(t, o, d, a, true, false, nil)
 }
 
 // Commit records a transaction commit with read set reads and write set
@@ -75,9 +76,11 @@ func (e *Engine) Commit(t event.Tid, reads, writes []event.Variable) []detect.Ra
 	return races
 }
 
-// access is the common entry point for all data accesses: it creates the
-// Info record, performs the happens-before checks required by the
-// read/write distinction, and installs the record.
+// access is the common entry point for all data accesses: it performs
+// the happens-before checks required by the read/write distinction and
+// installs the resulting Info record. ls is the post-access lockset for
+// a transactional access; nil means the plain-access lockset {t}, built
+// in place (recycling the superseded record's storage when possible).
 //
 // The whole check runs behind a recover barrier: under the Quarantine
 // policy a panicking check (a detector bug, or an injected fault)
@@ -85,17 +88,17 @@ func (e *Engine) Commit(t event.Tid, reads, writes []event.Variable) []detect.Ra
 // again — and the access proceeds race-free from the monitored
 // program's point of view. Under Abort the panic propagates unchanged.
 func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Action, isWrite, xact bool, ls *Lockset) (race *detect.Race) {
-	vs := e.stateOf(o, d)
+	shard := varShardIndex(o, d)
+	st := &e.stats[shard]
+	vs := e.stateOfShard(o, d, shard)
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	if vs.disabled || vs.quarantined {
 		return nil
 	}
-	e.accessesChecked.Add(1)
+	st.accessesChecked.Add(1)
 	v := event.Variable{Obj: o, Field: d}
 
-	var in *info
-	installed := false
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -104,12 +107,9 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 		if e.opts.OnError == resilience.Abort {
 			panic(r)
 		}
-		// Quarantine (o, d): release the uninstalled Info's list pin so
-		// it cannot block collection forever, drop the variable's state,
-		// and stop checking it.
-		if in != nil && !installed {
-			in.release()
-		}
+		// Quarantine (o, d): drop the variable's state and stop checking
+		// it. (An uninstalled Info owns no list reference, so there is
+		// nothing to unpin.)
 		vs.dropAll()
 		vs.quarantined = true
 		e.panicsRecovered.Add(1)
@@ -120,9 +120,9 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 		panic(fmt.Sprintf("resilience: injected detector fault on %v", v))
 	}
 
-	in = e.newInfo(t, a, xact, ls)
+	pos := e.list.snapshotTail()
 	// Every access is checked against the last write.
-	if !e.checkHB(vs.write, t, xact, in.pos) {
+	if !e.checkHB(vs.write, t, xact, pos, st) {
 		race = &detect.Race{Var: v, Access: a, Prev: vs.write.action, HasPrev: true}
 	}
 	// A write is additionally checked against every read since that
@@ -130,14 +130,30 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 	// commit/commit exemption applies to the entire reader set at once.
 	if race == nil && isWrite && len(vs.reads) > 0 {
 		if xact && vs.readsAllXact && e.opts.XactSC && e.opts.TxnSemantics != event.TxnWriteToRead {
-			e.pairChecks.Add(uint64(len(vs.reads)))
-			e.xactHits.Add(uint64(len(vs.reads)))
-		} else {
+			st.pairChecks.Add(uint64(len(vs.reads)))
+			st.xactHits.Add(uint64(len(vs.reads)))
+		} else if len(vs.reads) == 1 {
+			// Single reader: trivially deterministic, no sort needed.
 			for u, prev := range vs.reads {
-				if u == t {
-					continue
+				if u != t && !e.checkHB(prev, t, xact, pos, st) {
+					race = &detect.Race{Var: v, Access: a, Prev: prev.action, HasPrev: true}
 				}
-				if !e.checkHB(prev, t, xact, in.pos) {
+			}
+		} else {
+			// Deterministic reader order: a racy reader ends the loop
+			// early, so map-order iteration would make the short-circuit
+			// counters (and the reported previous access) vary between
+			// replays of the same linearization.
+			tids := make([]event.Tid, 0, len(vs.reads))
+			for u := range vs.reads {
+				if u != t {
+					tids = append(tids, u)
+				}
+			}
+			slices.Sort(tids)
+			for _, u := range tids {
+				prev := vs.reads[u]
+				if !e.checkHB(prev, t, xact, pos, st) {
 					race = &detect.Race{Var: v, Access: a, Prev: prev.action, HasPrev: true}
 					break
 				}
@@ -146,32 +162,29 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 	}
 
 	// Install the record: a write supersedes the previous write and all
-	// reads; a read supersedes this thread's previous read.
-	installed = true
+	// reads; a read supersedes this thread's previous read. The
+	// superseded record of the same slot is recycled in place — it is
+	// exclusively owned once replaced — including its list reference
+	// when the position is unchanged, so between synchronization events
+	// the install phase allocates nothing and touches no shared atomics.
 	if isWrite {
-		if vs.write != nil {
-			vs.write.release()
-		}
-		vs.write = in
+		vs.write = e.installInfo(vs.write, pos, t, a, xact, ls)
 		for _, prev := range vs.reads {
 			prev.release()
 		}
-		vs.reads = nil
+		clear(vs.reads)
 		vs.readsAllXact = true
 	} else {
 		if vs.reads == nil {
 			vs.reads = make(map[event.Tid]*info)
 			vs.readsAllXact = true
 		}
-		if prev := vs.reads[t]; prev != nil {
-			prev.release()
-		}
-		vs.reads[t] = in
+		vs.reads[t] = e.installInfo(vs.reads[t], pos, t, a, xact, ls)
 		vs.readsAllXact = vs.readsAllXact && xact
 	}
 
 	if race != nil {
-		e.races.Add(1)
+		st.races.Add(1)
 		if e.opts.DisableAfterRace {
 			vs.disabled = true
 		}
@@ -179,42 +192,76 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 	return race
 }
 
+// installInfo builds the Info record for the access just checked,
+// recycling the superseded record old (nil if the slot was empty). The
+// returned record owns a list reference on pos: stolen from old when
+// the position is unchanged, freshly acquired otherwise. When ls is nil
+// (a plain access) the lockset {t} is built in place, reusing old's
+// lockset storage unless a clone still shares it.
+func (e *Engine) installInfo(old *info, pos *cell, t event.Tid, a event.Action, xact bool, ls *Lockset) *info {
+	in := old
+	if in == nil {
+		in = &info{}
+		pos.refs.Add(1)
+	} else if in.pos != pos {
+		pos.refs.Add(1)
+		in.release()
+	}
+	if ls == nil {
+		if in.ls != nil && !in.ls.shared {
+			in.ls.Reset(ThreadElem(t))
+			ls = in.ls
+		} else {
+			ls = NewLockset(ThreadElem(t))
+		}
+	}
+	in.pos = pos
+	in.owner = t
+	in.ls = ls
+	in.alock = e.heldLock(t)
+	in.xact = xact
+	in.action = a
+	in.hbAfter = nil
+	return in
+}
+
 // checkHB implements Check-Happens-Before of Figure 8: it decides
 // whether the access described by prev happens-before the current access
 // by thread t (whose Info position is end), trying the cheap sufficient
 // checks first and falling back to lockset computation over the
 // synchronization event list.
-func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell) bool {
+func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *statStripe) bool {
 	if prev == nil {
 		return true // fresh variable: empty lockset
 	}
-	e.pairChecks.Add(1)
+	st.pairChecks.Add(1)
 
 	// Transactions short-circuit: two transactional accesses never race
 	// (the extended-race definition exempts commit/commit pairs).
 	// Under the write-to-read semantics the exemption does not exist.
 	if e.opts.XactSC && prev.xact && xact && e.opts.TxnSemantics != event.TxnWriteToRead {
-		e.xactHits.Add(1)
+		st.xactHits.Add(1)
 		return true
 	}
 	// SC1: same thread — ordered by program order.
 	if e.opts.SC1 && prev.owner == t {
-		e.sc1Hits.Add(1)
+		st.sc1Hits.Add(1)
 		return true
 	}
 	// Transitivity cache: an edge to t established once holds for every
 	// later access by t (happens-before composes with program order).
 	if e.opts.HBCache && prev.hbAfter != nil {
 		if _, ok := prev.hbAfter[t]; ok {
-			e.hbCacheHits.Add(1)
+			st.hbCacheHits.Add(1)
 			return true
 		}
 	}
 	// SC2: the previous accessor held prev.alock at its access, and the
 	// current thread holds the same lock now; mutual exclusion implies
-	// the release/acquire pair ordering the two accesses.
+	// the release/acquire pair ordering the two accesses. holds reads
+	// t's published lock snapshot without any shared lock.
 	if e.opts.SC2 && prev.alock != event.NilAddr && e.holds(t, prev.alock) {
-		e.sc2Hits.Add(1)
+		st.sc2Hits.Add(1)
 		e.cacheHB(prev, t)
 		return true
 	}
@@ -224,7 +271,7 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell) bool {
 	// are missed, counted in DegradedChecks, and the program keeps
 	// running in bounded memory.
 	if e.degraded.Load() {
-		e.degradedChecks.Add(1)
+		st.degradedChecks.Add(1)
 		return true
 	}
 	acceptTL := xact && e.opts.TxnSemantics != event.TxnWriteToRead
@@ -237,9 +284,9 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell) bool {
 	if e.opts.SC3 && (e.opts.SC3MaxSegment == 0 || end.seq-prev.pos.seq <= uint64(e.opts.SC3MaxSegment)) {
 		ls := prev.ls.Clone()
 		found, viaTL, _, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, true, prev.owner, t, acceptTL)
-		e.walkCells.Add(uint64(n))
+		st.walkCells.Add(uint64(n))
 		if found {
-			e.sc3Hits.Add(1)
+			st.sc3Hits.Add(1)
 			if !viaTL {
 				e.cacheHB(prev, t)
 			}
@@ -251,10 +298,10 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell) bool {
 	// grow along the walk, so the traversal stops as soon as the
 	// verdict is decided; only a walk that reaches the end computes the
 	// complete lockset and can be memoized.
-	e.fullWalks.Add(1)
+	st.fullWalks.Add(1)
 	ls := prev.ls.Clone()
 	found, viaTL, stopped, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, false, prev.owner, t, acceptTL)
-	e.walkCells.Add(uint64(n))
+	st.walkCells.Add(uint64(n))
 	if e.opts.Memoize && stopped == end {
 		// The computed lockset is the variable's lockset at position
 		// end; remember it so the next check resumes from here.

@@ -170,45 +170,110 @@ type varState struct {
 	quarantined bool
 }
 
-// threadLocks tracks the monitors a thread currently holds, for the
-// alock short-circuit. Reentrant acquires are counted.
+// varShardCount is the number of shards the variable table is split
+// into. It must be a power of two; 64 keeps shard contention negligible
+// up to far more cores than commodity hardware has while costing ~3 KiB
+// of empty maps per engine.
+const varShardCount = 64
+
+// varShard is one stripe of the variable table. The shard RWMutex only
+// guards the map structure; each varState carries its own mutex (the
+// KL(o,d) lock), so the shard lock is held just long enough to find or
+// insert the state pointer.
+type varShard struct {
+	mu   sync.RWMutex
+	vars map[event.Addr]map[event.FieldID]*varState
+}
+
+// varShardIndex hashes (o, d) onto a shard. Fibonacci-style mixing with
+// an xor-fold keeps sequentially allocated addresses (the common case:
+// the runtime hands out consecutive Addrs) from clustering.
+func varShardIndex(o event.Addr, d event.FieldID) uint64 {
+	h := uint64(o)*0x9E3779B97F4A7C15 + uint64(uint32(d))*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return h & (varShardCount - 1)
+}
+
+// statStripe holds the per-access hot-path counters for one stripe of
+// the engine. Accesses to variables in different shards update
+// different stripes, so the counters stop being a point of cross-core
+// cache-line contention (they were the second bottleneck after the
+// global mutexes). The trailing padding rounds the struct up to two
+// cache lines so adjacent stripes never share one.
+type statStripe struct {
+	accessesChecked atomic.Uint64
+	pairChecks      atomic.Uint64
+	sc1Hits         atomic.Uint64
+	sc2Hits         atomic.Uint64
+	sc3Hits         atomic.Uint64
+	xactHits        atomic.Uint64
+	hbCacheHits     atomic.Uint64
+	fullWalks       atomic.Uint64
+	walkCells       atomic.Uint64
+	races           atomic.Uint64
+	degradedChecks  atomic.Uint64
+	_               [5]uint64
+}
+
+// threadLocks tracks the monitors one thread currently holds, for the
+// alock short-circuit. Reentrant acquires are counted. Mutations
+// (acquire/release) serialize on mu; readers never take it — they load
+// the immutable stack snapshot published through snap, so the SC2 path
+// (holds/heldLock on every pair check) is mutation-free readable.
 type threadLocks struct {
+	mu    sync.Mutex
 	held  map[event.Addr]int
 	stack []event.Addr // acquisition order; most recent last
+
+	// snap is the published copy of stack: immutable once stored,
+	// replaced wholesale whenever the set of held monitors changes
+	// (reentrant acquires/releases leave it untouched).
+	snap atomic.Pointer[[]event.Addr]
+}
+
+// publishLocked re-publishes the stack snapshot; caller holds tl.mu.
+func (tl *threadLocks) publishLocked() {
+	s := make([]event.Addr, len(tl.stack))
+	copy(s, tl.stack)
+	tl.snap.Store(&s)
 }
 
 // Engine is the optimized generalized-Goldilocks race detector: the
 // production counterpart of SpecEngine, implementing the techniques of
-// Section 5. It is safe for concurrent use: synchronization actions are
-// serialized by the event-list lock (they are totally ordered in any
-// case — that order is the extended synchronization order), and data
-// accesses to distinct variables proceed in parallel, serialized only
-// per variable.
+// Section 5. It is safe for concurrent use, and — matching the paper's
+// KL(o,d) design — data accesses serialize only per variable:
+//
+//   - the synchronization event list publishes its sentinel tail through
+//     an atomic pointer, so the per-access position snapshot is
+//     lock-free (the list mutex serializes only enqueue and trim);
+//   - variable states live in a 64-way sharded table keyed by a hash of
+//     (Addr, FieldID), so state lookup contends only within a shard and
+//     the check itself only on that variable's own mutex;
+//   - held-lock records are per thread, with an atomically published
+//     stack snapshot, so the SC2 short-circuit reads them without any
+//     shared lock.
+//
+// Synchronization actions still serialize on the event-list mutex: they
+// are totally ordered in any case — that order is the extended
+// synchronization order.
 type Engine struct {
 	opts Options
 	list *syncList
 
-	varsMu sync.RWMutex
-	vars   map[event.Addr]map[event.FieldID]*varState
+	varShards [varShardCount]varShard
 
-	locksMu sync.Mutex
-	locks   map[event.Tid]*threadLocks
+	locks sync.Map // event.Tid -> *threadLocks
 
 	gcMu sync.Mutex // at most one collection at a time
 
-	accessesChecked atomic.Uint64
-	pairChecks      atomic.Uint64
-	sc1Hits         atomic.Uint64
-	hbCacheHits     atomic.Uint64
-	sc2Hits         atomic.Uint64
-	sc3Hits         atomic.Uint64
-	xactHits        atomic.Uint64
-	fullWalks       atomic.Uint64
-	walkCells       atomic.Uint64
-	races           atomic.Uint64
-	varsTracked     atomic.Uint64
-	collections     atomic.Uint64
-	infosAdvanced   atomic.Uint64
+	// stats is striped by variable shard; Stats() sums the stripes.
+	// Counters off the access hot path (collection, resilience) stay
+	// single atomics below.
+	stats [varShardCount]statStripe
+
+	varsTracked   atomic.Uint64
+	collections   atomic.Uint64
+	infosAdvanced atomic.Uint64
 
 	// Resilience state: the recover barrier's counters and the memory
 	// governor's ladder position. degraded mirrors rung == RungDegraded
@@ -220,18 +285,19 @@ type Engine struct {
 	aggressiveGCs   atomic.Uint64
 	cacheSheds      atomic.Uint64
 	eagerSweeps     atomic.Uint64
-	degradedChecks  atomic.Uint64
 	degraded        atomic.Bool
 }
 
 // NewEngine returns an Engine with the given options.
 func NewEngine(opts Options) *Engine {
-	return &Engine{
-		opts:  opts,
-		list:  newSyncList(),
-		vars:  make(map[event.Addr]map[event.FieldID]*varState),
-		locks: make(map[event.Tid]*threadLocks),
+	e := &Engine{
+		opts: opts,
+		list: newSyncList(),
 	}
+	for i := range e.varShards {
+		e.varShards[i].vars = make(map[event.Addr]map[event.FieldID]*varState)
+	}
+	return e
 }
 
 // New returns an Engine with DefaultOptions.
@@ -240,24 +306,15 @@ func New() *Engine { return NewEngine(DefaultOptions()) }
 // Name implements detect.Detector.
 func (e *Engine) Name() string { return "goldilocks" }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters, summing the
+// per-shard hot-path stripes.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		AccessesChecked: e.accessesChecked.Load(),
-		PairChecks:      e.pairChecks.Load(),
-		SC1Hits:         e.sc1Hits.Load(),
-		HBCacheHits:     e.hbCacheHits.Load(),
-		SC2Hits:         e.sc2Hits.Load(),
-		SC3Hits:         e.sc3Hits.Load(),
-		XactHits:        e.xactHits.Load(),
-		FullWalks:       e.fullWalks.Load(),
-		WalkCells:       e.walkCells.Load(),
-		Races:           e.races.Load(),
-		VarsTracked:     e.varsTracked.Load(),
-		EventsEnqueued:  e.list.enqueued.Load(),
-		CellsCollected:  e.list.collected.Load(),
-		Collections:     e.collections.Load(),
-		InfosAdvanced:   e.infosAdvanced.Load(),
+	s := Stats{
+		VarsTracked:    e.varsTracked.Load(),
+		EventsEnqueued: e.list.enqueued.Load(),
+		CellsCollected: e.list.collected.Load(),
+		Collections:    e.collections.Load(),
+		InfosAdvanced:  e.infosAdvanced.Load(),
 
 		PanicsRecovered: e.panicsRecovered.Load(),
 		VarsQuarantined: e.varsQuarantined.Load(),
@@ -266,8 +323,22 @@ func (e *Engine) Stats() Stats {
 		AggressiveGCs:   e.aggressiveGCs.Load(),
 		CacheSheds:      e.cacheSheds.Load(),
 		EagerSweeps:     e.eagerSweeps.Load(),
-		DegradedChecks:  e.degradedChecks.Load(),
 	}
+	for i := range e.stats {
+		st := &e.stats[i]
+		s.AccessesChecked += st.accessesChecked.Load()
+		s.PairChecks += st.pairChecks.Load()
+		s.SC1Hits += st.sc1Hits.Load()
+		s.SC2Hits += st.sc2Hits.Load()
+		s.SC3Hits += st.sc3Hits.Load()
+		s.XactHits += st.xactHits.Load()
+		s.HBCacheHits += st.hbCacheHits.Load()
+		s.FullWalks += st.fullWalks.Load()
+		s.WalkCells += st.walkCells.Load()
+		s.Races += st.races.Load()
+		s.DegradedChecks += st.degradedChecks.Load()
+	}
+	return s
 }
 
 // Rung returns the memory governor's current degradation rung.
@@ -306,16 +377,17 @@ func (e *Engine) Step(a event.Action) []detect.Race {
 func (e *Engine) Sync(a event.Action) {
 	switch a.Kind {
 	case event.KindAcquire:
-		e.locksMu.Lock()
 		tl := e.threadLocks(a.Thread)
+		tl.mu.Lock()
 		tl.held[a.Obj]++
 		if tl.held[a.Obj] == 1 {
 			tl.stack = append(tl.stack, a.Obj)
+			tl.publishLocked()
 		}
-		e.locksMu.Unlock()
+		tl.mu.Unlock()
 	case event.KindRelease:
-		e.locksMu.Lock()
 		tl := e.threadLocks(a.Thread)
+		tl.mu.Lock()
 		if tl.held[a.Obj] > 0 {
 			tl.held[a.Obj]--
 			if tl.held[a.Obj] == 0 {
@@ -326,9 +398,10 @@ func (e *Engine) Sync(a event.Action) {
 						break
 					}
 				}
+				tl.publishLocked()
 			}
 		}
-		e.locksMu.Unlock()
+		tl.mu.Unlock()
 	}
 	if e.degraded.Load() {
 		// Rung 3: the event list is frozen. Lock tracking above stays
@@ -345,67 +418,96 @@ func (e *Engine) Sync(a event.Action) {
 	}
 }
 
+// threadLocks returns (creating if needed) thread t's lock record.
 func (e *Engine) threadLocks(t event.Tid) *threadLocks {
-	tl, ok := e.locks[t]
-	if !ok {
-		tl = &threadLocks{held: make(map[event.Addr]int)}
-		e.locks[t] = tl
+	if tl, ok := e.locks.Load(t); ok {
+		return tl.(*threadLocks)
 	}
-	return tl
+	tl, _ := e.locks.LoadOrStore(t, &threadLocks{held: make(map[event.Addr]int)})
+	return tl.(*threadLocks)
+}
+
+// lockSnapshot returns the published held-monitor stack of t, or nil.
+// It is mutation-free: neither the registry nor the record is locked.
+func (e *Engine) lockSnapshot(t event.Tid) []event.Addr {
+	tl, ok := e.locks.Load(t)
+	if !ok {
+		return nil
+	}
+	s := tl.(*threadLocks).snap.Load()
+	if s == nil {
+		return nil
+	}
+	return *s
 }
 
 // heldLock returns the most recently acquired lock currently held by t,
 // or NilAddr.
 func (e *Engine) heldLock(t event.Tid) event.Addr {
-	e.locksMu.Lock()
-	defer e.locksMu.Unlock()
-	tl, ok := e.locks[t]
-	if !ok || len(tl.stack) == 0 {
+	s := e.lockSnapshot(t)
+	if len(s) == 0 {
 		return event.NilAddr
 	}
-	return tl.stack[len(tl.stack)-1]
+	return s[len(s)-1]
 }
 
-// holds reports whether t currently holds the monitor of o.
+// holds reports whether t currently holds the monitor of o. The scan is
+// linear in t's lock-nesting depth, which is small; when t is the
+// thread running the check (the SC2 case) the snapshot is exact, since
+// only t itself acquires and releases t's monitors.
 func (e *Engine) holds(t event.Tid, o event.Addr) bool {
-	e.locksMu.Lock()
-	defer e.locksMu.Unlock()
-	tl, ok := e.locks[t]
-	return ok && tl.held[o] > 0
+	for _, a := range e.lockSnapshot(t) {
+		if a == o {
+			return true
+		}
+	}
+	return false
 }
 
 // Alloc records the allocation of object o: rule 8 resets the locksets
-// of all of o's fields by dropping their state.
+// of all of o's fields by dropping their state. The fields of one
+// object hash to different shards, so every shard is visited; Alloc is
+// off the access hot path, so the 64 lock acquisitions are acceptable.
 func (e *Engine) Alloc(_ event.Tid, o event.Addr) {
-	e.varsMu.Lock()
-	fields := e.vars[o]
-	delete(e.vars, o)
-	e.varsMu.Unlock()
-	for _, vs := range fields {
-		vs.mu.Lock()
-		vs.dropAll()
-		vs.mu.Unlock()
+	for i := range e.varShards {
+		sh := &e.varShards[i]
+		sh.mu.Lock()
+		fields := sh.vars[o]
+		delete(sh.vars, o)
+		sh.mu.Unlock()
+		for _, vs := range fields {
+			vs.mu.Lock()
+			vs.dropAll()
+			vs.mu.Unlock()
+		}
 	}
 }
 
 // stateOf returns (creating if needed) the state for variable (o, d).
 func (e *Engine) stateOf(o event.Addr, d event.FieldID) *varState {
-	e.varsMu.RLock()
-	fields, ok := e.vars[o]
+	return e.stateOfShard(o, d, varShardIndex(o, d))
+}
+
+// stateOfShard is stateOf with the shard index already computed (the
+// access path also needs it for the stat stripe).
+func (e *Engine) stateOfShard(o event.Addr, d event.FieldID, idx uint64) *varState {
+	sh := &e.varShards[idx]
+	sh.mu.RLock()
+	fields, ok := sh.vars[o]
 	if ok {
 		if vs, ok := fields[d]; ok {
-			e.varsMu.RUnlock()
+			sh.mu.RUnlock()
 			return vs
 		}
 	}
-	e.varsMu.RUnlock()
+	sh.mu.RUnlock()
 
-	e.varsMu.Lock()
-	defer e.varsMu.Unlock()
-	fields, ok = e.vars[o]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fields, ok = sh.vars[o]
 	if !ok {
 		fields = make(map[event.FieldID]*varState)
-		e.vars[o] = fields
+		sh.vars[o] = fields
 	}
 	vs, ok := fields[d]
 	if !ok {
@@ -414,6 +516,19 @@ func (e *Engine) stateOf(o event.Addr, d event.FieldID) *varState {
 		e.varsTracked.Add(1)
 	}
 	return vs
+}
+
+// lookupState returns the state for (o, d) if it exists, without
+// creating it.
+func (e *Engine) lookupState(o event.Addr, d event.FieldID) *varState {
+	sh := &e.varShards[varShardIndex(o, d)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fields, ok := sh.vars[o]
+	if !ok {
+		return nil
+	}
+	return fields[d]
 }
 
 func (vs *varState) dropAll() {
@@ -430,17 +545,3 @@ func (vs *varState) dropAll() {
 }
 
 func (in *info) release() { in.pos.refs.Add(-1) }
-
-// newInfo builds the Info record for an access happening now.
-func (e *Engine) newInfo(t event.Tid, a event.Action, xact bool, ls *Lockset) *info {
-	pos := e.list.snapshotTail()
-	pos.refs.Add(1)
-	return &info{
-		pos:    pos,
-		owner:  t,
-		ls:     ls,
-		alock:  e.heldLock(t),
-		xact:   xact,
-		action: a,
-	}
-}

@@ -210,6 +210,56 @@ func TestGeneratorProducesBothVerdicts(t *testing.T) {
 	}
 }
 
+// TestEquivalenceStatsAfterRefactor replays the deterministic trace
+// corpus through the de-serialized engine (lock-free tail snapshots,
+// sharded variable table, per-thread lock records) and pins both halves
+// of its observable behaviour: the race set must match SpecEngine
+// exactly, and the Stats short-circuit counters must be deterministic —
+// two replays of the same linearization produce identical counters —
+// and satisfy the accounting identity (every pair check is resolved by
+// exactly one of SC1/SC2/SC3/Xact/HBCache/full walk/degraded
+// assumption). A refactor that changed what the short-circuits see
+// (e.g. a stale lock snapshot or tail) would shift these counters even
+// when the verdicts survive.
+func TestEquivalenceStatsAfterRefactor(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		tr := tracegen.FromSeed(seed)
+		specRaces := raceKeys(detect.RunTrace(core.NewSpecEngine(), tr))
+		sort.Strings(specRaces)
+
+		run := func() (keys []string, st core.Stats) {
+			e := core.New()
+			keys = raceKeys(detect.RunTrace(e, tr))
+			sort.Strings(keys)
+			return keys, e.Stats()
+		}
+		got1, st1 := run()
+		got2, st2 := run()
+
+		if !equalStrings(specRaces, got1) {
+			t.Fatalf("seed %d: engine races %v, spec races %v", seed, got1, specRaces)
+		}
+		if !equalStrings(got1, got2) {
+			t.Fatalf("seed %d: race set not deterministic: %v vs %v", seed, got1, got2)
+		}
+		if st1 != st2 {
+			t.Fatalf("seed %d: stats not deterministic on identical replays:\n%+v\n%+v", seed, st1, st2)
+		}
+		resolved := st1.SC1Hits + st1.SC2Hits + st1.SC3Hits + st1.XactHits +
+			st1.HBCacheHits + st1.FullWalks + st1.DegradedChecks
+		if resolved != st1.PairChecks {
+			t.Fatalf("seed %d: pair-check accounting broken: %d resolved of %d checks (%+v)",
+				seed, resolved, st1.PairChecks, st1)
+		}
+		if r := st1.ShortCircuitRate(); r < 0 || r > 1 {
+			t.Fatalf("seed %d: short-circuit rate %v out of range", seed, r)
+		}
+		if st1.Races != uint64(len(got1)) {
+			t.Fatalf("seed %d: Stats.Races = %d, reported %d", seed, st1.Races, len(got1))
+		}
+	}
+}
+
 // TestLocksetLevelEquivalence goes beyond verdict equality: after every
 // prefix-complete run of a random trace, the optimized engine's lazily
 // evaluated write lockset of every variable equals the spec engine's

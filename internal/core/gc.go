@@ -93,7 +93,7 @@ func (e *Engine) escalateLocked(to resilience.DegradationRung) {
 // checks, never precision.
 func (e *Engine) shedCaches() {
 	e.cacheSheds.Add(1)
-	for _, vs := range e.allVarStates() {
+	e.forEachVarState(func(vs *varState) {
 		vs.mu.Lock()
 		if vs.write != nil {
 			vs.write.hbAfter = nil
@@ -102,7 +102,7 @@ func (e *Engine) shedCaches() {
 			in.hbAfter = nil
 		}
 		vs.mu.Unlock()
-	}
+	})
 }
 
 // eagerSweepLocked advances every Info to the current list tail — a
@@ -114,41 +114,51 @@ func (e *Engine) shedCaches() {
 func (e *Engine) eagerSweepLocked() {
 	e.eagerSweeps.Add(1)
 	tail := e.list.snapshotTail()
-	for _, vs := range e.allVarStates() {
+	e.forEachVarState(func(vs *varState) {
 		vs.mu.Lock()
 		e.advanceInfo(vs.write, tail)
 		for _, in := range vs.reads {
 			e.advanceInfo(in, tail)
 		}
 		vs.mu.Unlock()
-	}
+	})
 	e.list.trim(nil)
 }
 
-// allVarStates snapshots the variable states under the read lock.
-func (e *Engine) allVarStates() []*varState {
-	e.varsMu.RLock()
-	defer e.varsMu.RUnlock()
-	states := make([]*varState, 0, len(e.vars))
-	for _, fields := range e.vars {
-		for _, vs := range fields {
-			states = append(states, vs)
+// forEachVarState applies f to every tracked variable state, one shard
+// at a time: each shard's states are snapshotted under that shard's
+// read lock and processed after it is released, so a sweep never holds
+// more than one shard lock and never blocks accesses to the other 63
+// shards.
+func (e *Engine) forEachVarState(f func(vs *varState)) {
+	var states []*varState
+	for i := range e.varShards {
+		sh := &e.varShards[i]
+		sh.mu.RLock()
+		states = states[:0]
+		for _, fields := range sh.vars {
+			for _, vs := range fields {
+				states = append(states, vs)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, vs := range states {
+			f(vs)
 		}
 	}
-	return states
 }
 
 // advanceInfosBefore applies partially-eager evaluation: every Info
 // positioned before limit has its lockset brought forward to limit.
 func (e *Engine) advanceInfosBefore(limit *cell) {
-	for _, vs := range e.allVarStates() {
+	e.forEachVarState(func(vs *varState) {
 		vs.mu.Lock()
 		e.advanceInfo(vs.write, limit)
 		for _, in := range vs.reads {
 			e.advanceInfo(in, limit)
 		}
 		vs.mu.Unlock()
-	}
+	})
 }
 
 func (e *Engine) advanceInfo(in *info, limit *cell) {
@@ -156,7 +166,7 @@ func (e *Engine) advanceInfo(in *info, limit *cell) {
 		return
 	}
 	n := applyRules(in.ls, in.pos, limit, e.opts.TxnSemantics, false, 0, 0)
-	e.walkCells.Add(uint64(n))
+	e.stats[0].walkCells.Add(uint64(n)) // collection walks land on stripe 0
 	in.pos.refs.Add(-1)
 	limit.refs.Add(1)
 	in.pos = limit
@@ -166,14 +176,12 @@ func (e *Engine) advanceInfo(in *info, limit *cell) {
 // HeldLocks returns the monitors thread t currently holds, for tests and
 // debugging.
 func (e *Engine) HeldLocks(t event.Tid) []event.Addr {
-	e.locksMu.Lock()
-	defer e.locksMu.Unlock()
-	tl, ok := e.locks[t]
-	if !ok {
+	s := e.lockSnapshot(t)
+	if s == nil {
 		return nil
 	}
-	out := make([]event.Addr, len(tl.stack))
-	copy(out, tl.stack)
+	out := make([]event.Addr, len(s))
+	copy(out, s)
 	return out
 }
 
@@ -184,13 +192,7 @@ func (e *Engine) HeldLocks(t event.Tid) []event.Addr {
 // and for the lockset-level equivalence tests; the returned set is a
 // private copy.
 func (e *Engine) WriteLockset(o event.Addr, d event.FieldID) *Lockset {
-	e.varsMu.RLock()
-	fields := e.vars[o]
-	var vs *varState
-	if fields != nil {
-		vs = fields[d]
-	}
-	e.varsMu.RUnlock()
+	vs := e.lookupState(o, d)
 	if vs == nil {
 		return nil
 	}

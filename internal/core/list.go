@@ -24,11 +24,20 @@ type cell struct {
 // syncList is the synchronization event list: an append-only linked
 // list of synchronization actions in extended synchronization order,
 // with reference-counted prefix trimming.
+//
+// The sentinel tail is published through an atomic pointer, so readers
+// (snapshotTail on every data access, and the walks it anchors) never
+// take the mutex; mu serializes only the writers: enqueue and trim.
+// The memory-model argument: enqueue fills the old sentinel (action,
+// filled, next, and the new sentinel's seq) *before* the atomic store
+// that publishes the new tail, so a reader that loads some tail T sees
+// every cell strictly before T fully filled and immutable — those
+// fields are never written again.
 type syncList struct {
 	mu     sync.Mutex
-	head   *cell // oldest retained cell
-	tail   *cell // empty sentinel
-	length int   // filled cells reachable from head
+	head   *cell                // oldest retained cell; guarded by mu
+	tail   atomic.Pointer[cell] // empty sentinel; lock-free readable
+	length atomic.Int64         // filled cells reachable from head
 
 	enqueued  atomic.Uint64 // total events ever enqueued
 	collected atomic.Uint64 // total cells trimmed
@@ -36,30 +45,31 @@ type syncList struct {
 
 func newSyncList() *syncList {
 	sentinel := &cell{seq: 0}
-	return &syncList{head: sentinel, tail: sentinel}
+	l := &syncList{head: sentinel}
+	l.tail.Store(sentinel)
+	return l
 }
 
 // enqueue appends a synchronization action and returns the new length.
 func (l *syncList) enqueue(a event.Action) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	t := l.tail
+	t := l.tail.Load()
 	t.action = a
 	t.filled = true
 	t.next = &cell{seq: t.seq + 1}
-	l.tail = t.next
-	l.length++
+	l.tail.Store(t.next) // publishes the fill to lock-free readers
+	n := l.length.Add(1)
 	l.enqueued.Add(1)
-	return l.length
+	return int(n)
 }
 
-// snapshotTail returns the current sentinel. Every filled cell strictly
-// before it is immutable; the happens-before edge established by the
-// list mutex makes those cells safe to read without further locking.
+// snapshotTail returns the current sentinel without locking. Every
+// filled cell strictly before it is immutable; the happens-before edge
+// established by the atomic tail publication makes those cells safe to
+// read without further synchronization.
 func (l *syncList) snapshotTail() *cell {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.tail
+	return l.tail.Load()
 }
 
 // trim drops unreferenced cells from the front of the list, stopping at
@@ -69,37 +79,44 @@ func (l *syncList) trim(limit *cell) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	dropped := 0
-	for l.head != l.tail && l.head.filled && l.head.refs.Load() == 0 {
+	tail := l.tail.Load()
+	for l.head != tail && l.head.refs.Load() == 0 {
 		if limit != nil && l.head.seq >= limit.seq {
 			break
 		}
 		l.head = l.head.next
-		l.length--
 		dropped++
 	}
+	l.length.Add(int64(-dropped))
 	l.collected.Add(uint64(dropped))
 	return dropped
 }
 
 // len returns the number of filled cells currently retained.
 func (l *syncList) len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.length
+	return int(l.length.Load())
 }
 
 // cellAt returns the retained cell that is n filled cells past head (or
 // the last filled cell if the list is shorter), for choosing the
 // partially-eager advance point. Returns nil if the list has no filled
 // cells.
+//
+// Only the head read needs the mutex; the walk itself runs on the
+// immutable filled cells between head and a tail snapshot, so an O(n)
+// collection scan no longer blocks every concurrent enqueue and access.
+// The head must be read before the tail: head never passes the tail, so
+// a head read first is always at or before a tail read second, and the
+// sentinel stays reachable from it.
 func (l *syncList) cellAt(n int) *cell {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	c := l.head
-	if !c.filled {
-		return nil
+	l.mu.Unlock()
+	end := l.tail.Load()
+	if c == end {
+		return nil // no filled cells
 	}
-	for i := 0; i < n && c.next != nil && c.next.filled; i++ {
+	for i := 0; i < n && c.next != nil && c.next != end; i++ {
 		c = c.next
 	}
 	return c

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"goldilocks/internal/event"
+)
+
+// TestLockRecordStressConcurrent hammers the per-thread lock records
+// from many goroutines at once: acquire/release storms (including
+// reentrant and cross-goroutine mutation of the *same* thread id's
+// record), concurrent heldLock/holds/HeldLocks readers, and Reads/
+// Writes on overlapping variables whose SC2 path reads the published
+// snapshots. Run under `go test -race` (CI does) this checks that the
+// mutation-free snapshot reads really are race-free against concurrent
+// acquire/release.
+func TestLockRecordStressConcurrent(t *testing.T) {
+	e := New()
+
+	const (
+		workers = 8
+		rounds  = 500
+		locks   = 4
+		objects = 4
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the goroutines share thread id 1 (same-record
+			// mutation storm); the rest get distinct ids.
+			tid := event.Tid(1)
+			if w%2 == 1 {
+				tid = event.Tid(w + 1)
+			}
+			for i := 0; i < rounds; i++ {
+				lock := event.Addr(100 + i%locks)
+				obj := event.Addr(500 + i%objects)
+				e.Sync(event.Acquire(tid, lock))
+				e.Sync(event.Acquire(tid, lock)) // reentrant
+				e.Write(tid, obj, 0)
+				e.Read(tid, obj, 0)
+				e.Sync(event.Release(tid, lock))
+				e.Sync(event.Release(tid, lock))
+				// Mutation-free readers racing with the storm.
+				_ = e.heldLock(tid)
+				_ = e.holds(tid, lock)
+				_ = e.HeldLocks(event.Tid(1))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every acquire was matched by a release; all records must drain.
+	for tid := event.Tid(1); tid <= workers+1; tid++ {
+		if got := e.HeldLocks(tid); len(got) != 0 {
+			t.Errorf("thread %v still holds %v after balanced acquire/release", tid, got)
+		}
+		if l := e.heldLock(tid); l != event.NilAddr {
+			t.Errorf("heldLock(%v) = %v, want NilAddr", tid, l)
+		}
+	}
+}
+
+// TestLockSnapshotSemantics pins the sequential behaviour of the
+// published snapshots: ordering, reentrancy, and out-of-order release.
+func TestLockSnapshotSemantics(t *testing.T) {
+	e := New()
+	if got := e.heldLock(7); got != event.NilAddr {
+		t.Fatalf("heldLock on unknown thread = %v", got)
+	}
+	if e.holds(7, 10) {
+		t.Fatal("holds on unknown thread")
+	}
+
+	e.Sync(event.Acquire(7, 10))
+	e.Sync(event.Acquire(7, 11))
+	e.Sync(event.Acquire(7, 10)) // reentrant: stack unchanged
+	if got := e.heldLock(7); got != 11 {
+		t.Errorf("heldLock = %v, want 11 (most recent first-acquire)", got)
+	}
+	if !e.holds(7, 10) || !e.holds(7, 11) || e.holds(7, 12) {
+		t.Error("holds membership wrong")
+	}
+
+	e.Sync(event.Release(7, 10)) // count 2 -> 1: still held
+	if !e.holds(7, 10) {
+		t.Error("reentrant release dropped the lock early")
+	}
+	e.Sync(event.Release(7, 10)) // out-of-order full release
+	if e.holds(7, 10) {
+		t.Error("lock 10 still held after final release")
+	}
+	if got := e.heldLock(7); got != 11 {
+		t.Errorf("heldLock after removing 10 = %v, want 11", got)
+	}
+	e.Sync(event.Release(7, 11))
+	if got := e.HeldLocks(7); len(got) != 0 {
+		t.Errorf("HeldLocks = %v, want empty", got)
+	}
+}
+
+// TestSyncListConcurrentSnapshotEnqueue drives lock-free tail snapshots,
+// walks, cellAt scans, and trims against a concurrent enqueue storm —
+// the list-level counterpart of the engine stress tests, for `-race`.
+func TestSyncListConcurrentSnapshotEnqueue(t *testing.T) {
+	l := newSyncList()
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				l.enqueue(event.Acquire(event.Tid(w+1), event.Addr(20+w)))
+				if i%64 == 0 {
+					l.trim(nil)
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				start := l.snapshotTail()
+				start.refs.Add(1)
+				end := l.snapshotTail()
+				// Walk the immutable segment [start, end).
+				ls := NewLockset(ThreadElem(1))
+				applyRules(ls, start, end, event.TxnSharedVariable, false, 0, 0)
+				start.refs.Add(-1)
+				_ = l.cellAt(16)
+				_ = l.len()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := l.enqueued.Load(), uint64(writers*rounds); got != want {
+		t.Errorf("enqueued = %d, want %d", got, want)
+	}
+}

@@ -209,11 +209,16 @@ func (ls *Lockset) Clone() *Lockset {
 	return &Lockset{small: ls.small, m: ls.m, shared: true}
 }
 
-// Reset empties the set and inserts the given elements.
+// Reset empties the set and inserts the given elements, reusing the
+// small backing array when it is exclusively owned.
 func (ls *Lockset) Reset(elems ...Elem) {
-	ls.small = nil
 	ls.m = nil
-	ls.shared = false
+	if ls.shared {
+		ls.small = nil
+		ls.shared = false
+	} else {
+		ls.small = ls.small[:0]
+	}
 	for _, e := range elems {
 		ls.Add(e)
 	}

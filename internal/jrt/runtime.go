@@ -13,7 +13,12 @@ import (
 
 // Detector is the runtime-facing race-detector interface: concurrent
 // entry points for each action class. *core.Engine satisfies it
-// natively; Serialize adapts any trace-based detect.Detector.
+// natively — its hot path runs without any global lock (sharded
+// variable state, lock-free list snapshots, per-thread lock records;
+// see docs/PERFORMANCE.md) — so the runtime routes it directly.
+// Serialize exists only to adapt the trace-based detect.Detector
+// implementations (vector-clock, Eraser, ...), which assume a single
+// caller.
 type Detector interface {
 	Sync(a event.Action)
 	Read(t event.Tid, o event.Addr, f event.FieldID) *detect.Race
