@@ -26,6 +26,7 @@ import (
 	"goldilocks/internal/hb"
 	"goldilocks/internal/jrt"
 	"goldilocks/internal/mj"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/scenarios"
 	"goldilocks/internal/tracegen"
 )
@@ -342,6 +343,38 @@ func BenchmarkParallelAccess(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkTelemetry prices the observability layer on the lock-
+// disciplined hot path. "disabled" (no Telemetry attached) must match
+// the numbers BenchmarkEngineHotPaths/lockDiscipline reported before
+// the layer existed — with telemetry off, every instrumentation site
+// reduces to one nil check and allocates nothing. "enabled" adds the
+// atomic counter increments and the walk-depth histogram; "traced"
+// additionally records lockset transitions for the accessed variable
+// (the worst case: filter match on every access).
+func BenchmarkTelemetry(b *testing.B) {
+	run := func(b *testing.B, tel *obs.Telemetry) {
+		opts := core.DefaultOptions()
+		opts.Telemetry = tel
+		e := core.NewEngine(opts)
+		e.Sync(event.Fork(1, 2))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := event.Tid(1 + i%2)
+			e.Sync(event.Acquire(t, 20))
+			e.Write(t, 10, 0)
+			e.Sync(event.Release(t, 20))
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, obs.NewTelemetry()) })
+	b.Run("traced", func(b *testing.B) {
+		tel := obs.NewTelemetry()
+		tel.Trace.Enable("o10.f0")
+		run(b, tel)
+	})
 }
 
 // BenchmarkContention mixes the regimes: mostly-disjoint accesses with

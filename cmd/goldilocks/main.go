@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"goldilocks/internal/hb"
 	"goldilocks/internal/jrt"
 	"goldilocks/internal/mj"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
 	"goldilocks/internal/static"
 )
@@ -71,6 +73,14 @@ type runConfig struct {
 	record   string
 	onError  string // quarantine | abort
 	budget   int    // event-list cell budget; 0: unbounded
+
+	// Observability (docs/OBSERVABILITY.md). Any of these being set
+	// enables telemetry; all unset keeps the detector hot path free of
+	// instrumentation beyond one nil check per site.
+	statsJSON     string        // write the composite stats document here; "-" is stdout
+	metricsAddr   string        // serve /metrics, /debug/vars, /debug/pprof here
+	metricsLinger time.Duration // keep the metrics endpoint up this long after the run
+	traceVars     string        // comma-separated variables to trace locksets for; "all" traces everything
 }
 
 func main() {
@@ -88,6 +98,11 @@ func main() {
 		exploreN = flag.Int("explore", 0, "systematically explore up to N schedules and report how many race (implies -sched det)")
 		exploreP = flag.Int("explore-bound", 0, "preemption bound for -explore (0: unbounded)")
 		exploreT = flag.Duration("explore-timeout", 0, "wall-clock budget for -explore (0: unbounded)")
+
+		statsJSON  = flag.String("stats-json", "", "write the machine-readable stats document (metrics, races with provenance, runtime counters) to this file; - for stdout")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (e.g. localhost:6060; insecure, bind to localhost)")
+		linger     = flag.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after the run (for external scrapers)")
+		traceLocks = flag.String("trace-locksets", "", "record lockset transitions for these comma-separated variables (e.g. o10.f0), or \"all\"")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -113,6 +128,11 @@ func main() {
 		record:   *record,
 		onError:  *onError,
 		budget:   *budget,
+
+		statsJSON:     *statsJSON,
+		metricsAddr:   *metrics,
+		metricsLinger: *linger,
+		traceVars:     *traceLocks,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goldilocks:", err)
@@ -215,6 +235,26 @@ func run(path string, c runConfig) (int, error) {
 		return 0, usageErrf("unknown static analysis %q", c.static)
 	}
 
+	// Any observability flag switches telemetry on; otherwise tel stays
+	// nil and the engine's instrumentation sites reduce to a nil check.
+	var tel *obs.Telemetry
+	if c.statsJSON != "" || c.metricsAddr != "" || c.traceVars != "" {
+		tel = obs.NewTelemetry()
+		switch c.traceVars {
+		case "":
+		case "all":
+			tel.Trace.Enable()
+		default:
+			var names []string
+			for _, v := range strings.Split(c.traceVars, ",") {
+				if v = strings.TrimSpace(v); v != "" {
+					names = append(names, v)
+				}
+			}
+			tel.Trace.Enable(names...)
+		}
+	}
+
 	cfg := jrt.Config{}
 	var engine *core.Engine
 	var guard *jrt.Guarded
@@ -226,6 +266,7 @@ func run(path string, c runConfig) (int, error) {
 		}
 		opts.OnError = errPolicy
 		opts.MemoryBudget = c.budget
+		opts.Telemetry = tel
 		engine = core.NewEngine(opts)
 		cfg.Detector = engine
 	case "vectorclock":
@@ -269,6 +310,31 @@ func run(path string, c runConfig) (int, error) {
 	}
 
 	rt := jrt.NewRuntime(cfg)
+
+	// The registry aggregates every metric source; the live endpoint and
+	// the -stats-json document both read from it.
+	var reg *obs.Registry
+	var sampler *obs.Sampler
+	var srv *obs.Server
+	if tel != nil {
+		reg = obs.NewRegistry()
+		if engine != nil {
+			engine.RegisterMetrics(reg)
+			sampler = engine.StartSampling(reg, time.Second)
+		} else {
+			tel.Register(reg)
+		}
+		rt.RegisterMetrics(reg)
+		if c.metricsAddr != "" {
+			srv, err = obs.Serve(c.metricsAddr, reg)
+			if err != nil {
+				return 0, err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "goldilocks: serving metrics on http://%s/metrics\n", srv.Addr())
+		}
+	}
+
 	interp, err := mj.NewInterp(prog, mj.InterpConfig{Runtime: rt, Out: os.Stdout, SiteNoCheck: mask})
 	if err != nil {
 		return 0, err
@@ -277,9 +343,13 @@ func run(path string, c runConfig) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	sampler.Stop()
 
 	for _, r := range races {
 		fmt.Fprintf(os.Stderr, "race: %v\n", &r)
+		if r.Prov != nil {
+			fmt.Fprintf(os.Stderr, "  provenance: %v\n", r.Prov)
+		}
 	}
 	for _, u := range rt.Uncaught() {
 		fmt.Fprintf(os.Stderr, "uncaught %v (thread terminated)\n", u)
@@ -307,11 +377,74 @@ func run(path string, c runConfig) (int, error) {
 		}
 		fmt.Fprintf(os.Stderr, "recorded %d actions to %s\n", recorder.Trace().Len(), c.record)
 	}
+	if c.statsJSON != "" {
+		if err := writeStatsJSON(c.statsJSON, statsDoc(reg, tel, engine, rt, races)); err != nil {
+			return 0, err
+		}
+	}
+	if srv != nil && c.metricsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "goldilocks: metrics endpoint lingering for %v\n", c.metricsLinger)
+		time.Sleep(c.metricsLinger)
+	}
 	if rep := rt.Failure(); rep != nil {
 		fmt.Fprintf(os.Stderr, "goldilocks: %v\n", rep)
 		return len(races), rep
 	}
 	return len(races), nil
+}
+
+// raceDoc is one race in the -stats-json document.
+type raceDoc struct {
+	Var        string          `json:"var"`
+	Access     string          `json:"access"`
+	Pos        int             `json:"pos"`
+	Prev       string          `json:"prev,omitempty"`
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
+}
+
+// statsDoc assembles the composite -stats-json document: the metric
+// registry snapshot, the races with their provenance, and the raw
+// runtime/engine counters.
+func statsDoc(reg *obs.Registry, tel *obs.Telemetry, engine *core.Engine, rt *jrt.Runtime, races []detect.Race) map[string]any {
+	rds := make([]raceDoc, len(races))
+	for i, r := range races {
+		rds[i] = raceDoc{Var: r.Var.String(), Access: r.Access.String(), Pos: r.Pos, Provenance: r.Prov}
+		if r.HasPrev {
+			rds[i].Prev = r.Prev.String()
+		}
+	}
+	doc := map[string]any{
+		"metrics": reg.JSONValue(),
+		"races":   rds,
+		"runtime": rt.Stats(),
+	}
+	if engine != nil {
+		doc["engine"] = engine.Stats()
+	}
+	if rep := rt.Failure(); rep != nil {
+		doc["failure"] = rep
+	}
+	if tel.Trace.Enabled() {
+		transitions, dropped := tel.Trace.Snapshot()
+		doc["trace"] = map[string]any{"transitions": transitions, "dropped": dropped}
+	}
+	return doc
+}
+
+// writeStatsJSON writes the document to path ("-" is stdout).
+func writeStatsJSON(path string, doc map[string]any) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // writeRecording writes the trace in the format the path's extension

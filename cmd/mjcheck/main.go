@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	mjcheck [-analysis chord|rcc|both] program.mj
+//	mjcheck [-analysis chord|rcc|both] [-json] program.mj
 //
 // Exit codes: 0 success, 2 usage error, 3 runtime failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +24,10 @@ import (
 
 func main() {
 	analysis := flag.String("analysis", "both", "chord, rcc, or both")
+	asJSON := flag.Bool("json", false, "machine-readable JSON report on stdout")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mjcheck [-analysis chord|rcc|both] program.mj")
+		fmt.Fprintln(os.Stderr, "usage: mjcheck [-analysis chord|rcc|both] [-json] program.mj")
 		os.Exit(resilience.ExitUsage)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -43,8 +45,9 @@ func main() {
 		os.Exit(resilience.ExitRuntime)
 	}
 
+	var docs []analysisDoc
 	if *analysis == "chord" || *analysis == "both" {
-		report("chord", static.Chord(prog), prog)
+		docs = append(docs, report("chord", static.Chord(prog), prog, *asJSON))
 	}
 	if *analysis == "rcc" || *analysis == "both" {
 		// A fresh parse keeps the two analyses' sites independent.
@@ -58,32 +61,61 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mjcheck: rcc:", err)
 			os.Exit(resilience.ExitRuntime)
 		}
-		report("rcc", r, prog2)
+		docs = append(docs, report("rcc", r, prog2, *asJSON))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"program": flag.Arg(0), "analyses": docs}); err != nil {
+			fmt.Fprintln(os.Stderr, "mjcheck:", err)
+			os.Exit(resilience.ExitRuntime)
+		}
 	}
 }
 
-func report(name string, r *static.Result, prog *mj.Program) {
-	fmt.Printf("=== %s ===\n", name)
-	fmt.Printf("access sites proven race-free: %d / %d\n", r.SafeSiteCount(), mj.NumSites(prog))
+// analysisDoc is one analysis entry of the -json report.
+type analysisDoc struct {
+	Analysis    string   `json:"analysis"`
+	SafeSites   int      `json:"safe_sites"`
+	TotalSites  int      `json:"total_sites"`
+	SafeFields  []string `json:"safe_fields"`
+	SafeMethods []string `json:"safe_methods"`
+}
 
-	var fields []string
+// report summarizes one analysis result, printing the human-readable
+// form unless the caller asked for JSON only.
+func report(name string, r *static.Result, prog *mj.Program, jsonOnly bool) analysisDoc {
+	fields := []string{}
 	for k := range r.SafeFields {
 		fields = append(fields, k.String())
 	}
 	sort.Strings(fields)
-	fmt.Printf("race-free variables (%d):\n", len(fields))
-	for _, f := range fields {
-		fmt.Printf("  %s\n", f)
-	}
-
-	var methods []string
+	methods := []string{}
 	for m := range r.SafeMethods {
 		methods = append(methods, m.QName())
 	}
 	sort.Strings(methods)
+	doc := analysisDoc{
+		Analysis:    name,
+		SafeSites:   r.SafeSiteCount(),
+		TotalSites:  mj.NumSites(prog),
+		SafeFields:  fields,
+		SafeMethods: methods,
+	}
+	if jsonOnly {
+		return doc
+	}
+
+	fmt.Printf("=== %s ===\n", name)
+	fmt.Printf("access sites proven race-free: %d / %d\n", doc.SafeSites, doc.TotalSites)
+	fmt.Printf("race-free variables (%d):\n", len(fields))
+	for _, f := range fields {
+		fmt.Printf("  %s\n", f)
+	}
 	fmt.Printf("race-free methods (%d):\n", len(methods))
 	for _, m := range methods {
 		fmt.Printf("  %s\n", m)
 	}
 	fmt.Println()
+	return doc
 }

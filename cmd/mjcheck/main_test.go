@@ -27,11 +27,11 @@ class Main {
 }
 `
 	prog := mj.MustCheck(src)
-	report("chord", static.Chord(prog), prog)
+	report("chord", static.Chord(prog), prog, false)
 	prog2 := mj.MustCheck(src)
 	r, err := static.Rcc(prog2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	report("rcc", r, prog2)
+	report("rcc", r, prog2, false)
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"goldilocks/internal/bench"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
 )
 
@@ -38,12 +39,29 @@ func main() {
 		scaleMS = flag.Int("scalems", 200, "milliseconds per scale sweep point")
 		scaleTo = flag.String("scaleout", "BENCH_scale.json", "scale sweep JSON output path")
 		verbose = flag.Bool("v", false, "progress output")
+		metrics = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarks run (e.g. localhost:6060; insecure, bind to localhost)")
 	)
 	flag.Parse()
 
 	progress := func(string) {}
 	if *verbose {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	// The live endpoint exposes the detector rule counters (fed by the
+	// scale sweep's engines) and process profiling for every benchmark.
+	var tel *obs.Telemetry
+	if *metrics != "" {
+		tel = obs.NewTelemetry()
+		reg := obs.NewRegistry()
+		tel.Register(reg)
+		srv, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "racebench:", err)
+			os.Exit(resilience.ExitRuntime)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "racebench: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	ran := false
@@ -99,7 +117,7 @@ func main() {
 	if *all || *scale {
 		ran = true
 		procs := []int{1, 2, 4, 8}
-		rep := bench.Scale(procs, time.Duration(*scaleMS)*time.Millisecond, progress)
+		rep := bench.Scale(procs, time.Duration(*scaleMS)*time.Millisecond, tel, progress)
 		data, err := bench.MarshalScale(rep)
 		if err != nil {
 			fail(err)

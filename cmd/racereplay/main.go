@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"goldilocks/internal/detectors/eraser"
 	"goldilocks/internal/event"
 	"goldilocks/internal/hb"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
 )
 
@@ -50,8 +52,9 @@ func exitFor(nraces int, err error) int {
 
 func main() {
 	var (
-		detName = flag.String("detector", "goldilocks", "goldilocks, spec, vectorclock, eraser, basic, or all")
-		oracle  = flag.Bool("oracle", false, "enumerate exact extended-race pairs via the happens-before oracle")
+		detName   = flag.String("detector", "goldilocks", "goldilocks, spec, vectorclock, eraser, basic, or all")
+		oracle    = flag.Bool("oracle", false, "enumerate exact extended-race pairs via the happens-before oracle")
+		statsJSON = flag.String("stats-json", "", "write per-detector rule-fire counts and races (with provenance) to this file; - for stdout")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -59,24 +62,52 @@ func main() {
 		flag.Usage()
 		os.Exit(resilience.ExitUsage)
 	}
-	n, err := replay(flag.Arg(0), *detName, *oracle, os.Stdout)
+	n, err := replay(flag.Arg(0), *detName, *oracle, *statsJSON, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racereplay:", err)
 	}
 	os.Exit(exitFor(n, err))
 }
 
-var detectorFactories = map[string]func() detect.Detector{
-	"goldilocks":  func() detect.Detector { return core.New() },
-	"spec":        func() detect.Detector { return core.NewSpecEngine() },
-	"vectorclock": func() detect.Detector { return hb.NewDetector() },
-	"eraser":      func() detect.Detector { return eraser.New() },
-	"basic":       func() detect.Detector { return basic.New() },
+// detectorFactories build each detector; tel (nil unless -stats-json is
+// set) is attached where the implementation supports telemetry — both
+// Goldilocks engines count the same event-level rule fires, so their
+// -stats-json output is directly comparable.
+var detectorFactories = map[string]func(tel *obs.Telemetry) detect.Detector{
+	"goldilocks": func(tel *obs.Telemetry) detect.Detector {
+		opts := core.DefaultOptions()
+		opts.Telemetry = tel
+		return core.NewEngine(opts)
+	},
+	"spec": func(tel *obs.Telemetry) detect.Detector {
+		s := core.NewSpecEngine()
+		s.SetTelemetry(tel)
+		return s
+	},
+	"vectorclock": func(*obs.Telemetry) detect.Detector { return hb.NewDetector() },
+	"eraser":      func(*obs.Telemetry) detect.Detector { return eraser.New() },
+	"basic":       func(*obs.Telemetry) detect.Detector { return basic.New() },
+}
+
+// replayRaceDoc is one race in the -stats-json document.
+type replayRaceDoc struct {
+	Var        string          `json:"var"`
+	Access     string          `json:"access"`
+	Pos        int             `json:"pos"`
+	Prev       string          `json:"prev,omitempty"`
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
+}
+
+// replayStats is the per-detector entry of the -stats-json document.
+type replayStats struct {
+	Detector  string            `json:"detector"`
+	RuleFires map[string]uint64 `json:"rule_fires,omitempty"`
+	Races     []replayRaceDoc   `json:"races"`
 }
 
 // replay loads a trace and reports races; it returns the number of
 // races found by the last analysis run.
-func replay(path, detName string, useOracle bool, out *os.File) (int, error) {
+func replay(path, detName string, useOracle bool, statsJSON string, out *os.File) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -109,17 +140,70 @@ func replay(path, detName string, useOracle bool, out *os.File) (int, error) {
 		names = []string{"goldilocks", "spec", "vectorclock", "eraser", "basic"}
 	}
 	total := 0
+	var stats []replayStats
 	for _, name := range names {
 		mk, ok := detectorFactories[name]
 		if !ok {
 			return 0, fmt.Errorf("%w: unknown detector %q", errUsage, name)
 		}
-		races := detect.RunTrace(mk(), tr)
+		var tel *obs.Telemetry
+		if statsJSON != "" && (name == "goldilocks" || name == "spec") {
+			tel = obs.NewTelemetry()
+		}
+		races := detect.RunTrace(mk(tel), tr)
 		fmt.Fprintf(out, "%s: %d races\n", name, len(races))
 		for _, r := range races {
 			fmt.Fprintf(out, "  %v\n", &r)
+			if r.Prov != nil {
+				fmt.Fprintf(out, "    provenance: %v\n", r.Prov)
+			}
+		}
+		if statsJSON != "" {
+			stats = append(stats, replayStatsFor(name, tel, races))
 		}
 		total = len(races)
 	}
+	if statsJSON != "" {
+		if err := writeReplayStats(statsJSON, stats); err != nil {
+			return 0, err
+		}
+	}
 	return total, nil
+}
+
+// replayStatsFor builds the -stats-json entry for one detector run. The
+// rule-fire map is omitted for detectors without telemetry support
+// (vector clock, Eraser, basic), which get a nil tel.
+func replayStatsFor(name string, tel *obs.Telemetry, races []detect.Race) replayStats {
+	st := replayStats{Detector: name, Races: make([]replayRaceDoc, len(races))}
+	for i, r := range races {
+		st.Races[i] = replayRaceDoc{Var: r.Var.String(), Access: r.Access.String(), Pos: r.Pos, Provenance: r.Prov}
+		if r.HasPrev {
+			st.Races[i].Prev = r.Prev.String()
+		}
+	}
+	if tel != nil {
+		fires := tel.RuleFires()
+		st.RuleFires = make(map[string]uint64, obs.NumRules)
+		for rule := 1; rule <= obs.NumRules; rule++ {
+			st.RuleFires[fmt.Sprintf("%d:%s", rule, obs.RuleName(rule))] = fires[rule]
+		}
+	}
+	return st
+}
+
+// writeReplayStats writes the document to path ("-" is stdout).
+func writeReplayStats(path string, stats []replayStats) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"detectors": stats})
 }

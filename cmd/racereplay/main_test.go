@@ -59,7 +59,7 @@ func TestReplayDetectors(t *testing.T) {
 	racy := writeTraceFile(t, racyTrace())
 	clean := writeTraceFile(t, cleanTrace())
 	for _, det := range []string{"goldilocks", "spec", "vectorclock", "eraser", "basic", "all"} {
-		n, err := replay(racy, det, false, os.Stdout)
+		n, err := replay(racy, det, false, "", os.Stdout)
 		if err != nil {
 			t.Fatalf("%s: %v", det, err)
 		}
@@ -71,7 +71,7 @@ func TestReplayDetectors(t *testing.T) {
 		}
 	}
 	for _, det := range []string{"goldilocks", "spec", "vectorclock"} {
-		n, err := replay(clean, det, false, os.Stdout)
+		n, err := replay(clean, det, false, "", os.Stdout)
 		if err != nil {
 			t.Fatalf("%s: %v", det, err)
 		}
@@ -88,7 +88,7 @@ func TestReplayDetectors(t *testing.T) {
 // identically to the legacy format.
 func TestReplayStreamFormat(t *testing.T) {
 	racy := writeStreamFile(t, racyTrace())
-	n, err := replay(racy, "goldilocks", false, os.Stdout)
+	n, err := replay(racy, "goldilocks", false, "", os.Stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestReplayTruncatedStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	n, err := replay(path, "goldilocks", false, out)
+	n, err := replay(path, "goldilocks", false, "", out)
 	if err != nil {
 		t.Fatalf("truncated stream not salvaged: %v", err)
 	}
@@ -136,7 +136,7 @@ func TestReplayTruncatedStream(t *testing.T) {
 
 func TestReplayOracle(t *testing.T) {
 	racy := writeTraceFile(t, racyTrace())
-	n, err := replay(racy, "", true, os.Stdout)
+	n, err := replay(racy, "", true, "", os.Stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestReplayOracle(t *testing.T) {
 }
 
 func TestReplayErrors(t *testing.T) {
-	n, err := replay(filepath.Join(t.TempDir(), "nope.json"), "goldilocks", false, os.Stdout)
+	n, err := replay(filepath.Join(t.TempDir(), "nope.json"), "goldilocks", false, "", os.Stdout)
 	if err == nil {
 		t.Error("missing file accepted")
 	}
@@ -155,11 +155,11 @@ func TestReplayErrors(t *testing.T) {
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{"), 0o644)
-	if _, err := replay(bad, "goldilocks", false, os.Stdout); err == nil {
+	if _, err := replay(bad, "goldilocks", false, "", os.Stdout); err == nil {
 		t.Error("corrupt file accepted")
 	}
 	good := writeTraceFile(t, cleanTrace())
-	n, err = replay(good, "nonsense", false, os.Stdout)
+	n, err = replay(good, "nonsense", false, "", os.Stdout)
 	if err == nil {
 		t.Error("unknown detector accepted")
 	}

@@ -3,13 +3,17 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"goldilocks/internal/core"
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 )
 
 // ScalePoint is one (mix, GOMAXPROCS) measurement of the scalability
@@ -24,16 +28,50 @@ type ScalePoint struct {
 	Speedup   float64 `json:"speedup_vs_1proc"`
 }
 
+// EngineConfig records the engine configuration a sweep ran with, so a
+// BENCH_scale.json number can be tied to the shard count, memory
+// budget, and detector that produced it.
+type EngineConfig struct {
+	Shards       int    `json:"shards"`
+	MemoryBudget int    `json:"memory_budget"`
+	GCThreshold  int    `json:"gc_threshold"`
+	Detector     string `json:"detector"`
+}
+
 // ScaleReport is the machine-readable output of the -scale sweep.
 // NumCPU records the hardware parallelism actually available: on a
 // single-CPU machine raising GOMAXPROCS cannot yield speedup, and the
 // sweep is a contention (not a scaling) measurement — consumers must
-// interpret Speedup against NumCPU, not against Procs.
+// interpret Speedup against NumCPU, not against Procs. GitCommit and
+// Engine identify what was measured: the source revision and the
+// engine configuration.
 type ScaleReport struct {
 	NumCPU     int          `json:"num_cpu"`
 	GoVersion  string       `json:"go_version"`
+	GitCommit  string       `json:"git_commit"`
+	Engine     EngineConfig `json:"engine"`
 	PerPointMS float64      `json:"per_point_ms"`
 	Points     []ScalePoint `json:"points"`
+}
+
+// gitCommit resolves the source revision the binary was built from: the
+// vcs.revision build setting when the binary was built inside a
+// checkout, falling back to asking git directly (test binaries), or
+// "unknown" outside any repository.
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
 }
 
 // scaleMix names one access pattern of the sweep and the per-worker
@@ -76,11 +114,21 @@ var scaleMixes = []scaleMix{
 // value it spins up procs workers against a fresh engine for roughly
 // perPoint and records throughput. The returned report carries
 // runtime.NumCPU so a flat speedup curve on a small machine is
-// distinguishable from a contention regression.
-func Scale(procsList []int, perPoint time.Duration, progress func(string)) ScaleReport {
+// distinguishable from a contention regression. tel, when non-nil, is
+// shared by every point's engine, so a live -metrics-addr endpoint sees
+// the cumulative rule-fire counters across the sweep.
+func Scale(procsList []int, perPoint time.Duration, tel *obs.Telemetry, progress func(string)) ScaleReport {
+	opts := scaleOptions(tel)
 	rep := ScaleReport{
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		GitCommit: gitCommit(),
+		Engine: EngineConfig{
+			Shards:       core.NewEngine(opts).ShardCount(),
+			MemoryBudget: opts.MemoryBudget,
+			GCThreshold:  opts.GCThreshold,
+			Detector:     core.NewEngine(opts).Name(),
+		},
 		PerPointMS: float64(perPoint) / float64(time.Millisecond),
 	}
 	prev := runtime.GOMAXPROCS(0)
@@ -90,7 +138,7 @@ func Scale(procsList []int, perPoint time.Duration, progress func(string)) Scale
 		var base float64
 		for _, procs := range procsList {
 			runtime.GOMAXPROCS(procs)
-			ops, elapsed := scaleOnePoint(mix, procs, perPoint)
+			ops, elapsed := scaleOnePoint(mix, procs, perPoint, tel)
 			p := ScalePoint{
 				Mix:       mix.name,
 				Procs:     procs,
@@ -110,13 +158,19 @@ func Scale(procsList []int, perPoint time.Duration, progress func(string)) Scale
 	return rep
 }
 
+// scaleOptions is the engine configuration every sweep point runs with.
+func scaleOptions(tel *obs.Telemetry) core.Options {
+	opts := core.DefaultOptions()
+	opts.MemoryBudget = 1 << 20
+	opts.Telemetry = tel
+	return opts
+}
+
 // scaleOnePoint measures one cell of the sweep: procs workers hammer a
 // fresh engine until the deadline, and the total operation count and
 // true elapsed time come back.
-func scaleOnePoint(mix scaleMix, procs int, perPoint time.Duration) (int64, time.Duration) {
-	opts := core.DefaultOptions()
-	opts.MemoryBudget = 1 << 20
-	e := core.NewEngine(opts)
+func scaleOnePoint(mix scaleMix, procs int, perPoint time.Duration, tel *obs.Telemetry) (int64, time.Duration) {
+	e := core.NewEngine(scaleOptions(tel))
 
 	var stop atomic.Bool
 	var total atomic.Int64

@@ -6,8 +6,16 @@ import (
 
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
 )
+
+// walkObserver, when non-nil, is invoked by walkUntil for every rule
+// application that grew the lockset: the cell that fired, the rule
+// number, and the lockset after the application. It feeds the
+// WalkRuleHits counters and the lockset trace hook; the disabled-
+// telemetry path passes nil.
+type walkObserver func(c *cell, rule int, after *Lockset)
 
 // Read checks a plain (non-transactional) read of (o, d) by thread t and
 // records it. It returns the race the read causes, or nil.
@@ -99,6 +107,33 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 	st.accessesChecked.Add(1)
 	v := event.Variable{Obj: o, Field: d}
 
+	// Telemetry (all nil when disabled): a plain access fires rule 1 (a
+	// transactional one is covered by the commit's rule 9 fire); the walk
+	// observer feeds WalkRuleHits, and — for traced variables — the
+	// lockset trace hook.
+	var onFire walkObserver
+	var vname string
+	traced := false
+	if e.tel != nil {
+		if !xact {
+			e.tel.Fire(obs.RuleAccess)
+		}
+		onFire = e.walkObs
+		if e.tel.Trace.Enabled() {
+			vname = v.String()
+			if traced = e.tel.Trace.Match(vname); traced {
+				tel := e.tel
+				onFire = func(c *cell, rule int, after *Lockset) {
+					tel.WalkRuleHits[rule].Inc()
+					tel.Trace.Record(obs.LocksetTransition{
+						Seq: c.seq, Var: vname, Rule: rule,
+						Action: c.action.String(), Lockset: after.String(),
+					})
+				}
+			}
+		}
+	}
+
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -121,9 +156,11 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 	}
 
 	pos := e.list.snapshotTail()
+	var racePrev *info // the Info the failed check was against
 	// Every access is checked against the last write.
-	if !e.checkHB(vs.write, t, xact, pos, st) {
+	if !e.checkHB(vs.write, t, xact, pos, st, onFire) {
 		race = &detect.Race{Var: v, Access: a, Prev: vs.write.action, HasPrev: true}
+		racePrev = vs.write
 	}
 	// A write is additionally checked against every read since that
 	// write. When the writer and every reader are transactional, the
@@ -135,8 +172,9 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 		} else if len(vs.reads) == 1 {
 			// Single reader: trivially deterministic, no sort needed.
 			for u, prev := range vs.reads {
-				if u != t && !e.checkHB(prev, t, xact, pos, st) {
+				if u != t && !e.checkHB(prev, t, xact, pos, st, onFire) {
 					race = &detect.Race{Var: v, Access: a, Prev: prev.action, HasPrev: true}
+					racePrev = prev
 				}
 			}
 		} else {
@@ -153,12 +191,20 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 			slices.Sort(tids)
 			for _, u := range tids {
 				prev := vs.reads[u]
-				if !e.checkHB(prev, t, xact, pos, st) {
+				if !e.checkHB(prev, t, xact, pos, st, onFire) {
 					race = &detect.Race{Var: v, Access: a, Prev: prev.action, HasPrev: true}
+					racePrev = prev
 					break
 				}
 			}
 		}
+	}
+
+	// Race provenance is reconstructed before the install phase recycles
+	// racePrev's record in place. A cold path: a race ends checking for
+	// the variable (under DisableAfterRace) and is rare regardless.
+	if race != nil {
+		race.Prov = e.buildProvenance(v, racePrev, t, pos)
 	}
 
 	// Install the record: a write supersedes the previous write and all
@@ -181,6 +227,22 @@ func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Acti
 		}
 		vs.reads[t] = e.installInfo(vs.reads[t], pos, t, a, xact, ls)
 		vs.readsAllXact = vs.readsAllXact && xact
+	}
+	if traced {
+		// The access itself is a transition too: rule 1 (or 9 inside a
+		// transaction) reset the lockset to the just-installed one.
+		in := vs.write
+		if !isWrite {
+			in = vs.reads[t]
+		}
+		rule := obs.RuleAccess
+		if xact {
+			rule = obs.RuleCommit
+		}
+		e.tel.Trace.Record(obs.LocksetTransition{
+			Seq: pos.seq, Var: vname, Rule: rule,
+			Action: a.String(), Lockset: in.ls.String(),
+		})
 	}
 
 	if race != nil {
@@ -221,6 +283,7 @@ func (e *Engine) installInfo(old *info, pos *cell, t event.Tid, a event.Action, 
 	in.alock = e.heldLock(t)
 	in.xact = xact
 	in.action = a
+	in.origSeq = pos.seq
 	in.hbAfter = nil
 	return in
 }
@@ -230,7 +293,7 @@ func (e *Engine) installInfo(old *info, pos *cell, t event.Tid, a event.Action, 
 // by thread t (whose Info position is end), trying the cheap sufficient
 // checks first and falling back to lockset computation over the
 // synchronization event list.
-func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *statStripe) bool {
+func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *statStripe, onFire walkObserver) bool {
 	if prev == nil {
 		return true // fresh variable: empty lockset
 	}
@@ -281,17 +344,22 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *stat
 	// segments skip SC3: a successful filtered walk is never memoized
 	// (its lockset is a subset), so repeating it over a long stale
 	// segment costs more than one full walk that advances the Info.
+	walked := 0 // cells visited across this check's traversals, for WalkDepth
 	if e.opts.SC3 && (e.opts.SC3MaxSegment == 0 || end.seq-prev.pos.seq <= uint64(e.opts.SC3MaxSegment)) {
 		ls := prev.ls.Clone()
-		found, viaTL, _, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, true, prev.owner, t, acceptTL)
+		found, viaTL, _, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, true, prev.owner, t, acceptTL, onFire)
 		st.walkCells.Add(uint64(n))
 		if found {
 			st.sc3Hits.Add(1)
+			if e.tel != nil {
+				e.tel.WalkDepth.Observe(uint64(n))
+			}
 			if !viaTL {
 				e.cacheHB(prev, t)
 			}
 			return true
 		}
+		walked = n
 	}
 	// Full lockset computation (Apply-Lockset-Rules), lazily evaluating
 	// the lockset of the variable at the current access. Locksets only
@@ -300,8 +368,11 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *stat
 	// complete lockset and can be memoized.
 	st.fullWalks.Add(1)
 	ls := prev.ls.Clone()
-	found, viaTL, stopped, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, false, prev.owner, t, acceptTL)
+	found, viaTL, stopped, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, false, prev.owner, t, acceptTL, onFire)
 	st.walkCells.Add(uint64(n))
+	if e.tel != nil {
+		e.tel.WalkDepth.Observe(uint64(walked + n))
+	}
 	if e.opts.Memoize && stopped == end {
 		// The computed lockset is the variable's lockset at position
 		// end; remember it so the next check resumes from here.
@@ -321,8 +392,9 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *stat
 // thread t entered the lockset, or (when acceptTL is set) TL did. It
 // returns whether the verdict is positive, whether it was via TL, the
 // cell the walk stopped at (== end iff it ran to completion), and the
-// number of cells visited.
-func walkUntil(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid, acceptTL bool) (found, viaTL bool, stopped *cell, n int) {
+// number of cells visited. onFire, when non-nil, observes every rule
+// application that grew the lockset.
+func walkUntil(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid, acceptTL bool, onFire walkObserver) (found, viaTL bool, stopped *cell, n int) {
 	target := ThreadElem(t2)
 	check := func() (bool, bool) {
 		if ls.Has(target) {
@@ -342,6 +414,9 @@ func walkUntil(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bo
 		before := ls.Len()
 		applyRuleCell(ls, c.action, sem, filtered, t1, t2)
 		if ls.Len() != before {
+			if onFire != nil {
+				onFire(c, obs.RuleOf(c.action.Kind), ls)
+			}
 			if ok, tl := check(); ok {
 				return true, tl, c.next, n
 			}

@@ -6,6 +6,7 @@ import (
 
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
 )
 
@@ -74,6 +75,11 @@ type Options struct {
 	// Injector injects faults for resilience testing; nil injects
 	// nothing.
 	Injector *resilience.Injector
+	// Telemetry, when non-nil, receives per-rule fire counts, walk-depth
+	// observations, and lockset traces (docs/OBSERVABILITY.md). Nil —
+	// the default — costs the access hot path one nil-check branch per
+	// instrumentation site and nothing else.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultOptions returns the configuration used by the paper's
@@ -114,25 +120,54 @@ type Stats struct {
 	InfosAdvanced   uint64 // partially-eager advances
 
 	// Resilience counters (docs/ROBUSTNESS.md).
-	PanicsRecovered  uint64 // detector-check panics caught by the barrier
-	VarsQuarantined  uint64 // variables no longer checked after a panic
-	GovernorRung     resilience.DegradationRung
-	Escalations      uint64 // governor rung climbs
-	AggressiveGCs    uint64 // rung-1 aggressive collections
-	CacheSheds       uint64 // rung-2 happens-before cache sheds
-	EagerSweeps      uint64 // rung-2/3 fully-eager Info sweeps
-	DegradedChecks   uint64 // rung-3 checks resolved by assumption
+	PanicsRecovered uint64 // detector-check panics caught by the barrier
+	VarsQuarantined uint64 // variables no longer checked after a panic
+	GovernorRung    resilience.DegradationRung
+	Escalations     uint64 // governor rung climbs
+	AggressiveGCs   uint64 // rung-1 aggressive collections
+	CacheSheds      uint64 // rung-2 happens-before cache sheds
+	EagerSweeps     uint64 // rung-2/3 fully-eager Info sweeps
+	DegradedChecks  uint64 // rung-3 checks resolved by assumption
 }
 
 // ShortCircuitRate returns the fraction of pair checks resolved by a
 // short-circuit (including the transactions check), in [0, 1]; it is the
-// "short-circuit checks (%)" statistic of Table 1.
+// "short-circuit checks (%)" statistic of Table 1. Like every ratio
+// helper on Stats it returns 0, not NaN, when the denominator is zero
+// (an engine that checked nothing).
 func (s Stats) ShortCircuitRate() float64 {
 	if s.PairChecks == 0 {
 		return 0
 	}
 	sc := s.SC1Hits + s.SC2Hits + s.SC3Hits + s.XactHits + s.HBCacheHits
 	return float64(sc) / float64(s.PairChecks)
+}
+
+// FullWalkRate returns the fraction of pair checks that fell through to
+// a full lockset computation, in [0, 1]; 0 when no checks ran.
+func (s Stats) FullWalkRate() float64 {
+	if s.PairChecks == 0 {
+		return 0
+	}
+	return float64(s.FullWalks) / float64(s.PairChecks)
+}
+
+// AvgWalkCells returns the mean number of event-list cells visited per
+// pair check; 0 when no checks ran.
+func (s Stats) AvgWalkCells() float64 {
+	if s.PairChecks == 0 {
+		return 0
+	}
+	return float64(s.WalkCells) / float64(s.PairChecks)
+}
+
+// GCReclaimRate returns the fraction of enqueued events whose cells have
+// been reclaimed, in [0, 1]; 0 when nothing was enqueued.
+func (s Stats) GCReclaimRate() float64 {
+	if s.EventsEnqueued == 0 {
+		return 0
+	}
+	return float64(s.CellsCollected) / float64(s.EventsEnqueued)
 }
 
 // info is the Info record of Figure 8: metadata for the last write (or
@@ -147,6 +182,11 @@ type info struct {
 	alock  event.Addr // a lock held by owner at access time; NilAddr if none
 	xact   bool
 	action event.Action
+	// origSeq is the list position of the access itself. pos advances
+	// with memoization and partially-eager evaluation; origSeq does not,
+	// so race provenance can replay the examined path from the access —
+	// as long as those cells are still retained.
+	origSeq uint64
 	// hbAfter caches threads proven ordered after this access (guarded
 	// by the variable's mutex, like the rest of the record).
 	hbAfter map[event.Tid]struct{}
@@ -260,6 +300,13 @@ type Engine struct {
 	opts Options
 	list *syncList
 
+	// tel is Options.Telemetry: nil when telemetry is disabled, which is
+	// the single branch every instrumentation site is gated on. walkObs
+	// is the walk observer feeding tel.WalkRuleHits, built once here so
+	// the per-access setup does not allocate a closure.
+	tel     *obs.Telemetry
+	walkObs walkObserver
+
 	varShards [varShardCount]varShard
 
 	locks sync.Map // event.Tid -> *threadLocks
@@ -293,9 +340,13 @@ func NewEngine(opts Options) *Engine {
 	e := &Engine{
 		opts: opts,
 		list: newSyncList(),
+		tel:  opts.Telemetry,
 	}
 	for i := range e.varShards {
 		e.varShards[i].vars = make(map[event.Addr]map[event.FieldID]*varState)
+	}
+	if tel := e.tel; tel != nil {
+		e.walkObs = func(_ *cell, rule int, _ *Lockset) { tel.WalkRuleHits[rule].Inc() }
 	}
 	return e
 }
@@ -375,6 +426,12 @@ func (e *Engine) Step(a event.Action) []detect.Race {
 // Sync records a synchronization action (acquire, release, volatile
 // read/write, fork, join) in the event list.
 func (e *Engine) Sync(a event.Action) {
+	if e.tel != nil {
+		// One rule fire per synchronization action (rules 2–7, and 9 for
+		// the commit enqueued by Commit), counted at the event level so
+		// the spec and optimized engines agree on the same linearization.
+		e.tel.FireKind(a.Kind)
+	}
 	switch a.Kind {
 	case event.KindAcquire:
 		tl := e.threadLocks(a.Thread)
@@ -469,6 +526,9 @@ func (e *Engine) holds(t event.Tid, o event.Addr) bool {
 // object hash to different shards, so every shard is visited; Alloc is
 // off the access hot path, so the 64 lock acquisitions are acceptable.
 func (e *Engine) Alloc(_ event.Tid, o event.Addr) {
+	if e.tel != nil {
+		e.tel.Fire(obs.RuleAlloc)
+	}
 	for i := range e.varShards {
 		sh := &e.varShards[i]
 		sh.mu.Lock()
@@ -492,7 +552,15 @@ func (e *Engine) stateOf(o event.Addr, d event.FieldID) *varState {
 // access path also needs it for the stat stripe).
 func (e *Engine) stateOfShard(o event.Addr, d event.FieldID, idx uint64) *varState {
 	sh := &e.varShards[idx]
-	sh.mu.RLock()
+	if e.tel == nil {
+		sh.mu.RLock()
+	} else if !sh.mu.TryRLock() {
+		// The shard read lock was contended (a writer holds or wants it);
+		// count it, then wait normally. TryRLock costs nothing extra when
+		// uncontended and runs only with telemetry enabled.
+		e.tel.ShardContention.Inc()
+		sh.mu.RLock()
+	}
 	fields, ok := sh.vars[o]
 	if ok {
 		if vs, ok := fields[d]; ok {

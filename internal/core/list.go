@@ -97,6 +97,27 @@ func (l *syncList) len() int {
 	return int(l.length.Load())
 }
 
+// cellFor returns the retained cell at position seq, or nil if that
+// prefix has been collected. The scan from head is linear — cellFor
+// serves race provenance, a cold path that runs at most once per racy
+// variable.
+func (l *syncList) cellFor(seq uint64) *cell {
+	l.mu.Lock()
+	c := l.head
+	l.mu.Unlock()
+	if c.seq > seq {
+		return nil
+	}
+	end := l.tail.Load()
+	for c != end && c.seq < seq {
+		c = c.next
+	}
+	if c.seq != seq {
+		return nil
+	}
+	return c
+}
+
 // cellAt returns the retained cell that is n filled cells past head (or
 // the last filled cell if the list is shorter), for choosing the
 // partially-eager advance point. Returns nil if the list has no filled

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+)
+
+// This file reconstructs race provenance (obs.Provenance): the
+// linearized synchronization path the detector examined between the
+// previous conflicting access and the racing one, and how the
+// variable's lockset evolved along it.
+//
+// Both engines reconstruct the same way — re-derive the lockset the
+// variable had just after the previous access, then replay the update
+// rules over the synchronization actions that followed — so for the
+// same linearization they attach identical provenance, regardless of
+// short-circuits, memoization, or eager-vs-lazy evaluation
+// (TestMetricsDeterminism pins this). Reconstruction happens only when
+// a race is detected: a cold path, and one that ends checking for the
+// variable under DisableAfterRace.
+
+// baseLockset re-derives the lockset of a variable just after an access
+// by owner: {owner} for a plain access; {owner, TL} plus the outgoing-
+// edge witnesses of the configured transaction semantics for a
+// transactional one (mirroring Commit's base construction and the spec
+// engine's access+release phases).
+func baseLockset(owner event.Tid, xact bool, a event.Action, sem event.TxnSemantics) *Lockset {
+	if !xact {
+		return NewLockset(ThreadElem(owner))
+	}
+	ls := NewLockset(ThreadElem(owner), TL)
+	switch sem {
+	case event.TxnAtomicOrder:
+		// TL itself is the witness.
+	case event.TxnWriteToRead:
+		ls.AddVars(a.Writes)
+	default:
+		ls.AddVars(a.Reads)
+		ls.AddVars(a.Writes)
+	}
+	return ls
+}
+
+// provReplay applies the update rules to ls over the given actions
+// (positions seq0, seq0+1, ...), appending to p a step for every
+// application that changed the lockset, up to obs.MaxProvSteps; the
+// surplus is counted in p.Elided. It finishes p with the final lockset.
+func provReplay(p *obs.Provenance, ls *Lockset, actions []event.Action, seq0 uint64, sem event.TxnSemantics) {
+	for i, a := range actions {
+		before := ls.Len()
+		applyRuleCell(ls, a, sem, false, 0, 0)
+		if ls.Len() == before {
+			continue
+		}
+		if len(p.Steps) < obs.MaxProvSteps {
+			p.Steps = append(p.Steps, obs.ProvStep{
+				Seq:    seq0 + uint64(i),
+				Action: a.String(),
+				Rule:   obs.RuleOf(a.Kind),
+				After:  ls.String(),
+			})
+		} else {
+			p.Elided++
+		}
+	}
+	p.Final = ls.String()
+}
+
+// buildProvenance reconstructs the provenance of a race on v: the
+// previous conflicting access is described by prev, the racing access
+// was performed by t with list position end.
+//
+// The replay starts at the previous access itself (prev.origSeq) with
+// the re-derived base lockset. When collection has already dropped
+// those cells, it falls back to prev's current evaluation point
+// (pos, ls) — a shorter, truncated path.
+func (e *Engine) buildProvenance(v event.Variable, prev *info, t event.Tid, end *cell) *obs.Provenance {
+	p := &obs.Provenance{
+		Var:    v.String(),
+		Prev:   prev.action.String(),
+		Thread: t.String(),
+	}
+	ls := baseLockset(prev.owner, prev.xact, prev.action, e.opts.TxnSemantics)
+	start := e.list.cellFor(prev.origSeq)
+	if start == nil {
+		p.Truncated = true
+		ls = prev.ls.Clone()
+		start = prev.pos
+	}
+	p.Base = ls.String()
+
+	// Collect the retained segment [start, end); the cells are immutable
+	// once filled, so reading them outside the list mutex is safe.
+	var actions []event.Action
+	for c := start; c != end && c != nil && c.filled; c = c.next {
+		actions = append(actions, c.action)
+	}
+	provReplay(p, ls, actions, start.seq, e.opts.TxnSemantics)
+	return p
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"slices"
+
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 )
 
 // SpecEngine is the executable specification of the generalized
@@ -25,9 +28,32 @@ type SpecEngine struct {
 	writes map[event.Variable]*Lockset
 	reads  map[event.Variable]map[event.Tid]*Lockset
 
+	// log records every processed synchronization action (the spec
+	// engine's equivalent of the optimized engine's event list), and
+	// writesAt/readsAt record, per tracked lockset, the access that
+	// created it and its log position. Together they let a detected race
+	// be explained with the same provenance the optimized engine
+	// reconstructs (obs.Provenance).
+	log      []event.Action
+	writesAt map[event.Variable]*specAccess
+	readsAt  map[event.Variable]map[event.Tid]*specAccess
+
 	// observer, if non-nil, is invoked after each action with the
 	// variable locksets it changed; used to print Figure 6/7 traces.
 	observer func(a event.Action)
+
+	// tel receives the per-rule fire counters; nil when disabled.
+	tel *obs.Telemetry
+}
+
+// specAccess describes the access that created a tracked lockset: who
+// performed it, the action, whether it was transactional, and the log
+// position just after it (the point its lockset was valid at).
+type specAccess struct {
+	owner  event.Tid
+	action event.Action
+	xact   bool
+	idx    int
 }
 
 // NewSpecEngine returns an empty specification engine using the
@@ -41,11 +67,19 @@ func NewSpecEngine() *SpecEngine {
 // strong atomicity).
 func NewSpecEngineSem(sem event.TxnSemantics) *SpecEngine {
 	return &SpecEngine{
-		sem:    sem,
-		writes: make(map[event.Variable]*Lockset),
-		reads:  make(map[event.Variable]map[event.Tid]*Lockset),
+		sem:      sem,
+		writes:   make(map[event.Variable]*Lockset),
+		reads:    make(map[event.Variable]map[event.Tid]*Lockset),
+		writesAt: make(map[event.Variable]*specAccess),
+		readsAt:  make(map[event.Variable]map[event.Tid]*specAccess),
 	}
 }
+
+// SetTelemetry attaches (or detaches, with nil) a telemetry bundle; the
+// spec engine feeds its per-rule fire counters the same event-level way
+// the optimized engine does, so both report identical counts for the
+// same linearization.
+func (s *SpecEngine) SetTelemetry(tel *obs.Telemetry) { s.tel = tel }
 
 // Name implements detect.Detector.
 func (s *SpecEngine) Name() string { return "goldilocks-spec" }
@@ -78,6 +112,22 @@ func (s *SpecEngine) Step(a event.Action) []detect.Race {
 	var races []detect.Race
 	t := a.Thread
 	te := ThreadElem(t)
+
+	if s.tel != nil {
+		// Event-level rule fires, matching the optimized engine: rule 1
+		// per plain data access, the action's own rule otherwise.
+		if a.Kind.IsData() {
+			s.tel.Fire(obs.RuleAccess)
+		} else {
+			s.tel.FireKind(a.Kind)
+		}
+	}
+	if a.Kind.IsSync() {
+		// The log position of an access is the log length at the access;
+		// a commit joins the log before its variables are checked, the
+		// same order the optimized engine enqueues it.
+		s.log = append(s.log, a)
+	}
 
 	switch a.Kind {
 	case event.KindVolatileRead:
@@ -127,11 +177,13 @@ func (s *SpecEngine) Step(a event.Action) []detect.Race {
 		for v := range s.writes {
 			if v.Obj == a.Obj {
 				delete(s.writes, v)
+				delete(s.writesAt, v)
 			}
 		}
 		for v := range s.reads {
 			if v.Obj == a.Obj {
 				delete(s.reads, v)
+				delete(s.readsAt, v)
 			}
 		}
 	case event.KindRead:
@@ -139,14 +191,16 @@ func (s *SpecEngine) Step(a event.Action) []detect.Race {
 		if r := s.checkAccess(v, t, false, a); r != nil {
 			races = append(races, *r)
 		}
-		s.readerSet(v, t, NewLockset(te))
+		s.readerSet(v, t, NewLockset(te), s.accessRecord(t, a, false))
 	case event.KindWrite:
 		v := a.Variable()
 		if r := s.checkAccess(v, t, false, a); r != nil {
 			races = append(races, *r)
 		}
 		s.writes[v] = NewLockset(te)
+		s.writesAt[v] = s.accessRecord(t, a, false)
 		delete(s.reads, v)
+		delete(s.readsAt, v)
 	case event.KindCommit:
 		races = s.commit(a)
 	}
@@ -176,19 +230,59 @@ func (s *SpecEngine) checkAccess(v event.Variable, t event.Tid, inTxn bool, a ev
 		return inTxn && s.sem != event.TxnWriteToRead && ls.Has(TL)
 	}
 	if !ok(s.writes[v]) {
-		return &detect.Race{Var: v, Access: a}
+		return s.raceAt(v, t, a, s.writesAt[v])
 	}
 	if a.Kind == event.KindWrite || (a.Kind == event.KindCommit && a.WritesVar(v)) {
-		for u, ls := range s.reads[v] {
-			if u == t {
-				continue
+		// Sorted reader order: the first racy reader is reported, so
+		// map-order iteration would make the previous access (and its
+		// provenance) vary between replays of the same linearization.
+		tids := make([]event.Tid, 0, len(s.reads[v]))
+		for u := range s.reads[v] {
+			if u != t {
+				tids = append(tids, u)
 			}
-			if !ok(ls) {
-				return &detect.Race{Var: v, Access: a}
+		}
+		slices.Sort(tids)
+		for _, u := range tids {
+			if !ok(s.reads[v][u]) {
+				return s.raceAt(v, t, a, s.readsAt[v][u])
 			}
 		}
 	}
 	return nil
+}
+
+// raceAt builds the race report for an access a by t on v that
+// conflicts with the earlier access prev, attaching provenance when the
+// record is available.
+func (s *SpecEngine) raceAt(v event.Variable, t event.Tid, a event.Action, prev *specAccess) *detect.Race {
+	r := &detect.Race{Var: v, Access: a}
+	if prev != nil {
+		r.Prev = prev.action
+		r.HasPrev = true
+		r.Prov = s.buildProvenance(v, prev, t)
+	}
+	return r
+}
+
+// buildProvenance is the spec engine's provenance reconstruction: the
+// same base-lockset re-derivation and rule replay as the optimized
+// engine's, over the log segment after the previous access.
+func (s *SpecEngine) buildProvenance(v event.Variable, prev *specAccess, t event.Tid) *obs.Provenance {
+	p := &obs.Provenance{
+		Var:    v.String(),
+		Prev:   prev.action.String(),
+		Thread: t.String(),
+	}
+	ls := baseLockset(prev.owner, prev.xact, prev.action, s.sem)
+	p.Base = ls.String()
+	provReplay(p, ls, s.log[prev.idx:], uint64(prev.idx), s.sem)
+	return p
+}
+
+// accessRecord builds the specAccess for an access happening now.
+func (s *SpecEngine) accessRecord(t event.Tid, a event.Action, xact bool) *specAccess {
+	return &specAccess{owner: t, action: a, xact: xact, idx: len(s.log)}
 }
 
 // commit applies rule 9 of Figure 5, generalized with the read/write
@@ -237,7 +331,9 @@ func (s *SpecEngine) commit(a event.Action) []detect.Race {
 			races = append(races, *r)
 		}
 		s.writes[v] = NewLockset(te, TL)
+		s.writesAt[v] = s.accessRecord(t, a, true)
 		delete(s.reads, v)
+		delete(s.readsAt, v)
 	}
 	for _, v := range a.Reads {
 		if checked[v] || written[v] {
@@ -247,7 +343,7 @@ func (s *SpecEngine) commit(a event.Action) []detect.Race {
 		if r := s.checkAccess(v, t, true, a); r != nil {
 			races = append(races, *r)
 		}
-		s.readerSet(v, t, NewLockset(te, TL))
+		s.readerSet(v, t, NewLockset(te, TL), s.accessRecord(t, a, true))
 	}
 
 	// Release phase: every variable owned by the committing thread can
@@ -270,11 +366,17 @@ func (s *SpecEngine) commit(a event.Action) []detect.Race {
 	return races
 }
 
-func (s *SpecEngine) readerSet(v event.Variable, t event.Tid, ls *Lockset) {
+func (s *SpecEngine) readerSet(v event.Variable, t event.Tid, ls *Lockset, rec *specAccess) {
 	byTid, ok := s.reads[v]
 	if !ok {
 		byTid = make(map[event.Tid]*Lockset)
 		s.reads[v] = byTid
 	}
 	byTid[t] = ls
+	byRec, ok := s.readsAt[v]
+	if !ok {
+		byRec = make(map[event.Tid]*specAccess)
+		s.readsAt[v] = byRec
+	}
+	byRec[t] = rec
 }

@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/tracegen"
+)
+
+// runWithTelemetry drives one detector over tr and returns its races and
+// rule-fire counters.
+func runWithTelemetry(det detect.Detector, tel *obs.Telemetry, tr *event.Trace) ([]detect.Race, [obs.NumRules + 1]uint64) {
+	races := detect.RunTrace(det, tr)
+	return races, tel.RuleFires()
+}
+
+// provByKey indexes the provenance string of each race by its
+// (position, variable) identity, the representation-independent race
+// key the equivalence tests use.
+func provByKey(t *testing.T, races []detect.Race) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(races))
+	for _, r := range races {
+		key := r.Var.String() + "@" + r.Access.String()
+		if r.Prov == nil {
+			t.Fatalf("race %v has no provenance", &r)
+		}
+		out[key] = r.Prov.String()
+	}
+	return out
+}
+
+// TestMetricsDeterminism is the determinism contract of the telemetry
+// layer: processing one linearization through the spec engine and the
+// optimized engine yields identical per-rule fire counters and identical
+// provenance output. Rule fires count events of the linearization (not
+// representation-dependent walk work, which WalkRuleHits tracks
+// separately), so memoization, short-circuits, and sharding must not
+// show through.
+func TestMetricsDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		tr := tracegen.FromSeed(seed)
+
+		specTel := obs.NewTelemetry()
+		spec := core.NewSpecEngine()
+		spec.SetTelemetry(specTel)
+		specRaces, specFires := runWithTelemetry(spec, specTel, tr)
+
+		engTel := obs.NewTelemetry()
+		opts := core.DefaultOptions()
+		opts.Telemetry = engTel
+		engRaces, engFires := runWithTelemetry(core.NewEngine(opts), engTel, tr)
+
+		if specFires != engFires {
+			t.Fatalf("seed %d: rule fires diverge\nspec:   %v\nengine: %v", seed, specFires, engFires)
+		}
+		specProv := provByKey(t, specRaces)
+		engProv := provByKey(t, engRaces)
+		if len(specProv) != len(engProv) {
+			t.Fatalf("seed %d: %d spec races vs %d engine races", seed, len(specProv), len(engProv))
+		}
+		for key, want := range specProv {
+			if got, ok := engProv[key]; !ok {
+				t.Fatalf("seed %d: engine missing race %s", seed, key)
+			} else if got != want {
+				t.Fatalf("seed %d: provenance diverges for %s\nspec:   %s\nengine: %s", seed, key, want, got)
+			}
+		}
+	}
+}
+
+// TestProvenancePath pins the provenance of a directed scenario: T1
+// writes x under lock m and T3 later reads x with no synchronization to
+// T1. The lockset must evolve {T1} → {T1, m} via rule 2 (release), and
+// the report must state that no chain reached T3.
+func TestProvenancePath(t *testing.T) {
+	const (
+		obj  = event.Addr(10)
+		m    = event.Addr(20)
+		fld  = event.FieldID(0)
+		t1   = event.Tid(1)
+		t2   = event.Tid(2)
+		t3   = event.Tid(3)
+		lock = "o20"
+	)
+	tr := event.NewTrace([]event.Action{
+		event.Acquire(t1, m),
+		event.Write(t1, obj, fld),
+		event.Release(t1, m),
+		event.Acquire(t2, m),
+		event.Read(t2, obj, fld), // ordered: lockset holds m at T2's acquire
+		event.Release(t2, m),
+		event.Read(t3, obj, fld), // racy: no chain to T3
+	})
+
+	for _, det := range []detect.Detector{core.New(), core.NewSpecEngine()} {
+		races := detect.RunTrace(det, tr)
+		if len(races) != 1 {
+			t.Fatalf("%s: got %d races, want 1", det.Name(), len(races))
+		}
+		p := races[0].Prov
+		if p == nil {
+			t.Fatalf("%s: race has no provenance", det.Name())
+		}
+		if p.Base != "{T1}" {
+			t.Errorf("%s: base lockset %q, want {T1}", det.Name(), p.Base)
+		}
+		rules := p.Rules()
+		if len(rules) == 0 || rules[0] != obs.RuleRelease {
+			t.Errorf("%s: first provenance rule %v, want release (2)", det.Name(), rules)
+		}
+		if !strings.Contains(p.Path(), lock) {
+			t.Errorf("%s: path %q never contains the lock %s", det.Name(), p.Path(), lock)
+		}
+		if !strings.Contains(p.String(), "no synchronization chain reached T3") {
+			t.Errorf("%s: provenance %q lacks the unreached-thread clause", det.Name(), p)
+		}
+	}
+}
+
+// TestStatsRatioZeroDenominators: the ratio helpers must report 0, not
+// NaN, before any work has been counted (a fresh engine scraped by the
+// metrics endpoint).
+func TestStatsRatioZeroDenominators(t *testing.T) {
+	var s core.Stats
+	if r := s.ShortCircuitRate(); r != 0 {
+		t.Errorf("ShortCircuitRate() = %v, want 0", r)
+	}
+	if r := s.FullWalkRate(); r != 0 {
+		t.Errorf("FullWalkRate() = %v, want 0", r)
+	}
+	if r := s.AvgWalkCells(); r != 0 {
+		t.Errorf("AvgWalkCells() = %v, want 0", r)
+	}
+	if r := s.GCReclaimRate(); r != 0 {
+		t.Errorf("GCReclaimRate() = %v, want 0", r)
+	}
+}
+
+// TestEngineRegisterMetrics: a fresh engine with telemetry binds the
+// rule counters and stats gauges into a registry, and the exports carry
+// every Figure 5 rule plus the three short-circuit counters separately.
+func TestEngineRegisterMetrics(t *testing.T) {
+	tel := obs.NewTelemetry()
+	opts := core.DefaultOptions()
+	opts.Telemetry = tel
+	e := core.NewEngine(opts)
+	e.Sync(event.Acquire(1, 20))
+	e.Write(1, 10, 0)
+
+	reg := obs.NewRegistry()
+	e.RegisterMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`goldilocks_rule_fires_total{rule="1"} 1`,
+		`goldilocks_rule_fires_total{rule="3"} 1`,
+		`goldilocks_rule_fires_total{rule="9"} 0`,
+		"goldilocks_sc1_hits_total",
+		"goldilocks_sc2_hits_total",
+		"goldilocks_sc3_hits_total",
+		"goldilocks_walk_depth_cells_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus export lacks %q", want)
+		}
+	}
+}

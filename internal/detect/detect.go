@@ -14,19 +14,24 @@ import (
 	"fmt"
 
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 )
 
 // Race describes a data race detected at an access. Pos is the index in
 // the linearization of the access that completed the race (the access a
 // DataRaceException would interrupt); Prev describes the earlier
 // conflicting access when the detector knows it (the lockset baselines
-// do not track it and leave Prev zero).
+// do not track it and leave Prev zero). Prov, when the detector supports
+// it (both Goldilocks engines do), explains the verdict: the
+// synchronization path examined between the two accesses and how the
+// variable's lockset evolved along it.
 type Race struct {
 	Var     event.Variable
 	Access  event.Action
 	Pos     int
 	Prev    event.Action
 	HasPrev bool
+	Prov    *obs.Provenance
 }
 
 func (r *Race) String() string {

@@ -8,6 +8,7 @@ import (
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
 )
 
@@ -266,6 +267,22 @@ func (rt *Runtime) Stats() Stats {
 		SyncOps:         rt.syncOps.Load(),
 		RacesThrown:     rt.racesThrown.Load(),
 	}
+}
+
+// RegisterMetrics binds the runtime's access accounting into reg under
+// the goldilocks_runtime_ namespace, read at scrape time.
+func (rt *Runtime) RegisterMetrics(reg *obs.Registry) {
+	stat := func(name string, f func(Stats) uint64) {
+		reg.RegisterGaugeFunc("goldilocks_runtime_"+name, func() float64 { return float64(f(rt.Stats())) })
+	}
+	stat("total_accesses", func(s Stats) uint64 { return s.TotalAccesses })
+	stat("checked_accesses", func(s Stats) uint64 { return s.CheckedAccesses })
+	stat("vars_created", func(s Stats) uint64 { return s.VarsCreated })
+	stat("sync_ops", func(s Stats) uint64 { return s.SyncOps })
+	stat("races_thrown", func(s Stats) uint64 { return s.RacesThrown })
+	reg.RegisterGaugeFunc("goldilocks_runtime_races_recorded", func() float64 {
+		return float64(rt.racesSeen())
+	})
 }
 
 // Races returns the races observed so far.

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxProvSteps caps the number of recorded provenance steps. Races at
+// the end of very long synchronization segments would otherwise attach
+// unbounded reports; the surplus is counted in Elided. Both engines cap
+// identically, so determinism across representations is preserved.
+const MaxProvSteps = 256
+
+// ProvStep is one effective rule application on the examined
+// synchronization path: the action, the rule it fired, and the lockset
+// after it.
+type ProvStep struct {
+	Seq    uint64 `json:"seq"`
+	Action string `json:"action"`
+	Rule   int    `json:"rule"`
+	After  string `json:"after"`
+}
+
+// Provenance explains a detected race: the synchronization path the
+// detector examined between the previous access and the racing one,
+// showing how the variable's lockset evolved and why no release–acquire
+// (or transactional) chain reached the accessing thread.
+//
+// It is reconstructed from the synchronization event list when the race
+// is detected — a cold path, since a raced variable is done being
+// interesting — and attached to the detect.Race that reaches the
+// DataRaceException and the CLI reports.
+type Provenance struct {
+	// Var is the racing variable, e.g. "o10.f0".
+	Var string `json:"var"`
+	// Prev renders the previous conflicting access, e.g. "T1:write(o10.f0)".
+	Prev string `json:"prev"`
+	// Thread is the accessing thread the chain failed to reach, e.g. "T2".
+	Thread string `json:"thread"`
+	// Base is the variable's lockset just after the previous access.
+	Base string `json:"base"`
+	// Steps are the rule applications that changed the lockset along the
+	// examined path, in synchronization order.
+	Steps []ProvStep `json:"steps,omitempty"`
+	// Elided counts effective steps beyond MaxProvSteps not recorded.
+	Elided int `json:"elided,omitempty"`
+	// Final is the lockset at the racing access.
+	Final string `json:"final"`
+	// Truncated marks a path whose origin cells were already garbage
+	// collected: the reconstruction starts from the earliest retained
+	// evaluation point instead of the previous access itself.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Rules returns the distinct rules that fired along the path, in first-
+// fired order.
+func (p *Provenance) Rules() []int {
+	seen := make(map[int]bool, NumRules)
+	var out []int
+	for _, s := range p.Steps {
+		if !seen[s.Rule] {
+			seen[s.Rule] = true
+			out = append(out, s.Rule)
+		}
+	}
+	return out
+}
+
+// Path renders the lockset evolution, e.g. "{T1}→{T1, o20.lock}→{T1, T3, o20.lock}".
+func (p *Provenance) Path() string {
+	var b strings.Builder
+	b.WriteString(p.Base)
+	for _, s := range p.Steps {
+		b.WriteString("→")
+		b.WriteString(s.After)
+	}
+	return b.String()
+}
+
+// String renders the one-line summary printed under a race report, e.g.
+//
+//	prev T1:write(o10.f0); lockset evolved {T1}→{T1, o20.lock} via rules 2; no synchronization chain reached T2
+func (p *Provenance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prev %s; lockset evolved %s", p.Prev, p.Path())
+	if rules := p.Rules(); len(rules) > 0 {
+		parts := make([]string, len(rules))
+		for i, r := range rules {
+			parts[i] = strconv.Itoa(r)
+		}
+		fmt.Fprintf(&b, " via rules %s", strings.Join(parts, ","))
+	}
+	if p.Elided > 0 {
+		fmt.Fprintf(&b, " (+%d steps elided)", p.Elided)
+	}
+	if p.Truncated {
+		b.WriteString(" (origin collected; path truncated)")
+	}
+	fmt.Fprintf(&b, "; no synchronization chain reached %s", p.Thread)
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+
+	"goldilocks/internal/event"
+)
+
+// Telemetry bundles the engine-side metric sinks: per-rule fire
+// counters, the lazy-evaluation walk-depth histogram, per-rule
+// walk-effect counters, the shard-contention counter, and the optional
+// lockset trace hook. An engine holds a *Telemetry that is nil when
+// telemetry is disabled — every instrumentation site is gated on that
+// one pointer, so the disabled hot path costs a nil check and nothing
+// else.
+type Telemetry struct {
+	// Rules counts, per Figure 5 rule (index 1..NumRules), how many
+	// times the rule was triggered by the processed linearization. One
+	// rule fires per action (plus rule 1 per checked plain access and
+	// rule 9 once per commit), so the counts are identical for the spec
+	// and optimized engines on the same linearization.
+	Rules [NumRules + 1]Counter
+	// WalkDepth observes, per pair check that needed a traversal, the
+	// number of event-list cells visited (SC3 filtered walk plus full
+	// walk). The short-circuited checks observe nothing: the histogram
+	// count over Stats.PairChecks is the traversal rate.
+	WalkDepth Histogram
+	// WalkRuleHits counts, per rule, the applications during lazy walks
+	// that actually grew a lockset — which rules carry the evaluation
+	// work. Unlike Rules this is representation-dependent (memoization
+	// and short-circuits skip walks), so it is reported separately.
+	WalkRuleHits [NumRules + 1]Counter
+	// ShardContention counts variable-table shard lookups that found the
+	// shard lock contended (the read lock was not immediately
+	// available).
+	ShardContention Counter
+	// Trace is the optional structured lockset-transition trace.
+	Trace *TraceHook
+}
+
+// NewTelemetry returns an enabled telemetry bundle whose trace hook is
+// allocated but disabled (near-zero cost until TraceHook.Enable).
+func NewTelemetry() *Telemetry {
+	return &Telemetry{Trace: NewTraceHook(4096)}
+}
+
+// Fire counts one firing of rule (1..NumRules).
+func (t *Telemetry) Fire(rule int) {
+	if rule >= 1 && rule <= NumRules {
+		t.Rules[rule].Inc()
+	}
+}
+
+// FireKind counts the rule triggered by an action of kind k, if any.
+func (t *Telemetry) FireKind(k event.Kind) { t.Fire(RuleOf(k)) }
+
+// RuleFires returns the per-rule fire counts indexed 1..NumRules
+// (index 0 is always zero).
+func (t *Telemetry) RuleFires() [NumRules + 1]uint64 {
+	var out [NumRules + 1]uint64
+	for i := 1; i <= NumRules; i++ {
+		out[i] = t.Rules[i].Load()
+	}
+	return out
+}
+
+// Register binds the telemetry metrics into reg under the goldilocks_
+// namespace.
+func (t *Telemetry) Register(reg *Registry) {
+	for i := 1; i <= NumRules; i++ {
+		reg.RegisterCounter(fmt.Sprintf("goldilocks_rule_fires_total{rule=%q}", fmt.Sprint(i)), &t.Rules[i])
+		reg.RegisterCounter(fmt.Sprintf("goldilocks_walk_rule_hits_total{rule=%q}", fmt.Sprint(i)), &t.WalkRuleHits[i])
+	}
+	reg.RegisterHistogram("goldilocks_walk_depth_cells", &t.WalkDepth)
+	reg.RegisterCounter("goldilocks_shard_contention_total", &t.ShardContention)
+	if t.Trace != nil {
+		reg.RegisterGaugeFunc("goldilocks_trace_buffered", func() float64 {
+			trs, _ := t.Trace.Snapshot()
+			return float64(len(trs))
+		})
+	}
+}

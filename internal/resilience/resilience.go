@@ -23,6 +23,7 @@
 package resilience
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -123,20 +124,27 @@ func (k ReportKind) String() string {
 	return "deadlock"
 }
 
-// ThreadState describes one blocked thread in a Report.
+// MarshalJSON renders the kind by name, not ordinal, so exported
+// reports stay readable and stable across re-orderings of the enum.
+func (k ReportKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// ThreadState describes one blocked thread in a Report. The JSON tags
+// shape the -stats-json / introspection exports.
 type ThreadState struct {
-	Thread string   // thread id, e.g. "T2"
-	Held   []string // monitors the thread holds, e.g. ["o3", "o7"]
+	Thread string   `json:"thread"`         // thread id, e.g. "T2"
+	Held   []string `json:"held,omitempty"` // monitors the thread holds, e.g. ["o3", "o7"]
 }
 
 // Report is a structured scheduler-failure report: what raw-string
 // panics used to carry, now machine-readable and recoverable. It
 // implements error.
 type Report struct {
-	Kind    ReportKind
-	Blocked []ThreadState // blocked threads and the locks they hold
-	Elapsed time.Duration // wall-clock time since the run started
-	Detail  string        // free-form context (e.g. schedules explored)
+	Kind    ReportKind    `json:"kind"`
+	Blocked []ThreadState `json:"blocked,omitempty"` // blocked threads and the locks they hold
+	Elapsed time.Duration `json:"elapsed_ns"`        // wall-clock time since the run started
+	Detail  string        `json:"detail,omitempty"`  // free-form context (e.g. schedules explored)
 }
 
 func (r *Report) Error() string {
