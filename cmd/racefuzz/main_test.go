@@ -1,0 +1,104 @@
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/resilience"
+)
+
+func TestExitFor(t *testing.T) {
+	if got := exitFor(0, nil); got != resilience.ExitClean {
+		t.Errorf("clean: exit %d", got)
+	}
+	if got := exitFor(2, nil); got != resilience.ExitRace {
+		t.Errorf("failures: exit %d", got)
+	}
+	if got := exitFor(0, errUsage); got != resilience.ExitUsage {
+		t.Errorf("usage: exit %d", got)
+	}
+	if got := exitFor(0, errors.New("boom")); got != resilience.ExitRuntime {
+		t.Errorf("runtime: exit %d", got)
+	}
+}
+
+// TestRunFuzzBatch runs a small deterministic batch end to end and
+// checks the coverage report covers every rule row.
+func TestRunFuzzBatch(t *testing.T) {
+	var out strings.Builder
+	failures, err := run(config{n: 150, seed: 1, shrink: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("batch found %d divergences:\n%s", failures, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"150 traces", "rule", "commit", "alloc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "zero covering traces") {
+		t.Errorf("batch left rules uncovered:\n%s", s)
+	}
+}
+
+// TestRunMutants runs the mutation-testing mode: all mutants caught,
+// counterexamples written into the corpus directory.
+func TestRunMutants(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	escaped, err := run(config{seed: 1, mutants: true, corpus: dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if escaped != 0 {
+		t.Fatalf("%d mutants escaped:\n%s", escaped, out.String())
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if len(files) == 0 {
+		t.Fatal("no counterexamples written to corpus dir")
+	}
+	// The written counterexamples must replay cleanly under the real
+	// (unbroken) matrix via -check.
+	out.Reset()
+	failures, err := run(config{check: true, corpus: dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("corpus replay failed:\n%s", out.String())
+	}
+}
+
+// TestRunCheckSeedCorpus replays the checked-in seed corpus through the
+// CLI path.
+func TestRunCheckSeedCorpus(t *testing.T) {
+	var out strings.Builder
+	failures, err := run(config{check: true, corpus: filepath.Join("..", "..", "internal", "conformance", "testdata")}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("seed corpus failed the matrix:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "passed the matrix") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(config{n: 0}, &out); !errors.Is(err, errUsage) {
+		t.Errorf("n=0: err %v, want usage", err)
+	}
+	if _, err := run(config{n: 10, files: []string{"x.jsonl"}}, &out); !errors.Is(err, errUsage) {
+		t.Errorf("stray args: err %v, want usage", err)
+	}
+	if _, err := run(config{check: true}, &out); !errors.Is(err, errUsage) {
+		t.Errorf("check without corpus: err %v, want usage", err)
+	}
+}

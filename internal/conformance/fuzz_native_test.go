@@ -1,0 +1,59 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"goldilocks/internal/tracegen"
+)
+
+// FuzzConformanceMatrix is the native fuzzing entry point: the fuzz
+// engine drives the generator's seed and shape parameters, and every
+// generated trace must clear the full differential matrix. Run with
+//
+//	go test -fuzz FuzzConformanceMatrix ./internal/conformance
+//
+// The parameters are clamped to small dense traces — the regime where
+// detectors disagree — so machine time goes into semantic diversity,
+// not trace length.
+func FuzzConformanceMatrix(f *testing.F) {
+	f.Add(int64(1), uint8(60), uint8(4), uint8(3), uint8(51), uint8(128))
+	f.Add(int64(42), uint8(80), uint8(5), uint8(2), uint8(153), uint8(100))
+	f.Add(int64(7), uint8(30), uint8(2), uint8(1), uint8(0), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, steps, threads, objects, txnBias, syncBias uint8) {
+		cfg := tracegen.Config{
+			Steps:      1 + int(steps)%120,
+			MaxThreads: 1 + int(threads)%6,
+			Objects:    1 + int(objects)%4,
+			Fields:     2,
+			Locks:      2,
+			Volatiles:  2,
+			TxnBias:    float64(txnBias) / 255,
+			SyncBias:   float64(syncBias) / 255,
+		}
+		tr := tracegen.Generate(rand.New(rand.NewSource(seed)), cfg)
+		if d := Check(tr); d != nil {
+			t.Fatalf("%v\n%s", d, Describe(d.Trace))
+		}
+	})
+}
+
+// FuzzMutatedTraces drives the trace mutator from fuzz-chosen seeds:
+// every mutation chain must stay valid and keep clearing the matrix.
+func FuzzMutatedTraces(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(5))
+	f.Add(int64(9), int64(31), uint8(12))
+	f.Fuzz(func(t *testing.T, genSeed, mutSeed int64, rounds uint8) {
+		tr := tracegen.FromSeed(genSeed)
+		rng := rand.New(rand.NewSource(mutSeed))
+		for i := 0; i < 1+int(rounds)%16; i++ {
+			tr = Mutate(rng, tr)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("mutated trace invalid: %v", err)
+		}
+		if d := Check(tr); d != nil {
+			t.Fatalf("%v\n%s", d, Describe(d.Trace))
+		}
+	})
+}

@@ -1,0 +1,47 @@
+// Command gen regenerates the seed counterexample corpus under
+// internal/conformance/testdata/: for every droppable Figure 5 rule it
+// finds and minimizes a trace witnessing that rule's removal (the
+// mutation-testing counterexamples), plus the Section 2 scenario
+// traces. The corpus is deterministic; running gen twice writes the
+// same content-addressed files.
+//
+// Usage: go run ./internal/conformance/gen [-dir internal/conformance/testdata]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goldilocks/internal/conformance"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/scenarios"
+)
+
+func main() {
+	dir := flag.String("dir", "internal/conformance/testdata", "corpus directory")
+	flag.Parse()
+
+	for _, sc := range scenarios.All() {
+		path, err := conformance.WriteCounterexample(*dir, sc.Trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gen: scenario %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("scenario %-10s -> %s (%d events)\n", sc.Name, path, sc.Trace.Len())
+	}
+
+	for _, rule := range conformance.MutantRules {
+		tr, ok := conformance.FindMutantCounterexample(rule, 1, 500)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gen: rule %d (%s): no counterexample found\n", rule, obs.RuleName(rule))
+			os.Exit(1)
+		}
+		path, err := conformance.WriteCounterexample(*dir, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gen: rule %d: %v\n", rule, err)
+			os.Exit(1)
+		}
+		fmt.Printf("rule %d %-14s -> %s (%d events)\n", rule, obs.RuleName(rule), path, tr.Len())
+	}
+}

@@ -1,0 +1,129 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"goldilocks/internal/event"
+)
+
+// This file implements validity-preserving trace mutation for the
+// coverage-guided fuzzer. Mutations are generate-and-filter: a candidate
+// edit is applied to the action sequence and kept only if the result
+// still passes event.Trace.Validate (lock ownership, fork-before-act,
+// no alloc-after-access). Invalid candidates are cheap to discard — the
+// validator is a single linear pass — and filtering keeps the mutation
+// operators simple and composable instead of entangling each with the
+// well-formedness rules.
+
+// traceFrom rebuilds a Trace from an action slice.
+func traceFrom(actions []event.Action) *event.Trace {
+	b := event.NewBuilder()
+	for _, a := range actions {
+		b.Append(a)
+	}
+	return b.Trace()
+}
+
+// cloneActions deep-copies an action slice; commit read/write sets are
+// copied too so mutations never alias the parent trace.
+func cloneActions(tr *event.Trace) []event.Action {
+	out := make([]event.Action, tr.Len())
+	for i := range out {
+		a := tr.At(i)
+		if a.Kind == event.KindCommit {
+			a.Reads = append([]event.Variable(nil), a.Reads...)
+			a.Writes = append([]event.Variable(nil), a.Writes...)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// mutateAttempts bounds how many candidate edits Mutate tries before
+// giving up and returning the parent unchanged.
+const mutateAttempts = 8
+
+// Mutate returns a valid mutation of tr, or tr itself if no candidate
+// survived validation. The operator mix deliberately favors structural
+// edits (drop, duplicate, swap, retarget) that move events across
+// synchronization boundaries — the edits most likely to flip a verdict
+// or exercise a different Figure 5 rule sequence.
+func Mutate(rng *rand.Rand, tr *event.Trace) *event.Trace {
+	if tr.Len() == 0 {
+		return tr
+	}
+	for try := 0; try < mutateAttempts; try++ {
+		actions := cloneActions(tr)
+		switch rng.Intn(7) {
+		case 0: // drop one action
+			i := rng.Intn(len(actions))
+			actions = append(actions[:i], actions[i+1:]...)
+		case 1: // duplicate one action at another position
+			i := rng.Intn(len(actions))
+			j := rng.Intn(len(actions) + 1)
+			a := actions[i]
+			actions = append(actions, event.Action{})
+			copy(actions[j+1:], actions[j:])
+			actions[j] = a
+		case 2: // swap two adjacent actions
+			if len(actions) < 2 {
+				continue
+			}
+			i := rng.Intn(len(actions) - 1)
+			actions[i], actions[i+1] = actions[i+1], actions[i]
+		case 3: // move an action by a small offset
+			i := rng.Intn(len(actions))
+			d := 1 + rng.Intn(4)
+			if rng.Intn(2) == 0 {
+				d = -d
+			}
+			j := i + d
+			if j < 0 || j >= len(actions) {
+				continue
+			}
+			a := actions[i]
+			actions = append(actions[:i], actions[i+1:]...)
+			actions = append(actions, event.Action{})
+			copy(actions[j+1:], actions[j:])
+			actions[j] = a
+		case 4: // retarget: hand an action to a different trace thread
+			i := rng.Intn(len(actions))
+			threads := tr.Threads()
+			if len(threads) < 2 {
+				continue
+			}
+			actions[i].Thread = threads[rng.Intn(len(threads))]
+		case 5: // flip a data access between read and write
+			i := rng.Intn(len(actions))
+			switch actions[i].Kind {
+			case event.KindRead:
+				actions[i].Kind = event.KindWrite
+			case event.KindWrite:
+				actions[i].Kind = event.KindRead
+			default:
+				continue
+			}
+		case 6: // commitify: fold a plain access into a transaction commit
+			i := rng.Intn(len(actions))
+			a := actions[i]
+			if !a.Kind.IsData() {
+				continue
+			}
+			c := event.Action{Kind: event.KindCommit, Thread: a.Thread}
+			if a.Kind == event.KindWrite {
+				c.Writes = []event.Variable{a.Variable()}
+			} else {
+				c.Reads = []event.Variable{a.Variable()}
+			}
+			actions[i] = c
+		}
+		if len(actions) == 0 {
+			continue
+		}
+		mut := traceFrom(actions)
+		if mut.Validate() == nil {
+			return mut
+		}
+	}
+	return tr
+}

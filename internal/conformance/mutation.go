@@ -1,0 +1,106 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/tracegen"
+)
+
+// This file is the mutation-testing side of the harness: it validates
+// the *fuzzer* rather than the detector. Dropping one Figure 5 lockset
+// update rule from the optimized engine (core.Options.BrokenRule) must
+// make the differential matrix fail, and the shrinker must minimize the
+// failure to a handful of events — otherwise the conformance wall has a
+// hole where that rule should be.
+//
+// Two rules are not mutable this way. Rule 1 (access) is the lockset
+// install path itself, not an update-rule application; removing it
+// removes the detector. Rule 8 (alloc) is unobservable on valid traces:
+// Trace.Validate rejects alloc-after-access, and the generator always
+// allocates fresh addresses, so an alloc never has a lockset to reset.
+
+// MutantRules lists the Figure 5 rules whose single-rule removal the
+// harness must detect: rules 2–7 and 9.
+var MutantRules = []int{
+	obs.RuleRelease,
+	obs.RuleAcquire,
+	obs.RuleVolatileWrite,
+	obs.RuleVolatileRead,
+	obs.RuleFork,
+	obs.RuleJoin,
+	obs.RuleCommit,
+}
+
+// MutantOptions returns the default engine configuration with rule
+// disabled — an intentionally unsound detector.
+func MutantOptions(rule int) core.Options {
+	o := core.DefaultOptions()
+	o.BrokenRule = rule
+	return o
+}
+
+// MutantDiverges reports whether the rule-dropped engine disagrees with
+// the spec engine on tr — i.e. whether tr witnesses the injected bug.
+func MutantDiverges(rule int, tr *event.Trace) bool {
+	specKeys := raceKeys(detect.RunTrace(core.NewSpecEngine(), tr))
+	gotKeys := raceKeys(detect.RunTrace(core.NewEngine(MutantOptions(rule)), tr))
+	return !equalKeys(gotKeys, specKeys)
+}
+
+// mutantGenConfig returns a generator configuration biased to exercise
+// the given rule: small and dense, with the synchronization kinds that
+// feed the rule (and their structural prerequisites) weighted up.
+func mutantGenConfig(rule int) tracegen.Config {
+	cfg := tracegen.Default()
+	cfg.Steps = 40
+	cfg.Objects = 2
+	cfg.Fields = 1
+	cfg.Locks = 1
+	cfg.Volatiles = 1
+	w := make([]float64, tracegen.NumSyncKinds)
+	for i := range w {
+		w[i] = 1
+	}
+	boost := func(kinds ...int) {
+		for _, k := range kinds {
+			w[k] = 6
+		}
+	}
+	switch rule {
+	case obs.RuleRelease, obs.RuleAcquire:
+		boost(tracegen.SyncAcquire, tracegen.SyncRelease)
+	case obs.RuleVolatileWrite, obs.RuleVolatileRead:
+		boost(tracegen.SyncVWrite, tracegen.SyncVRead)
+	case obs.RuleFork:
+		boost(tracegen.SyncFork)
+	case obs.RuleJoin:
+		boost(tracegen.SyncFork, tracegen.SyncJoin)
+	case obs.RuleCommit:
+		cfg.TxnBias = 0.6
+	}
+	cfg.SyncWeights = w
+	return cfg
+}
+
+// FindMutantCounterexample searches up to maxTraces generated traces
+// for one witnessing the rule-dropped engine's unsoundness, and returns
+// it minimized. ok is false when no witness was found within the
+// budget — with the default budget that means the fuzzer cannot catch
+// the mutation, which callers should treat as a conformance-harness
+// bug.
+func FindMutantCounterexample(rule int, seed int64, maxTraces int) (tr *event.Trace, ok bool) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := mutantGenConfig(rule)
+	for i := 0; i < maxTraces; i++ {
+		cand := tracegen.Generate(rng, cfg)
+		if MutantDiverges(rule, cand) {
+			min := Shrink(cand, func(t *event.Trace) bool { return MutantDiverges(rule, t) })
+			return min, true
+		}
+	}
+	return nil, false
+}

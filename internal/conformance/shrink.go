@@ -1,0 +1,178 @@
+package conformance
+
+import (
+	"goldilocks/internal/event"
+)
+
+// This file minimizes failing traces with delta debugging. The
+// interesting predicate is arbitrary (matrix divergence, a mutant
+// engine disagreeing, a crash reproducer); candidates that fail
+// event.Trace.Validate are simply not interesting — the structural
+// rules do the repair work, no special-case surgery needed.
+//
+// Three passes run to fixpoint:
+//
+//  1. ddmin over the action sequence (classic Zeller/Hildebrandt:
+//     try removing complements of ever-finer chunks),
+//  2. a greedy single-action removal sweep (catches what ddmin's
+//     chunking misses),
+//  3. commit-set member removal (a commit over three variables often
+//     fails because of one of them).
+//
+// The result is 1-minimal modulo validity: no single action and no
+// single commit-set member can be removed without losing the failure.
+
+// shrinkBudget caps predicate evaluations per Shrink call; minimization
+// is best-effort within the budget (the budget is generous — typical
+// fuzzer counterexamples minimize in well under a thousand runs).
+const shrinkBudget = 20000
+
+type shrinker struct {
+	failing func(*event.Trace) bool
+	budget  int
+}
+
+// interesting reports whether the candidate action sequence still
+// reproduces the failure. Invalid traces never do.
+func (s *shrinker) interesting(actions []event.Action) bool {
+	if s.budget <= 0 || len(actions) == 0 {
+		return false
+	}
+	s.budget--
+	tr := traceFrom(actions)
+	if tr.Validate() != nil {
+		return false
+	}
+	return s.failing(tr)
+}
+
+// Shrink minimizes tr while failing keeps returning true. The failing
+// predicate must be deterministic; it is never called with an invalid
+// trace. Shrink returns tr unchanged if it does not fail to begin with.
+func Shrink(tr *event.Trace, failing func(*event.Trace) bool) *event.Trace {
+	s := &shrinker{failing: failing, budget: shrinkBudget}
+	actions := cloneActions(tr)
+	if !s.interesting(actions) {
+		return tr
+	}
+	for {
+		before := measure(actions)
+		actions = s.ddmin(actions)
+		actions = s.greedy(actions)
+		actions = s.shrinkCommits(actions)
+		if measure(actions) == before || s.budget <= 0 {
+			break
+		}
+	}
+	return traceFrom(actions)
+}
+
+// measure is the minimization objective: total actions plus commit-set
+// members (so shrinking a commit's read set counts as progress even
+// when the action count is unchanged).
+func measure(actions []event.Action) int {
+	n := len(actions)
+	for _, a := range actions {
+		n += len(a.Reads) + len(a.Writes)
+	}
+	return n
+}
+
+// ddmin is the classic delta-debugging minimization over the action
+// sequence.
+func (s *shrinker) ddmin(actions []event.Action) []event.Action {
+	n := 2
+	for len(actions) >= 2 {
+		chunk := (len(actions) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(actions); start += chunk {
+			end := start + chunk
+			if end > len(actions) {
+				end = len(actions)
+			}
+			// Try the complement: everything except [start, end).
+			cand := make([]event.Action, 0, len(actions)-(end-start))
+			cand = append(cand, actions[:start]...)
+			cand = append(cand, actions[end:]...)
+			if s.interesting(cand) {
+				actions = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(actions) {
+				break
+			}
+			n = min(n*2, len(actions))
+		}
+		if s.budget <= 0 {
+			break
+		}
+	}
+	return actions
+}
+
+// greedy removes single actions until no single removal reproduces the
+// failure.
+func (s *shrinker) greedy(actions []event.Action) []event.Action {
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(actions); i++ {
+			cand := make([]event.Action, 0, len(actions)-1)
+			cand = append(cand, actions[:i]...)
+			cand = append(cand, actions[i+1:]...)
+			if s.interesting(cand) {
+				actions = cand
+				again = true
+				i--
+			}
+		}
+	}
+	return actions
+}
+
+// shrinkCommits removes individual members of commit read/write sets.
+func (s *shrinker) shrinkCommits(actions []event.Action) []event.Action {
+	for i := range actions {
+		if actions[i].Kind != event.KindCommit {
+			continue
+		}
+		drop := func(set []event.Variable, j int) []event.Variable {
+			out := make([]event.Variable, 0, len(set)-1)
+			out = append(out, set[:j]...)
+			out = append(out, set[j+1:]...)
+			return out
+		}
+		for j := 0; j < len(actions[i].Reads); j++ {
+			cand := cloneSlice(actions)
+			cand[i].Reads = drop(cand[i].Reads, j)
+			if s.interesting(cand) {
+				actions = cand
+				j--
+			}
+		}
+		for j := 0; j < len(actions[i].Writes); j++ {
+			cand := cloneSlice(actions)
+			cand[i].Writes = drop(cand[i].Writes, j)
+			if s.interesting(cand) {
+				actions = cand
+				j--
+			}
+		}
+	}
+	return actions
+}
+
+func cloneSlice(actions []event.Action) []event.Action {
+	out := make([]event.Action, len(actions))
+	for i, a := range actions {
+		if a.Kind == event.KindCommit {
+			a.Reads = append([]event.Variable(nil), a.Reads...)
+			a.Writes = append([]event.Variable(nil), a.Writes...)
+		}
+		out[i] = a
+	}
+	return out
+}

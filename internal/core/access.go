@@ -96,9 +96,9 @@ func (e *Engine) Commit(t event.Tid, reads, writes []event.Variable) []detect.Ra
 // again — and the access proceeds race-free from the monitored
 // program's point of view. Under Abort the panic propagates unchanged.
 func (e *Engine) access(t event.Tid, o event.Addr, d event.FieldID, a event.Action, isWrite, xact bool, ls *Lockset) (race *detect.Race) {
-	shard := varShardIndex(o, d)
-	st := &e.stats[shard]
-	vs := e.stateOfShard(o, d, shard)
+	h := varHash(o, d)
+	st := &e.stats[h&(varShardCount-1)]
+	vs := e.stateOfHash(o, d, h)
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	if vs.disabled || vs.quarantined {
@@ -347,7 +347,7 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *stat
 	walked := 0 // cells visited across this check's traversals, for WalkDepth
 	if e.opts.SC3 && (e.opts.SC3MaxSegment == 0 || end.seq-prev.pos.seq <= uint64(e.opts.SC3MaxSegment)) {
 		ls := prev.ls.Clone()
-		found, viaTL, _, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, true, prev.owner, t, acceptTL, onFire)
+		found, viaTL, _, n := walkUntil(ls, prev.pos, end, e.rules(), true, prev.owner, t, acceptTL, onFire)
 		st.walkCells.Add(uint64(n))
 		if found {
 			st.sc3Hits.Add(1)
@@ -368,7 +368,7 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *stat
 	// complete lockset and can be memoized.
 	st.fullWalks.Add(1)
 	ls := prev.ls.Clone()
-	found, viaTL, stopped, n := walkUntil(ls, prev.pos, end, e.opts.TxnSemantics, false, prev.owner, t, acceptTL, onFire)
+	found, viaTL, stopped, n := walkUntil(ls, prev.pos, end, e.rules(), false, prev.owner, t, acceptTL, onFire)
 	st.walkCells.Add(uint64(n))
 	if e.tel != nil {
 		e.tel.WalkDepth.Observe(uint64(walked + n))
@@ -387,6 +387,19 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *stat
 	return found
 }
 
+// ruleSet configures the lockset update rules a walk applies: the
+// transaction semantics and — conformance mutation testing only — a
+// rule to drop (Options.BrokenRule).
+type ruleSet struct {
+	sem  event.TxnSemantics
+	drop int
+}
+
+// rules returns the engine's rule configuration.
+func (e *Engine) rules() ruleSet {
+	return ruleSet{sem: e.opts.TxnSemantics, drop: e.opts.BrokenRule}
+}
+
 // walkUntil applies the lockset update rules from cell from toward end,
 // stopping early once the target verdict is decided: the accessing
 // thread t entered the lockset, or (when acceptTL is set) TL did. It
@@ -394,7 +407,7 @@ func (e *Engine) checkHB(prev *info, t event.Tid, xact bool, end *cell, st *stat
 // cell the walk stopped at (== end iff it ran to completion), and the
 // number of cells visited. onFire, when non-nil, observes every rule
 // application that grew the lockset.
-func walkUntil(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid, acceptTL bool, onFire walkObserver) (found, viaTL bool, stopped *cell, n int) {
+func walkUntil(ls *Lockset, from, end *cell, rs ruleSet, filtered bool, t1, t2 event.Tid, acceptTL bool, onFire walkObserver) (found, viaTL bool, stopped *cell, n int) {
 	target := ThreadElem(t2)
 	check := func() (bool, bool) {
 		if ls.Has(target) {
@@ -412,7 +425,7 @@ func walkUntil(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bo
 	for ; c != end && c != nil && c.filled; c = c.next {
 		n++
 		before := ls.Len()
-		applyRuleCell(ls, c.action, sem, filtered, t1, t2)
+		applyRuleCell(ls, c.action, rs, filtered, t1, t2)
 		if ls.Len() != before {
 			if onFire != nil {
 				onFire(c, obs.RuleOf(c.action.Kind), ls)
@@ -441,20 +454,24 @@ func (e *Engine) cacheHB(prev *info, t event.Tid) {
 // rules 2–7 and 9) to ls for every filled cell in [from, end). When
 // filtered is set, only events performed by t1 or t2 are considered.
 // It returns the number of cells visited.
-func applyRules(ls *Lockset, from, end *cell, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid) int {
+func applyRules(ls *Lockset, from, end *cell, rs ruleSet, filtered bool, t1, t2 event.Tid) int {
 	n := 0
 	for c := from; c != end && c != nil && c.filled; c = c.next {
 		n++
-		applyRuleCell(ls, c.action, sem, filtered, t1, t2)
+		applyRuleCell(ls, c.action, rs, filtered, t1, t2)
 	}
 	return n
 }
 
 // applyRuleCell applies the update rules for one synchronization action.
-func applyRuleCell(ls *Lockset, a event.Action, sem event.TxnSemantics, filtered bool, t1, t2 event.Tid) {
+func applyRuleCell(ls *Lockset, a event.Action, rs ruleSet, filtered bool, t1, t2 event.Tid) {
+	sem := rs.sem
 	{
 		if filtered && a.Thread != t1 && a.Thread != t2 {
 			return
+		}
+		if rs.drop != 0 && rs.drop == obs.RuleOf(a.Kind) {
+			return // Options.BrokenRule: the injected mutation
 		}
 		u := ThreadElem(a.Thread)
 		switch a.Kind {

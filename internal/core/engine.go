@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +73,22 @@ type Options struct {
 	// short-circuit-only checking) instead of letting the process OOM.
 	// Zero disables the governor.
 	MemoryBudget int
+	// VarShards is the number of stripes the variable table is split
+	// into. Zero means the default (64); other values are rounded up to
+	// the next power of two. Shard count is a pure scalability knob —
+	// verdicts must not depend on it, which the conformance matrix
+	// checks by running every trace at 1 shard and at the default.
+	VarShards int
+	// BrokenRule, when 1..9, disables that Figure 5 lockset update rule
+	// in this engine — an intentionally unsound configuration that MUST
+	// diverge from SpecEngine on some trace. It exists solely for the
+	// conformance mutation tests (internal/conformance), which prove the
+	// differential matrix catches rule-level bugs by injecting one and
+	// watching the fuzzer find and shrink a counterexample. Rule 1 (the
+	// access reset) and rule 8 (alloc) are not droppable: rule 1 is the
+	// install path itself, and rule 8 is unobservable on valid traces
+	// (an alloc of an address with prior state fails Trace.Validate).
+	BrokenRule int
 	// Injector injects faults for resilience testing; nil injects
 	// nothing.
 	Injector *resilience.Injector
@@ -210,10 +227,11 @@ type varState struct {
 	quarantined bool
 }
 
-// varShardCount is the number of shards the variable table is split
-// into. It must be a power of two; 64 keeps shard contention negligible
-// up to far more cores than commodity hardware has while costing ~3 KiB
-// of empty maps per engine.
+// varShardCount is the default number of shards the variable table is
+// split into (Options.VarShards overrides it), and the fixed number of
+// hot-counter stat stripes. It must be a power of two; 64 keeps shard
+// contention negligible up to far more cores than commodity hardware
+// has while costing ~3 KiB of empty maps per engine.
 const varShardCount = 64
 
 // varShard is one stripe of the variable table. The shard RWMutex only
@@ -225,13 +243,15 @@ type varShard struct {
 	vars map[event.Addr]map[event.FieldID]*varState
 }
 
-// varShardIndex hashes (o, d) onto a shard. Fibonacci-style mixing with
-// an xor-fold keeps sequentially allocated addresses (the common case:
-// the runtime hands out consecutive Addrs) from clustering.
-func varShardIndex(o event.Addr, d event.FieldID) uint64 {
+// varHash hashes (o, d); the low bits index both the variable shard
+// (masked by the engine's shard count) and the stat stripe (always
+// varShardCount stripes). Fibonacci-style mixing with an xor-fold keeps
+// sequentially allocated addresses (the common case: the runtime hands
+// out consecutive Addrs) from clustering.
+func varHash(o event.Addr, d event.FieldID) uint64 {
 	h := uint64(o)*0x9E3779B97F4A7C15 + uint64(uint32(d))*0xBF58476D1CE4E5B9
 	h ^= h >> 29
-	return h & (varShardCount - 1)
+	return h
 }
 
 // statStripe holds the per-access hot-path counters for one stripe of
@@ -307,7 +327,10 @@ type Engine struct {
 	tel     *obs.Telemetry
 	walkObs walkObserver
 
-	varShards [varShardCount]varShard
+	// varShards has Options.VarShards entries (a power of two, default
+	// varShardCount); shardMask is len(varShards)-1.
+	varShards []varShard
+	shardMask uint64
 
 	locks sync.Map // event.Tid -> *threadLocks
 
@@ -337,10 +360,17 @@ type Engine struct {
 
 // NewEngine returns an Engine with the given options.
 func NewEngine(opts Options) *Engine {
+	nshards := opts.VarShards
+	if nshards <= 0 {
+		nshards = varShardCount
+	}
+	nshards = 1 << bits.Len(uint(nshards-1)) // round up to a power of two
 	e := &Engine{
-		opts: opts,
-		list: newSyncList(),
-		tel:  opts.Telemetry,
+		opts:      opts,
+		list:      newSyncList(),
+		tel:       opts.Telemetry,
+		varShards: make([]varShard, nshards),
+		shardMask: uint64(nshards - 1),
 	}
 	for i := range e.varShards {
 		e.varShards[i].vars = make(map[event.Addr]map[event.FieldID]*varState)
@@ -545,13 +575,13 @@ func (e *Engine) Alloc(_ event.Tid, o event.Addr) {
 
 // stateOf returns (creating if needed) the state for variable (o, d).
 func (e *Engine) stateOf(o event.Addr, d event.FieldID) *varState {
-	return e.stateOfShard(o, d, varShardIndex(o, d))
+	return e.stateOfHash(o, d, varHash(o, d))
 }
 
-// stateOfShard is stateOf with the shard index already computed (the
+// stateOfHash is stateOf with the variable hash already computed (the
 // access path also needs it for the stat stripe).
-func (e *Engine) stateOfShard(o event.Addr, d event.FieldID, idx uint64) *varState {
-	sh := &e.varShards[idx]
+func (e *Engine) stateOfHash(o event.Addr, d event.FieldID, h uint64) *varState {
+	sh := &e.varShards[h&e.shardMask]
 	if e.tel == nil {
 		sh.mu.RLock()
 	} else if !sh.mu.TryRLock() {
@@ -589,7 +619,7 @@ func (e *Engine) stateOfShard(o event.Addr, d event.FieldID, idx uint64) *varSta
 // lookupState returns the state for (o, d) if it exists, without
 // creating it.
 func (e *Engine) lookupState(o event.Addr, d event.FieldID) *varState {
-	sh := &e.varShards[varShardIndex(o, d)]
+	sh := &e.varShards[varHash(o, d)&e.shardMask]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	fields, ok := sh.vars[o]

@@ -1,12 +1,15 @@
 package core_test
 
 import (
+	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 	"testing/quick"
 
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
 	"goldilocks/internal/hb"
 	"goldilocks/internal/scenarios"
 	"goldilocks/internal/tracegen"
@@ -297,5 +300,50 @@ func TestLocksetLevelEquivalence(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestConformanceCounterexampleReplay replays every minimized
+// counterexample committed under internal/conformance/testdata/ —
+// traces that once witnessed (injected or real) detector bugs — through
+// both engines. Each must agree with the happens-before oracle on the
+// first race and with the spec engine on the complete race set, so a
+// regression that resurrects an old bug fails here even without running
+// the fuzzer.
+func TestConformanceCounterexampleReplay(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "conformance", "testdata", "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no counterexamples under internal/conformance/testdata")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, dropped, err := event.ReadTraceAuto(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dropped != 0 {
+				t.Fatalf("%d corrupt records dropped — corpus file damaged", dropped)
+			}
+			pos, vars, racy := oracleFirst(hb.NewOracle(tr))
+			specKeys := raceKeys(detect.RunTrace(core.NewSpecEngine(), tr))
+			sort.Strings(specKeys)
+			if r := detect.FirstRace(core.New(), tr); !agreesWithOracle(r, pos, vars, racy) {
+				t.Errorf("engine first race %v, oracle pos %d vars %v racy %v", r, pos, vars, racy)
+			}
+			engKeys := raceKeys(detect.RunTrace(core.New(), tr))
+			sort.Strings(engKeys)
+			if !equalStrings(engKeys, specKeys) {
+				t.Errorf("engine races %v, spec %v", engKeys, specKeys)
+			}
+		})
 	}
 }

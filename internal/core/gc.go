@@ -165,7 +165,7 @@ func (e *Engine) advanceInfo(in *info, limit *cell) {
 	if in == nil || in.pos.seq >= limit.seq {
 		return
 	}
-	n := applyRules(in.ls, in.pos, limit, e.opts.TxnSemantics, false, 0, 0)
+	n := applyRules(in.ls, in.pos, limit, e.rules(), false, 0, 0)
 	e.stats[0].walkCells.Add(uint64(n)) // collection walks land on stripe 0
 	in.pos.refs.Add(-1)
 	limit.refs.Add(1)
@@ -203,6 +203,6 @@ func (e *Engine) WriteLockset(o event.Addr, d event.FieldID) *Lockset {
 	}
 	end := e.list.snapshotTail()
 	ls := vs.write.ls.Clone()
-	applyRules(ls, vs.write.pos, end, e.opts.TxnSemantics, false, 0, 0)
+	applyRules(ls, vs.write.pos, end, e.rules(), false, 0, 0)
 	return ls
 }

@@ -138,7 +138,7 @@ func TestSyncListConcurrentSnapshotEnqueue(t *testing.T) {
 				end := l.snapshotTail()
 				// Walk the immutable segment [start, end).
 				ls := NewLockset(ThreadElem(1))
-				applyRules(ls, start, end, event.TxnSharedVariable, false, 0, 0)
+				applyRules(ls, start, end, ruleSet{sem: event.TxnSharedVariable}, false, 0, 0)
 				start.refs.Add(-1)
 				_ = l.cellAt(16)
 				_ = l.len()

@@ -45,10 +45,10 @@ func baseLockset(owner event.Tid, xact bool, a event.Action, sem event.TxnSemant
 // (positions seq0, seq0+1, ...), appending to p a step for every
 // application that changed the lockset, up to obs.MaxProvSteps; the
 // surplus is counted in p.Elided. It finishes p with the final lockset.
-func provReplay(p *obs.Provenance, ls *Lockset, actions []event.Action, seq0 uint64, sem event.TxnSemantics) {
+func provReplay(p *obs.Provenance, ls *Lockset, actions []event.Action, seq0 uint64, rs ruleSet) {
 	for i, a := range actions {
 		before := ls.Len()
-		applyRuleCell(ls, a, sem, false, 0, 0)
+		applyRuleCell(ls, a, rs, false, 0, 0)
 		if ls.Len() == before {
 			continue
 		}
@@ -95,6 +95,6 @@ func (e *Engine) buildProvenance(v event.Variable, prev *info, t event.Tid, end 
 	for c := start; c != end && c != nil && c.filled; c = c.next {
 		actions = append(actions, c.action)
 	}
-	provReplay(p, ls, actions, start.seq, e.opts.TxnSemantics)
+	provReplay(p, ls, actions, start.seq, e.rules())
 	return p
 }

@@ -167,3 +167,79 @@ func TestGovernorDegradesUnderUnrelievablePressure(t *testing.T) {
 		t.Error("no degraded checks counted")
 	}
 }
+
+// TestGovernorRungTransitionsExactlyOnce pins the one-way-ratchet
+// contract of the degradation ladder: under unrelievable pressure the
+// governor climbs Normal -> AggressiveGC -> ShedCaches -> Degraded,
+// entering each rung exactly once (Escalations == 3), and further
+// pressure after reaching the bottom neither re-escalates nor re-enters
+// any rung.
+func TestGovernorRungTransitionsExactlyOnce(t *testing.T) {
+	const budget = 32
+	opts := DefaultOptions()
+	opts.GCThreshold = 0
+	opts.MemoryBudget = budget
+	opts.Injector = &resilience.Injector{ExtraListCells: budget * 2}
+	e := NewEngine(opts)
+
+	e.Write(1, 500, 0)
+	e.Sync(event.Acquire(1, 600))
+	st := e.Stats()
+	if st.GovernorRung != resilience.RungDegraded {
+		t.Fatalf("rung = %v, want degraded", st.GovernorRung)
+	}
+	if st.Escalations != 3 {
+		t.Fatalf("Escalations = %d, want 3 (one per rung transition)", st.Escalations)
+	}
+	// Each intermediate rung did its work on the way down.
+	if st.AggressiveGCs == 0 {
+		t.Error("AggressiveGC rung left no trace")
+	}
+	if st.CacheSheds != 1 {
+		t.Errorf("CacheSheds = %d, want 1 (ShedCaches entered once)", st.CacheSheds)
+	}
+
+	// Sustained pressure at the bottom: no further transitions, no
+	// rung re-entry.
+	for i := 0; i < 50; i++ {
+		e.Sync(event.Acquire(1, event.Addr(700+i)))
+		e.Write(1, 500, 0)
+	}
+	st2 := e.Stats()
+	if st2.Escalations != 3 {
+		t.Errorf("Escalations grew to %d under sustained pressure", st2.Escalations)
+	}
+	if st2.CacheSheds != st.CacheSheds {
+		t.Errorf("ShedCaches re-entered: %d -> %d", st.CacheSheds, st2.CacheSheds)
+	}
+	if st2.GovernorRung != resilience.RungDegraded {
+		t.Errorf("rung moved off degraded: %v", st2.GovernorRung)
+	}
+}
+
+// TestGovernorStopsMidLadder: pressure the aggressive-GC rung can fully
+// relieve leaves the governor parked there — lower rungs are never
+// entered and the single escalation is reported once.
+func TestGovernorStopsMidLadder(t *testing.T) {
+	opts := DefaultOptions()
+	opts.GCThreshold = 0 // no automatic GC: pressure only relieved by the governor
+	opts.MemoryBudget = 16
+	e := NewEngine(opts)
+
+	// Fill the list with fully-applied sync events; they are collectable,
+	// so the rung-1 aggressive collection relieves the pressure.
+	for i := 0; i < 64; i++ {
+		e.Sync(event.Acquire(1, 600))
+		e.Sync(event.Release(1, 600))
+	}
+	st := e.Stats()
+	if st.GovernorRung != resilience.RungAggressiveGC {
+		t.Fatalf("rung = %v, want aggressive-gc", st.GovernorRung)
+	}
+	if st.Escalations != 1 {
+		t.Errorf("Escalations = %d, want 1", st.Escalations)
+	}
+	if st.CacheSheds != 0 || st.DegradedChecks != 0 {
+		t.Errorf("lower rungs entered: %d sheds, %d degraded checks", st.CacheSheds, st.DegradedChecks)
+	}
+}

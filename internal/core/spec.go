@@ -276,7 +276,7 @@ func (s *SpecEngine) buildProvenance(v event.Variable, prev *specAccess, t event
 	}
 	ls := baseLockset(prev.owner, prev.xact, prev.action, s.sem)
 	p.Base = ls.String()
-	provReplay(p, ls, s.log[prev.idx:], uint64(prev.idx), s.sem)
+	provReplay(p, ls, s.log[prev.idx:], uint64(prev.idx), ruleSet{sem: s.sem})
 	return p
 }
 

@@ -11,7 +11,7 @@ func (e *Engine) Telemetry() *obs.Telemetry { return e.tel }
 
 // ShardCount returns the number of variable-table shards, for reporting
 // the engine configuration alongside benchmark results.
-func (e *Engine) ShardCount() int { return varShardCount }
+func (e *Engine) ShardCount() int { return len(e.varShards) }
 
 // RegisterMetrics binds the engine's observable state into reg: the
 // work counters of Stats (including the SC1/SC2/SC3 short-circuit hits,

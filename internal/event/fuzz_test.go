@@ -1,0 +1,124 @@
+package event
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleStream serializes a small valid trace in the streaming format,
+// as seed material for the fuzz targets.
+func sampleStream(tb testing.TB) []byte {
+	tr := NewBuilder().
+		Fork(1, 2).
+		Acquire(1, 7).
+		Write(1, 10, 0).
+		Release(1, 7).
+		Acquire(2, 7).
+		Read(2, 10, 0).
+		Release(2, 7).
+		VolatileWrite(1, 1, 0).
+		VolatileRead(2, 1, 0).
+		Commit(2, []Variable{{Obj: 10, Field: 1}}, []Variable{{Obj: 11, Field: 0}}).
+		Alloc(1, 42).
+		Join(1, 2).
+		Trace()
+	var buf bytes.Buffer
+	if err := WriteTraceStream(&buf, tr); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTraceStream throws arbitrary bytes at the streaming reader.
+// Robustness contract: never panic, never return an invalid trace, and
+// when the reader salvages (dropped > 0 or early stop) the salvaged
+// prefix must itself be a valid, re-serializable trace.
+func FuzzReadTraceStream(f *testing.F) {
+	sample := sampleStream(f)
+	f.Add(sample)
+	f.Add([]byte(`{"format":"goldilocks-stream","version":1}` + "\n"))
+	f.Add([]byte(`{"format":"goldilocks-stream","version":2}` + "\n"))
+	f.Add([]byte("not a stream at all"))
+	f.Add(sample[:len(sample)-9]) // torn final record
+	f.Add(bytes.Replace(sample, []byte(`"crc":"`), []byte(`"crc":"0`), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, dropped, err := ReadTraceStream(bytes.NewReader(data))
+		if err != nil {
+			return // unusable header: fine, as long as it did not panic
+		}
+		if dropped < 0 {
+			t.Fatalf("negative dropped count %d", dropped)
+		}
+		// Salvaged prefixes are full-fledged traces: valid and
+		// round-trippable with zero drops.
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("salvaged trace invalid: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteTraceStream(&buf, tr); werr != nil {
+			t.Fatalf("re-serialize: %v", werr)
+		}
+		tr2, dropped2, rerr := ReadTraceStream(&buf)
+		if rerr != nil || dropped2 != 0 {
+			t.Fatalf("round trip: err=%v dropped=%d", rerr, dropped2)
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip length %d, want %d", tr2.Len(), tr.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if tr2.At(i).String() != tr.At(i).String() {
+				t.Fatalf("round trip action %d: %v != %v", i, tr2.At(i), tr.At(i))
+			}
+		}
+	})
+}
+
+// FuzzReadTraceAuto exercises the format sniffer: arbitrary bytes must
+// never panic, and whatever parses must be a valid trace.
+func FuzzReadTraceAuto(f *testing.F) {
+	f.Add(sampleStream(f))
+	f.Add([]byte(`{"actions":[{"kind":"write","t":1,"o":10,"d":0}]}`))
+	f.Add([]byte(`{"format":"goldilocks-stream"`))
+	f.Add([]byte{})
+	f.Add([]byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, dropped, err := ReadTraceAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if dropped < 0 {
+			t.Fatalf("negative dropped count %d", dropped)
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("parsed trace invalid: %v", verr)
+		}
+	})
+}
+
+// TestStreamSalvageTruncatedPrefix pins the salvage behavior the fuzz
+// target relies on: cutting a stream mid-record yields the preceding
+// records and counts the torn one as dropped.
+func TestStreamSalvageTruncatedPrefix(t *testing.T) {
+	sample := sampleStream(t)
+	lines := strings.SplitAfter(string(sample), "\n")
+	// Header + 12 records (+ trailing empty split).
+	if len(lines) < 13 {
+		t.Fatalf("unexpected sample layout: %d lines", len(lines))
+	}
+	// Keep the header and first 5 records, then tear record 6 in half.
+	torn := strings.Join(lines[:6], "") + lines[6][:len(lines[6])/2]
+	tr, dropped, err := ReadTraceStream(strings.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("salvaged %d actions, want 5", tr.Len())
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (the torn record)", dropped)
+	}
+	if verr := tr.Validate(); verr != nil {
+		t.Fatalf("salvaged prefix invalid: %v", verr)
+	}
+}

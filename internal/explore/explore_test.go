@@ -320,3 +320,54 @@ func TestExploreNoTimeoutUnaffected(t *testing.T) {
 		t.Error("small space not exhausted")
 	}
 }
+
+// TestExploreTimeoutAlreadyExpired pins the expiry edge case: a
+// deadline that passes before the first schedule starts must return
+// TimedOut with zero schedules — not run the body, not claim
+// exhaustion, and not record a racy witness.
+func TestExploreTimeoutAlreadyExpired(t *testing.T) {
+	ran := false
+	res := explore.Schedules(explore.Options{Timeout: time.Nanosecond},
+		func(c jrt.Chooser) int {
+			// The nanosecond deadline has long passed by the time the
+			// search loop makes its first check.
+			time.Sleep(time.Millisecond)
+			ran = true
+			return 1
+		}, nil)
+	if ran && res.Schedules == 0 {
+		t.Error("body ran but Schedules == 0")
+	}
+	if !res.TimedOut {
+		t.Fatalf("TimedOut = false: %+v", res)
+	}
+	if res.Exhausted {
+		t.Error("Exhausted set on a timed-out search")
+	}
+	if res.Schedules > 1 {
+		t.Errorf("%d schedules completed against an expired deadline", res.Schedules)
+	}
+	if res.FirstRacy != nil && res.Racy == 0 {
+		t.Errorf("FirstRacy %v without racy schedules", res.FirstRacy)
+	}
+}
+
+// TestExploreTimeoutResultConsistency: however the race between the
+// deadline and the first schedules resolves, the result counters stay
+// mutually consistent (Racy <= Schedules, Truncated <= Schedules,
+// never TimedOut and Exhausted together).
+func TestExploreTimeoutResultConsistency(t *testing.T) {
+	for _, d := range []time.Duration{time.Nanosecond, 100 * time.Microsecond, 50 * time.Millisecond} {
+		res := explore.Schedules(explore.Options{MaxSchedules: 100, Timeout: d},
+			runMJ(t, racyProgram), nil)
+		if res.TimedOut && res.Exhausted {
+			t.Errorf("timeout %v: both TimedOut and Exhausted set: %+v", d, res)
+		}
+		if res.Racy > res.Schedules || res.Truncated > res.Schedules {
+			t.Errorf("timeout %v: inconsistent counters: %+v", d, res)
+		}
+		if res.Racy > 0 && res.FirstRacy == nil {
+			t.Errorf("timeout %v: racy schedules but no FirstRacy witness", d)
+		}
+	}
+}

@@ -41,7 +41,26 @@ type Config struct {
 	// SyncBias, in [0,1], is the probability that a thread performs a
 	// synchronization action rather than a data access at each step.
 	SyncBias float64
+	// SyncWeights, when non-nil, biases which synchronization action a
+	// sync step performs; index with the Sync* constants. Nil keeps the
+	// historical uniform choice bit-for-bit (pinned generator seeds stay
+	// stable). The conformance fuzzer uses weights to steer generation
+	// toward Figure 5 rules its coverage map says are under-exercised.
+	SyncWeights []float64
 }
+
+// Indexes into Config.SyncWeights: the synchronization action kinds a
+// sync step chooses between.
+const (
+	SyncAcquire = iota // lock acquire (Figure 5 rule 3)
+	SyncRelease        // lock release (rule 2)
+	SyncVWrite         // volatile write (rule 4)
+	SyncVRead          // volatile read (rule 5)
+	SyncFork           // fork (rule 6)
+	SyncJoin           // join (rule 7)
+	SyncAlloc          // allocation (rule 8)
+	NumSyncKinds
+)
 
 // Default returns a configuration that produces small, densely
 // interacting traces: few objects and locks, frequent handoffs — the
@@ -115,7 +134,7 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 		t := th.id
 
 		if rng.Float64() < cfg.SyncBias {
-			switch rng.Intn(7) {
+			switch pickSync(rng, cfg.SyncWeights) {
 			case 0: // acquire a lock that is free or already ours
 				l := lockObjBase + event.Addr(rng.Intn(cfg.Locks))
 				if owner, held := lockOwner[l]; !held || owner == t {
@@ -198,6 +217,36 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 		}
 	}
 	return b.Trace()
+}
+
+// pickSync chooses a synchronization action kind: uniformly when
+// weights is nil (the historical behavior — one rng.Intn draw), by
+// weight otherwise. Non-positive weights exclude a kind; an all-
+// non-positive slice falls back to uniform.
+func pickSync(rng *rand.Rand, weights []float64) int {
+	if weights == nil {
+		return rng.Intn(NumSyncKinds)
+	}
+	total := 0.0
+	for i := 0; i < NumSyncKinds && i < len(weights); i++ {
+		if weights[i] > 0 {
+			total += weights[i]
+		}
+	}
+	if total <= 0 {
+		return rng.Intn(NumSyncKinds)
+	}
+	x := rng.Float64() * total
+	for i := 0; i < NumSyncKinds && i < len(weights); i++ {
+		if weights[i] <= 0 {
+			continue
+		}
+		x -= weights[i]
+		if x < 0 {
+			return i
+		}
+	}
+	return NumSyncKinds - 1
 }
 
 // FromSeed generates a trace deterministically from a seed with the
