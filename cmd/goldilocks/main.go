@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"goldilocks/internal/core"
@@ -73,6 +76,8 @@ type runConfig struct {
 	record   string
 	onError  string // quarantine | abort
 	budget   int    // event-list cell budget; 0: unbounded
+	remote   string // goldilocksd address; offload detection there
+	session  string // session id for -remote
 
 	// Observability (docs/OBSERVABILITY.md). Any of these being set
 	// enables telemetry; all unset keeps the detector hot path free of
@@ -95,6 +100,8 @@ func main() {
 		record   = flag.String("record", "", "write the observed linearization to this file (.jsonl: checksummed streaming format; replay with cmd/racereplay)")
 		onError  = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
 		budget   = flag.Int("memory-budget", 0, "event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
+		remote   = flag.String("remote", "", "offload detection to the goldilocksd at this address instead of running an in-process detector (forces -policy log; see docs/SERVICE.md)")
+		session  = flag.String("session", "", "session id for -remote (default: goldilocks-<pid>)")
 		exploreN = flag.Int("explore", 0, "systematically explore up to N schedules and report how many race (implies -sched det)")
 		exploreP = flag.Int("explore-bound", 0, "preemption bound for -explore (0: unbounded)")
 		exploreT = flag.Duration("explore-timeout", 0, "wall-clock budget for -explore (0: unbounded)")
@@ -117,7 +124,13 @@ func main() {
 		}
 		os.Exit(exitFor(racy, err))
 	}
-	nraces, err := run(flag.Arg(0), runConfig{
+	// SIGINT/SIGTERM cut the post-run linger short (and any other
+	// ctx-aware wait) but still run the structured-exit path: stats
+	// documents are written, the metrics server shuts down gracefully,
+	// and the exit code reflects the run's verdict — not a bare kill.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	nraces, err := run(ctx, flag.Arg(0), runConfig{
 		detector: *detName,
 		static:   *analysis,
 		policy:   *policy,
@@ -128,6 +141,8 @@ func main() {
 		record:   *record,
 		onError:  *onError,
 		budget:   *budget,
+		remote:   *remote,
+		session:  *session,
 
 		statsJSON:     *statsJSON,
 		metricsAddr:   *metrics,
@@ -199,7 +214,9 @@ func exploreSchedules(path string, maxSchedules, preemptionBound int, timeout ti
 }
 
 // run executes the program and returns the number of races reported.
-func run(path string, c runConfig) (int, error) {
+// A cancelled ctx (SIGINT/SIGTERM) cuts interruptible waits short; the
+// structured-exit path still runs in full.
+func run(ctx context.Context, path string, c runConfig) (int, error) {
 	errPolicy, err := resilience.ParseErrorPolicy(c.onError)
 	if err != nil {
 		return 0, usageErrf("%v", err)
@@ -258,8 +275,22 @@ func run(path string, c runConfig) (int, error) {
 	cfg := jrt.Config{}
 	var engine *core.Engine
 	var guard *jrt.Guarded
-	switch c.detector {
-	case "goldilocks":
+	var remote *remoteSession
+	if c.remote != "" {
+		sessionID := c.session
+		if sessionID == "" {
+			sessionID = fmt.Sprintf("goldilocks-%d", os.Getpid())
+		}
+		remote, err = dialRemote(c.remote, sessionID)
+		if err != nil {
+			return 0, err
+		}
+		cfg.Detector = remote
+		fmt.Fprintf(os.Stderr, "goldilocks: streaming to %s (session %s)\n", c.remote, sessionID)
+	}
+	switch {
+	case remote != nil: // detection offloaded; -detector does not apply
+	case c.detector == "goldilocks":
 		opts := core.DefaultOptions()
 		if c.noSC {
 			opts.SC1, opts.SC2, opts.SC3, opts.XactSC = false, false, false, false
@@ -269,16 +300,16 @@ func run(path string, c runConfig) (int, error) {
 		opts.Telemetry = tel
 		engine = core.NewEngine(opts)
 		cfg.Detector = engine
-	case "vectorclock":
+	case c.detector == "vectorclock":
 		guard = jrt.Guard(jrt.Serialize(hb.NewDetector()), errPolicy)
 		cfg.Detector = guard
-	case "eraser":
+	case c.detector == "eraser":
 		guard = jrt.Guard(jrt.Serialize(eraser.New()), errPolicy)
 		cfg.Detector = guard
-	case "basic":
+	case c.detector == "basic":
 		guard = jrt.Guard(jrt.Serialize(basic.New()), errPolicy)
 		cfg.Detector = guard
-	case "none":
+	case c.detector == "none":
 	default:
 		return 0, usageErrf("unknown detector %q", c.detector)
 	}
@@ -298,6 +329,12 @@ func run(path string, c runConfig) (int, error) {
 		cfg.Policy = jrt.Log
 	default:
 		return 0, usageErrf("unknown policy %q", c.policy)
+	}
+	if remote != nil && cfg.Policy == jrt.Throw {
+		// Remote verdicts arrive asynchronously: there is no way to throw
+		// a DataRaceException into the accessing thread from the daemon.
+		fmt.Fprintln(os.Stderr, "goldilocks: -remote cannot throw into the accessing thread; using -policy log")
+		cfg.Policy = jrt.Log
 	}
 	switch c.sched {
 	case "free":
@@ -344,6 +381,14 @@ func run(path string, c runConfig) (int, error) {
 		return 0, err
 	}
 	sampler.Stop()
+	if remote != nil {
+		ack, rerr := remote.finish()
+		if rerr != nil {
+			return 0, fmt.Errorf("remote session: %w", rerr)
+		}
+		races = append(races, remote.races()...)
+		fmt.Fprintf(os.Stderr, "goldilocks: remote session applied %d actions, %d races\n", ack.Applied, ack.Races)
+	}
 
 	for _, r := range races {
 		fmt.Fprintf(os.Stderr, "race: %v\n", &r)
@@ -384,7 +429,13 @@ func run(path string, c runConfig) (int, error) {
 	}
 	if srv != nil && c.metricsLinger > 0 {
 		fmt.Fprintf(os.Stderr, "goldilocks: metrics endpoint lingering for %v\n", c.metricsLinger)
-		time.Sleep(c.metricsLinger)
+		lingerTimer := time.NewTimer(c.metricsLinger)
+		select {
+		case <-lingerTimer.C:
+		case <-ctx.Done():
+			lingerTimer.Stop()
+			fmt.Fprintln(os.Stderr, "goldilocks: signal received, cutting linger short")
+		}
 	}
 	if rep := rt.Failure(); rep != nil {
 		fmt.Fprintf(os.Stderr, "goldilocks: %v\n", rep)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -61,7 +62,7 @@ func TestRunCleanProgramAllDetectors(t *testing.T) {
 		c := cfg()
 		c.detector = det
 		c.stats = true
-		n, err := run(path, c)
+		n, err := run(context.Background(), path, c)
 		if err != nil {
 			t.Errorf("detector %s: %v", det, err)
 		}
@@ -76,7 +77,7 @@ func TestRunCleanProgramAllDetectors(t *testing.T) {
 	// initialization, demonstrating the precision gap from the CLI too.
 	c := cfg()
 	c.detector, c.policy = "basic", "log"
-	n, err := run(path, c)
+	n, err := run(context.Background(), path, c)
 	if err != nil {
 		t.Fatalf("basic: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestRunStaticAnalyses(t *testing.T) {
 	for _, analysis := range []string{"chord", "rcc"} {
 		c := cfg()
 		c.static, c.policy = analysis, "log"
-		if _, err := run(path, c); err != nil {
+		if _, err := run(context.Background(), path, c); err != nil {
 			t.Errorf("static %s: %v", analysis, err)
 		}
 	}
@@ -103,7 +104,7 @@ func TestRunNoShortCircuit(t *testing.T) {
 	path := writeProgram(t, cleanSrc)
 	c := cfg()
 	c.sched, c.seed, c.stats, c.noSC = "free", 0, true, true
-	if _, err := run(path, c); err != nil {
+	if _, err := run(context.Background(), path, c); err != nil {
 		t.Errorf("no-shortcircuit: %v", err)
 	}
 }
@@ -112,7 +113,7 @@ func TestRunMemoryBudget(t *testing.T) {
 	path := writeProgram(t, cleanSrc)
 	c := cfg()
 	c.budget, c.stats = 16, true
-	n, err := run(path, c)
+	n, err := run(context.Background(), path, c)
 	if err != nil {
 		t.Fatalf("memory budget: %v", err)
 	}
@@ -140,7 +141,7 @@ func TestRunRejectsBadFlagsWithUsageExit(t *testing.T) {
 	c.onError = "bogus"
 	cases = append(cases, c)
 	for _, c := range cases {
-		n, err := run(path, c)
+		n, err := run(context.Background(), path, c)
 		if err == nil {
 			t.Errorf("config %+v accepted", c)
 			continue
@@ -155,7 +156,7 @@ func TestRunRejectsBadFlagsWithUsageExit(t *testing.T) {
 }
 
 func TestRunFrontEndErrorsExitRuntime(t *testing.T) {
-	n, err := run(filepath.Join(t.TempDir(), "missing.mj"), cfg())
+	n, err := run(context.Background(), filepath.Join(t.TempDir(), "missing.mj"), cfg())
 	if err == nil {
 		t.Error("missing file accepted")
 	}
@@ -163,11 +164,11 @@ func TestRunFrontEndErrorsExitRuntime(t *testing.T) {
 		t.Errorf("missing file: exit code %d, want %d", code, resilience.ExitRuntime)
 	}
 	bad := writeProgram(t, "class {")
-	if _, err := run(bad, cfg()); err == nil {
+	if _, err := run(context.Background(), bad, cfg()); err == nil {
 		t.Error("syntax error accepted")
 	}
 	unchecked := writeProgram(t, "class C { void m() { x = 1; } }")
-	if _, err := run(unchecked, cfg()); err == nil {
+	if _, err := run(context.Background(), unchecked, cfg()); err == nil {
 		t.Error("type error accepted")
 	}
 }
@@ -196,7 +197,7 @@ class Main {
 		c := cfg()
 		c.policy = "log"
 		c.seed = seed
-		n, err := run(path, c)
+		n, err := run(context.Background(), path, c)
 		if err == nil {
 			continue
 		}
@@ -220,7 +221,7 @@ func TestRecordFlagWritesReplayableTrace(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "out.json")
 	c := cfg()
 	c.policy, c.record = "log", trace
-	if _, err := run(path, c); err != nil {
+	if _, err := run(context.Background(), path, c); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(trace)
@@ -248,7 +249,7 @@ func TestRecordStreamFormat(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "out.jsonl")
 	c := cfg()
 	c.policy, c.record = "log", trace
-	if _, err := run(path, c); err != nil {
+	if _, err := run(context.Background(), path, c); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(trace)

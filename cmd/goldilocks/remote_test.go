@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"goldilocks/internal/resilience"
+	"goldilocks/internal/server"
+)
+
+// TestRunRemoteParity runs the same programs locally and against an
+// in-process goldilocksd and requires the same verdict count and exit
+// code from both paths.
+func TestRunRemoteParity(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+
+	for name, src := range map[string]string{"clean": cleanSrc, "racy": racySrc} {
+		path := writeProgram(t, src)
+
+		local := cfg()
+		local.policy = "log"
+		nLocal, err := run(context.Background(), path, local)
+		if err != nil {
+			t.Fatalf("%s: local run: %v", name, err)
+		}
+
+		rem := cfg()
+		rem.policy = "log"
+		rem.remote = srv.Addr()
+		rem.session = "cli-" + name
+		nRemote, err := run(context.Background(), path, rem)
+		if err != nil {
+			t.Fatalf("%s: remote run: %v", name, err)
+		}
+
+		if nLocal != nRemote {
+			t.Errorf("%s: local %d races, remote %d", name, nLocal, nRemote)
+		}
+		if lc, rc := exitFor(nLocal, nil), exitFor(nRemote, nil); lc != rc {
+			t.Errorf("%s: local exit %d, remote exit %d", name, lc, rc)
+		}
+	}
+}
+
+// TestRunRemoteForcesLogPolicy keeps the throw policy from silently
+// doing nothing with -remote: the run succeeds, logs the verdicts, and
+// still reports the racy exit code.
+func TestRunRemoteForcesLogPolicy(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+
+	path := writeProgram(t, racySrc)
+	c := cfg() // policy: throw
+	c.remote = srv.Addr()
+	c.session = "cli-throw"
+	n, err := run(context.Background(), path, c)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("racy program reported no races via remote detection")
+	}
+	if code := exitFor(n, err); code != resilience.ExitRace {
+		t.Errorf("exit code %d, want %d", code, resilience.ExitRace)
+	}
+}
+
+// TestRunRemoteUnreachable maps a refused connection to a runtime
+// failure, not a silent clean run.
+func TestRunRemoteUnreachable(t *testing.T) {
+	path := writeProgram(t, cleanSrc)
+	c := cfg()
+	c.remote = "127.0.0.1:1" // nothing listens here
+	if _, err := run(context.Background(), path, c); err == nil {
+		t.Fatal("run with unreachable daemon succeeded")
+	}
+}

@@ -1,0 +1,102 @@
+// Command goldilocksd is the long-running detection service: many
+// client processes stream synchronization events to it over TCP (the
+// checksummed goldilocks-stream record format) and receive race
+// verdicts with provenance back, one detection engine per session.
+//
+// With -checkpoint-dir, SIGINT/SIGTERM checkpoints every session's
+// engine state before exiting, and the next goldilocksd on the same
+// directory restores them: clients reconnect, learn the resume point
+// from the welcome message, and continue as if the daemon never
+// stopped. See docs/SERVICE.md for the protocol and lifecycle.
+//
+// Exit codes: 0 clean shutdown, 2 usage error, 3 runtime failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/resilience"
+	"goldilocks/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7766", "listen address for detection sessions")
+		ckptDir = flag.String("checkpoint-dir", "", "persist sessions here on shutdown and restore them on start (empty: no persistence)")
+		metrics = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060; insecure, bind to localhost)")
+		queue   = flag.Int("queue", 256, "per-session ingest queue bound; a full queue blocks the producer via TCP backpressure")
+		batch   = flag.Int("batch", 64, "actions applied per batch before verdicts are flushed to the client")
+		budget  = flag.Int("memory-budget", 0, "per-session event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
+		onError = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
+		noSC    = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks in session engines (ablation)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: goldilocksd [flags]")
+		flag.Usage()
+		os.Exit(resilience.ExitUsage)
+	}
+	if err := run(*addr, *ckptDir, *metrics, *queue, *batch, *budget, *onError, *noSC); err != nil {
+		fmt.Fprintln(os.Stderr, "goldilocksd:", err)
+		os.Exit(resilience.ExitRuntime)
+	}
+	os.Exit(resilience.ExitClean)
+}
+
+func run(addr, ckptDir, metricsAddr string, queue, batch, budget int, onError string, noSC bool) error {
+	errPolicy, err := resilience.ParseErrorPolicy(onError)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	if noSC {
+		opts.SC1, opts.SC2, opts.SC3, opts.XactSC = false, false, false, false
+	}
+	opts.OnError = errPolicy
+	opts.MemoryBudget = budget
+
+	reg := obs.NewRegistry()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "goldilocksd: "+format+"\n", args...)
+	}
+	srv, err := server.New(addr, server.Config{
+		Engine:        opts,
+		Queue:         queue,
+		Batch:         batch,
+		CheckpointDir: ckptDir,
+		Registry:      reg,
+		Logf:          logf,
+	})
+	if err != nil {
+		return err
+	}
+	logf("listening on %s", srv.Addr())
+
+	var msrv *obs.Server
+	if metricsAddr != "" {
+		msrv, err = obs.Serve(metricsAddr, reg)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		logf("serving metrics on http://%s/metrics", msrv.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	logf("signal received, shutting down")
+
+	err = srv.Close()
+	if cerr := msrv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

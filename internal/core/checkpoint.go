@@ -1,0 +1,542 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"slices"
+	"sort"
+
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/resilience"
+)
+
+// This file implements engine checkpoint/restore: the complete detector
+// state of an optimized Engine — the sharded variable table (Write/Read
+// Info records with their memoized locksets, positions, and
+// happens-before caches), the per-thread lock records, the retained
+// synchronization event list, the governor ladder position, and every
+// Stats counter — serialized to a checksummed snapshot and rebuilt into
+// a fresh engine. A restored engine is stats-identical to one that
+// never stopped: replaying the suffix of a trace after restore yields
+// the same verdicts, the same Figure 5 rule-fire counts, and the same
+// Stats as the uninterrupted run (pinned by TestCheckpointEveryPrefix).
+//
+// The format mirrors the streaming trace format's durability story: a
+// header line identifying the format, then one body line whose payload
+// carries a CRC-32 (IEEE), so a torn or bit-rotten snapshot is detected
+// on load instead of silently restoring a corrupt detector.
+//
+//	{"format":"goldilocks-checkpoint","version":1}
+//	{"engine":{...},"crc":"7f1c0d3a"}
+//
+// Checkpoint requires quiescence: the caller must ensure no concurrent
+// Step/Read/Write/Sync while the snapshot is taken (goldilocksd pauses
+// the session's apply loop first). Restore builds a brand-new engine.
+
+// CheckpointFormatName identifies the snapshot format.
+const CheckpointFormatName = "goldilocks-checkpoint"
+
+// CheckpointFormatVersion is the current snapshot version.
+const CheckpointFormatVersion = 1
+
+type ckptHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+type ckptBody struct {
+	Engine json.RawMessage `json:"engine"`
+	CRC    string          `json:"crc"`
+}
+
+// ckptOptions is Options minus the non-serializable attachments
+// (Telemetry, Injector), which the restoring process supplies fresh.
+type ckptOptions struct {
+	SC1              bool               `json:"sc1,omitempty"`
+	SC2              bool               `json:"sc2,omitempty"`
+	SC3              bool               `json:"sc3,omitempty"`
+	SC3MaxSegment    int                `json:"sc3_max_segment,omitempty"`
+	XactSC           bool               `json:"xact_sc,omitempty"`
+	Memoize          bool               `json:"memoize,omitempty"`
+	HBCache          bool               `json:"hb_cache,omitempty"`
+	DisableAfterRace bool               `json:"disable_after_race,omitempty"`
+	GCThreshold      int                `json:"gc_threshold,omitempty"`
+	GCTrimFraction   float64            `json:"gc_trim_fraction,omitempty"`
+	PartialEager     bool               `json:"partial_eager,omitempty"`
+	TxnSemantics     event.TxnSemantics `json:"txn_semantics,omitempty"`
+	OnError          uint8              `json:"on_error,omitempty"`
+	MemoryBudget     int                `json:"memory_budget,omitempty"`
+	VarShards        int                `json:"var_shards,omitempty"`
+	BrokenRule       int                `json:"broken_rule,omitempty"`
+}
+
+type ckptElem struct {
+	K event.FieldID `json:"k"` // ElemKind (FieldID-typed to keep tags terse)
+	T event.Tid     `json:"t,omitempty"`
+	O event.Addr    `json:"o,omitempty"`
+	F event.FieldID `json:"f,omitempty"`
+}
+
+type ckptInfo struct {
+	Owner   event.Tid       `json:"t"`
+	Pos     uint64          `json:"pos"`
+	OrigSeq uint64          `json:"orig"`
+	ALock   event.Addr      `json:"alock,omitempty"`
+	Xact    bool            `json:"xact,omitempty"`
+	Action  json.RawMessage `json:"a"`
+	Lockset []ckptElem      `json:"ls"`
+	HBAfter []event.Tid     `json:"hb,omitempty"`
+}
+
+type ckptVar struct {
+	Obj          event.Addr    `json:"o"`
+	Field        event.FieldID `json:"f"`
+	Write        *ckptInfo     `json:"w,omitempty"`
+	Reads        []ckptInfo    `json:"r,omitempty"` // sorted by owner tid
+	ReadsAllXact bool          `json:"rx,omitempty"`
+	Disabled     bool          `json:"disabled,omitempty"`
+	Quarantined  bool          `json:"quarantined,omitempty"`
+}
+
+type ckptThread struct {
+	Tid   event.Tid    `json:"t"`
+	Stack []event.Addr `json:"stack,omitempty"` // distinct held monitors, acquisition order
+	Depth []int        `json:"depth,omitempty"` // reentrancy count per stack entry
+}
+
+type ckptList struct {
+	HeadSeq   uint64            `json:"head_seq"`
+	Actions   []json.RawMessage `json:"actions"` // filled cells, head to tail
+	Enqueued  uint64            `json:"enqueued"`
+	Collected uint64            `json:"collected"`
+}
+
+// ckptCounters carries every Stats field plus the internals Stats is
+// derived from, so the restored engine's Stats() is bit-identical.
+type ckptCounters struct {
+	AccessesChecked uint64 `json:"accesses_checked,omitempty"`
+	PairChecks      uint64 `json:"pair_checks,omitempty"`
+	SC1Hits         uint64 `json:"sc1_hits,omitempty"`
+	SC2Hits         uint64 `json:"sc2_hits,omitempty"`
+	SC3Hits         uint64 `json:"sc3_hits,omitempty"`
+	XactHits        uint64 `json:"xact_hits,omitempty"`
+	HBCacheHits     uint64 `json:"hb_cache_hits,omitempty"`
+	FullWalks       uint64 `json:"full_walks,omitempty"`
+	WalkCells       uint64 `json:"walk_cells,omitempty"`
+	Races           uint64 `json:"races,omitempty"`
+	DegradedChecks  uint64 `json:"degraded_checks,omitempty"`
+	VarsTracked     uint64 `json:"vars_tracked,omitempty"`
+	Collections     uint64 `json:"collections,omitempty"`
+	InfosAdvanced   uint64 `json:"infos_advanced,omitempty"`
+	PanicsRecovered uint64 `json:"panics_recovered,omitempty"`
+	VarsQuarantined uint64 `json:"vars_quarantined,omitempty"`
+	Rung            int32  `json:"rung,omitempty"`
+	Escalations     uint64 `json:"escalations,omitempty"`
+	AggressiveGCs   uint64 `json:"aggressive_gcs,omitempty"`
+	CacheSheds      uint64 `json:"cache_sheds,omitempty"`
+	EagerSweeps     uint64 `json:"eager_sweeps,omitempty"`
+	Degraded        bool   `json:"degraded,omitempty"`
+}
+
+type ckptPayload struct {
+	Opts     ckptOptions  `json:"opts"`
+	List     ckptList     `json:"list"`
+	Threads  []ckptThread `json:"threads,omitempty"` // sorted by tid
+	Vars     []ckptVar    `json:"vars,omitempty"`    // sorted by (obj, field)
+	Counters ckptCounters `json:"counters"`
+	// Telemetry counters, present when the checkpointed engine had
+	// telemetry attached: event-level rule fires and walk-effect hits
+	// (indexed 0..NumRules), added into the restoring telemetry so
+	// rule-fire counts stay linearization-exact across a restart.
+	RuleFires    []uint64 `json:"rule_fires,omitempty"`
+	WalkRuleHits []uint64 `json:"walk_rule_hits,omitempty"`
+}
+
+// RestoreAttach carries the process-local attachments a restored engine
+// cannot read from the snapshot: a telemetry bundle (checkpointed rule
+// fires are added into it) and a fault injector. Both may be nil.
+type RestoreAttach struct {
+	Telemetry *obs.Telemetry
+	Injector  *resilience.Injector
+}
+
+// Checkpoint serializes the engine's complete detector state to w. The
+// engine must be quiescent: no concurrent Step/Read/Write/Sync calls.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	payload, err := e.snapshot()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(ckptHeader{Format: CheckpointFormatName, Version: CheckpointFormatVersion})
+	if err != nil {
+		return err
+	}
+	rec, err := json.Marshal(ckptBody{Engine: body, CRC: fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))})
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.Write(append(hdr, '\n'))
+	bw.Write(append(rec, '\n'))
+	return bw.Flush()
+}
+
+// snapshot assembles the checkpoint payload.
+func (e *Engine) snapshot() (*ckptPayload, error) {
+	o := e.opts
+	p := &ckptPayload{
+		Opts: ckptOptions{
+			SC1: o.SC1, SC2: o.SC2, SC3: o.SC3, SC3MaxSegment: o.SC3MaxSegment,
+			XactSC: o.XactSC, Memoize: o.Memoize, HBCache: o.HBCache,
+			DisableAfterRace: o.DisableAfterRace,
+			GCThreshold:      o.GCThreshold, GCTrimFraction: o.GCTrimFraction,
+			PartialEager: o.PartialEager, TxnSemantics: o.TxnSemantics,
+			OnError: uint8(o.OnError), MemoryBudget: o.MemoryBudget,
+			VarShards: len(e.varShards), BrokenRule: o.BrokenRule,
+		},
+	}
+
+	// Event list: the retained filled cells are a contiguous seq range
+	// from head to the sentinel (trim only ever drops a prefix).
+	e.list.mu.Lock()
+	head := e.list.head
+	e.list.mu.Unlock()
+	tail := e.list.snapshotTail()
+	p.List.HeadSeq = head.seq
+	p.List.Enqueued = e.list.enqueued.Load()
+	p.List.Collected = e.list.collected.Load()
+	for c := head; c != tail && c != nil && c.filled; c = c.next {
+		a, err := event.MarshalAction(c.action)
+		if err != nil {
+			return nil, err
+		}
+		p.List.Actions = append(p.List.Actions, a)
+	}
+
+	// Per-thread lock records.
+	e.locks.Range(func(k, v any) bool {
+		t := k.(event.Tid)
+		tl := v.(*threadLocks)
+		tl.mu.Lock()
+		ct := ckptThread{Tid: t, Stack: slices.Clone(tl.stack)}
+		for _, a := range ct.Stack {
+			ct.Depth = append(ct.Depth, tl.held[a])
+		}
+		tl.mu.Unlock()
+		p.Threads = append(p.Threads, ct)
+		return true
+	})
+	sort.Slice(p.Threads, func(i, j int) bool { return p.Threads[i].Tid < p.Threads[j].Tid })
+
+	// Variable table: every tracked state, including info-less ones
+	// (quarantined or alloc-reset variables still occupy a table slot,
+	// which VarsTracked counts).
+	for i := range e.varShards {
+		sh := &e.varShards[i]
+		sh.mu.RLock()
+		for obj, fields := range sh.vars {
+			for field, vs := range fields {
+				cv, err := snapshotVar(obj, field, vs)
+				if err != nil {
+					sh.mu.RUnlock()
+					return nil, err
+				}
+				p.Vars = append(p.Vars, cv)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(p.Vars, func(i, j int) bool {
+		a, b := p.Vars[i], p.Vars[j]
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Field < b.Field
+	})
+
+	// Counters: the summed stat stripes plus the off-path atomics.
+	s := e.Stats()
+	p.Counters = ckptCounters{
+		AccessesChecked: s.AccessesChecked, PairChecks: s.PairChecks,
+		SC1Hits: s.SC1Hits, SC2Hits: s.SC2Hits, SC3Hits: s.SC3Hits,
+		XactHits: s.XactHits, HBCacheHits: s.HBCacheHits,
+		FullWalks: s.FullWalks, WalkCells: s.WalkCells, Races: s.Races,
+		DegradedChecks: s.DegradedChecks, VarsTracked: s.VarsTracked,
+		Collections: s.Collections, InfosAdvanced: s.InfosAdvanced,
+		PanicsRecovered: s.PanicsRecovered, VarsQuarantined: s.VarsQuarantined,
+		Rung: int32(s.GovernorRung), Escalations: s.Escalations,
+		AggressiveGCs: s.AggressiveGCs, CacheSheds: s.CacheSheds,
+		EagerSweeps: s.EagerSweeps, Degraded: e.degraded.Load(),
+	}
+
+	if e.tel != nil {
+		fires := e.tel.RuleFires()
+		p.RuleFires = fires[:]
+		p.WalkRuleHits = make([]uint64, obs.NumRules+1)
+		for i := 1; i <= obs.NumRules; i++ {
+			p.WalkRuleHits[i] = e.tel.WalkRuleHits[i].Load()
+		}
+	}
+	return p, nil
+}
+
+// snapshotVar serializes one variable state under its own mutex.
+func snapshotVar(obj event.Addr, field event.FieldID, vs *varState) (ckptVar, error) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	cv := ckptVar{
+		Obj: obj, Field: field,
+		ReadsAllXact: vs.readsAllXact,
+		Disabled:     vs.disabled,
+		Quarantined:  vs.quarantined,
+	}
+	if vs.write != nil {
+		ci, err := snapshotInfo(vs.write)
+		if err != nil {
+			return cv, err
+		}
+		cv.Write = &ci
+	}
+	tids := make([]event.Tid, 0, len(vs.reads))
+	for t := range vs.reads {
+		tids = append(tids, t)
+	}
+	slices.Sort(tids)
+	for _, t := range tids {
+		ci, err := snapshotInfo(vs.reads[t])
+		if err != nil {
+			return cv, err
+		}
+		cv.Reads = append(cv.Reads, ci)
+	}
+	return cv, nil
+}
+
+func snapshotInfo(in *info) (ckptInfo, error) {
+	a, err := event.MarshalAction(in.action)
+	if err != nil {
+		return ckptInfo{}, err
+	}
+	ci := ckptInfo{
+		Owner: in.owner, Pos: in.pos.seq, OrigSeq: in.origSeq,
+		ALock: in.alock, Xact: in.xact, Action: a,
+	}
+	elems := in.ls.Elems()
+	sort.Slice(elems, func(i, j int) bool {
+		a, b := elems[i], elems[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Field < b.Field
+	})
+	for _, el := range elems {
+		ci.Lockset = append(ci.Lockset, ckptElem{K: event.FieldID(el.Kind), T: el.Tid, O: el.Obj, F: el.Field})
+	}
+	for t := range in.hbAfter {
+		ci.HBAfter = append(ci.HBAfter, t)
+	}
+	slices.Sort(ci.HBAfter)
+	return ci, nil
+}
+
+// RestoreEngine rebuilds an engine from a checkpoint written by
+// Checkpoint. The snapshot carries the engine's configuration; attach
+// supplies the process-local telemetry and fault-injection attachments.
+// A corrupt snapshot (torn write, checksum mismatch, unknown version)
+// is an error — never a silently wrong detector.
+func RestoreEngine(r io.Reader, attach RestoreAttach) (*Engine, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("core: empty checkpoint")
+	}
+	var hdr ckptHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != CheckpointFormatName {
+		return nil, fmt.Errorf("core: not a %s snapshot", CheckpointFormatName)
+	}
+	if hdr.Version != CheckpointFormatVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", hdr.Version)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("core: checkpoint body missing (torn write?)")
+	}
+	var body ckptBody
+	if err := json.Unmarshal(sc.Bytes(), &body); err != nil || len(body.Engine) == 0 {
+		return nil, fmt.Errorf("core: unreadable checkpoint body")
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(body.Engine)); got != body.CRC {
+		return nil, fmt.Errorf("core: checkpoint checksum mismatch (got %s, recorded %s)", got, body.CRC)
+	}
+	var p ckptPayload
+	if err := json.Unmarshal(body.Engine, &p); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	return restore(&p, attach)
+}
+
+func restore(p *ckptPayload, attach RestoreAttach) (*Engine, error) {
+	co := p.Opts
+	opts := Options{
+		SC1: co.SC1, SC2: co.SC2, SC3: co.SC3, SC3MaxSegment: co.SC3MaxSegment,
+		XactSC: co.XactSC, Memoize: co.Memoize, HBCache: co.HBCache,
+		DisableAfterRace: co.DisableAfterRace,
+		GCThreshold:      co.GCThreshold, GCTrimFraction: co.GCTrimFraction,
+		PartialEager: co.PartialEager, TxnSemantics: co.TxnSemantics,
+		OnError: resilience.ErrorPolicy(co.OnError), MemoryBudget: co.MemoryBudget,
+		VarShards: co.VarShards, BrokenRule: co.BrokenRule,
+		Telemetry: attach.Telemetry, Injector: attach.Injector,
+	}
+	e := NewEngine(opts)
+
+	// Event list: rebuild the contiguous cell chain and a seq index for
+	// re-anchoring Info positions.
+	cells := make(map[uint64]*cell, len(p.List.Actions)+1)
+	head := &cell{seq: p.List.HeadSeq}
+	cells[head.seq] = head
+	cur := head
+	for _, raw := range p.List.Actions {
+		a, err := event.UnmarshalAction(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint list: %w", err)
+		}
+		cur.action = a
+		cur.filled = true
+		cur.next = &cell{seq: cur.seq + 1}
+		cur = cur.next
+		cells[cur.seq] = cur
+	}
+	e.list.head = head
+	e.list.tail.Store(cur)
+	e.list.length.Store(int64(len(p.List.Actions)))
+	e.list.enqueued.Store(p.List.Enqueued)
+	e.list.collected.Store(p.List.Collected)
+
+	// Per-thread lock records, with published snapshots.
+	for _, ct := range p.Threads {
+		if len(ct.Depth) != len(ct.Stack) {
+			return nil, fmt.Errorf("core: checkpoint thread %v: %d stack entries, %d depths", ct.Tid, len(ct.Stack), len(ct.Depth))
+		}
+		tl := &threadLocks{held: make(map[event.Addr]int, len(ct.Stack))}
+		tl.stack = slices.Clone(ct.Stack)
+		for i, a := range ct.Stack {
+			tl.held[a] = ct.Depth[i]
+		}
+		tl.mu.Lock()
+		tl.publishLocked()
+		tl.mu.Unlock()
+		e.locks.Store(ct.Tid, tl)
+	}
+
+	// Variable table.
+	for _, cv := range p.Vars {
+		vs := &varState{
+			readsAllXact: cv.ReadsAllXact,
+			disabled:     cv.Disabled,
+			quarantined:  cv.Quarantined,
+		}
+		if cv.Write != nil {
+			in, err := restoreInfo(*cv.Write, cells)
+			if err != nil {
+				return nil, err
+			}
+			vs.write = in
+		}
+		if len(cv.Reads) > 0 {
+			vs.reads = make(map[event.Tid]*info, len(cv.Reads))
+			for _, ci := range cv.Reads {
+				in, err := restoreInfo(ci, cells)
+				if err != nil {
+					return nil, err
+				}
+				vs.reads[ci.Owner] = in
+			}
+		}
+		sh := &e.varShards[varHash(cv.Obj, cv.Field)&e.shardMask]
+		fields, ok := sh.vars[cv.Obj]
+		if !ok {
+			fields = make(map[event.FieldID]*varState)
+			sh.vars[cv.Obj] = fields
+		}
+		fields[cv.Field] = vs
+	}
+
+	// Counters: the hot-path sums land on stripe 0 (Stats sums stripes,
+	// so the distribution is unobservable); the rest on their atomics.
+	c := p.Counters
+	st := &e.stats[0]
+	st.accessesChecked.Store(c.AccessesChecked)
+	st.pairChecks.Store(c.PairChecks)
+	st.sc1Hits.Store(c.SC1Hits)
+	st.sc2Hits.Store(c.SC2Hits)
+	st.sc3Hits.Store(c.SC3Hits)
+	st.xactHits.Store(c.XactHits)
+	st.hbCacheHits.Store(c.HBCacheHits)
+	st.fullWalks.Store(c.FullWalks)
+	st.walkCells.Store(c.WalkCells)
+	st.races.Store(c.Races)
+	st.degradedChecks.Store(c.DegradedChecks)
+	e.varsTracked.Store(c.VarsTracked)
+	e.collections.Store(c.Collections)
+	e.infosAdvanced.Store(c.InfosAdvanced)
+	e.panicsRecovered.Store(c.PanicsRecovered)
+	e.varsQuarantined.Store(c.VarsQuarantined)
+	e.rung.Store(c.Rung)
+	e.escalations.Store(c.Escalations)
+	e.aggressiveGCs.Store(c.AggressiveGCs)
+	e.cacheSheds.Store(c.CacheSheds)
+	e.eagerSweeps.Store(c.EagerSweeps)
+	e.degraded.Store(c.Degraded)
+
+	if attach.Telemetry != nil {
+		for i := 1; i <= obs.NumRules && i < len(p.RuleFires); i++ {
+			attach.Telemetry.Rules[i].Add(p.RuleFires[i])
+		}
+		for i := 1; i <= obs.NumRules && i < len(p.WalkRuleHits); i++ {
+			attach.Telemetry.WalkRuleHits[i].Add(p.WalkRuleHits[i])
+		}
+	}
+	return e, nil
+}
+
+// restoreInfo rebuilds one Info record and re-acquires its list
+// reference.
+func restoreInfo(ci ckptInfo, cells map[uint64]*cell) (*info, error) {
+	pos, ok := cells[ci.Pos]
+	if !ok {
+		return nil, fmt.Errorf("core: checkpoint info at seq %d: cell not retained", ci.Pos)
+	}
+	a, err := event.UnmarshalAction(ci.Action)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint info action: %w", err)
+	}
+	ls := NewLockset()
+	for _, el := range ci.Lockset {
+		ls.Add(Elem{Kind: ElemKind(el.K), Tid: el.T, Obj: el.O, Field: el.F})
+	}
+	in := &info{
+		pos: pos, owner: ci.Owner, ls: ls, alock: ci.ALock,
+		xact: ci.Xact, action: a, origSeq: ci.OrigSeq,
+	}
+	if len(ci.HBAfter) > 0 {
+		in.hbAfter = make(map[event.Tid]struct{}, len(ci.HBAfter))
+		for _, t := range ci.HBAfter {
+			in.hbAfter[t] = struct{}{}
+		}
+	}
+	pos.refs.Add(1)
+	return in, nil
+}

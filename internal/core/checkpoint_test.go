@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/scenarios"
+)
+
+// ckptRaceKey mirrors the conformance harness's race identity: the
+// global linearization position of the completing access plus the
+// variable.
+func ckptRaceKey(r detect.Race) string { return fmt.Sprintf("%d:%v", r.Pos, r.Var) }
+
+func sortedKeys(races []detect.Race) []string {
+	keys := make([]string, len(races))
+	for i, r := range races {
+		keys[i] = ckptRaceKey(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// checkpointTraces returns the round-trip corpus: the Section 2
+// scenarios plus every counterexample trace in the conformance corpus
+// (loaded directly from testdata — the core tests cannot import
+// internal/conformance, which imports core).
+func checkpointTraces(t *testing.T) map[string]*event.Trace {
+	t.Helper()
+	out := make(map[string]*event.Trace)
+	for _, sc := range scenarios.All() {
+		out["scenario-"+sc.Name] = sc.Trace
+	}
+	dir := filepath.Join("..", "conformance", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("opening %s: %v", e.Name(), err)
+		}
+		tr, dropped, err := event.ReadTraceAuto(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("reading %s: %v", e.Name(), err)
+		}
+		if dropped != 0 {
+			t.Fatalf("%s: %d corrupt records in checked-in corpus", e.Name(), dropped)
+		}
+		out["corpus-"+strings.TrimSuffix(e.Name(), ".jsonl")] = tr
+	}
+	if len(out) < 5 {
+		t.Fatalf("suspiciously small corpus: %d traces", len(out))
+	}
+	return out
+}
+
+// runGlobal drives det over tr[from:] assigning global linearization
+// positions, so verdicts from a restored engine are comparable to the
+// uninterrupted run's.
+func runGlobal(det detect.Detector, tr *event.Trace, from int) []detect.Race {
+	var out []detect.Race
+	for i := from; i < tr.Len(); i++ {
+		for _, r := range det.Step(tr.At(i)) {
+			r.Pos = i
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ckptConfigs are the engine configurations the round-trip test covers:
+// the default configuration (with telemetry attached, so rule-fire
+// restoration is checked too), an aggressive garbage collector (small
+// retained list, infos advanced across checkpoints), and a tight memory
+// budget (the governor's degradation ladder engages and must survive
+// the restart).
+func ckptConfigs() map[string]struct {
+	opts core.Options
+	tel  bool
+} {
+	agg := core.DefaultOptions()
+	agg.GCThreshold = 8
+	agg.GCTrimFraction = 0.5
+
+	budget := core.DefaultOptions()
+	budget.GCThreshold = 0
+	budget.MemoryBudget = 8
+
+	return map[string]struct {
+		opts core.Options
+		tel  bool
+	}{
+		"default":       {core.DefaultOptions(), true},
+		"gc-aggressive": {agg, false},
+		"budget-8":      {budget, false},
+	}
+}
+
+// TestCheckpointEveryPrefix is the restart-transparency wall: for every
+// corpus trace and engine configuration, checkpoint at every prefix,
+// restore into a fresh engine, replay the suffix, and require verdicts,
+// Figure 5 rule-fire counts, and the complete Stats struct to equal the
+// uninterrupted run's. A restored engine is indistinguishable from one
+// that never stopped.
+func TestCheckpointEveryPrefix(t *testing.T) {
+	traces := checkpointTraces(t)
+	for cfgName, cfg := range ckptConfigs() {
+		for name, tr := range traces {
+			t.Run(cfgName+"/"+name, func(t *testing.T) {
+				opts := cfg.opts
+				var baseTel *obs.Telemetry
+				if cfg.tel {
+					baseTel = obs.NewTelemetry()
+					opts.Telemetry = baseTel
+				}
+				base := core.NewEngine(opts)
+				baseRaces := runGlobal(base, tr, 0)
+				baseKeys := sortedKeys(baseRaces)
+				baseStats := base.Stats()
+				var baseFires [obs.NumRules + 1]uint64
+				if baseTel != nil {
+					baseFires = baseTel.RuleFires()
+				}
+
+				for cut := 0; cut <= tr.Len(); cut++ {
+					popts := cfg.opts
+					var prefTel *obs.Telemetry
+					if cfg.tel {
+						prefTel = obs.NewTelemetry()
+						popts.Telemetry = prefTel
+					}
+					pref := core.NewEngine(popts)
+					var got []detect.Race
+					for i := 0; i < cut; i++ {
+						for _, r := range pref.Step(tr.At(i)) {
+							r.Pos = i
+							got = append(got, r)
+						}
+					}
+
+					var snap bytes.Buffer
+					if err := pref.Checkpoint(&snap); err != nil {
+						t.Fatalf("cut %d: checkpoint: %v", cut, err)
+					}
+
+					attach := core.RestoreAttach{}
+					var resTel *obs.Telemetry
+					if cfg.tel {
+						resTel = obs.NewTelemetry()
+						attach.Telemetry = resTel
+					}
+					restored, err := core.RestoreEngine(bytes.NewReader(snap.Bytes()), attach)
+					if err != nil {
+						t.Fatalf("cut %d: restore: %v", cut, err)
+					}
+					got = append(got, runGlobal(restored, tr, cut)...)
+
+					if gk := sortedKeys(got); !equalStrings(gk, baseKeys) {
+						t.Fatalf("cut %d: races %v, uninterrupted %v", cut, gk, baseKeys)
+					}
+					if gs := restored.Stats(); gs != baseStats {
+						t.Fatalf("cut %d: stats diverged\nrestored:      %+v\nuninterrupted: %+v", cut, gs, baseStats)
+					}
+					if resTel != nil {
+						if gf := resTel.RuleFires(); gf != baseFires {
+							t.Fatalf("cut %d: rule fires %v, uninterrupted %v", cut, gf, baseFires)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointDetectsCorruption flips one byte of the serialized
+// payload and requires restore to refuse it — a torn or bit-rotten
+// snapshot must never silently restore a wrong detector.
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	tr := scenarios.All()[0].Trace
+	e := core.NewEngine(core.DefaultOptions())
+	for i := 0; i < tr.Len(); i++ {
+		e.Step(tr.At(i))
+	}
+	var snap bytes.Buffer
+	if err := e.Checkpoint(&snap); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Sanity: the pristine snapshot restores.
+	if _, err := core.RestoreEngine(bytes.NewReader(snap.Bytes()), core.RestoreAttach{}); err != nil {
+		t.Fatalf("pristine restore: %v", err)
+	}
+
+	raw := snap.Bytes()
+	// Flip a byte inside the payload (past the header line, before the
+	// trailing CRC field at line end).
+	idx := bytes.IndexByte(raw, '\n') + 40
+	corrupt := append([]byte(nil), raw...)
+	if corrupt[idx] == 'x' {
+		corrupt[idx] = 'y'
+	} else {
+		corrupt[idx] = 'x'
+	}
+	if _, err := core.RestoreEngine(bytes.NewReader(corrupt), core.RestoreAttach{}); err == nil {
+		t.Fatal("corrupted snapshot restored without error")
+	}
+
+	// A torn snapshot (header only) must fail too.
+	torn := raw[:bytes.IndexByte(raw, '\n')+1]
+	if _, err := core.RestoreEngine(bytes.NewReader(torn), core.RestoreAttach{}); err == nil {
+		t.Fatal("torn snapshot restored without error")
+	}
+
+	// Garbage must fail.
+	if _, err := core.RestoreEngine(strings.NewReader("not a checkpoint\n"), core.RestoreAttach{}); err == nil {
+		t.Fatal("garbage restored without error")
+	}
+}

@@ -18,6 +18,43 @@ type jsonAction struct {
 	Writes []Variable `json:"writes,omitempty"`
 }
 
+// MarshalAction serializes a single action in the same JSON shape trace
+// files use (greppable kind names, omitted zero fields). It is the
+// action payload of the goldilocksd wire protocol and of engine
+// checkpoints.
+func MarshalAction(a Action) ([]byte, error) {
+	return json.Marshal(jsonAction{
+		Kind:   a.Kind.String(),
+		Thread: a.Thread,
+		Obj:    a.Obj,
+		Field:  a.Field,
+		Peer:   a.Peer,
+		Reads:  a.Reads,
+		Writes: a.Writes,
+	})
+}
+
+// UnmarshalAction parses an action serialized by MarshalAction.
+func UnmarshalAction(data []byte) (Action, error) {
+	var ja jsonAction
+	if err := json.Unmarshal(data, &ja); err != nil {
+		return Action{}, fmt.Errorf("event: decoding action: %w", err)
+	}
+	k, ok := kindByName[ja.Kind]
+	if !ok || k == KindInvalid {
+		return Action{}, fmt.Errorf("event: unknown action kind %q", ja.Kind)
+	}
+	return Action{
+		Kind:   k,
+		Thread: ja.Thread,
+		Obj:    ja.Obj,
+		Field:  ja.Field,
+		Peer:   ja.Peer,
+		Reads:  ja.Reads,
+		Writes: ja.Writes,
+	}, nil
+}
+
 var kindByName = func() map[string]Kind {
 	m := make(map[string]Kind, len(kindNames))
 	for k, name := range kindNames {

@@ -44,25 +44,39 @@ func actionCRC(serialized []byte) string {
 	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(serialized))
 }
 
+// Auto-flush thresholds for StreamWriter: buffered records reach the
+// underlying writer after at most autoFlushRecords appends or once
+// autoFlushBytes are pending, whichever comes first. Without these, up
+// to a full bufio buffer of records would sit in memory and be lost by
+// a crash, contradicting the durability contract below.
+const (
+	autoFlushRecords = 32
+	autoFlushBytes   = 2048
+)
+
 // StreamWriter writes actions incrementally in the streaming format.
 // Unlike WriteTrace it needs no completed Trace up front, so a recording
 // cut short by a crash (or by fault injection) keeps everything written
-// so far.
+// so far — the header is flushed at creation and records auto-flush
+// every autoFlushRecords appends (or autoFlushBytes pending bytes), so
+// at most that window of records is at risk. Call Flush at commit
+// points that must be durable immediately, and Close when done.
 type StreamWriter struct {
-	w   *bufio.Writer
-	err error
+	w       *bufio.Writer
+	err     error
+	pending int // records appended since the last flush
 }
 
-// NewStreamWriter writes the header and returns a writer ready for
-// Append calls.
+// NewStreamWriter writes and flushes the header and returns a writer
+// ready for Append calls: a recording that crashes before its first
+// record still salvages as a valid empty trace.
 func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
 	sw := &StreamWriter{w: bufio.NewWriter(w)}
-	hdr, err := json.Marshal(streamHeader{Format: StreamFormatName, Version: StreamFormatVersion})
-	if err != nil {
-		return nil, err
-	}
-	if _, err := sw.w.Write(append(hdr, '\n')); err != nil {
+	if _, err := sw.w.Write(StreamHeaderLine()); err != nil {
 		return nil, fmt.Errorf("event: writing stream header: %w", err)
+	}
+	if err := sw.w.Flush(); err != nil {
+		return nil, fmt.Errorf("event: flushing stream header: %w", err)
 	}
 	return sw, nil
 }
@@ -73,6 +87,76 @@ func (sw *StreamWriter) Append(a Action) error {
 	if sw.err != nil {
 		return sw.err
 	}
+	rec, err := EncodeRecord(a)
+	if err != nil {
+		sw.err = err
+		return err
+	}
+	if _, err := sw.w.Write(rec); err != nil {
+		sw.err = fmt.Errorf("event: writing stream record: %w", err)
+		return sw.err
+	}
+	sw.pending++
+	if sw.pending >= autoFlushRecords || sw.w.Buffered() >= autoFlushBytes {
+		if err := sw.w.Flush(); err != nil {
+			sw.err = fmt.Errorf("event: flushing stream records: %w", err)
+			return sw.err
+		}
+		sw.pending = 0
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (sw *StreamWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if err := sw.w.Flush(); err != nil {
+		sw.err = fmt.Errorf("event: flushing stream records: %w", err)
+		return sw.err
+	}
+	sw.pending = 0
+	return nil
+}
+
+// Close flushes buffered records and marks the writer finished: further
+// Appends fail. It does not close the underlying writer (the caller
+// owns it). Closing after a write error returns that error.
+func (sw *StreamWriter) Close() error {
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	sw.err = fmt.Errorf("event: stream writer closed")
+	return nil
+}
+
+// StreamHeaderLine returns the header line (newline-terminated) that
+// opens every streaming trace.
+func StreamHeaderLine() []byte {
+	hdr, err := json.Marshal(streamHeader{Format: StreamFormatName, Version: StreamFormatVersion})
+	if err != nil {
+		panic(err) // static struct of two scalar fields; cannot fail
+	}
+	return append(hdr, '\n')
+}
+
+// CheckStreamHeader verifies that line is a usable stream header.
+func CheckStreamHeader(line []byte) error {
+	var hdr streamHeader
+	if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != StreamFormatName {
+		return fmt.Errorf("event: not a %s trace", StreamFormatName)
+	}
+	if hdr.Version != StreamFormatVersion {
+		return fmt.Errorf("event: unsupported stream version %d", hdr.Version)
+	}
+	return nil
+}
+
+// EncodeRecord serializes one action as a checksummed record line
+// (newline-terminated), the unit of the streaming format and of the
+// goldilocksd wire protocol.
+func EncodeRecord(a Action) ([]byte, error) {
 	ja := jsonAction{
 		Kind:   a.Kind.String(),
 		Thread: a.Thread,
@@ -84,27 +168,19 @@ func (sw *StreamWriter) Append(a Action) error {
 	}
 	body, err := json.Marshal(ja)
 	if err != nil {
-		sw.err = err
-		return err
+		return nil, err
 	}
 	rec, err := json.Marshal(streamRecord{Action: body, CRC: actionCRC(body)})
 	if err != nil {
-		sw.err = err
-		return err
+		return nil, err
 	}
-	if _, err := sw.w.Write(append(rec, '\n')); err != nil {
-		sw.err = fmt.Errorf("event: writing stream record: %w", err)
-		return sw.err
-	}
-	return nil
+	return append(rec, '\n'), nil
 }
 
-// Flush flushes buffered records to the underlying writer.
-func (sw *StreamWriter) Flush() error {
-	if sw.err != nil {
-		return sw.err
-	}
-	return sw.w.Flush()
+// DecodeRecord parses and checksum-verifies one record line; ok is
+// false for a torn, corrupt, or unknown-kind record.
+func DecodeRecord(line []byte) (a Action, ok bool) {
+	return decodeStreamLine(line)
 }
 
 // WriteTraceStream writes a whole trace in the streaming format.
@@ -135,16 +211,12 @@ func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
 	if !sc.Scan() {
 		return nil, 0, fmt.Errorf("event: empty stream trace")
 	}
-	var hdr streamHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != StreamFormatName {
-		return nil, 0, fmt.Errorf("event: not a %s trace", StreamFormatName)
-	}
-	if hdr.Version != StreamFormatVersion {
-		return nil, 0, fmt.Errorf("event: unsupported stream version %d", hdr.Version)
+	if err := CheckStreamHeader(sc.Bytes()); err != nil {
+		return nil, 0, err
 	}
 
 	var actions []Action
-	val := newStreamValidator()
+	val := NewValidator()
 	bad := false
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -163,7 +235,7 @@ func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
 		}
 		// Validity is prefix-closed: check the extended trace before
 		// accepting the record.
-		if val.step(a) != nil {
+		if val.Step(a) != nil {
 			bad = true
 			dropped++
 			continue
@@ -176,12 +248,14 @@ func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
 	return NewTrace(actions), dropped, nil
 }
 
-// streamValidator is Trace.Validate as an incremental state machine, so
-// salvage is O(n) instead of revalidating the whole prefix per record.
-// step(a) errors exactly when Validate would error on the prefix
-// extended with a (both of Validate's passes are streamable: the
-// alloc-after-access check only consults the already-seen touched set).
-type streamValidator struct {
+// Validator is Trace.Validate as an incremental state machine, so
+// streaming consumers (trace salvage, the goldilocksd ingest path) pay
+// O(1) per record instead of revalidating the whole prefix. Step(a)
+// errors exactly when Validate would error on the prefix extended with
+// a (both of Validate's passes are streamable: the alloc-after-access
+// check only consults the already-seen touched set). A Validator whose
+// Step errored must not be stepped further.
+type Validator struct {
 	lockOwner map[Addr]Tid
 	lockDepth map[Addr]int
 	forked    map[Tid]bool
@@ -190,8 +264,9 @@ type streamValidator struct {
 	touched   map[Addr]bool
 }
 
-func newStreamValidator() *streamValidator {
-	return &streamValidator{
+// NewValidator returns a validator for an empty prefix.
+func NewValidator() *Validator {
+	return &Validator{
 		lockOwner: make(map[Addr]Tid),
 		lockDepth: make(map[Addr]int),
 		forked:    make(map[Tid]bool),
@@ -201,7 +276,8 @@ func newStreamValidator() *streamValidator {
 	}
 }
 
-func (v *streamValidator) step(a Action) error {
+// Step checks that a is valid after the prefix stepped so far.
+func (v *Validator) Step(a Action) error {
 	if a.Thread == NoTid {
 		return fmt.Errorf("event: missing thread id in %v", a)
 	}

@@ -2,6 +2,7 @@ package event_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -219,5 +220,121 @@ func TestStreamSurvivesInjectedTruncation(t *testing.T) {
 	}
 	if err := got.Validate(); err != nil {
 		t.Fatalf("salvaged prefix invalid: %v", err)
+	}
+}
+
+// severedWriter forwards writes to buf until Sever is called, then
+// fails every write — the write-side view of a cut connection or a
+// crashed process whose kernel buffers were lost.
+type severedWriter struct {
+	buf     bytes.Buffer
+	severed bool
+}
+
+func (w *severedWriter) Write(p []byte) (int, error) {
+	if w.severed {
+		return 0, errSevered
+	}
+	return w.buf.Write(p)
+}
+
+var errSevered = errors.New("underlying writer severed")
+
+// TestStreamWriterSeveredMidStream pins the durability contract of the
+// incremental writer: sever the underlying writer mid-stream, keep
+// appending, and the salvaged prefix is exactly the complete records
+// that reached the underlying writer before the sever — auto-flush
+// bounds the loss window to under autoFlushRecords records.
+func TestStreamWriterSeveredMidStream(t *testing.T) {
+	const total, severAt = 100, 57
+	var actions []event.Action
+	b := event.NewBuilder()
+	for i := 0; i < total/2; i++ {
+		b.Acquire(1, 20).Release(1, 20)
+	}
+	actions = b.Trace().Actions()
+
+	w := &severedWriter{}
+	sw, err := event.NewStreamWriter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appendErr error
+	for i, a := range actions {
+		if i == severAt {
+			w.severed = true
+		}
+		if err := sw.Append(a); err != nil && appendErr == nil {
+			appendErr = err
+		}
+	}
+	if err := sw.Flush(); err != nil && appendErr == nil {
+		appendErr = err
+	}
+	if appendErr == nil {
+		t.Fatal("no append/flush error surfaced after the writer was severed")
+	}
+
+	// What reached the underlying writer: count the complete record
+	// lines (header excluded; a torn trailing line is not a record).
+	accepted := w.buf.Bytes()
+	lines := bytes.Split(accepted, []byte("\n"))
+	complete := len(lines) - 2 // header + ("" after final \n or a torn tail)
+	if complete < severAt-40 {
+		t.Fatalf("only %d records flushed before sever at %d; auto-flush window too large", complete, severAt)
+	}
+
+	got, _, err := event.ReadTraceStream(bytes.NewReader(accepted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != complete {
+		t.Fatalf("salvaged %d records, want the %d complete flushed records", got.Len(), complete)
+	}
+	for i := 0; i < got.Len(); i++ {
+		a, b := actions[i], got.At(i)
+		if a.Kind != b.Kind || a.Thread != b.Thread || a.Obj != b.Obj {
+			t.Fatalf("salvaged action %d = %v, want %v", i, b, a)
+		}
+	}
+}
+
+// TestStreamWriterHeaderDurable: a recording that crashes before its
+// first record still salvages as a valid empty trace (the header is
+// flushed at creation).
+func TestStreamWriterHeaderDurable(t *testing.T) {
+	w := &severedWriter{}
+	if _, err := event.NewStreamWriter(w); err != nil {
+		t.Fatal(err)
+	}
+	tr, dropped, err := event.ReadTraceStream(bytes.NewReader(w.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("header-only stream unreadable: %v", err)
+	}
+	if tr.Len() != 0 || dropped != 0 {
+		t.Fatalf("got %d actions, %d dropped; want empty trace", tr.Len(), dropped)
+	}
+}
+
+// TestStreamWriterClose: Close flushes pending records and poisons
+// further appends.
+func TestStreamWriterClose(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := event.NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append(event.Acquire(1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append(event.Release(1, 20)); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	tr, dropped, err := event.ReadTraceStream(&buf)
+	if err != nil || dropped != 0 || tr.Len() != 1 {
+		t.Fatalf("got tr=%v dropped=%d err=%v; want the 1 closed-over record", tr, dropped, err)
 	}
 }

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewMux returns the introspection handler tree:
@@ -35,9 +37,14 @@ func NewMux(reg *Registry) *http.ServeMux {
 
 // Server is a running introspection endpoint.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	grace time.Duration
 }
+
+// DefaultCloseGrace is how long Close waits for in-flight scrapes to
+// complete before tearing connections down.
+const DefaultCloseGrace = 2 * time.Second
 
 // Serve starts the introspection server on addr (e.g. "localhost:6060";
 // port 0 picks a free port) and returns immediately. The caller should
@@ -47,7 +54,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}, grace: DefaultCloseGrace}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -55,10 +62,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound address, e.g. "127.0.0.1:6060".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down. A nil Server is a no-op.
+// SetCloseGrace overrides the graceful-shutdown deadline (tests).
+func (s *Server) SetCloseGrace(d time.Duration) { s.grace = d }
+
+// Close shuts the server down gracefully: it stops accepting new
+// connections and waits up to the grace period for in-flight scrapes to
+// finish (a scrape cut off mid-response would hand the collector a torn
+// exposition), falling back to a hard close when the deadline expires.
+// A nil Server is a no-op.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), s.grace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCloseWaitsForInFlightScrape is the regression test for the
+// shutdown bug: Close used http.Server.Close, which tears down in-flight
+// /metrics scrapes mid-response. A graceful Close must let a slow
+// scrape finish. The slow scraper is simulated by a gauge that blocks
+// inside the handler until after Close has been initiated.
+func TestCloseWaitsForInFlightScrape(t *testing.T) {
+	reg := NewRegistry()
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	reg.RegisterGaugeFunc("goldilocks_slow_gauge", func() float64 {
+		if !once {
+			once = true
+			close(inHandler)
+			<-release
+		}
+		return 42
+	})
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{body: string(body), err: err}
+	}()
+
+	<-inHandler // the scrape is inside the handler now
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Give Shutdown a moment to start draining, then let the scrape
+	// complete.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight scrape torn down by Close: %v", r.err)
+	}
+	if !strings.Contains(r.body, "goldilocks_slow_gauge 42") {
+		t.Fatalf("scrape body incomplete: %q", r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseFallsBackOnDeadline: a scrape that never finishes must not
+// wedge Close forever — past the grace period it falls back to a hard
+// close.
+func TestCloseFallsBackOnDeadline(t *testing.T) {
+	reg := NewRegistry()
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	reg.RegisterGaugeFunc("goldilocks_stuck_gauge", func() float64 {
+		if !once {
+			once = true
+			close(inHandler)
+			<-release
+		}
+		return 0
+	})
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	srv.SetCloseGrace(50 * time.Millisecond)
+	defer close(release)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err == nil {
+			_, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	<-inHandler
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after fallback: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v; the deadline fallback did not fire", elapsed)
+	}
+	<-errc // the torn scrape errors out; only liveness matters here
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+)
+
+// Ack is the server's progress report for a session: how many actions
+// it has applied and how many races it has reported. The final ack (the
+// reply to Close) also carries the engine counters and the Figure 5
+// rule-fire counts, which the conformance harness compares against an
+// in-process run.
+type Ack struct {
+	Applied   uint64
+	Races     uint64
+	Stats     *core.Stats
+	RuleFires []uint64
+}
+
+// Client is one session's connection to a detection server. Race
+// verdicts arrive asynchronously (a background reader collects them);
+// Flush and Close provide synchronization points where every action
+// sent so far is known to be applied.
+type Client struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	session string
+	next    uint64
+	resumed bool
+
+	mu    sync.Mutex
+	races []detect.Race
+
+	acks    chan Ack
+	readErr error // set before acks closes
+	errOnce sync.Once
+	done    chan struct{}
+}
+
+// Dial connects to a detection server and opens (or resumes) the named
+// session. After a successful Dial the caller must check Next: a
+// resumed session has already applied that many actions, and the client
+// must stream only the remainder of its linearization.
+func Dial(addr, session string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64*1024),
+		session: session,
+		acks:    make(chan Ack, 4),
+		done:    make(chan struct{}),
+	}
+	br := bufio.NewReaderSize(conn, 64*1024)
+
+	h, err := json.Marshal(hello{Proto: ProtoName, Version: ProtoVersion, Session: session})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.bw.Write(append(h, '\n'))
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	line, err := readLine(br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: reading welcome: %w", err)
+	}
+	var w welcome
+	if err := json.Unmarshal(line, &w); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: bad welcome: %w", err)
+	}
+	if !w.OK {
+		conn.Close()
+		return nil, fmt.Errorf("server: rejected session %q: %s", session, w.Error)
+	}
+	c.next, c.resumed = w.Next, w.Resumed
+
+	c.bw.Write(event.StreamHeaderLine()) // already newline-terminated
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop(br)
+	return c, nil
+}
+
+// Session returns the session id.
+func (c *Client) Session() string { return c.session }
+
+// Next returns how many actions the session had already applied at
+// connect time. A fresh session returns 0; a resumed one returns the
+// resume point, and the caller must skip that prefix.
+func (c *Client) Next() uint64 { return c.next }
+
+// Resumed reports whether the session predates this connection.
+func (c *Client) Resumed() bool { return c.resumed }
+
+// readLoop collects server lines: races into the race list, acks into
+// the ack channel. It closes acks on connection end so waiters fail
+// fast.
+func (c *Client) readLoop(br *bufio.Reader) {
+	defer close(c.done)
+	defer close(c.acks)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			c.setErr(io.EOF)
+			return
+		}
+		var m serverMsg
+		if err := json.Unmarshal(line, &m); err != nil {
+			c.setErr(fmt.Errorf("server: bad message: %w", err))
+			return
+		}
+		switch {
+		case m.Err != "":
+			c.setErr(fmt.Errorf("server: %s", m.Err))
+			return
+		case m.Race != nil:
+			r, err := decodeRace(m.Race)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			c.mu.Lock()
+			c.races = append(c.races, r)
+			c.mu.Unlock()
+		case m.Ack != nil:
+			c.acks <- Ack{
+				Applied: m.Ack.Applied, Races: m.Ack.Races,
+				Stats: m.Ack.Stats, RuleFires: m.Ack.RuleFires,
+			}
+		}
+	}
+}
+
+func (c *Client) setErr(err error) {
+	c.errOnce.Do(func() { c.readErr = err })
+}
+
+// err returns the terminal read error, once the reader has stopped.
+func (c *Client) terminalErr() error {
+	if c.readErr != nil && c.readErr != io.EOF {
+		return c.readErr
+	}
+	return errors.New("server: connection closed")
+}
+
+// Send streams one action to the session. Verdicts for it arrive
+// asynchronously; use Flush or Close to synchronize.
+func (c *Client) Send(a event.Action) error {
+	rec, err := event.EncodeRecord(a)
+	if err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(rec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Flush pushes everything sent so far to the server, waits until it is
+// applied, and returns the progress ack.
+func (c *Client) Flush() (Ack, error) {
+	return c.ctlRoundTrip(ctlFlush)
+}
+
+// Close ends the session cleanly: every action sent is applied, the
+// final ack (with engine stats and rule-fire counts) is returned, and
+// the connection is closed. The session remains resumable on the
+// server.
+func (c *Client) Close() (Ack, error) {
+	ack, err := c.ctlRoundTrip(ctlClose)
+	c.conn.Close()
+	<-c.done
+	return ack, err
+}
+
+// Abandon severs the connection without a close handshake, as a crashed
+// client would. The session stays resumable server-side.
+func (c *Client) Abandon() {
+	c.conn.Close()
+	<-c.done
+}
+
+func (c *Client) ctlRoundTrip(verb string) (Ack, error) {
+	b, err := json.Marshal(ctlMsg{Ctl: verb})
+	if err != nil {
+		return Ack{}, err
+	}
+	c.bw.Write(append(b, '\n'))
+	if err := c.bw.Flush(); err != nil {
+		return Ack{}, err
+	}
+	ack, ok := <-c.acks
+	if !ok {
+		return Ack{}, c.terminalErr()
+	}
+	return ack, nil
+}
+
+// Races returns the verdicts received so far, in arrival order. Race
+// positions are global linearization indices, directly comparable to an
+// in-process run over the same linearization.
+func (c *Client) Races() []detect.Race {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]detect.Race, len(c.races))
+	copy(out, c.races)
+	return out
+}
+
+// StreamTrace is the convenience path used by the replay tools and the
+// conformance harness: open (or resume) the session, stream the
+// remainder of tr, close, and return the verdicts of this connection
+// plus the final ack.
+func StreamTrace(addr, sessionID string, tr *event.Trace) ([]detect.Race, Ack, error) {
+	c, err := Dial(addr, sessionID)
+	if err != nil {
+		return nil, Ack{}, err
+	}
+	start := int(c.Next())
+	if start > tr.Len() {
+		c.Abandon()
+		return nil, Ack{}, fmt.Errorf("server: session %q already at %d, past trace end %d", sessionID, start, tr.Len())
+	}
+	for i := start; i < tr.Len(); i++ {
+		if err := c.Send(tr.At(i)); err != nil {
+			c.Abandon()
+			return nil, Ack{}, err
+		}
+	}
+	ack, err := c.Close()
+	if err != nil {
+		return nil, Ack{}, err
+	}
+	return c.Races(), ack, nil
+}

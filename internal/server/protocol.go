@@ -1,0 +1,131 @@
+// Package server implements goldilocksd: a long-running detection
+// service that accepts the checksummed goldilocks-stream wire format
+// over TCP from many concurrent client sessions, runs one core.Engine
+// per session, and pushes race verdicts (with provenance) back to the
+// clients. Sessions survive connection drops and — with a checkpoint
+// directory configured — daemon restarts, via the engine
+// checkpoint/restore machinery in internal/core.
+//
+// The wire protocol is line-delimited JSON in both directions; the
+// event records themselves are exactly the checksummed records of the
+// .jsonl trace format (event.EncodeRecord), so a recorded trace file
+// body can be piped to the daemon verbatim. See docs/SERVICE.md for the
+// full protocol and lifecycle story.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+)
+
+// ProtoName identifies the handshake protocol.
+const ProtoName = "goldilocks-service"
+
+// ProtoVersion is the current protocol version.
+const ProtoVersion = 1
+
+// hello is the first line a client sends.
+type hello struct {
+	Proto   string `json:"proto"`
+	Version int    `json:"version"`
+	Session string `json:"session"`
+}
+
+// welcome is the server's reply to a hello. Next is the number of
+// actions the session has already applied: a resuming client must skip
+// that prefix of its linearization and stream from there.
+type welcome struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Resumed bool   `json:"resumed,omitempty"`
+	Next    uint64 `json:"next"`
+}
+
+// ctlMsg is a client control line interleaved with event records.
+// Records and controls are distinguished by the "ctl" key, which event
+// records never carry.
+type ctlMsg struct {
+	Ctl string `json:"ctl"`
+}
+
+// Control verbs.
+const (
+	ctlFlush = "flush" // apply everything sent so far, then ack
+	ctlClose = "close" // apply everything, send the final ack, end session connection
+)
+
+// wireRace is a race verdict pushed to the client, carrying enough to
+// rebuild the detect.Race a local engine would have returned: the
+// global linearization position, the variable, the completing and
+// previous accesses, and the provenance chain.
+type wireRace struct {
+	Pos     uint64          `json:"pos"`
+	Obj     event.Addr      `json:"obj"`
+	Field   event.FieldID   `json:"field"`
+	Access  json.RawMessage `json:"access"`
+	Prev    json.RawMessage `json:"prev,omitempty"`
+	HasPrev bool            `json:"has_prev,omitempty"`
+	Prov    *obs.Provenance `json:"prov,omitempty"`
+}
+
+// wireAck reports session progress. The server sends one in response to
+// every flush and close control; Final marks the close ack, which also
+// carries the engine's counters.
+type wireAck struct {
+	Applied   uint64      `json:"applied"`
+	Races     uint64      `json:"races"`
+	Final     bool        `json:"final,omitempty"`
+	Stats     *core.Stats `json:"stats,omitempty"`
+	RuleFires []uint64    `json:"rule_fires,omitempty"`
+}
+
+// serverMsg is one server-to-client line: exactly one field is set.
+type serverMsg struct {
+	Race *wireRace `json:"race,omitempty"`
+	Ack  *wireAck  `json:"ack,omitempty"`
+	Err  string    `json:"error,omitempty"`
+}
+
+// encodeRace converts an engine verdict to its wire form. pos is the
+// global linearization position of the completing access.
+func encodeRace(r detect.Race, pos uint64) (*wireRace, error) {
+	access, err := event.MarshalAction(r.Access)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding race access: %w", err)
+	}
+	wr := &wireRace{
+		Pos: pos, Obj: r.Var.Obj, Field: r.Var.Field,
+		Access: access, HasPrev: r.HasPrev, Prov: r.Prov,
+	}
+	if r.HasPrev {
+		if wr.Prev, err = event.MarshalAction(r.Prev); err != nil {
+			return nil, fmt.Errorf("server: encoding race prev: %w", err)
+		}
+	}
+	return wr, nil
+}
+
+// decodeRace rebuilds the detect.Race a local run would have produced.
+func decodeRace(wr *wireRace) (detect.Race, error) {
+	r := detect.Race{
+		Var:     event.Variable{Obj: wr.Obj, Field: wr.Field},
+		Pos:     int(wr.Pos),
+		HasPrev: wr.HasPrev,
+		Prov:    wr.Prov,
+	}
+	var err error
+	if r.Access, err = event.UnmarshalAction(wr.Access); err != nil {
+		return r, fmt.Errorf("server: decoding race access: %w", err)
+	}
+	if wr.HasPrev {
+		if r.Prev, err = event.UnmarshalAction(wr.Prev); err != nil {
+			return r, fmt.Errorf("server: decoding race prev: %w", err)
+		}
+	}
+	return r, nil
+}

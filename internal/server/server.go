@@ -1,0 +1,586 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+)
+
+// SessionFormatName identifies a session checkpoint file: one session
+// header line followed by an engine checkpoint (see internal/core).
+const SessionFormatName = "goldilocks-session"
+
+// SessionFormatVersion is the current session checkpoint version.
+const SessionFormatVersion = 1
+
+// sessionHeader is the first line of a session checkpoint file.
+type sessionHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Session string `json:"session"`
+	Applied uint64 `json:"applied"`
+	Races   uint64 `json:"races"`
+}
+
+// Config configures a detection server.
+type Config struct {
+	// Engine is the per-session engine configuration. Telemetry and
+	// Injector are ignored: every session gets its own telemetry bundle
+	// so rule-fire counts are per-session. The zero value means
+	// core.DefaultOptions.
+	Engine core.Options
+	// Queue bounds each session's ingest queue (actions decoded but not
+	// yet applied). A full queue blocks the connection reader, which
+	// pushes back on the producer through TCP flow control instead of
+	// buffering without bound. Default 256.
+	Queue int
+	// Batch is how many queued actions the session worker applies
+	// before flushing pending verdicts to the client. Default 64.
+	Batch int
+	// CheckpointDir, when set, is where Close persists every session's
+	// engine state, and where New restores sessions from. Empty
+	// disables persistence.
+	CheckpointDir string
+	// Registry, when set, receives the daemon and per-session metrics
+	// (serve it with obs.Serve).
+	Registry *obs.Registry
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running detection service.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu       sync.Mutex
+	closing  bool
+	sessions map[string]*session
+	conns    map[net.Conn]struct{}
+
+	connsTotal    *obs.Counter
+	sessionsTotal *obs.Counter
+	ckptsWritten  *obs.Counter
+	ckptsRestored *obs.Counter
+}
+
+// session is one client session: a detection engine plus its progress
+// counters. It outlives connections — a client that disconnects (or a
+// daemon that restarts with a checkpoint directory) can resume where it
+// left off.
+type session struct {
+	id  string
+	eng *core.Engine
+	tel *obs.Telemetry
+
+	attached bool // guarded by Server.mu: at most one connection at a time
+
+	applied atomic.Uint64 // actions applied; also the next global position
+	races   atomic.Uint64
+
+	qmu   sync.Mutex
+	queue chan item // live while attached (read by the queue-depth gauge)
+}
+
+// item is one unit of session work: an event record or a control token.
+type item struct {
+	a      event.Action
+	ctl    string // "" for records
+	errMsg string // with ctl == "err"
+}
+
+func (s *session) setQueue(q chan item) {
+	s.qmu.Lock()
+	s.queue = q
+	s.qmu.Unlock()
+}
+
+func (s *session) queueDepth() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue)
+}
+
+// New starts a detection server listening on addr (port 0 picks a free
+// port). If cfg.CheckpointDir is set, sessions checkpointed by a
+// previous instance are restored before the listener opens.
+func New(addr string, cfg Config) (*Server, error) {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 256
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Engine == (core.Options{}) {
+		cfg.Engine = core.DefaultOptions()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.connsTotal = reg.Counter("goldilocksd_connections_total")
+		s.sessionsTotal = reg.Counter("goldilocksd_sessions_total")
+		s.ckptsWritten = reg.Counter("goldilocksd_checkpoints_written_total")
+		s.ckptsRestored = reg.Counter("goldilocksd_checkpoints_restored_total")
+		reg.RegisterGaugeFunc("goldilocksd_sessions_active", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, sess := range s.sessions {
+				if sess.attached {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
+	if cfg.CheckpointDir != "" {
+		if err := s.restoreSessions(); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:7777".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		if s.connsTotal != nil {
+			s.connsTotal.Inc()
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// validSessionID keeps session ids filesystem- and metrics-label-safe.
+func validSessionID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// attach finds or creates the session and claims it for this
+// connection. existed reports whether the session predates this attach
+// (the client must then resume from session.applied).
+func (s *Server) attach(id string) (sess *session, existed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return nil, false, errors.New("server shutting down")
+	}
+	sess, existed = s.sessions[id]
+	if !existed {
+		sess = s.newSessionLocked(id)
+	}
+	if sess.attached {
+		return nil, false, fmt.Errorf("session %q already has a live connection", id)
+	}
+	sess.attached = true
+	return sess, existed, nil
+}
+
+// newSessionLocked creates a session and registers its metrics. Caller
+// holds s.mu.
+func (s *Server) newSessionLocked(id string) *session {
+	tel := obs.NewTelemetry()
+	opts := s.cfg.Engine
+	opts.Telemetry = tel
+	opts.Injector = nil
+	sess := &session{id: id, eng: core.NewEngine(opts), tel: tel}
+	s.sessions[id] = sess
+	s.registerSessionMetrics(sess)
+	if s.sessionsTotal != nil {
+		s.sessionsTotal.Inc()
+	}
+	return sess
+}
+
+func (s *Server) registerSessionMetrics(sess *session) {
+	reg := s.cfg.Registry
+	if reg == nil {
+		return
+	}
+	label := fmt.Sprintf("{session=%q}", sess.id)
+	reg.RegisterGaugeFunc("goldilocksd_session_applied_total"+label, func() float64 {
+		return float64(sess.applied.Load())
+	})
+	reg.RegisterGaugeFunc("goldilocksd_session_races_total"+label, func() float64 {
+		return float64(sess.races.Load())
+	})
+	reg.RegisterGaugeFunc("goldilocksd_session_queue_depth"+label, func() float64 {
+		return float64(sess.queueDepth())
+	})
+	reg.RegisterGaugeFunc("goldilocksd_session_list_len"+label, func() float64 {
+		return float64(sess.eng.ListLen())
+	})
+}
+
+func (s *Server) detach(sess *session) {
+	s.mu.Lock()
+	sess.attached = false
+	s.mu.Unlock()
+	sess.setQueue(nil)
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handleConn speaks the protocol on one connection: handshake, stream
+// header, then records and controls. Decoded work goes to a bounded
+// queue drained by the session worker; when the queue is full this
+// reader blocks, which is the backpressure path (the producer's writes
+// stall on TCP flow control rather than the daemon buffering without
+// bound).
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	defer s.dropConn(conn)
+
+	br := bufio.NewReaderSize(conn, 64*1024)
+	bw := bufio.NewWriterSize(conn, 64*1024)
+
+	writeWelcome := func(w welcome) {
+		b, _ := json.Marshal(w)
+		bw.Write(append(b, '\n'))
+		bw.Flush()
+	}
+
+	line, err := readLine(br)
+	if err != nil {
+		return
+	}
+	var h hello
+	if err := json.Unmarshal(line, &h); err != nil || h.Proto != ProtoName {
+		writeWelcome(welcome{Error: "not a " + ProtoName + " handshake"})
+		return
+	}
+	if h.Version != ProtoVersion {
+		writeWelcome(welcome{Error: fmt.Sprintf("unsupported protocol version %d", h.Version)})
+		return
+	}
+	if !validSessionID(h.Session) {
+		writeWelcome(welcome{Error: "invalid session id (want [A-Za-z0-9._-]{1,64})"})
+		return
+	}
+	sess, existed, err := s.attach(h.Session)
+	if err != nil {
+		writeWelcome(welcome{Error: err.Error()})
+		return
+	}
+	defer s.detach(sess)
+	writeWelcome(welcome{OK: true, Resumed: existed, Next: sess.applied.Load()})
+	s.cfg.Logf("session %s: attached (resumed=%v, next=%d)", sess.id, existed, sess.applied.Load())
+
+	// The client opens its stream with the standard trace header.
+	line, err = readLine(br)
+	if err != nil {
+		return
+	}
+	if err := event.CheckStreamHeader(line); err != nil {
+		b, _ := json.Marshal(serverMsg{Err: err.Error()})
+		bw.Write(append(b, '\n'))
+		bw.Flush()
+		return
+	}
+
+	queue := make(chan item, s.cfg.Queue)
+	sess.setQueue(queue)
+	workerDone := make(chan struct{})
+	go s.sessionWorker(sess, queue, bw, workerDone)
+
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			// Connection dropped without a close control: the session
+			// stays resumable.
+			close(queue)
+			<-workerDone
+			s.cfg.Logf("session %s: connection lost at %d applied", sess.id, sess.applied.Load())
+			return
+		}
+		var ctl ctlMsg
+		if err := json.Unmarshal(line, &ctl); err == nil && ctl.Ctl != "" {
+			switch ctl.Ctl {
+			case ctlFlush:
+				queue <- item{ctl: ctlFlush}
+				continue
+			case ctlClose:
+				queue <- item{ctl: ctlClose}
+				close(queue)
+				<-workerDone
+				s.cfg.Logf("session %s: closed at %d applied, %d races", sess.id, sess.applied.Load(), sess.races.Load())
+				return
+			default:
+				queue <- item{ctl: "err", errMsg: fmt.Sprintf("unknown control %q", ctl.Ctl)}
+				close(queue)
+				<-workerDone
+				return
+			}
+		}
+		a, ok := event.DecodeRecord(line)
+		if !ok {
+			queue <- item{ctl: "err", errMsg: fmt.Sprintf("corrupt event record (checksum or syntax): %.120q", line)}
+			close(queue)
+			<-workerDone
+			return
+		}
+		queue <- item{a: a}
+	}
+}
+
+// sessionWorker drains the ingest queue, applies actions to the
+// session engine in batches, and pushes verdicts and acks back to the
+// client. It is the only goroutine touching the engine or the writer
+// while attached.
+func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer, done chan struct{}) {
+	defer close(done)
+	send := func(m serverMsg) {
+		b, err := json.Marshal(m)
+		if err != nil {
+			return
+		}
+		bw.Write(append(b, '\n')) // write errors surface at Flush; best-effort
+	}
+	sinceFlush := 0
+	for it := range queue {
+		switch it.ctl {
+		case "":
+			pos := sess.applied.Load()
+			for _, r := range sess.eng.Step(it.a) {
+				sess.races.Add(1)
+				wr, err := encodeRace(r, pos)
+				if err != nil {
+					send(serverMsg{Err: err.Error()})
+					continue
+				}
+				send(serverMsg{Race: wr})
+			}
+			sess.applied.Add(1)
+			sinceFlush++
+			if sinceFlush >= s.cfg.Batch || len(queue) == 0 {
+				bw.Flush()
+				sinceFlush = 0
+			}
+		case ctlFlush:
+			send(serverMsg{Ack: &wireAck{Applied: sess.applied.Load(), Races: sess.races.Load()}})
+			bw.Flush()
+			sinceFlush = 0
+		case ctlClose:
+			stats := sess.eng.Stats()
+			fires := sess.tel.RuleFires()
+			send(serverMsg{Ack: &wireAck{
+				Applied: sess.applied.Load(), Races: sess.races.Load(),
+				Final: true, Stats: &stats, RuleFires: fires[:],
+			}})
+			bw.Flush()
+		case "err":
+			send(serverMsg{Err: it.errMsg})
+			bw.Flush()
+		}
+	}
+}
+
+// readLine reads one newline-terminated line without the terminator.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	return line[:len(line)-1], nil
+}
+
+// Close stops accepting connections, severs live ones, waits for every
+// session worker to drain, and — with a checkpoint directory configured
+// — persists every session so a future instance can resume them. The
+// returned error aggregates checkpoint failures.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait() // all handlers and workers drained: sessions quiescent
+
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	var errs []error
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		if err := s.checkpointSession(sess); err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", sess.id, err))
+		} else {
+			s.cfg.Logf("session %s: checkpointed at %d applied", sess.id, sess.applied.Load())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkpointSession writes dir/<id>.ckpt atomically (temp + rename):
+// the session header line, then the engine snapshot.
+func (s *Server) checkpointSession(sess *session) error {
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(sessionHeader{
+		Format: SessionFormatName, Version: SessionFormatVersion,
+		Session: sess.id, Applied: sess.applied.Load(), Races: sess.races.Load(),
+	})
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.cfg.CheckpointDir, sess.id+".ckpt")
+	tmp, err := os.CreateTemp(s.cfg.CheckpointDir, sess.id+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(hdr, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := sess.eng.Checkpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	if s.ckptsWritten != nil {
+		s.ckptsWritten.Inc()
+	}
+	return nil
+}
+
+// restoreSessions loads every session checkpoint in the configured
+// directory. A corrupt checkpoint fails server startup: silently
+// restarting a session from nothing would produce divergent verdicts.
+func (s *Server) restoreSessions() error {
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		path := filepath.Join(s.cfg.CheckpointDir, e.Name())
+		if err := s.restoreSession(path); err != nil {
+			return fmt.Errorf("restoring %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) restoreSession(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64*1024)
+	line, err := readLine(br)
+	if err != nil {
+		return fmt.Errorf("reading session header: %w", err)
+	}
+	var hdr sessionHeader
+	if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != SessionFormatName {
+		return fmt.Errorf("not a %s checkpoint", SessionFormatName)
+	}
+	if hdr.Version != SessionFormatVersion {
+		return fmt.Errorf("unsupported session checkpoint version %d", hdr.Version)
+	}
+	if !validSessionID(hdr.Session) {
+		return fmt.Errorf("invalid session id %q", hdr.Session)
+	}
+	tel := obs.NewTelemetry()
+	eng, err := core.RestoreEngine(br, core.RestoreAttach{Telemetry: tel})
+	if err != nil {
+		return err
+	}
+	sess := &session{id: hdr.Session, eng: eng, tel: tel}
+	sess.applied.Store(hdr.Applied)
+	sess.races.Store(hdr.Races)
+	s.mu.Lock()
+	s.sessions[hdr.Session] = sess
+	s.registerSessionMetrics(sess)
+	s.mu.Unlock()
+	if s.ckptsRestored != nil {
+		s.ckptsRestored.Inc()
+	}
+	s.cfg.Logf("session %s: restored at %d applied, %d races", sess.id, hdr.Applied, hdr.Races)
+	return nil
+}

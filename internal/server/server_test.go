@@ -1,0 +1,364 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"goldilocks/internal/conformance"
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/scenarios"
+	"goldilocks/internal/server"
+)
+
+// corpusTraces returns the full seed corpus: the Section 2 scenarios
+// plus every checked-in conformance counterexample.
+func corpusTraces(t *testing.T) map[string]*event.Trace {
+	t.Helper()
+	out := make(map[string]*event.Trace)
+	for _, sc := range scenarios.All() {
+		out["scenario-"+sc.Name] = sc.Trace
+	}
+	entries, err := conformance.LoadCorpus("../conformance/testdata")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	for _, e := range entries {
+		out["corpus-"+strings.TrimSuffix(e.Name, ".jsonl")] = e.Trace
+	}
+	return out
+}
+
+// remoteBackend adapts a daemon session to the conformance harness's
+// Backend interface.
+func remoteBackend(addr, session string) conformance.Backend {
+	return func(tr *event.Trace) (conformance.BackendResult, error) {
+		races, ack, err := server.StreamTrace(addr, session, tr)
+		if err != nil {
+			return conformance.BackendResult{}, err
+		}
+		res := conformance.BackendResult{Races: races}
+		if len(ack.RuleFires) == obs.NumRules+1 {
+			copy(res.RuleFires[:], ack.RuleFires)
+			res.HasRuleFires = true
+		}
+		return res, nil
+	}
+}
+
+// TestRemoteParityCorpus is the remote differential-parity acceptance
+// gate: every seed-corpus trace streamed through a daemon session must
+// yield exactly the in-process verdicts and Figure 5 rule-fire counts.
+func TestRemoteParityCorpus(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+	i := 0
+	for name, tr := range corpusTraces(t) {
+		i++
+		session := fmt.Sprintf("parity-%d", i)
+		if div := conformance.CheckBackend("remote", remoteBackend(srv.Addr(), session), tr); div != nil {
+			t.Errorf("%s: %v", name, div)
+		}
+	}
+}
+
+// TestRemoteParityTinyQueue re-runs parity with a queue and batch of 1,
+// so every enqueue exercises the backpressure path (the reader blocks
+// on a full queue between each apply).
+func TestRemoteParityTinyQueue(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{Queue: 1, Batch: 1})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+	i := 0
+	for name, tr := range corpusTraces(t) {
+		i++
+		session := fmt.Sprintf("tiny-%d", i)
+		if div := conformance.CheckBackend("remote-tiny", remoteBackend(srv.Addr(), session), tr); div != nil {
+			t.Errorf("%s: %v", name, div)
+		}
+	}
+}
+
+// TestConcurrentSessions streams every corpus trace through the same
+// daemon at once, one session per goroutine, and requires every session
+// to report exactly its own in-process verdicts — sessions are
+// isolated engines, not a shared one.
+func TestConcurrentSessions(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	i := 0
+	for name, tr := range corpusTraces(t) {
+		i++
+		session := fmt.Sprintf("conc-%d", i)
+		wg.Add(1)
+		go func(name, session string, tr *event.Trace) {
+			defer wg.Done()
+			if div := conformance.CheckBackend("remote-concurrent", remoteBackend(srv.Addr(), session), tr); div != nil {
+				t.Errorf("%s: %v", name, div)
+			}
+		}(name, session, tr)
+	}
+	wg.Wait()
+}
+
+func keysOf(races []detect.Race) []string {
+	out := make([]string, len(races))
+	for i, r := range races {
+		out[i] = fmt.Sprintf("%d:%v", r.Pos, r.Var)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRestartConvergence kills the daemon mid-session and requires the
+// resumed session to converge: stream half a trace, close the server
+// (checkpointing to disk), start a fresh server on the same directory,
+// resume, stream the rest, and require the union of verdicts plus the
+// final engine stats and rule fires to equal an uninterrupted
+// in-process run.
+func TestRestartConvergence(t *testing.T) {
+	dir := t.TempDir()
+	for name, tr := range corpusTraces(t) {
+		t.Run(name, func(t *testing.T) {
+			// Uninterrupted in-process run for ground truth.
+			tel := obs.NewTelemetry()
+			opts := core.DefaultOptions()
+			opts.Telemetry = tel
+			eng := core.NewEngine(opts)
+			var want []detect.Race
+			for i := 0; i < tr.Len(); i++ {
+				for _, r := range eng.Step(tr.At(i)) {
+					r.Pos = i
+					want = append(want, r)
+				}
+			}
+			wantStats := eng.Stats()
+			wantFires := tel.RuleFires()
+
+			srv1, err := server.New("127.0.0.1:0", server.Config{CheckpointDir: dir})
+			if err != nil {
+				t.Fatalf("starting server: %v", err)
+			}
+			c, err := server.Dial(srv1.Addr(), "restart")
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			half := tr.Len() / 2
+			for i := 0; i < half; i++ {
+				if err := c.Send(tr.At(i)); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+			if _, err := c.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+			got := c.Races()
+			c.Abandon() // simulate a client surviving the daemon
+			if err := srv1.Close(); err != nil {
+				t.Fatalf("closing first server: %v", err)
+			}
+
+			srv2, err := server.New("127.0.0.1:0", server.Config{CheckpointDir: dir})
+			if err != nil {
+				t.Fatalf("restarting server: %v", err)
+			}
+			defer srv2.Close()
+			c2, err := server.Dial(srv2.Addr(), "restart")
+			if err != nil {
+				t.Fatalf("redial: %v", err)
+			}
+			if !c2.Resumed() || c2.Next() != uint64(half) {
+				t.Fatalf("resume state: resumed=%v next=%d, want true/%d", c2.Resumed(), c2.Next(), half)
+			}
+			for i := half; i < tr.Len(); i++ {
+				if err := c2.Send(tr.At(i)); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+			ack, err := c2.Close()
+			if err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			got = append(got, c2.Races()...)
+
+			if gk, wk := keysOf(got), keysOf(want); !equalStrings(gk, wk) {
+				t.Fatalf("races %v, uninterrupted %v", gk, wk)
+			}
+			if ack.Stats == nil || *ack.Stats != wantStats {
+				t.Fatalf("stats diverged\nresumed:       %+v\nuninterrupted: %+v", ack.Stats, wantStats)
+			}
+			var gotFires [obs.NumRules + 1]uint64
+			copy(gotFires[:], ack.RuleFires)
+			if gotFires != wantFires {
+				t.Fatalf("rule fires %v, uninterrupted %v", gotFires, wantFires)
+			}
+			if ack.Applied != uint64(tr.Len()) {
+				t.Fatalf("applied %d, want %d", ack.Applied, tr.Len())
+			}
+
+			// Clean the session so the next subtest starts fresh.
+			srv2.Close()
+			cleanCheckpointDir(t, dir)
+		})
+	}
+}
+
+// cleanCheckpointDir removes persisted sessions so the next subtest
+// starts from an empty daemon.
+func cleanCheckpointDir(t *testing.T, dir string) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatalf("globbing checkpoints: %v", err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			t.Fatalf("removing %s: %v", m, err)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSessionExclusive rejects a second live connection to the same
+// session.
+func TestSessionExclusive(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+	c1, err := server.Dial(srv.Addr(), "excl")
+	if err != nil {
+		t.Fatalf("first dial: %v", err)
+	}
+	defer c1.Abandon()
+	if _, err := server.Dial(srv.Addr(), "excl"); err == nil {
+		t.Fatal("second connection to a live session was accepted")
+	}
+}
+
+// TestRejectsBadHandshake covers the protocol guards: wrong protocol
+// name, wrong version, and invalid session ids are all refused with an
+// explanatory welcome.
+func TestRejectsBadHandshake(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+
+	for name, helloLine := range map[string]string{
+		"wrong-proto":   `{"proto":"nope","version":1,"session":"a"}`,
+		"wrong-version": `{"proto":"goldilocks-service","version":99,"session":"a"}`,
+		"bad-session":   `{"proto":"goldilocks-service","version":1,"session":"../escape"}`,
+	} {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatalf("%s: dial: %v", name, err)
+		}
+		fmt.Fprintf(conn, "%s\n", helloLine)
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err != nil {
+			t.Fatalf("%s: reading welcome: %v", name, err)
+		}
+		var w struct {
+			OK    bool   `json:"ok"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &w); err != nil {
+			t.Fatalf("%s: bad welcome %q: %v", name, line, err)
+		}
+		if w.OK || w.Error == "" {
+			t.Errorf("%s: accepted: %q", name, line)
+		}
+	}
+}
+
+// TestCorruptRecordReported requires a checksum-corrupt event record
+// to be reported as a protocol error, not silently applied or dropped.
+func TestCorruptRecordReported(t *testing.T) {
+	srv, err := server.New("127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, `{"proto":"goldilocks-service","version":1,"session":"corrupt"}`+"\n")
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	conn.Write(event.StreamHeaderLine())
+	fmt.Fprintf(conn, `{"a":{"kind":"read","t":1,"o":1},"crc":"deadbeef"}`+"\n")
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading error reply: %v", err)
+	}
+	if !strings.Contains(line, "corrupt") {
+		t.Fatalf("expected corrupt-record error, got %q", line)
+	}
+}
+
+// TestSessionMetrics checks the per-session metrics appear in the
+// registry with session labels and advance as actions apply.
+func TestSessionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := server.New("127.0.0.1:0", server.Config{Registry: reg})
+	if err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+
+	tr := scenarios.All()[0].Trace
+	if _, _, err := server.StreamTrace(srv.Addr(), "metrics-a", tr); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	text := sb.String()
+	want := fmt.Sprintf(`goldilocksd_session_applied_total{session="metrics-a"} %d`, tr.Len())
+	if !strings.Contains(text, want) {
+		t.Fatalf("scrape missing %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, "goldilocksd_sessions_total 1") {
+		t.Fatalf("scrape missing sessions_total:\n%s", text)
+	}
+}
