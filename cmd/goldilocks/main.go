@@ -100,7 +100,7 @@ func main() {
 		record   = flag.String("record", "", "write the observed linearization to this file (.jsonl: checksummed streaming format; replay with cmd/racereplay)")
 		onError  = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
 		budget   = flag.Int("memory-budget", 0, "event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
-		remote   = flag.String("remote", "", "offload detection to the goldilocksd at this address instead of running an in-process detector (forces -policy log; see docs/SERVICE.md)")
+		remote   = flag.String("remote", "", "offload detection to the goldilocksd at this address (or comma-separated cluster list, with failover) instead of running an in-process detector (forces -policy log; see docs/SERVICE.md)")
 		session  = flag.String("session", "", "session id for -remote (default: goldilocks-<pid>)")
 		exploreN = flag.Int("explore", 0, "systematically explore up to N schedules and report how many race (implies -sched det)")
 		exploreP = flag.Int("explore-bound", 0, "preemption bound for -explore (0: unbounded)")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"sync"
 
 	"goldilocks/internal/detect"
@@ -25,7 +26,9 @@ type remoteSession struct {
 }
 
 func dialRemote(addr, session string) (*remoteSession, error) {
-	c, err := server.Dial(addr, session)
+	// addr may be a single daemon or a comma-separated fleet list; a
+	// fleet client follows NOT_OWNER redirects and fails over.
+	c, err := server.DialAuto(context.Background(), addr, session)
 	if err != nil {
 		return nil, err
 	}

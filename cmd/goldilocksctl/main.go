@@ -1,0 +1,244 @@
+// Command goldilocksctl operates a goldilocksd cluster from the
+// outside: fleet status, planned drains, rebalancing, metric rollups,
+// and the chaos drill that proves failover loses no verdicts.
+//
+//	goldilocksctl -cluster a:1,b:2,c:3 status
+//	goldilocksctl -cluster a:1,b:2,c:3 drain b:2
+//	goldilocksctl -cluster a:1,b:2,c:3 rebalance
+//	goldilocksctl -cluster a:1,b:2,c:3 metrics
+//	goldilocksctl -cluster a:1,b:2,c:3 drill -kill-pid 1234 -kill-addr b:2
+//
+// The drill streams the seed corpus (Section 2 scenarios plus the
+// conformance counterexamples) through failover-aware fleet clients,
+// SIGKILLs the named node mid-corpus, finishes streaming, and then
+// requires every session's verdicts and Figure 5 rule-fire counts to
+// match the executable specification exactly — zero divergences, zero
+// caller-visible errors, at least one observed failover.
+//
+// Exit codes: 0 success, 1 drill divergence, 2 usage, 3 runtime error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"goldilocks/internal/cluster"
+	"goldilocks/internal/conformance"
+	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/resilience"
+	"goldilocks/internal/scenarios"
+	"goldilocks/internal/server"
+)
+
+func main() {
+	var (
+		members = flag.String("cluster", "", "comma-separated fleet member list (required)")
+		repl    = flag.Int("replicas", 2, "replica count K, matching the fleet's -replicas")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-exchange admin timeout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: goldilocksctl -cluster <a,b,c> [flags] status|drain <node>|rebalance|metrics|drill [drill flags]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	fleet := splitList(*members)
+	if len(fleet) == 0 || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(resilience.ExitUsage)
+	}
+	co := &cluster.Coordinator{Members: fleet, Replicas: *repl, Timeout: *timeout}
+	ctx := context.Background()
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		err = status(ctx, co)
+	case "drain":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: goldilocksctl -cluster ... drain <node-addr>")
+			os.Exit(resilience.ExitUsage)
+		}
+		var moved int
+		moved, err = co.Drain(ctx, flag.Arg(1))
+		fmt.Printf("drained %s: %d sessions migrated\n", flag.Arg(1), moved)
+	case "rebalance":
+		var moved int
+		moved, err = co.Rebalance(ctx)
+		fmt.Printf("rebalanced: %d sessions migrated\n", moved)
+	case "metrics":
+		os.Stdout.Write(cluster.Rollup(ctx, fleet, *timeout))
+	case "drill":
+		os.Exit(drill(fleet, flag.Args()[1:]))
+	default:
+		fmt.Fprintf(os.Stderr, "goldilocksctl: unknown command %q\n", cmd)
+		os.Exit(resilience.ExitUsage)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldilocksctl:", err)
+		os.Exit(resilience.ExitRuntime)
+	}
+	os.Exit(resilience.ExitClean)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func status(ctx context.Context, co *cluster.Coordinator) error {
+	for _, st := range co.Status(ctx) {
+		state := "up"
+		switch {
+		case !st.Alive:
+			state = "DOWN"
+		case st.Draining:
+			state = "draining"
+		}
+		fmt.Printf("%-24s %-9s sessions=%d", st.Addr, state, len(st.Sessions))
+		if st.Err != "" {
+			fmt.Printf("  error=%s", st.Err)
+		}
+		fmt.Println()
+		for _, si := range st.Sessions {
+			att := ""
+			if si.Attached {
+				att = " attached"
+			}
+			fmt.Printf("    %-32s applied=%d races=%d%s\n", si.ID, si.Applied, si.Races, att)
+		}
+	}
+	return nil
+}
+
+// drill is the chaos acceptance gate. It needs a victim to SIGKILL —
+// the shell script that owns the daemon processes passes the pid in.
+func drill(fleet []string, args []string) int {
+	fs := flag.NewFlagSet("drill", flag.ExitOnError)
+	var (
+		killPid   = fs.Int("kill-pid", 0, "process to SIGKILL once every session is mid-stream (required)")
+		killAddr  = fs.String("kill-addr", "", "the victim's fleet address, reported in the summary")
+		corpusDir = fs.String("corpus", "", "extra corpus directory of .jsonl traces (e.g. internal/conformance/testdata)")
+		failover  = fs.Duration("failover-timeout", 30*time.Second, "per-client failover budget")
+	)
+	fs.Parse(args)
+	if *killPid <= 0 {
+		fmt.Fprintln(os.Stderr, "goldilocksctl drill: -kill-pid is required")
+		return resilience.ExitUsage
+	}
+
+	traces, err := drillCorpus(*corpusDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldilocksctl drill:", err)
+		return resilience.ExitRuntime
+	}
+	names := make([]string, 0, len(traces))
+	for name := range traces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("drill: %d sessions over fleet %v, victim pid %d %s\n", len(names), fleet, *killPid, *killAddr)
+
+	cfg := server.DialConfig{FailoverTimeout: *failover}
+	ctx := context.Background()
+
+	// Phase 1: open a fleet client per trace and stream the first half.
+	clients := make(map[string]*server.Client, len(names))
+	for i, name := range names {
+		tr := traces[name]
+		c, err := server.DialFleet(ctx, fleet, fmt.Sprintf("drill-%d", i), cfg)
+		if err != nil {
+			return fail("dialing for %s: %v", name, err)
+		}
+		clients[name] = c
+		for j := 0; j < tr.Len()/2; j++ {
+			if err := c.Send(tr.At(j)); err != nil {
+				return fail("%s: streaming first half: %v", name, err)
+			}
+		}
+		if _, err := c.Flush(); err != nil {
+			return fail("%s: flushing first half: %v", name, err)
+		}
+	}
+
+	// Phase 2: kill the victim with every session mid-stream.
+	fmt.Printf("drill: SIGKILL %d\n", *killPid)
+	if err := syscall.Kill(*killPid, syscall.SIGKILL); err != nil {
+		return fail("killing pid %d: %v", *killPid, err)
+	}
+
+	// Phase 3: finish every trace through failover and check each
+	// session against the executable specification.
+	divergences, failovers := 0, 0
+	for _, name := range names {
+		tr, c := traces[name], clients[name]
+		for j := tr.Len() / 2; j < tr.Len(); j++ {
+			if err := c.Send(tr.At(j)); err != nil {
+				return fail("%s: streaming second half: %v", name, err)
+			}
+		}
+		ack, err := c.Close()
+		if err != nil {
+			return fail("%s: closing: %v", name, err)
+		}
+		failovers += c.Failovers()
+		backend := func(*event.Trace) (conformance.BackendResult, error) {
+			res := conformance.BackendResult{Races: c.Races()}
+			if len(ack.RuleFires) == obs.NumRules+1 {
+				copy(res.RuleFires[:], ack.RuleFires)
+				res.HasRuleFires = true
+			}
+			return res, nil
+		}
+		if div := conformance.CheckBackend("cluster", backend, tr); div != nil {
+			divergences++
+			fmt.Fprintf(os.Stderr, "drill: DIVERGENCE %s (failovers=%d): %v\n", name, c.Failovers(), div)
+		}
+	}
+
+	fmt.Printf("drill: %d sessions converged, %d divergences, %d failovers\n",
+		len(names)-divergences, divergences, failovers)
+	if divergences > 0 {
+		return resilience.ExitRace
+	}
+	if failovers == 0 {
+		fmt.Fprintln(os.Stderr, "drill: no client failed over — the kill hit nothing; drill proves nothing")
+		return resilience.ExitRuntime
+	}
+	return resilience.ExitClean
+}
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "goldilocksctl drill: "+format+"\n", args...)
+	return resilience.ExitRuntime
+}
+
+// drillCorpus is the seed corpus: every Section 2 scenario, plus the
+// checked-in conformance counterexamples when a corpus dir is given.
+func drillCorpus(dir string) (map[string]*event.Trace, error) {
+	out := make(map[string]*event.Trace)
+	for _, sc := range scenarios.All() {
+		out["scenario-"+sc.Name] = sc.Trace
+	}
+	if dir != "" {
+		entries, err := conformance.LoadCorpus(dir)
+		if err != nil {
+			return nil, fmt.Errorf("loading corpus %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			out["corpus-"+strings.TrimSuffix(e.Name, ".jsonl")] = e.Trace
+		}
+	}
+	return out, nil
+}

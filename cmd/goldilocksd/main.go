@@ -9,6 +9,12 @@
 // from the welcome message, and continue as if the daemon never
 // stopped. See docs/SERVICE.md for the protocol and lifecycle.
 //
+// With -cluster, the daemon joins a fleet: sessions are consistent-
+// hashed across the members, misrouted clients are redirected to the
+// owner, every periodic checkpoint is replicated to -replicas ring
+// successors, and a member death promotes a follower's replica so the
+// session resumes with no lost verdicts. See docs/SERVICE.md.
+//
 // Exit codes: 0 clean shutdown, 2 usage error, 3 runtime failure.
 package main
 
@@ -18,8 +24,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
+	"time"
 
+	"goldilocks/internal/cluster"
 	"goldilocks/internal/core"
 	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
@@ -36,6 +46,14 @@ func main() {
 		budget  = flag.Int("memory-budget", 0, "per-session event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
 		onError = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
 		noSC    = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks in session engines (ablation)")
+
+		clusterList = flag.String("cluster", "", "comma-separated member list; joins this daemon to the fleet (must include -join)")
+		join        = flag.String("join", "", "this node's advertised address in the -cluster list (default: -addr)")
+		replicas    = flag.Int("replicas", 2, "checkpoint replicas per session (ring successors); cluster mode only")
+		ckptEvery   = flag.Int("checkpoint-every", 4096, "checkpoint (and replicate) each session every N applied actions (0: only at shutdown)")
+		probeIvl    = flag.Duration("probe-interval", 500*time.Millisecond, "failure-detector probe interval; cluster mode only")
+		probeTmo    = flag.Duration("probe-timeout", time.Second, "failure-detector probe timeout; cluster mode only")
+		suspect     = flag.Int("suspect-after", 3, "consecutive probe failures before a peer is declared dead; cluster mode only")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -43,50 +61,120 @@ func main() {
 		flag.Usage()
 		os.Exit(resilience.ExitUsage)
 	}
-	if err := run(*addr, *ckptDir, *metrics, *queue, *batch, *budget, *onError, *noSC); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, ckptDir: *ckptDir, metricsAddr: *metrics,
+		queue: *queue, batch: *batch, budget: *budget, onError: *onError, noSC: *noSC,
+		cluster: *clusterList, join: *join, replicas: *replicas, ckptEvery: *ckptEvery,
+		probe: cluster.ProbeConfig{Interval: *probeIvl, Timeout: *probeTmo, SuspectAfter: *suspect},
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "goldilocksd:", err)
 		os.Exit(resilience.ExitRuntime)
 	}
 	os.Exit(resilience.ExitClean)
 }
 
-func run(addr, ckptDir, metricsAddr string, queue, batch, budget int, onError string, noSC bool) error {
-	errPolicy, err := resilience.ParseErrorPolicy(onError)
+type daemonConfig struct {
+	addr, ckptDir, metricsAddr string
+	queue, batch, budget       int
+	onError                    string
+	noSC                       bool
+	cluster, join              string
+	replicas, ckptEvery        int
+	probe                      cluster.ProbeConfig
+}
+
+func run(cfg daemonConfig) error {
+	errPolicy, err := resilience.ParseErrorPolicy(cfg.onError)
 	if err != nil {
 		return err
 	}
 	opts := core.DefaultOptions()
-	if noSC {
+	if cfg.noSC {
 		opts.SC1, opts.SC2, opts.SC3, opts.XactSC = false, false, false, false
 	}
 	opts.OnError = errPolicy
-	opts.MemoryBudget = budget
+	opts.MemoryBudget = cfg.budget
 
 	reg := obs.NewRegistry()
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "goldilocksd: "+format+"\n", args...)
 	}
-	srv, err := server.New(addr, server.Config{
-		Engine:        opts,
-		Queue:         queue,
-		Batch:         batch,
-		CheckpointDir: ckptDir,
-		Registry:      reg,
-		Logf:          logf,
-	})
+
+	scfg := server.Config{
+		Engine:          opts,
+		Queue:           cfg.queue,
+		Batch:           cfg.batch,
+		CheckpointDir:   cfg.ckptDir,
+		CheckpointEvery: cfg.ckptEvery,
+		Registry:        reg,
+		Logf:            logf,
+	}
+
+	var node *cluster.Node
+	var members []string
+	if cfg.cluster != "" {
+		for _, m := range strings.Split(cfg.cluster, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		self := cfg.join
+		if self == "" {
+			self = cfg.addr
+		}
+		found := false
+		for _, m := range members {
+			if m == self {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("-join %s is not in the -cluster member list %v", self, members)
+		}
+		node = cluster.NewNode(cluster.NodeConfig{
+			Self:     self,
+			Members:  members,
+			Replicas: cfg.replicas,
+			Probe:    cfg.probe,
+			Logf:     logf,
+		})
+		defer node.Stop()
+		scfg.Advertise = self
+		scfg.Router = node
+		scfg.OnCheckpoint = node.OnCheckpoint
+		scfg.OnDrain = node.OnDrain
+		if cfg.ckptDir != "" {
+			scfg.ReplicaDir = filepath.Join(cfg.ckptDir, "replicas")
+		}
+	}
+
+	srv, err := server.New(cfg.addr, scfg)
 	if err != nil {
 		return err
 	}
 	logf("listening on %s", srv.Addr())
+	if node != nil {
+		logf("cluster member %s of %v (replicas=%d)", scfg.Advertise, members, cfg.replicas)
+	}
+	if qs := srv.Quarantined(); len(qs) > 0 {
+		for _, q := range qs {
+			logf("quarantined corrupt checkpoint of session %q -> %s", q.Session, q.Path)
+		}
+	}
 
 	var msrv *obs.Server
-	if metricsAddr != "" {
-		msrv, err = obs.Serve(metricsAddr, reg)
+	if cfg.metricsAddr != "" {
+		msrv, err = obs.Serve(cfg.metricsAddr, reg)
 		if err != nil {
 			srv.Close()
 			return err
 		}
 		logf("serving metrics on http://%s/metrics", msrv.Addr())
+		if node != nil {
+			msrv.Handle("/cluster/metrics", cluster.RollupHandler(members, 0))
+			logf("serving cluster rollup on http://%s/cluster/metrics", msrv.Addr())
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -55,7 +55,7 @@ func main() {
 		detName   = flag.String("detector", "goldilocks", "goldilocks, spec, vectorclock, eraser, basic, or all")
 		oracle    = flag.Bool("oracle", false, "enumerate exact extended-race pairs via the happens-before oracle")
 		statsJSON = flag.String("stats-json", "", "write per-detector rule-fire counts and races (with provenance) to this file; - for stdout")
-		remote    = flag.String("remote", "", "replay through the goldilocksd at this address instead of an in-process detector (see docs/SERVICE.md)")
+		remote    = flag.String("remote", "", "replay through the goldilocksd at this address (or comma-separated cluster list, with failover) instead of an in-process detector (see docs/SERVICE.md)")
 		session   = flag.String("session", "", "session id for -remote (default: derived from the trace file name); a resumed session replays only the remaining suffix")
 		stopAfter = flag.Int("stop-after", 0, "with -remote: stream only this many actions, flush, and detach without closing (the session stays resumable; for restart drills)")
 	)

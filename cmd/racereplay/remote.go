@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -40,7 +41,9 @@ func replayRemote(path, addr, sessionID string, stopAfter int, out *os.File) (in
 		sessionID = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	}
 
-	c, err := server.Dial(addr, sessionID)
+	// addr may be a single daemon or a comma-separated fleet list; a
+	// fleet client follows NOT_OWNER redirects and fails over.
+	c, err := server.DialAuto(context.Background(), addr, sessionID)
 	if err != nil {
 		return 0, err
 	}

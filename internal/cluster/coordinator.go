@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"goldilocks/internal/server"
+)
+
+// Coordinator drives cluster-wide operations from outside the fleet
+// (goldilocksctl). It is stateless: every call probes the members
+// fresh, so it can run from any machine that reaches the fleet.
+type Coordinator struct {
+	// Members is the fleet's static member list.
+	Members []string
+	// Replicas is K, matching the fleet's -replicas setting.
+	Replicas int
+	// Vnodes must match the fleet's ring geometry; 0 means
+	// DefaultVnodes.
+	Vnodes int
+	// Timeout bounds each admin exchange. Default 5s.
+	Timeout time.Duration
+}
+
+func (c *Coordinator) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.Timeout
+}
+
+func (c *Coordinator) call(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, c.timeout())
+}
+
+// NodeStatus is one member's state as seen by Status.
+type NodeStatus struct {
+	Addr     string               `json:"addr"`
+	Alive    bool                 `json:"alive"`
+	Draining bool                 `json:"draining,omitempty"`
+	Err      string               `json:"error,omitempty"`
+	Sessions []server.SessionInfo `json:"sessions,omitempty"`
+}
+
+// Status probes every member and lists its sessions.
+func (c *Coordinator) Status(ctx context.Context) []NodeStatus {
+	out := make([]NodeStatus, 0, len(c.Members))
+	for _, addr := range c.Members {
+		st := NodeStatus{Addr: addr}
+		cctx, cancel := c.call(ctx)
+		info, err := server.Ping(cctx, addr)
+		cancel()
+		if err != nil {
+			st.Err = err.Error()
+			out = append(out, st)
+			continue
+		}
+		st.Alive, st.Draining = true, info.Draining
+		cctx, cancel = c.call(ctx)
+		st.Sessions, err = server.Sessions(cctx, addr)
+		cancel()
+		if err != nil {
+			st.Err = err.Error()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// alive returns the members that answer pings, minus any listed in
+// exclude, for building the post-operation routing ring.
+func (c *Coordinator) alive(ctx context.Context, exclude ...string) []string {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	var out []string
+	for _, addr := range c.Members {
+		if skip[addr] {
+			continue
+		}
+		cctx, cancel := c.call(ctx)
+		info, err := server.Ping(cctx, addr)
+		cancel()
+		if err == nil && !info.Draining {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// migrate moves one session from a source node to the owner the ring
+// assigns it, then seeds the owner's successors with replicas and drops
+// the source copy. The checkpoint-pull is a consistent cut (live
+// sessions snapshot between batches), so no verdicts are lost.
+func (c *Coordinator) migrate(ctx context.Context, ring *Ring, from, id string) error {
+	owner := ring.Owner(id)
+	if owner == "" {
+		return fmt.Errorf("no live node to own session %q", id)
+	}
+	cctx, cancel := c.call(ctx)
+	data, applied, err := server.PullCheckpoint(cctx, from, id)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("pulling %s from %s: %w", id, from, err)
+	}
+	if owner != from {
+		cctx, cancel = c.call(ctx)
+		_, err = server.Adopt(cctx, owner, data)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("adopting %s@%d on %s: %w", id, applied, owner, err)
+		}
+	}
+	for _, follower := range ring.Successors(id, c.Replicas) {
+		if follower == from {
+			continue
+		}
+		cctx, cancel = c.call(ctx)
+		err = server.PutReplica(cctx, follower, id, data)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("replicating %s to %s: %w", id, follower, err)
+		}
+	}
+	if owner != from {
+		cctx, cancel = c.call(ctx)
+		err = server.DropSession(cctx, from, id)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("dropping %s from %s: %w", id, from, err)
+		}
+	}
+	return nil
+}
+
+// Drain empties the named node: it tells the node to stop owning
+// sessions (severing live connections, which the failover-aware clients
+// ride out), then migrates every session to its new ring owner. Returns
+// how many sessions moved.
+func (c *Coordinator) Drain(ctx context.Context, node string) (moved int, err error) {
+	cctx, cancel := c.call(ctx)
+	infos, err := server.DrainNode(cctx, node)
+	cancel()
+	if err != nil {
+		return 0, fmt.Errorf("draining %s: %w", node, err)
+	}
+	ring := NewRing(c.alive(ctx, node), c.Vnodes)
+	if ring.Len() == 0 {
+		return 0, fmt.Errorf("draining %s: no other live node to receive its %d sessions", node, len(infos))
+	}
+	var firstErr error
+	for _, si := range infos {
+		if err := c.migrate(ctx, ring, node, si.ID); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+// Rebalance migrates every detached session that the current ring
+// assigns to a different node than the one holding it (after membership
+// changes, or to mop up after failovers). Attached sessions are left
+// alone — their clients are streaming and will be routed on their next
+// reconnect.
+func (c *Coordinator) Rebalance(ctx context.Context) (moved int, err error) {
+	live := c.alive(ctx)
+	ring := NewRing(live, c.Vnodes)
+	var firstErr error
+	for _, addr := range live {
+		cctx, cancel := c.call(ctx)
+		infos, err := server.Sessions(cctx, addr)
+		cancel()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("listing %s: %w", addr, err)
+			}
+			continue
+		}
+		for _, si := range infos {
+			if si.Attached || ring.Owner(si.ID) == addr {
+				continue
+			}
+			if err := c.migrate(ctx, ring, addr, si.ID); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			moved++
+		}
+	}
+	return moved, firstErr
+}

@@ -1,0 +1,129 @@
+// Package cluster turns a fleet of goldilocksd nodes into one logical
+// detection service: a consistent-hash ring assigns each session an owning
+// node, a heartbeat failure detector tracks which nodes are alive, each
+// checkpoint is replicated to the sessions' ring successors, and a
+// coordinator migrates sessions for drains and rebalances. Clients use
+// server.DialFleet against the member list; the ring plus NOT_OWNER
+// redirects route them to the owner, and replica promotion plus journal
+// replay make a node death invisible to callers.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is how many ring points each physical node gets.
+// Virtual nodes smooth the key distribution: with V points per node the
+// expected per-node share deviates by O(1/sqrt(V)) instead of O(1).
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of node
+// addresses. Sessions hash to a point; the owner is the first node
+// point at or after it (wrapping), and the successors — the next
+// distinct physical nodes along the ring — hold the session's replicas.
+// The successor property is what makes failover deterministic: when the
+// owner is removed from the member set, the new owner of every one of
+// its sessions is exactly its first successor, which already holds a
+// replica.
+type Ring struct {
+	nodes  []string // distinct physical nodes, sorted (for inspection)
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given nodes with vnodes points each
+// (0 means DefaultVnodes). Duplicate addresses collapse; an empty node
+// list yields an empty ring whose Owner returns "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	uniq := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || uniq[n] {
+			continue
+		}
+		uniq[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // total order even on hash collisions
+	})
+	return r
+}
+
+// Nodes returns the distinct physical nodes on the ring, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// hash64 hashes a string to a ring position: FNV-1a, then a
+// SplitMix64-style finalizer. Raw FNV of near-identical keys (the
+// vnode names differ only in a suffix digit) clusters on the ring and
+// skews ownership badly; the avalanche step spreads them uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// search returns the index of the first point at or after h, wrapping.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the node that owns the session, or "" on an empty ring.
+func (r *Ring) Owner(session string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(hash64(session))].node
+}
+
+// Successors returns up to k distinct physical nodes after the
+// session's owner, in ring order — the replica holders. The owner
+// itself is excluded. Fewer than k nodes on the ring yields fewer
+// successors.
+func (r *Ring) Successors(session string, k int) []string {
+	if len(r.points) == 0 || k <= 0 {
+		return nil
+	}
+	start := r.search(hash64(session))
+	owner := r.points[start].node
+	seen := map[string]bool{owner: true}
+	var out []string
+	for i := 1; i < len(r.points) && len(out) < k; i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

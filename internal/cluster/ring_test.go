@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7766", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministic: two rings over the same members (in any order)
+// agree on every owner — routing must not depend on which node built
+// the ring or how its member list was ordered.
+func TestRingDeterministic(t *testing.T) {
+	nodes := testNodes(5)
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[2], nodes[1]}
+	a, b := NewRing(nodes, 0), NewRing(shuffled, 0)
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("session-%d", i)
+		if a.Owner(s) != b.Owner(s) {
+			t.Fatalf("owner of %s differs by member order: %s vs %s", s, a.Owner(s), b.Owner(s))
+		}
+	}
+}
+
+// TestRingDistribution: with vnodes, no node owns a wildly
+// disproportionate share of sessions.
+func TestRingDistribution(t *testing.T) {
+	nodes := testNodes(4)
+	r := NewRing(nodes, 0)
+	counts := make(map[string]int)
+	const total = 4000
+	for i := 0; i < total; i++ {
+		counts[r.Owner(fmt.Sprintf("session-%d", i))]++
+	}
+	want := total / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < want/3 || c > want*3 {
+			t.Errorf("node %s owns %d of %d sessions (expected near %d)", n, c, total, want)
+		}
+	}
+}
+
+// TestRingSuccessors: successors are distinct physical nodes, exclude
+// the owner, and are capped by fleet size.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(testNodes(4), 0)
+	for i := 0; i < 200; i++ {
+		s := fmt.Sprintf("session-%d", i)
+		owner := r.Owner(s)
+		succ := r.Successors(s, 2)
+		if len(succ) != 2 {
+			t.Fatalf("%s: got %d successors, want 2", s, len(succ))
+		}
+		seen := map[string]bool{owner: true}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("%s: duplicate or owner in successors %v (owner %s)", s, succ, owner)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors("x", 10); len(got) != 3 {
+		t.Errorf("successors capped wrong: got %d, want 3 (fleet of 4 minus owner)", len(got))
+	}
+}
+
+// TestRingFailoverProperty is the property replica placement relies on:
+// remove a session's owner from the ring, and the new owner is exactly
+// the dead owner's first successor — the node that already holds the
+// freshest replica.
+func TestRingFailoverProperty(t *testing.T) {
+	nodes := testNodes(5)
+	r := NewRing(nodes, 0)
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("session-%d", i)
+		owner := r.Owner(s)
+		succ := r.Successors(s, 2)
+		var survivors []string
+		for _, n := range nodes {
+			if n != owner {
+				survivors = append(survivors, n)
+			}
+		}
+		if got := NewRing(survivors, 0).Owner(s); got != succ[0] {
+			t.Fatalf("%s: owner after removing %s is %s, want first successor %s", s, owner, got, succ[0])
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: degenerate fleets behave sanely.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("s"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	one := NewRing([]string{"a:1"}, 0)
+	if got := one.Owner("s"); got != "a:1" {
+		t.Errorf("single-node owner = %q, want a:1", got)
+	}
+	if got := one.Successors("s", 2); len(got) != 0 {
+		t.Errorf("single-node successors = %v, want none", got)
+	}
+	if got := NewRing([]string{"a:1", "a:1", ""}, 0).Len(); got != 1 {
+		t.Errorf("duplicate/empty members collapse to %d nodes, want 1", got)
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"goldilocks/internal/server"
+)
+
+// Rollup scrapes every member's Prometheus exposition over the admin
+// protocol and merges them into one cluster-wide document:
+//
+//   - every per-node sample is re-emitted with a node="addr" label
+//     injected (added to an existing label set or wrapped around a bare
+//     name), so one scrape shows the whole fleet broken down by node;
+//   - label-free goldilocksd_* counters and gauges are summed into
+//     goldilocksd_cluster_* aggregates;
+//   - goldilocksd_cluster_nodes / goldilocksd_cluster_nodes_up report
+//     fleet size and how many members answered.
+//
+// Unreachable members are skipped (and counted out of nodes_up) rather
+// than failing the scrape: a rollup that dies with its weakest node is
+// useless during the exact incident it exists for.
+func Rollup(ctx context.Context, members []string, timeout time.Duration) []byte {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	var b strings.Builder
+	sums := make(map[string]float64)   // base goldilocksd_* name -> summed value
+	sumType := make(map[string]string) // base name -> TYPE
+	up := 0
+	for _, addr := range members {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		body, err := server.ScrapeMetrics(cctx, addr)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(&b, "# node %s unreachable: %s\n", addr, strings.ReplaceAll(err.Error(), "\n", " "))
+			continue
+		}
+		up++
+		for _, line := range strings.Split(string(body), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				rememberType(line, sumType)
+				continue // per-family TYPE lines are re-emitted below
+			}
+			name, labels, val, ok := parseSample(line)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s{%s} %s\n", name, injectLabel(labels, "node", addr), val)
+			if labels == "" && strings.HasPrefix(name, "goldilocksd_") {
+				if f, err := strconv.ParseFloat(val, 64); err == nil {
+					sums["goldilocksd_cluster_"+strings.TrimPrefix(name, "goldilocksd_")] += f
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE goldilocksd_cluster_nodes gauge\ngoldilocksd_cluster_nodes %d\n", len(members))
+	fmt.Fprintf(&b, "# TYPE goldilocksd_cluster_nodes_up gauge\ngoldilocksd_cluster_nodes_up %d\n", up)
+	for _, name := range sortedNames(sums) {
+		typ := sumType[strings.Replace(name, "goldilocksd_cluster_", "goldilocksd_", 1)]
+		if typ == "" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %s\n", name, typ, name, strconv.FormatFloat(sums[name], 'g', -1, 64))
+	}
+	return []byte(b.String())
+}
+
+// rememberType records `# TYPE name kind` lines for the aggregates.
+func rememberType(line string, into map[string]string) {
+	f := strings.Fields(line)
+	if len(f) == 4 && f[1] == "TYPE" {
+		into[f[2]] = f[3]
+	}
+}
+
+// parseSample splits a Prometheus text sample into name, raw label body
+// (without braces, "" if none) and value.
+func parseSample(line string) (name, labels, val string, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", "", false
+	}
+	key, val := line[:sp], line[sp+1:]
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		if !strings.HasSuffix(key, "}") {
+			return "", "", "", false
+		}
+		return key[:i], key[i+1 : len(key)-1], val, true
+	}
+	return key, "", val, true
+}
+
+// injectLabel prepends k=v to a raw label body.
+func injectLabel(labels, k, v string) string {
+	kv := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return kv
+	}
+	return kv + "," + labels
+}
+
+func sortedNames(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RollupHandler serves Rollup over HTTP — mount it on a node's
+// introspection mux as /cluster/metrics.
+func RollupHandler(members []string, timeout time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(Rollup(r.Context(), members, timeout))
+	})
+}

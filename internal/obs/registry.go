@@ -67,6 +67,19 @@ func (r *Registry) RegisterGaugeFunc(name string, f GaugeFunc) {
 	r.mu.Unlock()
 }
 
+// Unregister removes the binding under name from every metric kind.
+// Scrapes already in flight keep the snapshot they copied; later ones
+// no longer see the name. Used when per-session metrics outlive their
+// session (a migrated-away or dropped daemon session).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.hists, name)
+	delete(r.series, name)
+	r.mu.Unlock()
+}
+
 // RegisterHistogram binds an existing histogram under name.
 func (r *Registry) RegisterHistogram(name string, h *Histogram) *Histogram {
 	r.mu.Lock()

@@ -39,6 +39,7 @@ func NewMux(reg *Registry) *http.ServeMux {
 type Server struct {
 	ln    net.Listener
 	srv   *http.Server
+	mux   *http.ServeMux
 	grace time.Duration
 }
 
@@ -54,13 +55,19 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}, grace: DefaultCloseGrace}
+	mux := NewMux(reg)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, mux: mux, grace: DefaultCloseGrace}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
 
 // Addr returns the bound address, e.g. "127.0.0.1:6060".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handle mounts an extra handler on the introspection mux (e.g. the
+// cluster-wide /cluster/metrics rollup). http.ServeMux registration is
+// safe while serving.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // SetCloseGrace overrides the graceful-shutdown deadline (tests).
 func (s *Server) SetCloseGrace(d time.Duration) { s.grace = d }

@@ -115,11 +115,17 @@ const (
 	Deadlock ReportKind = iota
 	// Timeout: a wall-clock budget expired (systematic exploration).
 	Timeout
+	// Corruption: persistent state (a checkpoint, a replica) failed its
+	// integrity checks and was quarantined instead of trusted.
+	Corruption
 )
 
 func (k ReportKind) String() string {
-	if k == Timeout {
+	switch k {
+	case Timeout:
 		return "timeout"
+	case Corruption:
+		return "corruption"
 	}
 	return "deadlock"
 }

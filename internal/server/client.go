@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +31,15 @@ type Ack struct {
 // verdicts arrive asynchronously (a background reader collects them);
 // Flush and Close provide synchronization points where every action
 // sent so far is known to be applied.
+//
+// A client opened with DialFleet is failover-aware: it knows every node
+// of the cluster, keeps a journal of the actions it has sent, and — when
+// the connection or the owning node dies — reconnects with exponential
+// backoff and jitter, follows NOT_OWNER redirects to the new owner,
+// replays the journal suffix past the server's applied prefix, and
+// deduplicates re-fired verdicts. Send, Flush and Close then never
+// surface a node death to the caller; only exhausting the failover
+// budget does.
 type Client struct {
 	conn    net.Conn
 	bw      *bufio.Writer
@@ -37,66 +47,21 @@ type Client struct {
 	next    uint64
 	resumed bool
 
+	// Failover state (fleet mode; nil fleet = single-node client).
+	fleet     []string
+	cfg       DialConfig
+	base      uint64         // applied count before journal[0]
+	journal   []event.Action // every action sent, for replay after failover
+	failovers int
+
 	mu    sync.Mutex
 	races []detect.Race
+	seen  map[string]bool // race keys, for dedup across failovers
 
 	acks    chan Ack
 	readErr error // set before acks closes
 	errOnce sync.Once
 	done    chan struct{}
-}
-
-// Dial connects to a detection server and opens (or resumes) the named
-// session. After a successful Dial the caller must check Next: a
-// resumed session has already applied that many actions, and the client
-// must stream only the remainder of its linearization.
-func Dial(addr, session string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{
-		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64*1024),
-		session: session,
-		acks:    make(chan Ack, 4),
-		done:    make(chan struct{}),
-	}
-	br := bufio.NewReaderSize(conn, 64*1024)
-
-	h, err := json.Marshal(hello{Proto: ProtoName, Version: ProtoVersion, Session: session})
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	c.bw.Write(append(h, '\n'))
-	if err := c.bw.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	line, err := readLine(br)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("server: reading welcome: %w", err)
-	}
-	var w welcome
-	if err := json.Unmarshal(line, &w); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("server: bad welcome: %w", err)
-	}
-	if !w.OK {
-		conn.Close()
-		return nil, fmt.Errorf("server: rejected session %q: %s", session, w.Error)
-	}
-	c.next, c.resumed = w.Next, w.Resumed
-
-	c.bw.Write(event.StreamHeaderLine()) // already newline-terminated
-	if err := c.bw.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	go c.readLoop(br)
-	return c, nil
 }
 
 // Session returns the session id.
@@ -110,12 +75,29 @@ func (c *Client) Next() uint64 { return c.next }
 // Resumed reports whether the session predates this connection.
 func (c *Client) Resumed() bool { return c.resumed }
 
+// Failovers returns how many times this client has reconnected after
+// losing its server (fleet mode).
+func (c *Client) Failovers() int { return c.failovers }
+
+// startConn installs a fresh connection and starts its read loop.
+func (c *Client) startConn(conn net.Conn, br *bufio.Reader) {
+	c.conn = conn
+	c.bw = bufio.NewWriterSize(conn, 64*1024)
+	c.acks = make(chan Ack, 4)
+	c.done = make(chan struct{})
+	c.errOnce = sync.Once{}
+	c.readErr = nil
+	go c.readLoop(br, c.acks, c.done)
+}
+
 // readLoop collects server lines: races into the race list, acks into
 // the ack channel. It closes acks on connection end so waiters fail
-// fast.
-func (c *Client) readLoop(br *bufio.Reader) {
-	defer close(c.done)
-	defer close(c.acks)
+// fast. In fleet mode a verdict re-fired after a failover (the journal
+// suffix is replayed through the restored engine) is recognized by its
+// position+variable key and dropped.
+func (c *Client) readLoop(br *bufio.Reader, acks chan Ack, done chan struct{}) {
+	defer close(done)
+	defer close(acks)
 	for {
 		line, err := readLine(br)
 		if err != nil {
@@ -138,10 +120,18 @@ func (c *Client) readLoop(br *bufio.Reader) {
 				return
 			}
 			c.mu.Lock()
+			if c.seen != nil {
+				key := fmt.Sprintf("%d:%v", r.Pos, r.Var)
+				if c.seen[key] {
+					c.mu.Unlock()
+					continue
+				}
+				c.seen[key] = true
+			}
 			c.races = append(c.races, r)
 			c.mu.Unlock()
 		case m.Ack != nil:
-			c.acks <- Ack{
+			acks <- Ack{
 				Applied: m.Ack.Applied, Races: m.Ack.Races,
 				Stats: m.Ack.Stats, RuleFires: m.Ack.RuleFires,
 			}
@@ -162,14 +152,22 @@ func (c *Client) terminalErr() error {
 }
 
 // Send streams one action to the session. Verdicts for it arrive
-// asynchronously; use Flush or Close to synchronize.
+// asynchronously; use Flush or Close to synchronize. In fleet mode the
+// action is journaled first, so a mid-stream node death is survived by
+// reconnecting and replaying.
 func (c *Client) Send(a event.Action) error {
 	rec, err := event.EncodeRecord(a)
 	if err != nil {
 		return err
 	}
+	if c.fleet != nil {
+		c.journal = append(c.journal, a)
+	}
 	if _, err := c.bw.Write(rec); err != nil {
-		return err
+		if c.fleet == nil {
+			return err
+		}
+		return c.failover(context.Background())
 	}
 	return nil
 }
@@ -203,15 +201,30 @@ func (c *Client) ctlRoundTrip(verb string) (Ack, error) {
 	if err != nil {
 		return Ack{}, err
 	}
-	c.bw.Write(append(b, '\n'))
-	if err := c.bw.Flush(); err != nil {
-		return Ack{}, err
+	for attempt := 0; ; attempt++ {
+		c.bw.Write(append(b, '\n'))
+		flushErr := c.bw.Flush()
+		var ack Ack
+		ok := false
+		if flushErr == nil {
+			ack, ok = <-c.acks
+		}
+		if ok {
+			return ack, nil
+		}
+		if c.fleet == nil || attempt >= 1 {
+			if flushErr != nil {
+				return Ack{}, flushErr
+			}
+			return Ack{}, c.terminalErr()
+		}
+		// The connection died under the control round trip: fail over
+		// (which replays any unapplied journal suffix) and re-issue the
+		// control on the new owner.
+		if err := c.failover(context.Background()); err != nil {
+			return Ack{}, err
+		}
 	}
-	ack, ok := <-c.acks
-	if !ok {
-		return Ack{}, c.terminalErr()
-	}
-	return ack, nil
 }
 
 // Races returns the verdicts received so far, in arrival order. Race
@@ -228,9 +241,10 @@ func (c *Client) Races() []detect.Race {
 // StreamTrace is the convenience path used by the replay tools and the
 // conformance harness: open (or resume) the session, stream the
 // remainder of tr, close, and return the verdicts of this connection
-// plus the final ack.
+// plus the final ack. addr may be a single address or a comma-separated
+// fleet list (see DialFleet).
 func StreamTrace(addr, sessionID string, tr *event.Trace) ([]detect.Race, Ack, error) {
-	c, err := Dial(addr, sessionID)
+	c, err := DialAuto(context.Background(), addr, sessionID)
 	if err != nil {
 		return nil, Ack{}, err
 	}

@@ -38,12 +38,17 @@ type hello struct {
 
 // welcome is the server's reply to a hello. Next is the number of
 // actions the session has already applied: a resuming client must skip
-// that prefix of its linearization and stream from there.
+// that prefix of its linearization and stream from there. In cluster
+// mode a node that does not own the session refuses the attach with
+// NotOwner set and, when known, the owner's advertised address — the
+// client redials there (see DialFleet).
 type welcome struct {
-	OK      bool   `json:"ok"`
-	Error   string `json:"error,omitempty"`
-	Resumed bool   `json:"resumed,omitempty"`
-	Next    uint64 `json:"next"`
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+	Resumed  bool   `json:"resumed,omitempty"`
+	Next     uint64 `json:"next"`
+	NotOwner bool   `json:"not_owner,omitempty"`
+	Owner    string `json:"owner,omitempty"`
 }
 
 // ctlMsg is a client control line interleaved with event records.

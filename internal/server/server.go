@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"goldilocks/internal/core"
 	"goldilocks/internal/event"
 	"goldilocks/internal/obs"
+	"goldilocks/internal/resilience"
 )
 
 // SessionFormatName identifies a session checkpoint file: one session
@@ -57,23 +59,66 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+
+	// Advertise is this node's address as cluster peers and clients
+	// should reach it (cluster mode; defaults to the bound address).
+	Advertise string
+	// Router, when set, makes this node part of a cluster: a session
+	// attach for a session this node does not own is refused with a
+	// NOT_OWNER redirect to the owner. Nil means standalone.
+	Router Router
+	// ReplicaDir, when set, is where follower replicas of other nodes'
+	// session checkpoints are stored (admin "replica" verb). An attach
+	// for a session this node owns but does not hold live is promoted
+	// from its replica, resuming from the replicated applied prefix.
+	ReplicaDir string
+	// CheckpointEvery, when positive, checkpoints each session every N
+	// applied actions — in addition to the shutdown checkpoint — so a
+	// node death loses at most the suffix past the last checkpoint
+	// (which the client re-streams idempotently).
+	CheckpointEvery int
+	// OnCheckpoint, when set, receives every durably written session
+	// checkpoint (id, applied count, serialized bytes). The cluster
+	// node mirrors the bytes to the session's follower nodes.
+	OnCheckpoint func(id string, applied uint64, data []byte)
+	// OnDrain, when set, is called when the admin drain verb arrives,
+	// before sessions are severed and checkpointed (the cluster node
+	// excludes itself from the ring and starts redirecting).
+	OnDrain func()
+	// Injector, when set, injects faults into checkpoint writes
+	// (resilience testing: torn writes via TruncateTraceBytes).
+	Injector *resilience.Injector
+}
+
+// Router decides which node owns a session (cluster mode). Route
+// returns the owner's advertised address and whether this node is the
+// owner.
+type Router interface {
+	Route(session string) (owner string, self bool)
 }
 
 // Server is a running detection service.
 type Server struct {
-	cfg Config
-	ln  net.Listener
-	wg  sync.WaitGroup
+	cfg      Config
+	ln       net.Listener
+	wg       sync.WaitGroup
+	draining atomic.Bool
 
-	mu       sync.Mutex
-	closing  bool
-	sessions map[string]*session
-	conns    map[net.Conn]struct{}
+	mu          sync.Mutex
+	closing     bool
+	sessions    map[string]*session
+	conns       map[net.Conn]struct{}
+	quarantined []Quarantined
 
 	connsTotal    *obs.Counter
 	sessionsTotal *obs.Counter
 	ckptsWritten  *obs.Counter
 	ckptsRestored *obs.Counter
+	ckptsQuarant  *obs.Counter
+	replicasHeld  *obs.Counter
+	promotions    *obs.Counter
+	adoptions     *obs.Counter
+	redirects     *obs.Counter
 }
 
 // session is one client session: a detection engine plus its progress
@@ -85,26 +130,65 @@ type session struct {
 	eng *core.Engine
 	tel *obs.Telemetry
 
-	attached bool // guarded by Server.mu: at most one connection at a time
+	attached bool     // guarded by Server.mu: at most one connection at a time
+	conn     net.Conn // guarded by Server.mu: the live connection while attached
 
 	applied atomic.Uint64 // actions applied; also the next global position
 	races   atomic.Uint64
 
-	qmu   sync.Mutex
-	queue chan item // live while attached (read by the queue-depth gauge)
+	qmu         sync.Mutex
+	queue       chan item // live while attached (read by the queue-depth gauge)
+	queueClosed bool      // set (under qmu) before the queue is closed
 }
 
 // item is one unit of session work: an event record or a control token.
 type item struct {
 	a      event.Action
-	ctl    string // "" for records
-	errMsg string // with ctl == "err"
+	ctl    string          // "" for records
+	errMsg string          // with ctl == "err"
+	ckpt   chan ckptResult // with ctl == ctlCkpt: reply channel
+}
+
+// ctlCkpt is an internal control item: the session worker checkpoints
+// the engine between batches and replies on the item's channel. It is
+// how a live session is checkpointed with zero verdicts lost.
+const ctlCkpt = "ckpt"
+
+// ckptResult is the session worker's reply to a ctlCkpt item.
+type ckptResult struct {
+	data    []byte
+	applied uint64
+	err     error
 }
 
 func (s *session) setQueue(q chan item) {
 	s.qmu.Lock()
 	s.queue = q
+	s.queueClosed = false
 	s.qmu.Unlock()
+}
+
+// markQueueClosed flags the queue as closing so concurrent tryEnqueue
+// calls stop using it; the caller closes the channel after this
+// returns.
+func (s *session) markQueueClosed() {
+	s.qmu.Lock()
+	s.queueClosed = true
+	s.qmu.Unlock()
+}
+
+// tryEnqueue delivers an item to the session worker if the session is
+// attached with a live queue. The send happens under qmu, which is safe
+// against close: the closer must take qmu to mark the queue closed
+// first, and the worker keeps draining until then.
+func (s *session) tryEnqueue(it item) bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.queue == nil || s.queueClosed {
+		return false
+	}
+	s.queue <- it
+	return true
 }
 
 func (s *session) queueDepth() int {
@@ -139,6 +223,11 @@ func New(addr string, cfg Config) (*Server, error) {
 		s.sessionsTotal = reg.Counter("goldilocksd_sessions_total")
 		s.ckptsWritten = reg.Counter("goldilocksd_checkpoints_written_total")
 		s.ckptsRestored = reg.Counter("goldilocksd_checkpoints_restored_total")
+		s.ckptsQuarant = reg.Counter("goldilocksd_checkpoints_quarantined_total")
+		s.replicasHeld = reg.Counter("goldilocksd_replicas_received_total")
+		s.promotions = reg.Counter("goldilocksd_sessions_promoted_total")
+		s.adoptions = reg.Counter("goldilocksd_sessions_adopted_total")
+		s.redirects = reg.Counter("goldilocksd_redirects_total")
 		reg.RegisterGaugeFunc("goldilocksd_sessions_active", func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -161,6 +250,9 @@ func New(addr string, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.ln = ln
+	if s.cfg.Advertise == "" {
+		s.cfg.Advertise = ln.Addr().String()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -207,23 +299,47 @@ func validSessionID(id string) bool {
 	return true
 }
 
+// notOwnerError is attach's refusal in cluster mode: the session hashes
+// to another node, whose advertised address the client should redial.
+type notOwnerError struct{ owner string }
+
+func (e *notOwnerError) Error() string {
+	if e.owner == "" {
+		return "not the session owner (owner unknown)"
+	}
+	return "not the session owner (owner " + e.owner + ")"
+}
+
 // attach finds or creates the session and claims it for this
 // connection. existed reports whether the session predates this attach
-// (the client must then resume from session.applied).
-func (s *Server) attach(id string) (sess *session, existed bool, err error) {
+// (the client must then resume from session.applied). In cluster mode
+// an attach for a session owned elsewhere fails with *notOwnerError,
+// and a session owned here but not held live is promoted from its
+// follower replica when one exists.
+func (s *Server) attach(id string, conn net.Conn) (sess *session, existed bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closing {
 		return nil, false, errors.New("server shutting down")
 	}
+	if r := s.cfg.Router; r != nil {
+		if owner, self := r.Route(id); !self {
+			return nil, false, &notOwnerError{owner: owner}
+		}
+	}
 	sess, existed = s.sessions[id]
 	if !existed {
-		sess = s.newSessionLocked(id)
+		if promoted := s.promoteReplicaLocked(id); promoted != nil {
+			sess, existed = promoted, true
+		} else {
+			sess = s.newSessionLocked(id)
+		}
 	}
 	if sess.attached {
 		return nil, false, fmt.Errorf("session %q already has a live connection", id)
 	}
 	sess.attached = true
+	sess.conn = conn
 	return sess, existed, nil
 }
 
@@ -263,9 +379,26 @@ func (s *Server) registerSessionMetrics(sess *session) {
 	})
 }
 
+// unregisterSessionMetrics drops a migrated-away session's gauges so
+// the scrape stops reporting state this node no longer holds.
+func (s *Server) unregisterSessionMetrics(id string) {
+	reg := s.cfg.Registry
+	if reg == nil {
+		return
+	}
+	label := fmt.Sprintf("{session=%q}", id)
+	for _, name := range []string{
+		"goldilocksd_session_applied_total", "goldilocksd_session_races_total",
+		"goldilocksd_session_queue_depth", "goldilocksd_session_list_len",
+	} {
+		reg.Unregister(name + label)
+	}
+}
+
 func (s *Server) detach(sess *session) {
 	s.mu.Lock()
 	sess.attached = false
+	sess.conn = nil
 	s.mu.Unlock()
 	sess.setQueue(nil)
 }
@@ -301,8 +434,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	var h hello
-	if err := json.Unmarshal(line, &h); err != nil || h.Proto != ProtoName {
+	if err := json.Unmarshal(line, &h); err != nil || (h.Proto != ProtoName && h.Proto != AdminProtoName) {
 		writeWelcome(welcome{Error: "not a " + ProtoName + " handshake"})
+		return
+	}
+	if h.Proto == AdminProtoName {
+		var req adminReq
+		if err := json.Unmarshal(line, &req); err != nil {
+			writeWelcome(welcome{Error: "bad admin request"})
+			return
+		}
+		s.handleAdmin(req, br, bw)
 		return
 	}
 	if h.Version != ProtoVersion {
@@ -313,8 +455,16 @@ func (s *Server) handleConn(conn net.Conn) {
 		writeWelcome(welcome{Error: "invalid session id (want [A-Za-z0-9._-]{1,64})"})
 		return
 	}
-	sess, existed, err := s.attach(h.Session)
+	sess, existed, err := s.attach(h.Session, conn)
 	if err != nil {
+		var noe *notOwnerError
+		if errors.As(err, &noe) {
+			if s.redirects != nil {
+				s.redirects.Inc()
+			}
+			writeWelcome(welcome{Error: err.Error(), NotOwner: true, Owner: noe.owner})
+			return
+		}
 		writeWelcome(welcome{Error: err.Error()})
 		return
 	}
@@ -339,13 +489,19 @@ func (s *Server) handleConn(conn net.Conn) {
 	workerDone := make(chan struct{})
 	go s.sessionWorker(sess, queue, bw, workerDone)
 
+	// closeQueue marks the queue closed (so admin tryEnqueue stops
+	// delivering) before closing the channel the worker drains.
+	closeQueue := func() {
+		sess.markQueueClosed()
+		close(queue)
+		<-workerDone
+	}
 	for {
 		line, err := readLine(br)
 		if err != nil {
 			// Connection dropped without a close control: the session
 			// stays resumable.
-			close(queue)
-			<-workerDone
+			closeQueue()
 			s.cfg.Logf("session %s: connection lost at %d applied", sess.id, sess.applied.Load())
 			return
 		}
@@ -357,22 +513,19 @@ func (s *Server) handleConn(conn net.Conn) {
 				continue
 			case ctlClose:
 				queue <- item{ctl: ctlClose}
-				close(queue)
-				<-workerDone
+				closeQueue()
 				s.cfg.Logf("session %s: closed at %d applied, %d races", sess.id, sess.applied.Load(), sess.races.Load())
 				return
 			default:
 				queue <- item{ctl: "err", errMsg: fmt.Sprintf("unknown control %q", ctl.Ctl)}
-				close(queue)
-				<-workerDone
+				closeQueue()
 				return
 			}
 		}
 		a, ok := event.DecodeRecord(line)
 		if !ok {
 			queue <- item{ctl: "err", errMsg: fmt.Sprintf("corrupt event record (checksum or syntax): %.120q", line)}
-			close(queue)
-			<-workerDone
+			closeQueue()
 			return
 		}
 		queue <- item{a: a}
@@ -406,12 +559,23 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 				}
 				send(serverMsg{Race: wr})
 			}
-			sess.applied.Add(1)
+			n := sess.applied.Add(1)
 			sinceFlush++
 			if sinceFlush >= s.cfg.Batch || len(queue) == 0 {
 				bw.Flush()
 				sinceFlush = 0
 			}
+			if every := s.cfg.CheckpointEvery; every > 0 && n%uint64(every) == 0 {
+				// The worker is the only goroutine touching the engine,
+				// so it is quiescent here: checkpoint, persist, and hand
+				// the bytes to the replication hook.
+				if err := s.checkpointAndReplicate(sess); err != nil {
+					s.cfg.Logf("session %s: periodic checkpoint: %v", sess.id, err)
+				}
+			}
+		case ctlCkpt:
+			data, err := sessionSnapshotBytes(sess)
+			it.ckpt <- ckptResult{data: data, applied: sess.applied.Load(), err: err}
 		case ctlFlush:
 			send(serverMsg{Ack: &wireAck{Applied: sess.applied.Load(), Races: sess.races.Load()}})
 			bw.Flush()
@@ -445,24 +609,9 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 // — persists every session so a future instance can resume them. The
 // returned error aggregates checkpoint failures.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closing {
-		s.mu.Unlock()
+	if !s.shutdownConns() {
 		return nil
 	}
-	s.closing = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-
-	s.ln.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-	s.wg.Wait() // all handlers and workers drained: sessions quiescent
-
 	if s.cfg.CheckpointDir == "" {
 		return nil
 	}
@@ -483,37 +632,80 @@ func (s *Server) Close() error {
 	return errors.Join(errs...)
 }
 
-// checkpointSession writes dir/<id>.ckpt atomically (temp + rename):
-// the session header line, then the engine snapshot.
-func (s *Server) checkpointSession(sess *session) error {
-	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
-		return err
-	}
+// sessionSnapshotBytes serializes a session checkpoint — the session
+// header line followed by the engine snapshot — into memory. The
+// engine must be quiescent (worker context, or a claimed detached
+// session).
+func sessionSnapshotBytes(sess *session) ([]byte, error) {
 	hdr, err := json.Marshal(sessionHeader{
 		Format: SessionFormatName, Version: SessionFormatVersion,
 		Session: sess.id, Applied: sess.applied.Load(), Races: sess.races.Load(),
 	})
 	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(append(hdr, '\n'))
+	if err := sess.eng.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeDurable writes dir/<name> atomically and durably: temp file,
+// fsync the data, rename, fsync the directory — a snapshot that
+// survives power loss, not just a process crash. The configured fault
+// injector can tear the data write (resilience testing).
+func (s *Server) writeDurable(dir, name string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	final := filepath.Join(s.cfg.CheckpointDir, sess.id+".ckpt")
-	tmp, err := os.CreateTemp(s.cfg.CheckpointDir, sess.id+".tmp*")
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(append(hdr, '\n')); err != nil {
+	w := s.cfg.Injector.WrapTraceWriter(tmp)
+	if _, err := w.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := sess.eng.Checkpoint(tmp); err != nil {
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// checkpointSession writes dir/<id>.ckpt atomically and durably.
+func (s *Server) checkpointSession(sess *session) error {
+	data, err := sessionSnapshotBytes(sess)
+	if err != nil {
+		return err
+	}
+	return s.persistCheckpoint(sess.id, data)
+}
+
+// persistCheckpoint durably writes a serialized session checkpoint to
+// the checkpoint directory.
+func (s *Server) persistCheckpoint(id string, data []byte) error {
+	if err := s.writeDurable(s.cfg.CheckpointDir, id+".ckpt", data); err != nil {
 		return err
 	}
 	if s.ckptsWritten != nil {
@@ -522,9 +714,80 @@ func (s *Server) checkpointSession(sess *session) error {
 	return nil
 }
 
+// checkpointAndReplicate snapshots a session, persists it when a
+// checkpoint directory is configured, and hands the bytes to the
+// replication hook. Called from the session worker (engine quiescent)
+// and from Drain.
+func (s *Server) checkpointAndReplicate(sess *session) error {
+	data, err := sessionSnapshotBytes(sess)
+	if err != nil {
+		return err
+	}
+	if s.cfg.CheckpointDir != "" {
+		if err := s.persistCheckpoint(sess.id, data); err != nil {
+			return err
+		}
+	}
+	if s.cfg.OnCheckpoint != nil {
+		s.cfg.OnCheckpoint(sess.id, sess.applied.Load(), data)
+	}
+	return nil
+}
+
+// Quarantined describes a checkpoint that could not be restored at
+// startup (or a replica that could not be promoted): the session is
+// set aside — file moved to the quarantine subdirectory, structured
+// report recorded — instead of aborting the daemon and taking every
+// healthy session down with it.
+type Quarantined struct {
+	Session string             `json:"session"`
+	Path    string             `json:"path"` // where the bad file was moved
+	Report  *resilience.Report `json:"report"`
+}
+
+// Quarantined returns the checkpoints set aside as corrupt, in the
+// order they were found.
+func (s *Server) Quarantined() []Quarantined {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Quarantined(nil), s.quarantined...)
+}
+
+// quarantineCheckpoint moves a bad checkpoint file into the quarantine
+// subdirectory beside it and records a structured report. Callers hold
+// no locks.
+func (s *Server) quarantineCheckpoint(path, sessionID string, cause error) {
+	qdir := filepath.Join(filepath.Dir(path), "quarantine")
+	dest := filepath.Join(qdir, filepath.Base(path))
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(path, dest); err != nil {
+			dest = path // leave it where it is; still quarantined in memory
+		}
+	} else {
+		dest = path
+	}
+	q := Quarantined{
+		Session: sessionID,
+		Path:    dest,
+		Report: &resilience.Report{
+			Kind:   resilience.Corruption,
+			Detail: fmt.Sprintf("session %s: checkpoint %s: %v", sessionID, filepath.Base(path), cause),
+		},
+	}
+	s.mu.Lock()
+	s.quarantined = append(s.quarantined, q)
+	s.mu.Unlock()
+	if s.ckptsQuarant != nil {
+		s.ckptsQuarant.Inc()
+	}
+	s.cfg.Logf("session %s: checkpoint quarantined to %s: %v", sessionID, dest, cause)
+}
+
 // restoreSessions loads every session checkpoint in the configured
-// directory. A corrupt checkpoint fails server startup: silently
-// restarting a session from nothing would produce divergent verdicts.
+// directory. A corrupt or torn checkpoint quarantines that one session
+// — the file is moved aside and a structured resilience report is
+// recorded — rather than aborting daemon startup: one bad snapshot
+// must not take every healthy session down with it.
 func (s *Server) restoreSessions() error {
 	entries, err := os.ReadDir(s.cfg.CheckpointDir)
 	if err != nil {
@@ -538,49 +801,58 @@ func (s *Server) restoreSessions() error {
 			continue
 		}
 		path := filepath.Join(s.cfg.CheckpointDir, e.Name())
-		if err := s.restoreSession(path); err != nil {
-			return fmt.Errorf("restoring %s: %w", path, err)
+		sess, err := loadSessionFile(path)
+		if err != nil {
+			s.quarantineCheckpoint(path, strings.TrimSuffix(e.Name(), ".ckpt"), err)
+			continue
 		}
+		s.mu.Lock()
+		s.sessions[sess.id] = sess
+		s.registerSessionMetrics(sess)
+		s.mu.Unlock()
+		if s.ckptsRestored != nil {
+			s.ckptsRestored.Inc()
+		}
+		s.cfg.Logf("session %s: restored at %d applied, %d races", sess.id, sess.applied.Load(), sess.races.Load())
 	}
 	return nil
 }
 
-func (s *Server) restoreSession(path string) error {
+// loadSessionFile reads one session checkpoint file into a detached
+// session. It takes no locks; the caller registers the session.
+func loadSessionFile(path string) (*session, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 64*1024)
+	return loadSession(bufio.NewReaderSize(f, 64*1024))
+}
+
+// loadSession decodes a session checkpoint (header line + engine
+// snapshot) from r.
+func loadSession(br *bufio.Reader) (*session, error) {
 	line, err := readLine(br)
 	if err != nil {
-		return fmt.Errorf("reading session header: %w", err)
+		return nil, fmt.Errorf("reading session header: %w", err)
 	}
 	var hdr sessionHeader
 	if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != SessionFormatName {
-		return fmt.Errorf("not a %s checkpoint", SessionFormatName)
+		return nil, fmt.Errorf("not a %s checkpoint", SessionFormatName)
 	}
 	if hdr.Version != SessionFormatVersion {
-		return fmt.Errorf("unsupported session checkpoint version %d", hdr.Version)
+		return nil, fmt.Errorf("unsupported session checkpoint version %d", hdr.Version)
 	}
 	if !validSessionID(hdr.Session) {
-		return fmt.Errorf("invalid session id %q", hdr.Session)
+		return nil, fmt.Errorf("invalid session id %q", hdr.Session)
 	}
 	tel := obs.NewTelemetry()
 	eng, err := core.RestoreEngine(br, core.RestoreAttach{Telemetry: tel})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sess := &session{id: hdr.Session, eng: eng, tel: tel}
 	sess.applied.Store(hdr.Applied)
 	sess.races.Store(hdr.Races)
-	s.mu.Lock()
-	s.sessions[hdr.Session] = sess
-	s.registerSessionMetrics(sess)
-	s.mu.Unlock()
-	if s.ckptsRestored != nil {
-		s.ckptsRestored.Inc()
-	}
-	s.cfg.Logf("session %s: restored at %d applied, %d races", sess.id, hdr.Applied, hdr.Races)
-	return nil
+	return sess, nil
 }

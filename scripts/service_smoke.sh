@@ -20,6 +20,11 @@ BIN="$WORK/bin"
 CKPT="$WORK/ckpt"
 DAEMON_PID=""
 
+# Per-step timeout guard: a hung daemon or client must fail the job in
+# bounded time, not eat the CI timeout. Usage: T <cmd...>
+STEP_TIMEOUT="${STEP_TIMEOUT:-120}"
+T() { timeout "$STEP_TIMEOUT" "$@"; }
+
 cleanup() {
     [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
     rm -rf "$WORK"
@@ -39,6 +44,16 @@ start_daemon() {
 
 stop_daemon() {
     kill -TERM "$DAEMON_PID"
+    # Bounded wait: a daemon that hangs in shutdown is a bug, not a
+    # reason for the job to hang with it.
+    for _ in $(seq 1 "$STEP_TIMEOUT"); do
+        kill -0 "$DAEMON_PID" 2>/dev/null || break
+        sleep 1
+    done
+    if kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -KILL "$DAEMON_PID" 2>/dev/null || true
+        echo "FAIL: daemon did not shut down within ${STEP_TIMEOUT}s"; cat "$WORK/daemon.log"; exit 1
+    fi
     rc=0
     wait "$DAEMON_PID" || rc=$?
     DAEMON_PID=""
@@ -58,8 +73,8 @@ go build -o "$BIN/goldilocks" ./cmd/goldilocks
 go build -o "$BIN/racereplay" ./cmd/racereplay
 
 echo "== record MJ scenario traces"
-"$BIN/goldilocks" -sched det -seed 4 -policy log -record "$WORK/racy.jsonl" examples/mj/racy.mj >/dev/null || [ $? -eq 1 ]
-"$BIN/goldilocks" -sched det -seed 1 -policy log -record "$WORK/txbank.jsonl" examples/mj/txbank.mj >/dev/null || [ $? -eq 1 ]
+T "$BIN/goldilocks" -sched det -seed 4 -policy log -record "$WORK/racy.jsonl" examples/mj/racy.mj >/dev/null || [ $? -eq 1 ]
+T "$BIN/goldilocks" -sched det -seed 1 -policy log -record "$WORK/txbank.jsonl" examples/mj/txbank.mj >/dev/null || [ $? -eq 1 ]
 
 start_daemon
 
@@ -68,9 +83,9 @@ for trace in internal/conformance/testdata/ce-*.jsonl "$WORK"/racy.jsonl "$WORK"
     name="$(basename "$trace" .jsonl)"
 
     set +e
-    "$BIN/racereplay" -detector goldilocks "$trace" >"$WORK/local.txt" 2>&1
+    T "$BIN/racereplay" -detector goldilocks "$trace" >"$WORK/local.txt" 2>&1
     local_rc=$?
-    "$BIN/racereplay" -remote "$ADDR" -session "parity-$name" "$trace" >"$WORK/remote.txt" 2>&1
+    T "$BIN/racereplay" -remote "$ADDR" -session "parity-$name" "$trace" >"$WORK/remote.txt" 2>&1
     remote_rc=$?
     set -e
 
@@ -89,13 +104,13 @@ done
 # completion, and require convergence with the uninterrupted verdicts.
 drill() {
     name="$1"; drill_trace="$2"
-    "$BIN/racereplay" -detector goldilocks "$drill_trace" >"$WORK/drill-local.txt" 2>&1 || true
+    T "$BIN/racereplay" -detector goldilocks "$drill_trace" >"$WORK/drill-local.txt" 2>&1 || true
     total_actions="$(sed -n 's/^trace: \([0-9][0-9]*\) actions.*/\1/p' "$WORK/drill-local.txt")"
     want_n="$(race_count "$WORK/drill-local.txt" goldilocks)"
     half=$((total_actions / 2))
     [ "$half" -ge 1 ] || { echo "FAIL: $name: drill trace too short ($total_actions actions)"; exit 1; }
 
-    "$BIN/racereplay" -remote "$ADDR" -session "$name" -stop-after "$half" "$drill_trace" \
+    T "$BIN/racereplay" -remote "$ADDR" -session "$name" -stop-after "$half" "$drill_trace" \
         >"$WORK/drill-partial.txt" 2>&1 || true
     grep -q "session $name resumable" "$WORK/drill-partial.txt" || {
         echo "FAIL: $name: partial replay did not detach resumably"; cat "$WORK/drill-partial.txt"; exit 1; }
@@ -107,7 +122,7 @@ drill() {
 
     start_daemon
     set +e
-    "$BIN/racereplay" -remote "$ADDR" -session "$name" "$drill_trace" >"$WORK/drill-resume.txt" 2>&1
+    T "$BIN/racereplay" -remote "$ADDR" -session "$name" "$drill_trace" >"$WORK/drill-resume.txt" 2>&1
     set -e
     grep -q "session $name resumed at action $half" "$WORK/drill-resume.txt" || {
         echo "FAIL: $name: session did not resume at action $half"; cat "$WORK/drill-resume.txt"; exit 1; }
@@ -127,7 +142,7 @@ drill drill "$WORK/racy.jsonl"
 drill drill-tx "$WORK/txbank.jsonl"
 
 echo "== per-session metrics"
-curl -sf "http://$METRICS/metrics" -o "$WORK/metrics.prom"
+T curl -sf "http://$METRICS/metrics" -o "$WORK/metrics.prom"
 grep -q 'goldilocksd_session_applied_total{session="drill"}' "$WORK/metrics.prom" || {
     echo "FAIL: no per-session metrics for the drill session"; exit 1; }
 grep -q 'goldilocksd_checkpoints_restored_total' "$WORK/metrics.prom" || {
