@@ -11,6 +11,7 @@
 //	racebench -figure 6             # Figure 6
 //	racebench -figure 7             # Figure 7
 //	racebench -scale [-scaleout F]  # GOMAXPROCS scalability sweep → JSON
+//	racebench -channels [-chanout F] # channels-vs-monitors ladder → JSON
 //	racebench -all [-full]          # everything
 //
 // Exit codes: 0 success, 2 usage error, 3 runtime failure.
@@ -38,6 +39,9 @@ func main() {
 		scale   = flag.Bool("scale", false, "GOMAXPROCS scalability sweep")
 		scaleMS = flag.Int("scalems", 200, "milliseconds per scale sweep point")
 		scaleTo = flag.String("scaleout", "BENCH_scale.json", "scale sweep JSON output path")
+		chans   = flag.Bool("channels", false, "channels-vs-monitors contention ladder")
+		chIters = flag.Int("chaniters", bench.DefaultChannelSweep().Iters, "critical sections per worker for -channels")
+		chTo    = flag.String("chanout", "BENCH_channels.json", "channel ladder JSON output path")
 		verbose = flag.Bool("v", false, "progress output")
 		metrics = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarks run (e.g. localhost:6060; insecure, bind to localhost)")
 	)
@@ -127,6 +131,24 @@ func main() {
 		}
 		fmt.Print(bench.FormatScale(rep))
 		fmt.Println("wrote", *scaleTo)
+	}
+	if *all || *chans {
+		ran = true
+		cfg := bench.DefaultChannelSweep()
+		cfg.Iters = *chIters
+		rep, err := bench.ChannelSweep(cfg, progress)
+		if err != nil {
+			fail(err)
+		}
+		data, err := bench.MarshalChannels(rep)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*chTo, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatChannels(rep))
+		fmt.Println("wrote", *chTo)
 	}
 	if !ran {
 		flag.Usage()

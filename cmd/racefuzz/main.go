@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	racefuzz [-n 1000] [-seed 1] [-corpus dir] [-shrink] [-mutants] [-check file ...]
+//	racefuzz [-n 1000] [-seed 1] [-channels 2] [-corpus dir] [-shrink] [-mutants] [-check file ...]
 //
 // Modes:
 //
@@ -56,16 +56,17 @@ func exitFor(failures int, err error) int {
 }
 
 type config struct {
-	n       int
-	seed    int64
-	steps   int
-	threads int
-	txnBias float64
-	shrink  bool
-	corpus  string
-	mutants bool
-	check   bool
-	files   []string
+	n        int
+	seed     int64
+	steps    int
+	threads  int
+	txnBias  float64
+	channels int
+	shrink   bool
+	corpus   string
+	mutants  bool
+	check    bool
+	files    []string
 }
 
 func main() {
@@ -75,6 +76,7 @@ func main() {
 	flag.IntVar(&cfg.steps, "steps", 0, "trace length (0: generator default)")
 	flag.IntVar(&cfg.threads, "threads", 0, "max threads per trace (0: generator default)")
 	flag.Float64Var(&cfg.txnBias, "txn-bias", -1, "transaction bias in [0,1] (-1: generator default)")
+	flag.IntVar(&cfg.channels, "channels", 2, "channel objects per trace (0: channel-free traces)")
 	flag.BoolVar(&cfg.shrink, "shrink", true, "minimize divergent traces with delta debugging")
 	flag.StringVar(&cfg.corpus, "corpus", "", "directory for counterexamples (write on failure, read with -check)")
 	flag.BoolVar(&cfg.mutants, "mutants", false, "mutation-test the harness against rule-dropped engines")
@@ -114,6 +116,9 @@ func genConfig(cfg config) tracegen.Config {
 	}
 	if cfg.txnBias >= 0 {
 		gc.TxnBias = cfg.txnBias
+	}
+	if cfg.channels > 0 {
+		gc.Channels = cfg.channels
 	}
 	return gc
 }

@@ -28,7 +28,7 @@ func TestExitFor(t *testing.T) {
 // checks the coverage report covers every rule row.
 func TestRunFuzzBatch(t *testing.T) {
 	var out strings.Builder
-	failures, err := run(config{n: 150, seed: 1, shrink: true}, &out)
+	failures, err := run(config{n: 150, seed: 1, shrink: true, channels: 2}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -140,6 +140,7 @@ var mjPrograms = []struct {
 	{"philosophers", 0},
 	{"txbank", 0},
 	{"handshake", 0},
+	{"pipeline", 0},
 	{"racy", 1},
 }
 

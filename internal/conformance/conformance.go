@@ -76,8 +76,8 @@ type Result struct {
 	Races int
 	// Threads is the number of distinct threads in the trace.
 	Threads int
-	// RuleFires are the Figure 5 rule-fire counts (indexed 1..9) of the
-	// spec engine on this trace.
+	// RuleFires are the Figure 5 rule-fire counts (indexed
+	// 1..obs.NumRules) of the spec engine on this trace.
 	RuleFires [obs.NumRules + 1]uint64
 }
 

@@ -10,13 +10,14 @@ import (
 
 // This file is the coverage-guided fuzzing loop. Coverage is semantic,
 // not branch-based: a trace's signature is which Figure 5 rules fired
-// (a 9-bit mask from the spec engine's telemetry), whether it raced,
-// how many races, and a thread-count bucket. Traces with a
-// never-seen signature join the corpus and become mutation parents;
-// generation is steered toward rules the batch has under-exercised by
-// biasing tracegen's synchronization-kind weights. The combination
-// drives the batch to cover all nine rules quickly — including rule 9
-// (commit), which uniform generation starves at low TxnBias.
+// (a 12-bit mask from the spec engine's telemetry, including the
+// channel rules 10–12), whether it raced, how many races, and a
+// thread-count bucket. Traces with a never-seen signature join the
+// corpus and become mutation parents; generation is steered toward
+// rules the batch has under-exercised by biasing tracegen's
+// synchronization-kind weights. The combination drives the batch to
+// cover all rules quickly — including rule 9 (commit), which uniform
+// generation starves at low TxnBias.
 
 // signature is the semantic coverage key of one trace execution.
 type signature struct {
@@ -61,10 +62,12 @@ type Fuzzer struct {
 }
 
 // NewFuzzer returns a fuzzer seeded deterministically. cfg bounds the
-// generated traces; a zero cfg gets tracegen.Default().
+// generated traces; a zero cfg gets tracegen.Default() plus two
+// channels, so a default batch covers the channel rules 10–12 too.
 func NewFuzzer(seed int64, cfg tracegen.Config) *Fuzzer {
 	if cfg.Steps == 0 {
 		cfg = tracegen.Default()
+		cfg.Channels = 2
 	}
 	return &Fuzzer{
 		rng:  rand.New(rand.NewSource(seed)),
@@ -108,20 +111,36 @@ func (f *Fuzzer) steerWeights() []float64 {
 	if f.Executed == 0 {
 		return nil
 	}
-	// tracegen sync kind -> Figure 5 rule exercised by that kind.
-	ruleOfKind := [tracegen.NumSyncKinds]int{
-		tracegen.SyncAcquire: obs.RuleAcquire,
-		tracegen.SyncRelease: obs.RuleRelease,
-		tracegen.SyncVWrite:  obs.RuleVolatileWrite,
-		tracegen.SyncVRead:   obs.RuleVolatileRead,
-		tracegen.SyncFork:    obs.RuleFork,
-		tracegen.SyncJoin:    obs.RuleJoin,
-		tracegen.SyncAlloc:   obs.RuleAlloc,
+	// tracegen sync kind -> Figure 5 rule exercised by that kind. A
+	// chmake fires no rule itself, but is the structural prerequisite of
+	// every channel op, so it rides on the least-covered channel rule.
+	// When the configuration generates no channels, the generator only
+	// consults the first NumSyncKinds entries and the channel weights
+	// are inert.
+	ruleOfKind := [tracegen.NumSyncKindsChan]int{
+		tracegen.SyncAcquire:   obs.RuleAcquire,
+		tracegen.SyncRelease:   obs.RuleRelease,
+		tracegen.SyncVWrite:    obs.RuleVolatileWrite,
+		tracegen.SyncVRead:     obs.RuleVolatileRead,
+		tracegen.SyncFork:      obs.RuleFork,
+		tracegen.SyncJoin:      obs.RuleJoin,
+		tracegen.SyncAlloc:     obs.RuleAlloc,
+		tracegen.SyncChanMake:  obs.RuleChanSend,
+		tracegen.SyncChanSend:  obs.RuleChanSend,
+		tracegen.SyncChanRecv:  obs.RuleChanRecv,
+		tracegen.SyncChanClose: obs.RuleChanClose,
 	}
-	w := make([]float64, tracegen.NumSyncKinds)
+	w := make([]float64, tracegen.NumSyncKindsChan)
 	for k, rule := range ruleOfKind {
 		w[k] = 1.0 / (1.0 + float64(f.RuleTraces[rule]))
 	}
+	least := f.RuleTraces[obs.RuleChanSend]
+	for _, r := range []int{obs.RuleChanRecv, obs.RuleChanClose} {
+		if f.RuleTraces[r] < least {
+			least = f.RuleTraces[r]
+		}
+	}
+	w[tracegen.SyncChanMake] = 1.0 / (1.0 + float64(least))
 	return w
 }
 

@@ -17,10 +17,13 @@ import (
 // detectors disagree — so machine time goes into semantic diversity,
 // not trace length.
 func FuzzConformanceMatrix(f *testing.F) {
-	f.Add(int64(1), uint8(60), uint8(4), uint8(3), uint8(51), uint8(128))
-	f.Add(int64(42), uint8(80), uint8(5), uint8(2), uint8(153), uint8(100))
-	f.Add(int64(7), uint8(30), uint8(2), uint8(1), uint8(0), uint8(200))
-	f.Fuzz(func(t *testing.T, seed int64, steps, threads, objects, txnBias, syncBias uint8) {
+	f.Add(int64(1), uint8(60), uint8(4), uint8(3), uint8(51), uint8(128), uint8(0))
+	f.Add(int64(42), uint8(80), uint8(5), uint8(2), uint8(153), uint8(100), uint8(0))
+	f.Add(int64(7), uint8(30), uint8(2), uint8(1), uint8(0), uint8(200), uint8(0))
+	f.Add(int64(11), uint8(70), uint8(4), uint8(2), uint8(51), uint8(160), uint8(2))
+	f.Add(int64(23), uint8(90), uint8(5), uint8(3), uint8(102), uint8(180), uint8(1))
+	f.Add(int64(5), uint8(50), uint8(3), uint8(2), uint8(0), uint8(220), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, steps, threads, objects, txnBias, syncBias, channels uint8) {
 		cfg := tracegen.Config{
 			Steps:      1 + int(steps)%120,
 			MaxThreads: 1 + int(threads)%6,
@@ -30,6 +33,7 @@ func FuzzConformanceMatrix(f *testing.F) {
 			Volatiles:  2,
 			TxnBias:    float64(txnBias) / 255,
 			SyncBias:   float64(syncBias) / 255,
+			Channels:   int(channels) % 4,
 		}
 		tr := tracegen.Generate(rand.New(rand.NewSource(seed)), cfg)
 		if d := Check(tr); d != nil {
@@ -38,13 +42,18 @@ func FuzzConformanceMatrix(f *testing.F) {
 	})
 }
 
-// FuzzMutatedTraces drives the trace mutator from fuzz-chosen seeds:
-// every mutation chain must stay valid and keep clearing the matrix.
+// FuzzMutatedTraces drives the trace mutator from fuzz-chosen seeds
+// (with and without channel operations in the parent trace): every
+// mutation chain must stay valid and keep clearing the matrix.
 func FuzzMutatedTraces(f *testing.F) {
-	f.Add(int64(1), int64(2), uint8(5))
-	f.Add(int64(9), int64(31), uint8(12))
-	f.Fuzz(func(t *testing.T, genSeed, mutSeed int64, rounds uint8) {
-		tr := tracegen.FromSeed(genSeed)
+	f.Add(int64(1), int64(2), uint8(5), uint8(0))
+	f.Add(int64(9), int64(31), uint8(12), uint8(0))
+	f.Add(int64(4), int64(17), uint8(9), uint8(2))
+	f.Add(int64(27), int64(8), uint8(14), uint8(1))
+	f.Fuzz(func(t *testing.T, genSeed, mutSeed int64, rounds, channels uint8) {
+		cfg := tracegen.Default()
+		cfg.Channels = int(channels) % 4
+		tr := tracegen.FromSeedConfig(genSeed, cfg)
 		rng := rand.New(rand.NewSource(mutSeed))
 		for i := 0; i < 1+int(rounds)%16; i++ {
 			tr = Mutate(rng, tr)

@@ -24,7 +24,7 @@ import (
 // allocates fresh addresses, so an alloc never has a lockset to reset.
 
 // MutantRules lists the Figure 5 rules whose single-rule removal the
-// harness must detect: rules 2–7 and 9.
+// harness must detect: rules 2–7, 9, and the channel rules 10–12.
 var MutantRules = []int{
 	obs.RuleRelease,
 	obs.RuleAcquire,
@@ -33,6 +33,9 @@ var MutantRules = []int{
 	obs.RuleFork,
 	obs.RuleJoin,
 	obs.RuleCommit,
+	obs.RuleChanSend,
+	obs.RuleChanRecv,
+	obs.RuleChanClose,
 }
 
 // MutantOptions returns the default engine configuration with rule
@@ -61,7 +64,7 @@ func mutantGenConfig(rule int) tracegen.Config {
 	cfg.Fields = 1
 	cfg.Locks = 1
 	cfg.Volatiles = 1
-	w := make([]float64, tracegen.NumSyncKinds)
+	w := make([]float64, tracegen.NumSyncKindsChan)
 	for i := range w {
 		w[i] = 1
 	}
@@ -81,6 +84,15 @@ func mutantGenConfig(rule int) tracegen.Config {
 		boost(tracegen.SyncFork, tracegen.SyncJoin)
 	case obs.RuleCommit:
 		cfg.TxnBias = 0.6
+	case obs.RuleChanSend, obs.RuleChanRecv:
+		// Witnessing a missing send/recv edge needs full rendezvous
+		// chains: make, sends and the recvs that acquire them.
+		cfg.Channels = 2
+		boost(tracegen.SyncChanMake, tracegen.SyncChanSend, tracegen.SyncChanRecv)
+	case obs.RuleChanClose:
+		// The close broadcast is only observed through a drain recv.
+		cfg.Channels = 2
+		boost(tracegen.SyncChanMake, tracegen.SyncChanClose, tracegen.SyncChanRecv)
 	}
 	cfg.SyncWeights = w
 	return cfg

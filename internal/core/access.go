@@ -499,6 +499,34 @@ func applyRuleCell(ls *Lockset, a event.Action, rs ruleSet, filtered bool, t1, t
 			if ls.Has(ThreadElem(a.Peer)) {
 				ls.Add(u)
 			}
+		case event.KindChanSend:
+			// Rule 10: the send acquires the slot's prior recv edge before
+			// releasing the message — acquire-then-release, in that order,
+			// so a send does not synchronize with itself through the slot.
+			ce := VolatileElem(a.Volatile())
+			if ls.Has(ce) {
+				ls.Add(u)
+			}
+			if ls.Has(u) {
+				ls.Add(ce)
+			}
+		case event.KindChanRecv:
+			// Rule 11: the dual of rule 10 on the same conveyor slot. A
+			// drain recv (normalized to the closed element) only acquires:
+			// it carries no message for a later send to synchronize with.
+			ce := VolatileElem(a.Volatile())
+			if ls.Has(ce) {
+				ls.Add(u)
+			}
+			if a.Field != event.ChanClosedField && ls.Has(u) {
+				ls.Add(ce)
+			}
+		case event.KindChanClose:
+			// Rule 12: close broadcasts a release onto the closed element;
+			// only drain recvs acquire from it.
+			if ls.Has(u) {
+				ls.Add(VolatileElem(a.Volatile()))
+			}
 		case event.KindCommit:
 			switch sem {
 			case event.TxnAtomicOrder:

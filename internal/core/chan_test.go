@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/hb"
+)
+
+// chanBackends returns fresh instances of every precise detector that
+// must agree on channel-bearing traces.
+func chanBackends() map[string]detect.Detector {
+	return map[string]detect.Detector{
+		"spec":        NewSpecEngine(),
+		"engine":      New(),
+		"vectorclock": hb.NewDetector(),
+	}
+}
+
+// runTrace feeds tr to d and returns whether any race was reported.
+func runTrace(t *testing.T, d detect.Detector, tr *event.Trace) bool {
+	t.Helper()
+	racy := false
+	for i := 0; i < tr.Len(); i++ {
+		if len(d.Step(tr.At(i))) > 0 {
+			racy = true
+		}
+	}
+	return racy
+}
+
+// chanTraceCases is the channel-semantics truth table every backend must
+// reproduce: the pair (trace, racy?) for each synchronization shape.
+var chanTraceCases = []struct {
+	name string
+	racy bool
+	tr   func() *event.Trace
+}{
+	{
+		// Unbuffered message transfer: send releases, recv acquires.
+		name: "unbuffered-transfer-orders",
+		racy: false,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 0).
+				Write(1, 20, 0).
+				ChanSend(1, 10).
+				ChanRecv(2, 10).
+				Write(2, 20, 0).
+				Trace()
+		},
+	},
+	{
+		// No channel op between the accesses: the race stays visible.
+		name: "no-sync-races",
+		racy: true,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 0).
+				Write(1, 20, 0).
+				Write(2, 20, 0).
+				ChanSend(1, 10).
+				ChanRecv(2, 10).
+				Trace()
+		},
+	},
+	{
+		// Buffered, capacity 2: send #0 pairs with recv #0 across the
+		// conveyor even with another message in between.
+		name: "buffered-fifo-pairing",
+		racy: false,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 2).
+				Write(1, 20, 0).
+				ChanSend(1, 10). // slot 0
+				ChanSend(1, 10). // slot 1
+				ChanRecv(2, 10). // slot 0: acquires the first send
+				Write(2, 20, 0).
+				Trace()
+		},
+	},
+	{
+		// Capacity conveyor back-edge: recv #0 happens-before send #W, so
+		// the receiver's write is ordered before the sender's later write.
+		name: "conveyor-back-edge",
+		racy: false,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 1).
+				ChanSend(1, 10). // slot 0 (#0)
+				Write(2, 20, 0).
+				ChanRecv(2, 10). // slot 0 (#0): releases room
+				ChanSend(1, 10). // slot 0 (#1): acquires the recv edge
+				Write(1, 20, 0).
+				Trace()
+		},
+	},
+	{
+		// Two sends into spare buffer capacity use different slots, so —
+		// exactly as in Go — concurrent senders do not synchronize with
+		// each other.
+		name: "concurrent-sends-race",
+		racy: true,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 2).
+				Write(1, 20, 0).
+				ChanSend(1, 10). // slot 0
+				ChanSend(2, 10). // slot 1: no edge from slot 0
+				Write(2, 20, 0).
+				Trace()
+		},
+	},
+	{
+		// Close is a broadcast release: a recv from the drained closed
+		// channel acquires it (still an HB edge, zero-value transfer).
+		name: "recv-from-closed-orders",
+		racy: false,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 0).
+				Write(1, 20, 0).
+				ChanClose(1, 10).
+				ChanRecv(2, 10). // drain: acquires the close broadcast
+				Write(2, 20, 0).
+				Trace()
+		},
+	},
+	{
+		// A drain recv releases nothing: a second thread draining later
+		// sees the close, not the first drainer's accesses.
+		name: "drain-recv-releases-nothing",
+		racy: true,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 0).
+				ChanClose(1, 10).
+				Write(2, 20, 0).
+				ChanRecv(2, 10). // drain by T2
+				ChanRecv(3, 10). // drain by T3: no edge from T2
+				Write(3, 20, 0).
+				Trace()
+		},
+	},
+	{
+		// The closed element carries the closer's history (including what
+		// it acquired from earlier recvs) but NOT what other senders did
+		// after their sends.
+		name: "close-carries-closer-history-only",
+		racy: true,
+		tr: func() *event.Trace {
+			return event.NewBuilder().
+				ChanMake(1, 10, 1).
+				ChanSend(2, 10).
+				Write(2, 20, 0). // after T2's send: the close never sees this
+				ChanRecv(1, 10).
+				ChanClose(1, 10).
+				ChanRecv(3, 10). // drain
+				Write(3, 20, 0).
+				Trace()
+		},
+	},
+}
+
+// TestChanSemanticsMatrix pins the channel happens-before truth table on
+// every precise backend and on the extended-HB oracle.
+func TestChanSemanticsMatrix(t *testing.T) {
+	for _, tc := range chanTraceCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tc.tr()
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trace invalid: %v", err)
+			}
+			for name, d := range chanBackends() {
+				if got := runTrace(t, d, tr); got != tc.racy {
+					t.Errorf("%s: racy = %v, want %v", name, got, tc.racy)
+				}
+			}
+			o := hb.NewOracle(tr)
+			if _, got := o.FirstRacePos(); got != tc.racy {
+				t.Errorf("oracle: racy = %v, want %v", got, tc.racy)
+			}
+		})
+	}
+}
+
+// TestChanInvalidOps pins the validity rules: operations that could not
+// have completed in a real execution are rejected by Trace.Validate.
+func TestChanInvalidOps(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *event.Trace
+	}{
+		{"send-unmade", event.NewBuilder().ChanSend(1, 10).Trace()},
+		{"recv-unmade", event.NewBuilder().ChanRecv(1, 10).Trace()},
+		{"close-unmade", event.NewBuilder().ChanClose(1, 10).Trace()},
+		{"double-make", event.NewBuilder().ChanMake(1, 10, 0).ChanMake(1, 10, 0).Trace()},
+		{"send-closed", event.NewBuilder().ChanMake(1, 10, 1).ChanClose(1, 10).ChanSend(1, 10).Trace()},
+		{"double-close", event.NewBuilder().ChanMake(1, 10, 0).ChanClose(1, 10).ChanClose(1, 10).Trace()},
+		{"recv-empty-open", event.NewBuilder().ChanMake(1, 10, 1).ChanRecv(1, 10).Trace()},
+		{"send-overflow", event.NewBuilder().ChanMake(1, 10, 1).ChanSend(1, 10).ChanSend(2, 10).Trace()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.tr.Validate(); err == nil {
+				t.Fatalf("Validate accepted an impossible channel linearization")
+			}
+		})
+	}
+}
+
+// TestEngineDropsInvalidChanOps pins the production engine's tolerance:
+// an invalid channel op is dropped (no enqueue, no panic), costing at
+// most a synchronization edge.
+func TestEngineDropsInvalidChanOps(t *testing.T) {
+	e := New()
+	e.Sync(event.ChanSend(1, 10)) // never made: dropped
+	if n := e.ListLen(); n != 0 {
+		t.Fatalf("invalid send was enqueued (list len %d)", n)
+	}
+	e.Sync(event.ChanMake(1, 10, 0))
+	e.Sync(event.ChanSend(1, 10))
+	if n := e.ListLen(); n != 2 {
+		t.Fatalf("valid chmake+send should enqueue 2 cells, got %d", n)
+	}
+}

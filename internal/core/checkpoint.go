@@ -108,6 +108,16 @@ type ckptThread struct {
 	Depth []int        `json:"depth,omitempty"` // reentrancy count per stack entry
 }
 
+// ckptChan is one channel's conveyor state (the ChanTracker entry).
+// Absent from pre-channel snapshots, so version 1 stays readable.
+type ckptChan struct {
+	Obj    event.Addr `json:"o"`
+	Cap    int32      `json:"cap,omitempty"`
+	Sends  uint64     `json:"sends,omitempty"`
+	Recvs  uint64     `json:"recvs,omitempty"`
+	Closed bool       `json:"closed,omitempty"`
+}
+
 type ckptList struct {
 	HeadSeq   uint64            `json:"head_seq"`
 	Actions   []json.RawMessage `json:"actions"` // filled cells, head to tail
@@ -146,6 +156,7 @@ type ckptPayload struct {
 	Opts     ckptOptions  `json:"opts"`
 	List     ckptList     `json:"list"`
 	Threads  []ckptThread `json:"threads,omitempty"` // sorted by tid
+	Chans    []ckptChan   `json:"chans,omitempty"`   // sorted by obj
 	Vars     []ckptVar    `json:"vars,omitempty"`    // sorted by (obj, field)
 	Counters ckptCounters `json:"counters"`
 	// Telemetry counters, present when the checkpointed engine had
@@ -235,6 +246,14 @@ func (e *Engine) snapshot() (*ckptPayload, error) {
 		return true
 	})
 	sort.Slice(p.Threads, func(i, j int) bool { return p.Threads[i].Tid < p.Threads[j].Tid })
+
+	// Channel conveyor state.
+	e.chanMu.Lock()
+	for c, cs := range e.chans.Snapshot() {
+		p.Chans = append(p.Chans, ckptChan{Obj: c, Cap: cs.Cap, Sends: cs.Sends, Recvs: cs.Recvs, Closed: cs.Closed})
+	}
+	e.chanMu.Unlock()
+	sort.Slice(p.Chans, func(i, j int) bool { return p.Chans[i].Obj < p.Chans[j].Obj })
 
 	// Variable table: every tracked state, including info-less ones
 	// (quarantined or alloc-reset variables still occupy a table slot,
@@ -439,6 +458,15 @@ func restore(p *ckptPayload, attach RestoreAttach) (*Engine, error) {
 		tl.publishLocked()
 		tl.mu.Unlock()
 		e.locks.Store(ct.Tid, tl)
+	}
+
+	// Channel conveyor state.
+	if len(p.Chans) > 0 {
+		snap := make(map[event.Addr]event.ChanState, len(p.Chans))
+		for _, cc := range p.Chans {
+			snap[cc.Obj] = event.ChanState{Cap: cc.Cap, Sends: cc.Sends, Recvs: cc.Recvs, Closed: cc.Closed}
+		}
+		e.chans.Restore(snap)
 	}
 
 	// Variable table.

@@ -79,10 +79,11 @@ type Options struct {
 	// verdicts must not depend on it, which the conformance matrix
 	// checks by running every trace at 1 shard and at the default.
 	VarShards int
-	// BrokenRule, when 1..9, disables that Figure 5 lockset update rule
-	// in this engine — an intentionally unsound configuration that MUST
-	// diverge from SpecEngine on some trace. It exists solely for the
-	// conformance mutation tests (internal/conformance), which prove the
+	// BrokenRule, when 1..12, disables that lockset update rule (the
+	// nine Figure 5 rules plus the channel rules 10–12) in this engine —
+	// an intentionally unsound configuration that MUST diverge from
+	// SpecEngine on some trace. It exists solely for the conformance
+	// mutation tests (internal/conformance), which prove the
 	// differential matrix catches rule-level bugs by injecting one and
 	// watching the fuzzer find and shrink a counterexample. Rule 1 (the
 	// access reset) and rule 8 (alloc) are not droppable: rule 1 is the
@@ -334,6 +335,17 @@ type Engine struct {
 
 	locks sync.Map // event.Tid -> *threadLocks
 
+	// chans normalizes channel operations to their conveyor-slot/closed
+	// synchronization elements. chanMu is held across Normalize plus the
+	// list enqueue so slot assignment order and extended-synchronization
+	// order agree: the k-th send in the event list is the k-th send the
+	// tracker saw. Normalization happens even in degraded mode (the list
+	// is frozen but the conveyor must keep counting), and an operation
+	// the tracker rejects — impossible in a valid linearization — is
+	// dropped rather than crashing the monitored program.
+	chanMu sync.Mutex
+	chans  *event.ChanTracker
+
 	gcMu sync.Mutex // at most one collection at a time
 
 	// stats is striped by variable shard; Stats() sums the stripes.
@@ -369,6 +381,7 @@ func NewEngine(opts Options) *Engine {
 		opts:      opts,
 		list:      newSyncList(),
 		tel:       opts.Telemetry,
+		chans:     event.NewChanTracker(),
 		varShards: make([]varShard, nshards),
 		shardMask: uint64(nshards - 1),
 	}
@@ -454,8 +467,12 @@ func (e *Engine) Step(a event.Action) []detect.Race {
 }
 
 // Sync records a synchronization action (acquire, release, volatile
-// read/write, fork, join) in the event list.
+// read/write, fork, join, channel operation) in the event list.
 func (e *Engine) Sync(a event.Action) {
+	if a.Kind.IsChan() {
+		e.syncChan(a)
+		return
+	}
 	if e.tel != nil {
 		// One rule fire per synchronization action (rules 2–7, and 9 for
 		// the commit enqueued by Commit), counted at the event level so
@@ -497,6 +514,39 @@ func (e *Engine) Sync(a event.Action) {
 		return
 	}
 	n := e.list.enqueue(a)
+	if e.opts.GCThreshold > 0 && n > e.opts.GCThreshold {
+		e.Collect()
+	}
+	if e.opts.MemoryBudget > 0 && n+e.opts.Injector.Pressure() > e.opts.MemoryBudget {
+		e.govern()
+	}
+}
+
+// syncChan records a channel operation: the tracker rewrites it to the
+// conveyor-slot (or closed) element it synchronizes on, and the
+// normalized action enters the event list. chanMu spans both steps so
+// tracker order and list order agree (the slot a send gets is decided
+// by its position in the extended synchronization order). An operation
+// the tracker rejects could not have completed in any real execution;
+// the production engine drops it — losing at most a synchronization
+// edge, a false-positive-only degradation — instead of crashing.
+func (e *Engine) syncChan(a event.Action) {
+	e.chanMu.Lock()
+	defer e.chanMu.Unlock()
+	na, err := e.chans.Normalize(a)
+	if err != nil {
+		return
+	}
+	if e.tel != nil {
+		e.tel.FireKind(na.Kind)
+	}
+	if e.degraded.Load() {
+		// Rung 3: the list is frozen but the conveyor kept counting above,
+		// so slot assignment stays consistent if the governor ever matters
+		// for replay.
+		return
+	}
+	n := e.list.enqueue(na)
 	if e.opts.GCThreshold > 0 && n > e.opts.GCThreshold {
 		e.Collect()
 	}

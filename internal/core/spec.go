@@ -6,6 +6,7 @@ import (
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
 	"goldilocks/internal/obs"
+	"goldilocks/internal/report"
 )
 
 // SpecEngine is the executable specification of the generalized
@@ -27,6 +28,14 @@ type SpecEngine struct {
 	sem    event.TxnSemantics
 	writes map[event.Variable]*Lockset
 	reads  map[event.Variable]map[event.Tid]*Lockset
+
+	// chans normalizes channel operations to the conveyor-slot or closed
+	// synchronization elements they transfer locksets through. A channel
+	// operation that could not have completed (send on a closed channel,
+	// recv with nothing in flight) is a malformed linearization: the spec
+	// engine panics with a structured corruption report rather than guess
+	// at semantics.
+	chans *event.ChanTracker
 
 	// log records every processed synchronization action (the spec
 	// engine's equivalent of the optimized engine's event list), and
@@ -70,6 +79,7 @@ func NewSpecEngineSem(sem event.TxnSemantics) *SpecEngine {
 		sem:      sem,
 		writes:   make(map[event.Variable]*Lockset),
 		reads:    make(map[event.Variable]map[event.Tid]*Lockset),
+		chans:    event.NewChanTracker(),
 		writesAt: make(map[event.Variable]*specAccess),
 		readsAt:  make(map[event.Variable]map[event.Tid]*specAccess),
 	}
@@ -112,6 +122,14 @@ func (s *SpecEngine) Step(a event.Action) []detect.Race {
 	var races []detect.Race
 	t := a.Thread
 	te := ThreadElem(t)
+
+	if a.Kind.IsChan() {
+		na, err := s.chans.Normalize(a)
+		if err != nil {
+			panic(&report.Report{Kind: report.Corruption, Detail: "spec engine: malformed linearization: " + err.Error()})
+		}
+		a = na
+	}
 
 	if s.tel != nil {
 		// Event-level rule fires, matching the optimized engine: rule 1
@@ -170,6 +188,42 @@ func (s *SpecEngine) Step(a event.Action) []detect.Race {
 		s.forEach(func(ls *Lockset) {
 			if ls.Has(ue) {
 				ls.Add(te)
+			}
+		})
+	case event.KindChanMake:
+		// No rule fires: chmake only registers the channel in the tracker
+		// (already done by the Normalize above).
+	case event.KindChanSend:
+		// Rule 10: acquire the slot's prior recv edge, then release the
+		// message onto the slot — in that order, per lockset.
+		ce := VolatileElem(a.Volatile())
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(ce) {
+				ls.Add(te)
+			}
+			if ls.Has(te) {
+				ls.Add(ce)
+			}
+		})
+	case event.KindChanRecv:
+		// Rule 11: the dual of rule 10; a drain recv from a closed channel
+		// (normalized to the closed element) only acquires.
+		ce := VolatileElem(a.Volatile())
+		drain := a.Field == event.ChanClosedField
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(ce) {
+				ls.Add(te)
+			}
+			if !drain && ls.Has(te) {
+				ls.Add(ce)
+			}
+		})
+	case event.KindChanClose:
+		// Rule 12: broadcast release onto the channel's closed element.
+		ce := VolatileElem(a.Volatile())
+		s.forEach(func(ls *Lockset) {
+			if ls.Has(te) {
+				ls.Add(ce)
 			}
 		})
 	case event.KindAlloc:

@@ -33,6 +33,17 @@ const (
 // txnLock is the fictitious lock "held" during transactional accesses.
 const txnLock event.Addr = -1
 
+// chanLock maps channel c to the fictitious lock Eraser pretends the
+// channel is. A lockset-discipline checker has no notion of message
+// passing; the classical approximation models the mutex-via-channel
+// idiom (recv the token, touch the data, send it back): a recv acquires
+// the channel's pseudo-lock and a send or close releases it, so data
+// accessed only while holding the token appears consistently protected.
+// True handoff pipelines still false-alarm — exactly Eraser's
+// documented imprecision. The offset keeps the pseudo-lock address
+// space (-2 and below) disjoint from txnLock.
+func chanLock(c event.Addr) event.Addr { return -(c + 2) }
+
 type varState struct {
 	st    state
 	owner event.Tid
@@ -91,6 +102,12 @@ func (d *Detector) Step(a event.Action) []detect.Race {
 	case event.KindRelease:
 		if m := d.locksHeld(a.Thread); m[a.Obj] > 0 {
 			m[a.Obj]--
+		}
+	case event.KindChanRecv:
+		d.locksHeld(a.Thread)[chanLock(a.Obj)]++
+	case event.KindChanSend, event.KindChanClose:
+		if m := d.locksHeld(a.Thread); m[chanLock(a.Obj)] > 0 {
+			m[chanLock(a.Obj)]--
 		}
 	case event.KindAlloc:
 		for v := range d.vars {

@@ -1,0 +1,149 @@
+package event
+
+import "fmt"
+
+// ChanTracker assigns every channel operation the synchronization
+// variable it transfers locksets through, and rejects operations that
+// could not have completed in a real execution. It is the one
+// implementation of channel semantics shared by trace validation
+// (Trace.Validate, the streaming Validator) and by every detector
+// backend, so all of them agree on which volatile element a given
+// send/recv synchronizes on.
+//
+// The model is a capacity conveyor. A channel with declared capacity C
+// has effective width W = max(C, 1); the k-th completed send and the
+// k-th completed recv (counting from 0, in linearization order — FIFO
+// pairing) both synchronize on slot k mod W, a reserved volatile field
+// of the channel object (ChanSlotField). Because consecutive uses of a
+// slot are W messages apart, the slot chain encodes exactly Go's
+// buffered-channel guarantees: send #k happens-before recv #k, and
+// recv #k happens-before send #(k+W). close(c) releases onto the
+// distinguished ChanClosedField element; a recv from a drained closed
+// channel acquires from it (close as broadcast release) and transfers
+// no message. For unbuffered channels this drops only the reverse
+// rendezvous edge (recv happens-before the sender's continuation),
+// a deliberate approximation documented in docs/ALGORITHM.md.
+//
+// Validity (linearizations record completions, so a "blocked forever"
+// operation never appears):
+//
+//   - chmake: channel not already made; 0 <= cap <= ChanMaxCap.
+//   - send:   channel made, not closed, and fewer than W messages in
+//     flight (a completed send implies buffer room, or a rendezvous
+//     partner for W = 1).
+//   - recv:   channel made, and either a message is in flight or the
+//     channel is closed (the drain case).
+//   - close:  channel made and not already closed.
+type ChanTracker struct {
+	chans map[Addr]*ChanState
+}
+
+// ChanState is the tracked state of one channel. Exported so engine
+// checkpoints can serialize and restore tracker state verbatim.
+type ChanState struct {
+	Cap    int32  // declared capacity
+	Sends  uint64 // completed message sends
+	Recvs  uint64 // completed message receives (drain recvs excluded)
+	Closed bool
+}
+
+// width is the effective conveyor width max(Cap, 1).
+func (s *ChanState) width() uint64 {
+	if s.Cap > 0 {
+		return uint64(s.Cap)
+	}
+	return 1
+}
+
+// NewChanTracker returns an empty tracker.
+func NewChanTracker() *ChanTracker { return &ChanTracker{chans: make(map[Addr]*ChanState)} }
+
+// Normalize checks a for validity and, for channel operations, rewrites
+// its Field to the synchronization variable the operation transfers
+// locksets through: the conveyor slot for message sends/recvs, the
+// closed element for close and drained recvs. Non-channel actions are
+// returned unchanged. The tracker advances only on success; an error
+// leaves its state untouched.
+func (ct *ChanTracker) Normalize(a Action) (Action, error) {
+	switch a.Kind {
+	case KindChanMake:
+		capacity := int32(a.Field)
+		if capacity < 0 || capacity > ChanMaxCap {
+			return a, fmt.Errorf("chmake(%v): capacity %d out of range [0, %d]", a.Obj, capacity, int64(ChanMaxCap))
+		}
+		if _, dup := ct.chans[a.Obj]; dup {
+			return a, fmt.Errorf("chmake(%v): channel already made", a.Obj)
+		}
+		ct.chans[a.Obj] = &ChanState{Cap: capacity}
+		return a, nil
+	case KindChanSend:
+		s, ok := ct.chans[a.Obj]
+		if !ok {
+			return a, fmt.Errorf("send(%v): channel not made", a.Obj)
+		}
+		if s.Closed {
+			return a, fmt.Errorf("send(%v): channel closed", a.Obj)
+		}
+		if s.Sends-s.Recvs >= s.width() {
+			return a, fmt.Errorf("send(%v): %d messages in flight exceeds capacity %d", a.Obj, s.Sends-s.Recvs, s.width())
+		}
+		a.Field = ChanSlotField(int32(s.Sends % s.width()))
+		s.Sends++
+		return a, nil
+	case KindChanRecv:
+		s, ok := ct.chans[a.Obj]
+		if !ok {
+			return a, fmt.Errorf("recv(%v): channel not made", a.Obj)
+		}
+		if s.Sends == s.Recvs {
+			if !s.Closed {
+				return a, fmt.Errorf("recv(%v): no message in flight and channel open", a.Obj)
+			}
+			// Drained closed channel: the recv acquires from the close's
+			// broadcast release and transfers no message.
+			a.Field = ChanClosedField
+			return a, nil
+		}
+		a.Field = ChanSlotField(int32(s.Recvs % s.width()))
+		s.Recvs++
+		return a, nil
+	case KindChanClose:
+		s, ok := ct.chans[a.Obj]
+		if !ok {
+			return a, fmt.Errorf("close(%v): channel not made", a.Obj)
+		}
+		if s.Closed {
+			return a, fmt.Errorf("close(%v): channel already closed", a.Obj)
+		}
+		s.Closed = true
+		a.Field = ChanClosedField
+		return a, nil
+	}
+	return a, nil
+}
+
+// State returns the tracked state of channel c, or nil if c was never
+// made (read-only view for tests and checkpointing).
+func (ct *ChanTracker) State(c Addr) *ChanState { return ct.chans[c] }
+
+// Snapshot returns a deep copy of the per-channel state keyed by
+// channel address, for engine checkpoints.
+func (ct *ChanTracker) Snapshot() map[Addr]ChanState {
+	if len(ct.chans) == 0 {
+		return nil
+	}
+	out := make(map[Addr]ChanState, len(ct.chans))
+	for c, s := range ct.chans {
+		out[c] = *s
+	}
+	return out
+}
+
+// Restore replaces the tracker's state with the snapshot.
+func (ct *ChanTracker) Restore(snap map[Addr]ChanState) {
+	ct.chans = make(map[Addr]*ChanState, len(snap))
+	for c, s := range snap {
+		cp := s
+		ct.chans[c] = &cp
+	}
+}

@@ -57,8 +57,13 @@ type Volatile struct {
 }
 
 func (v Volatile) String() string {
-	if v.Field == LockField {
+	switch {
+	case v.Field == LockField:
 		return fmt.Sprintf("%v.lock", v.Obj)
+	case v.Field == ChanClosedField:
+		return fmt.Sprintf("%v.closed", v.Obj)
+	case v.Field <= chanSlotBase:
+		return fmt.Sprintf("%v.ch[%d]", v.Obj, int32(chanSlotBase-v.Field))
 	}
 	return fmt.Sprintf("%v.v%d", v.Obj, int32(v.Field))
 }
@@ -67,6 +72,27 @@ func (v Volatile) String() string {
 // monitor locks (Section 3: "we use a special field l in Volatile ...
 // to model the semantics of an object lock").
 const LockField FieldID = -1
+
+// ChanClosedField is the distinguished volatile field modeling the
+// closed flag of a channel object: close(c) releases onto it and every
+// receive from a drained closed channel acquires from it (close as a
+// broadcast release).
+const ChanClosedField FieldID = -2
+
+// chanSlotBase anchors the reserved range of channel conveyor-slot
+// fields: slot s is field chanSlotBase - s. The negative range keeps
+// channel synchronization variables disjoint from real volatile fields
+// (>= 0) and the lock/closed sentinels without widening Volatile.
+const chanSlotBase FieldID = -16
+
+// ChanSlotField returns the volatile field modeling conveyor slot s of
+// a channel (s in [0, cap) for buffered channels, always 0 for
+// unbuffered ones).
+func ChanSlotField(s int32) FieldID { return chanSlotBase - FieldID(s) }
+
+// ChanMaxCap bounds declared channel capacities, keeping the slot-field
+// encoding (and per-slot detector state) well inside the FieldID range.
+const ChanMaxCap = 1 << 20
 
 // Lock returns the synchronization variable modeling the monitor of o.
 func Lock(o Addr) Volatile { return Volatile{Obj: o, Field: LockField} }
@@ -93,6 +119,15 @@ const (
 
 	// Allocation.
 	KindAlloc // alloc(o)
+
+	// Channel synchronization (CSP vocabulary). A channel is a heap
+	// object whose send/recv/close actions induce happens-before edges
+	// through reserved volatile fields of the channel object (conveyor
+	// slots and the closed flag); see ChanTracker.
+	KindChanMake  // chmake(c, cap) — Field carries the declared capacity
+	KindChanSend  // send(c)
+	KindChanRecv  // recv(c)
+	KindChanClose // close(c)
 )
 
 var kindNames = [...]string{
@@ -107,6 +142,10 @@ var kindNames = [...]string{
 	KindJoin:          "join",
 	KindCommit:        "commit",
 	KindAlloc:         "alloc",
+	KindChanMake:      "chmake",
+	KindChanSend:      "send",
+	KindChanRecv:      "recv",
+	KindChanClose:     "close",
 }
 
 func (k Kind) String() string {
@@ -122,7 +161,17 @@ func (k Kind) String() string {
 func (k Kind) IsSync() bool {
 	switch k {
 	case KindAcquire, KindRelease, KindVolatileRead, KindVolatileWrite,
-		KindFork, KindJoin, KindCommit:
+		KindFork, KindJoin, KindCommit,
+		KindChanMake, KindChanSend, KindChanRecv, KindChanClose:
+		return true
+	}
+	return false
+}
+
+// IsChan reports whether k is a channel operation kind.
+func (k Kind) IsChan() bool {
+	switch k {
+	case KindChanMake, KindChanSend, KindChanRecv, KindChanClose:
 		return true
 	}
 	return false
@@ -169,6 +218,10 @@ func (a Action) Volatile() Volatile {
 		return Volatile{Obj: a.Obj, Field: a.Field}
 	case KindAcquire, KindRelease:
 		return Lock(a.Obj)
+	case KindChanSend, KindChanRecv, KindChanClose:
+		// Meaningful only after ChanTracker.Normalize assigned the slot
+		// (or closed) field the operation synchronizes through.
+		return Volatile{Obj: a.Obj, Field: a.Field}
 	}
 	panic(fmt.Sprintf("event: Volatile called on %v action", a.Kind))
 }
@@ -221,6 +274,10 @@ func (a Action) String() string {
 		return fmt.Sprintf("%v:%v(%v)", a.Thread, a.Kind, a.Volatile())
 	case KindFork, KindJoin:
 		return fmt.Sprintf("%v:%v(%v)", a.Thread, a.Kind, a.Peer)
+	case KindChanMake:
+		return fmt.Sprintf("%v:chmake(%v, cap=%d)", a.Thread, a.Obj, int32(a.Field))
+	case KindChanSend, KindChanRecv, KindChanClose:
+		return fmt.Sprintf("%v:%v(%v)", a.Thread, a.Kind, a.Obj)
 	case KindCommit:
 		return fmt.Sprintf("%v:commit(R=%s, W=%s)", a.Thread, varSetString(a.Reads), varSetString(a.Writes))
 	}
@@ -282,4 +339,29 @@ func Alloc(t Tid, o Addr) Action { return Action{Kind: KindAlloc, Thread: t, Obj
 // retained, not copied.
 func Commit(t Tid, reads, writes []Variable) Action {
 	return Action{Kind: KindCommit, Thread: t, Reads: reads, Writes: writes}
+}
+
+// ChanMake constructs a chmake(c, cap) action by thread t: channel
+// object c comes into existence with the given buffer capacity (0 for
+// unbuffered). The capacity rides in the Field slot.
+func ChanMake(t Tid, c Addr, capacity int32) Action {
+	return Action{Kind: KindChanMake, Thread: t, Obj: c, Field: FieldID(capacity)}
+}
+
+// ChanSend constructs a send(c) action by thread t. The synchronizing
+// slot field is assigned later by ChanTracker.Normalize.
+func ChanSend(t Tid, c Addr) Action {
+	return Action{Kind: KindChanSend, Thread: t, Obj: c}
+}
+
+// ChanRecv constructs a recv(c) action by thread t. The synchronizing
+// slot (or closed-drain) field is assigned later by
+// ChanTracker.Normalize.
+func ChanRecv(t Tid, c Addr) Action {
+	return Action{Kind: KindChanRecv, Thread: t, Obj: c}
+}
+
+// ChanClose constructs a close(c) action by thread t.
+func ChanClose(t Tid, c Addr) Action {
+	return Action{Kind: KindChanClose, Thread: t, Obj: c}
 }

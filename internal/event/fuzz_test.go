@@ -2,8 +2,11 @@ package event
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"goldilocks/internal/report"
 )
 
 // sampleStream serializes a small valid trace in the streaming format,
@@ -21,6 +24,28 @@ func sampleStream(tb testing.TB) []byte {
 		VolatileRead(2, 1, 0).
 		Commit(2, []Variable{{Obj: 10, Field: 1}}, []Variable{{Obj: 11, Field: 0}}).
 		Alloc(1, 42).
+		ChanMake(1, 30, 1).
+		ChanSend(1, 30).
+		ChanRecv(2, 30).
+		ChanClose(1, 30).
+		Join(1, 2).
+		Trace()
+	var buf bytes.Buffer
+	if err := WriteTraceStream(&buf, tr); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// preChannelStream serializes a trace using only version-1 kinds, the
+// shape of every corpus recorded before the channel vocabulary existed.
+func preChannelStream(tb testing.TB) []byte {
+	tr := NewBuilder().
+		Fork(1, 2).
+		Acquire(1, 7).
+		Write(1, 10, 0).
+		Release(1, 7).
+		Read(2, 10, 0).
 		Join(1, 2).
 		Trace()
 	var buf bytes.Buffer
@@ -42,10 +67,31 @@ func FuzzReadTraceStream(f *testing.F) {
 	f.Add([]byte("not a stream at all"))
 	f.Add(sample[:len(sample)-9]) // torn final record
 	f.Add(bytes.Replace(sample, []byte(`"crc":"`), []byte(`"crc":"0`), 1))
+	// An old-corpus file: a v1 header over pre-channel records. The v2
+	// reader must keep salvaging these (backward-compat regression).
+	v1 := preChannelStream(f)
+	f.Add(bytes.Replace(v1, []byte(`"version":2`), []byte(`"version":1`), 1))
+	// Version skew the other way: an intact record with a kind from the
+	// future must surface the structured report, not a silent drop.
+	withUnknown := append(append([]byte(nil), sample...),
+		[]byte(`{"a":{"kind":"warp","t":1,"o":2},"crc":"`+actionCRC([]byte(`{"kind":"warp","t":1,"o":2}`))+`"}`+"\n")...)
+	f.Add(withUnknown)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, dropped, err := ReadTraceStream(bytes.NewReader(data))
 		if err != nil {
-			return // unusable header: fine, as long as it did not panic
+			// Unusable header: fine, as long as it did not panic. The one
+			// structured error — version skew on an intact record — still
+			// hands back a salvage, which must be a valid trace.
+			var rep *report.Report
+			if errors.As(err, &rep) {
+				if rep.Kind != report.Corruption {
+					t.Fatalf("stream reader produced report kind %v", rep.Kind)
+				}
+				if verr := tr.Validate(); verr != nil {
+					t.Fatalf("salvage alongside skew report invalid: %v", verr)
+				}
+			}
+			return
 		}
 		if dropped < 0 {
 			t.Fatalf("negative dropped count %d", dropped)

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"goldilocks/internal/report"
 )
 
 // The streaming trace format is line-delimited so that a truncated or
@@ -27,8 +29,14 @@ import (
 // StreamFormatName identifies the line-delimited trace format.
 const StreamFormatName = "goldilocks-stream"
 
-// StreamFormatVersion is the current format version.
-const StreamFormatVersion = 1
+// StreamFormatVersion is the current format version. Version 2 added
+// the channel event kinds (chmake/send/recv/close); the record layout
+// is unchanged, so readers accept every version back to
+// StreamMinVersion and old corpora stay readable.
+const StreamFormatVersion = 2
+
+// StreamMinVersion is the oldest stream version readers accept.
+const StreamMinVersion = 1
 
 type streamHeader struct {
 	Format  string `json:"format"`
@@ -141,14 +149,16 @@ func StreamHeaderLine() []byte {
 	return append(hdr, '\n')
 }
 
-// CheckStreamHeader verifies that line is a usable stream header.
+// CheckStreamHeader verifies that line is a usable stream header. Every
+// version in [StreamMinVersion, StreamFormatVersion] is readable.
 func CheckStreamHeader(line []byte) error {
 	var hdr streamHeader
 	if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != StreamFormatName {
 		return fmt.Errorf("event: not a %s trace", StreamFormatName)
 	}
-	if hdr.Version != StreamFormatVersion {
-		return fmt.Errorf("event: unsupported stream version %d", hdr.Version)
+	if hdr.Version < StreamMinVersion || hdr.Version > StreamFormatVersion {
+		return fmt.Errorf("event: unsupported stream version %d (reader supports %d..%d)",
+			hdr.Version, StreamMinVersion, StreamFormatVersion)
 	}
 	return nil
 }
@@ -180,7 +190,8 @@ func EncodeRecord(a Action) ([]byte, error) {
 // DecodeRecord parses and checksum-verifies one record line; ok is
 // false for a torn, corrupt, or unknown-kind record.
 func DecodeRecord(line []byte) (a Action, ok bool) {
-	return decodeStreamLine(line)
+	a, st, _ := decodeStreamLine(line)
+	return a, st == recOK
 }
 
 // WriteTraceStream writes a whole trace in the streaming format.
@@ -199,12 +210,20 @@ func WriteTraceStream(w io.Writer, tr *Trace) error {
 
 // ReadTraceStream reads a streaming-format trace, salvaging the longest
 // valid prefix. It stops at the first unreadable record — truncated
-// line, malformed JSON, checksum mismatch, unknown kind, or an action
-// that is invalid after the prefix before it — and returns the prefix
-// trace together with the number of records dropped (the bad record, if
-// distinguishable, plus everything after it). A best-effort count of
-// remaining lines is made by scanning forward. err is non-nil only when
-// the header itself is unusable.
+// line, malformed JSON, checksum mismatch, or an action that is invalid
+// after the prefix before it — and returns the prefix trace together
+// with the number of records dropped (the bad record, if
+// distinguishable, plus everything after it).
+//
+// A torn or checksum-failing record is what a crash leaves behind, so
+// it ends the salvage silently. An *intact* record (checksum verifies,
+// JSON parses) whose kind this reader does not know is different: it
+// means the stream came from a newer writer, and silently discarding it
+// would misreport the execution. That case still returns the salvaged
+// prefix and dropped count, but err is a structured *report.Report
+// (Corruption kind, same type as resilience.Report) naming the unknown
+// kind and the version skew. err is otherwise non-nil only when the
+// header itself is unusable.
 func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -216,19 +235,29 @@ func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
 	}
 
 	var actions []Action
+	var unknownRep *report.Report
 	val := NewValidator()
+	record := 0
 	bad := false
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
+		record++
 		if bad {
 			dropped++
 			continue
 		}
-		a, ok := decodeStreamLine(line)
-		if !ok {
+		a, st, kindName := decodeStreamLine(line)
+		if st != recOK {
+			if st == recUnknownKind {
+				unknownRep = &report.Report{
+					Kind: report.Corruption,
+					Detail: fmt.Sprintf("unknown event kind %q in intact record %d (stream version <= %d reader; writer is newer)",
+						kindName, record, StreamFormatVersion),
+				}
+			}
 			bad = true
 			dropped++
 			continue
@@ -245,6 +274,9 @@ func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
 	// A read error (not io.EOF) ends the salvage the same way a bad
 	// record does: the prefix is what we have.
 	_ = sc.Err()
+	if unknownRep != nil {
+		return NewTrace(actions), dropped, unknownRep
+	}
 	return NewTrace(actions), dropped, nil
 }
 
@@ -262,6 +294,7 @@ type Validator struct {
 	started   map[Tid]bool
 	joined    map[Tid]bool
 	touched   map[Addr]bool
+	chans     *ChanTracker
 }
 
 // NewValidator returns a validator for an empty prefix.
@@ -273,6 +306,7 @@ func NewValidator() *Validator {
 		started:   make(map[Tid]bool),
 		joined:    make(map[Tid]bool),
 		touched:   make(map[Addr]bool),
+		chans:     NewChanTracker(),
 	}
 }
 
@@ -322,6 +356,10 @@ func (v *Validator) Step(a Action) error {
 		if v.touched[a.Obj] {
 			return fmt.Errorf("event: alloc of %v after it was accessed", a.Obj)
 		}
+	case KindChanMake, KindChanSend, KindChanRecv, KindChanClose:
+		if _, err := v.chans.Normalize(a); err != nil {
+			return fmt.Errorf("event: %v", err)
+		}
 	case KindRead, KindWrite:
 		v.touched[a.Obj] = true
 	case KindCommit:
@@ -335,22 +373,34 @@ func (v *Validator) Step(a Action) error {
 	return nil
 }
 
-// decodeStreamLine parses and checksum-verifies one record line.
-func decodeStreamLine(line []byte) (Action, bool) {
+// recDecodeStatus classifies one record line.
+type recDecodeStatus uint8
+
+const (
+	recOK          recDecodeStatus = iota
+	recCorrupt                     // torn line, bad JSON, or checksum mismatch
+	recUnknownKind                 // intact record carrying an unrecognized kind name
+)
+
+// decodeStreamLine parses and checksum-verifies one record line,
+// distinguishing corruption from version skew (an intact record with an
+// unknown kind). kindName is the offending name in the unknown-kind
+// case.
+func decodeStreamLine(line []byte) (Action, recDecodeStatus, string) {
 	var rec streamRecord
 	if err := json.Unmarshal(line, &rec); err != nil || len(rec.Action) == 0 {
-		return Action{}, false
+		return Action{}, recCorrupt, ""
 	}
 	if actionCRC(rec.Action) != rec.CRC {
-		return Action{}, false
+		return Action{}, recCorrupt, ""
 	}
 	var ja jsonAction
 	if err := json.Unmarshal(rec.Action, &ja); err != nil {
-		return Action{}, false
+		return Action{}, recCorrupt, ""
 	}
 	k, ok := kindByName[ja.Kind]
 	if !ok || k == KindInvalid {
-		return Action{}, false
+		return Action{}, recUnknownKind, ja.Kind
 	}
 	return Action{
 		Kind:   k,
@@ -360,7 +410,7 @@ func decodeStreamLine(line []byte) (Action, bool) {
 		Peer:   ja.Peer,
 		Reads:  ja.Reads,
 		Writes: ja.Writes,
-	}, true
+	}, recOK, ""
 }
 
 // ReadTraceAuto sniffs the format: a streaming header selects

@@ -3,6 +3,8 @@ package event_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"strings"
 	"testing"
 
@@ -156,6 +158,84 @@ func TestStreamSalvageMatchesValidate(t *testing.T) {
 	}
 	if err := got.Validate(); err != nil {
 		t.Fatalf("salvaged prefix invalid: %v", err)
+	}
+}
+
+// TestStreamV1CorpusReadable pins backward compatibility: a corpus
+// written before the channel kinds existed carries a version-1 header,
+// and the version-2 reader must consume it with zero drops. The body
+// record layout is unchanged across the bump, so rewriting the header
+// of a current pre-channel trace reproduces a v1 file exactly.
+func TestStreamV1CorpusReadable(t *testing.T) {
+	tr := sampleTrace() // pre-channel kinds only
+	var buf bytes.Buffer
+	if err := event.WriteTraceStream(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Replace(buf.String(),
+		fmt.Sprintf(`"version":%d`, event.StreamFormatVersion), `"version":1`, 1)
+	if v1 == buf.String() {
+		t.Fatal("header rewrite did not apply")
+	}
+	got, dropped, err := event.ReadTraceStream(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 corpus unreadable: %v", err)
+	}
+	if dropped != 0 || got.Len() != tr.Len() {
+		t.Fatalf("v1 corpus: Len = %d dropped = %d, want %d and 0", got.Len(), dropped, tr.Len())
+	}
+}
+
+// unknownKindRecord builds an intact (CRC-valid) record whose kind this
+// reader does not know — what a stream from a newer writer looks like.
+func unknownKindRecord(kind string) string {
+	body := fmt.Sprintf(`{"kind":%q,"t":1,"o":2}`, kind)
+	return fmt.Sprintf(`{"a":%s,"crc":"%08x"}`+"\n", body, crc32.ChecksumIEEE([]byte(body)))
+}
+
+// TestStreamUnknownKindStructuredReport: an intact record with an
+// unrecognized kind is version skew, not corruption-by-crash. The
+// reader must return the salvaged prefix AND a structured
+// resilience.Report naming the unknown kind, instead of silently
+// misreporting the execution.
+func TestStreamUnknownKindStructuredReport(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := event.WriteTraceStream(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(unknownKindRecord("chan-rendezvous-v3"))
+	buf.WriteString(unknownKindRecord("chan-rendezvous-v3")) // dropped with the rest
+
+	got, dropped, err := event.ReadTraceStream(&buf)
+	if err == nil {
+		t.Fatal("unknown kind in intact record was swallowed silently")
+	}
+	var rep *resilience.Report
+	if !errors.As(err, &rep) {
+		t.Fatalf("err = %T %v, want *resilience.Report", err, err)
+	}
+	if rep.Kind != resilience.Corruption {
+		t.Fatalf("report kind = %v, want corruption", rep.Kind)
+	}
+	if !strings.Contains(rep.Detail, "chan-rendezvous-v3") {
+		t.Fatalf("report does not name the unknown kind: %q", rep.Detail)
+	}
+	if got.Len() != tr.Len() || dropped != 2 {
+		t.Fatalf("salvage: Len = %d dropped = %d, want %d and 2", got.Len(), dropped, tr.Len())
+	}
+	if verr := got.Validate(); verr != nil {
+		t.Fatalf("salvaged prefix invalid: %v", verr)
+	}
+}
+
+// TestStreamFutureVersionRejected: a header from a newer format version
+// is unusable as a whole (the reader cannot bound what changed).
+func TestStreamFutureVersionRejected(t *testing.T) {
+	hdr := fmt.Sprintf(`{"format":%q,"version":%d}`+"\n",
+		event.StreamFormatName, event.StreamFormatVersion+1)
+	if _, _, err := event.ReadTraceStream(strings.NewReader(hdr)); err == nil {
+		t.Fatal("future version accepted")
 	}
 }
 

@@ -75,7 +75,12 @@ func (tr *Trace) Vars() []Variable {
 //     (thread existence), and no action of u follows a join(u);
 //   - every object accessed was allocated earlier, when allocations are
 //     present for that object (traces without explicit allocs are
-//     permitted: detectors treat first contact as creation).
+//     permitted: detectors treat first contact as creation);
+//   - channel operations respect the capacity-conveyor semantics
+//     (ChanTracker): a channel is made exactly once before use, a
+//     completed send implies buffer room and an open channel, a
+//     completed recv implies a message in flight or a closed channel,
+//     and close happens at most once.
 //
 // The first violation found is returned.
 func (tr *Trace) Validate() error {
@@ -85,6 +90,7 @@ func (tr *Trace) Validate() error {
 	started := make(map[Tid]bool)
 	joined := make(map[Tid]bool)
 	allocated := make(map[Addr]bool)
+	chans := NewChanTracker()
 
 	for i, a := range tr.actions {
 		if a.Thread == NoTid {
@@ -129,6 +135,10 @@ func (tr *Trace) Validate() error {
 			joined[a.Peer] = true
 		case KindAlloc:
 			allocated[a.Obj] = true
+		case KindChanMake, KindChanSend, KindChanRecv, KindChanClose:
+			if _, err := chans.Normalize(a); err != nil {
+				return fmt.Errorf("action %d (%v): %v", i, a, err)
+			}
 		case KindRead, KindWrite:
 			// Accessing an object that is later allocated means the trace
 			// reused an address without an intervening alloc: reject only
@@ -208,6 +218,20 @@ func (b *Builder) Alloc(t Tid, o Addr) *Builder { return b.Append(Alloc(t, o)) }
 func (b *Builder) Commit(t Tid, reads, writes []Variable) *Builder {
 	return b.Append(Commit(t, reads, writes))
 }
+
+// ChanMake appends chmake(c, cap) by t.
+func (b *Builder) ChanMake(t Tid, c Addr, capacity int32) *Builder {
+	return b.Append(ChanMake(t, c, capacity))
+}
+
+// ChanSend appends send(c) by t.
+func (b *Builder) ChanSend(t Tid, c Addr) *Builder { return b.Append(ChanSend(t, c)) }
+
+// ChanRecv appends recv(c) by t.
+func (b *Builder) ChanRecv(t Tid, c Addr) *Builder { return b.Append(ChanRecv(t, c)) }
+
+// ChanClose appends close(c) by t.
+func (b *Builder) ChanClose(t Tid, c Addr) *Builder { return b.Append(ChanClose(t, c)) }
 
 // Trace finalizes the builder. The builder may continue to be used; the
 // returned trace sees no later appends.

@@ -12,6 +12,7 @@ package hb
 
 import (
 	"goldilocks/internal/event"
+	"goldilocks/internal/report"
 	"goldilocks/internal/vclock"
 )
 
@@ -46,6 +47,7 @@ func NewOracleSem(tr *event.Trace, sem event.TxnSemantics) *Oracle {
 	volatiles := make(map[event.Volatile]*vclock.VC)
 	txn := make(map[event.Variable]*vclock.VC) // accumulated commit clocks per variable
 	txnAll := vclock.New()                     // accumulated commit clocks (atomic-order semantics)
+	chans := event.NewChanTracker()            // conveyor-slot assignment for channel ops
 
 	clockOf := func(t event.Tid) *vclock.VC {
 		c, ok := threads[t]
@@ -58,6 +60,13 @@ func NewOracleSem(tr *event.Trace, sem event.TxnSemantics) *Oracle {
 
 	for i := 0; i < tr.Len(); i++ {
 		a := tr.At(i)
+		if a.Kind.IsChan() {
+			na, err := chans.Normalize(a)
+			if err != nil {
+				panic(&report.Report{Kind: report.Corruption, Detail: "hb oracle: malformed linearization: " + err.Error()})
+			}
+			a = na
+		}
 		c := clockOf(a.Thread)
 
 		// Incoming extended synchronizes-with edges.
@@ -67,6 +76,14 @@ func NewOracleSem(tr *event.Trace, sem event.TxnSemantics) *Oracle {
 				c.Join(lc)
 			}
 		case event.KindVolatileRead:
+			if wc, ok := volatiles[a.Volatile()]; ok {
+				c.Join(wc)
+			}
+		case event.KindChanSend, event.KindChanRecv:
+			// The conveyor slot (or, for a drain recv, the closed element)
+			// carries the accumulated clock of its prior operations; both
+			// directions of the rendezvous acquire it. A close publishes
+			// only (no incoming edge).
 			if wc, ok := volatiles[a.Volatile()]; ok {
 				c.Join(wc)
 			}
@@ -113,6 +130,26 @@ func NewOracleSem(tr *event.Trace, sem event.TxnSemantics) *Oracle {
 			}
 			lc.Join(c)
 		case event.KindVolatileWrite:
+			vv := a.Volatile()
+			wc, ok := volatiles[vv]
+			if !ok {
+				wc = vclock.New()
+				volatiles[vv] = wc
+			}
+			wc.Join(c)
+		case event.KindChanSend, event.KindChanRecv:
+			// Publish back onto the slot element — except for a drain recv,
+			// which acquires the close's broadcast but releases nothing.
+			if !(a.Kind == event.KindChanRecv && a.Field == event.ChanClosedField) {
+				vv := a.Volatile()
+				wc, ok := volatiles[vv]
+				if !ok {
+					wc = vclock.New()
+					volatiles[vv] = wc
+				}
+				wc.Join(c)
+			}
+		case event.KindChanClose:
 			vv := a.Volatile()
 			wc, ok := volatiles[vv]
 			if !ok {

@@ -3,6 +3,7 @@ package hb
 import (
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/report"
 	"goldilocks/internal/vclock"
 )
 
@@ -26,6 +27,13 @@ type Detector struct {
 	txnOrder  map[event.Variable]*vclock.VC // commit-to-commit synchronizes-with
 	txnAll    *vclock.VC                    // atomic-order semantics
 	vars      map[event.Variable]*varClocks
+
+	// chans assigns channel operations their conveyor-slot elements; the
+	// slot clocks share the volatiles map (the FieldID namespaces are
+	// disjoint). An operation the tracker rejects is a malformed
+	// linearization: the detector panics with a structured corruption
+	// report, which jrt's guard recovers into a quarantine.
+	chans *event.ChanTracker
 }
 
 type varClocks struct {
@@ -55,6 +63,7 @@ func NewDetectorSem(sem event.TxnSemantics) *Detector {
 		txnOrder:  make(map[event.Variable]*vclock.VC),
 		txnAll:    vclock.New(),
 		vars:      make(map[event.Variable]*varClocks),
+		chans:     event.NewChanTracker(),
 	}
 }
 
@@ -82,6 +91,13 @@ func (d *Detector) varOf(v event.Variable) *varClocks {
 
 // Step implements detect.Detector.
 func (d *Detector) Step(a event.Action) []detect.Race {
+	if a.Kind.IsChan() {
+		na, err := d.chans.Normalize(a)
+		if err != nil {
+			panic(&report.Report{Kind: report.Corruption, Detail: "vectorclock: malformed linearization: " + err.Error()})
+		}
+		a = na
+	}
 	c := d.clockOf(a.Thread)
 	switch a.Kind {
 	case event.KindAcquire:
@@ -103,6 +119,34 @@ func (d *Detector) Step(a event.Action) []detect.Race {
 		}
 		c.Tick(a.Thread)
 	case event.KindVolatileWrite:
+		c.Tick(a.Thread)
+		vv := a.Volatile()
+		wc, ok := d.volatiles[vv]
+		if !ok {
+			wc = vclock.New()
+			d.volatiles[vv] = wc
+		}
+		wc.Join(c)
+	case event.KindChanMake:
+		c.Tick(a.Thread)
+	case event.KindChanSend, event.KindChanRecv:
+		// Acquire the slot's (or, for a drain recv, the closed element's)
+		// accumulated clock, then publish back onto it — drain recvs
+		// publish nothing (the close's broadcast is one-directional).
+		vv := a.Volatile()
+		if wc, ok := d.volatiles[vv]; ok {
+			c.Join(wc)
+		}
+		c.Tick(a.Thread)
+		if !(a.Kind == event.KindChanRecv && a.Field == event.ChanClosedField) {
+			wc, ok := d.volatiles[vv]
+			if !ok {
+				wc = vclock.New()
+				d.volatiles[vv] = wc
+			}
+			wc.Join(c)
+		}
+	case event.KindChanClose:
 		c.Tick(a.Thread)
 		vv := a.Volatile()
 		wc, ok := d.volatiles[vv]

@@ -1,0 +1,206 @@
+package jrt
+
+import (
+	"fmt"
+
+	"goldilocks/internal/event"
+)
+
+// Chan is a runtime channel: the CSP-style synchronization primitive the
+// detection stack models with the chmake/send/recv/close event
+// vocabulary. Semantics follow Go: FIFO delivery, blocking send while
+// the buffer is full, blocking recv while it is empty and open,
+// non-blocking zero-value recv once the channel is drained and closed,
+// and a panic on send-to-closed or double-close.
+//
+// One deliberate approximation (shared with the detectors' conveyor
+// model): an unbuffered channel behaves as a single-slot buffer, so a
+// send completes as soon as the slot is free rather than waiting for
+// its receiver to arrive. The forward edge (send happens-before its
+// recv) and the capacity back-edge (recv #k happens-before send #k+W)
+// are exact; only the unbuffered reverse rendezvous edge is dropped —
+// see docs/ALGORITHM.md.
+//
+// Channel state transitions and their detector events run atomically
+// under the runtime scheduler (same discipline as monitors and volatile
+// fields), so the synchronization order the detector observes is the
+// order the operations actually took.
+type Chan struct {
+	addr     event.Addr
+	capacity int32
+	buf      []Value // in-flight messages, FIFO; guarded by the scheduler
+	closed   bool
+}
+
+// Addr returns the channel's runtime address (its identity for the
+// detector).
+func (c *Chan) Addr() event.Addr { return c.addr }
+
+// Cap returns the declared capacity.
+func (c *Chan) Cap() int { return int(c.capacity) }
+
+func (c *Chan) width() int {
+	if c.capacity > 0 {
+		return int(c.capacity)
+	}
+	return 1
+}
+
+// ClosedChannel mirrors Go's run-time panics on misused closed
+// channels: a send on a closed channel, or closing one twice.
+type ClosedChannel struct {
+	Chan   *Chan
+	Op     string // "send" or "close"
+	Thread event.Tid
+}
+
+func (e *ClosedChannel) Error() string {
+	return fmt.Sprintf("%s on closed channel o%d by %v", e.Op, e.Chan.addr, e.Thread)
+}
+
+// NewChan allocates a channel with the given capacity (0 for
+// unbuffered) and reports it to the detector.
+func (t *Thread) NewChan(capacity int) *Chan {
+	if capacity < 0 || capacity > event.ChanMaxCap {
+		panic(fmt.Sprintf("jrt: channel capacity %d out of range", capacity))
+	}
+	c := &Chan{addr: event.Addr(t.rt.nextAddr.Add(1)), capacity: int32(capacity)}
+	t.rt.sched.yield(t)
+	t.rt.sched.exec(t, func() bool {
+		t.rt.sync(event.ChanMake(t.id, c.addr, c.capacity))
+		return true
+	})
+	return c
+}
+
+// Send delivers v into c, blocking while the buffer is full. Sending on
+// a closed channel panics with *ClosedChannel, as in Go.
+func (t *Thread) Send(c *Chan, v Value) {
+	t.rt.sched.yield(t)
+	var onClosed bool
+	t.rt.sched.exec(t, func() bool {
+		if c.closed {
+			// Succeed the try-op and panic outside it: a panic inside the
+			// attempt would wedge the scheduler's state lock.
+			onClosed = true
+			return true
+		}
+		if len(c.buf) >= c.width() {
+			return false
+		}
+		c.buf = append(c.buf, v)
+		t.rt.sync(event.ChanSend(t.id, c.addr))
+		return true
+	})
+	if onClosed {
+		panic(&ClosedChannel{Chan: c, Op: "send", Thread: t.id})
+	}
+}
+
+// Recv takes the next message from c, blocking while the channel is
+// empty and open. Once the channel is closed and drained, Recv returns
+// (nil, false) without blocking — and still creates the happens-before
+// edge from the close, exactly as the detectors model it.
+func (t *Thread) Recv(c *Chan) (Value, bool) {
+	t.rt.sched.yield(t)
+	var (
+		v  Value
+		ok bool
+	)
+	t.rt.sched.exec(t, func() bool {
+		switch {
+		case len(c.buf) > 0:
+			v, ok = c.buf[0], true
+			c.buf = c.buf[1:]
+		case c.closed:
+			v, ok = nil, false
+		default:
+			return false
+		}
+		t.rt.sync(event.ChanRecv(t.id, c.addr))
+		return true
+	})
+	return v, ok
+}
+
+// Close closes c, panicking with *ClosedChannel if it is already
+// closed. Messages still in flight remain receivable; later receives
+// drain to (nil, false).
+func (t *Thread) Close(c *Chan) {
+	t.rt.sched.yield(t)
+	var onClosed bool
+	t.rt.sched.exec(t, func() bool {
+		if c.closed {
+			onClosed = true
+			return true
+		}
+		c.closed = true
+		t.rt.sync(event.ChanClose(t.id, c.addr))
+		return true
+	})
+	if onClosed {
+		panic(&ClosedChannel{Chan: c, Op: "close", Thread: t.id})
+	}
+}
+
+// SelectCase is one arm of a Select: a receive from Chan, or, when Send
+// is set, a send of Value into it.
+type SelectCase struct {
+	Chan  *Chan
+	Send  bool
+	Value Value
+}
+
+// Select blocks until one of cases can proceed, performs it, and
+// returns its index (plus the received value and ok for a receive arm).
+// With hasDefault set it never blocks: when no arm is ready it returns
+// (-1, nil, false) immediately and performs NO synchronization — a
+// default that fires creates no happens-before edge.
+//
+// Ready arms are taken in case order (deterministic under the seeded
+// scheduler). A ready send arm whose channel is closed panics with
+// *ClosedChannel, as the plain Send would.
+func (t *Thread) Select(cases []SelectCase, hasDefault bool) (idx int, v Value, ok bool) {
+	t.rt.sched.yield(t)
+	var closedArm *Chan
+	t.rt.sched.exec(t, func() bool {
+		for i, sc := range cases {
+			c := sc.Chan
+			if sc.Send {
+				if c.closed {
+					// Go panics when a select commits to a closed send arm.
+					closedArm, idx = c, i
+					return true
+				}
+				if len(c.buf) >= c.width() {
+					continue
+				}
+				c.buf = append(c.buf, sc.Value)
+				t.rt.sync(event.ChanSend(t.id, c.addr))
+				idx, v, ok = i, nil, false
+				return true
+			}
+			switch {
+			case len(c.buf) > 0:
+				v, ok = c.buf[0], true
+				c.buf = c.buf[1:]
+			case c.closed:
+				v, ok = nil, false
+			default:
+				continue
+			}
+			t.rt.sync(event.ChanRecv(t.id, c.addr))
+			idx = i
+			return true
+		}
+		if hasDefault {
+			idx, v, ok = -1, nil, false
+			return true
+		}
+		return false
+	})
+	if closedArm != nil {
+		panic(&ClosedChannel{Chan: closedArm, Op: "send", Thread: t.id})
+	}
+	return idx, v, ok
+}

@@ -24,6 +24,7 @@ const (
 	TypeObject
 	TypeArray
 	TypeNull // type of the null literal; assignable to refs
+	TypeChan // chan<Elem>
 )
 
 // Prebuilt scalar types.
@@ -43,11 +44,14 @@ func ObjectType(name string) *Type { return &Type{Kind: TypeObject, Class: name}
 // ArrayType returns the array type with the given element type.
 func ArrayType(elem *Type) *Type { return &Type{Kind: TypeArray, Elem: elem} }
 
+// ChanType returns the channel type carrying the given element type.
+func ChanType(elem *Type) *Type { return &Type{Kind: TypeChan, Elem: elem} }
+
 // IsRef reports whether the type is a reference type (object, array,
 // string, thread, or null).
 func (t *Type) IsRef() bool {
 	switch t.Kind {
-	case TypeObject, TypeArray, TypeString, TypeThread, TypeNull:
+	case TypeObject, TypeArray, TypeString, TypeThread, TypeNull, TypeChan:
 		return true
 	}
 	return false
@@ -61,7 +65,7 @@ func (t *Type) Equal(u *Type) bool {
 	switch t.Kind {
 	case TypeObject:
 		return t.Class == u.Class
-	case TypeArray:
+	case TypeArray, TypeChan:
 		return t.Elem.Equal(u.Elem)
 	}
 	return true
@@ -102,6 +106,8 @@ func (t *Type) String() string {
 		return t.Elem.String() + "[]"
 	case TypeNull:
 		return "null"
+	case TypeChan:
+		return "chan<" + t.Elem.String() + ">"
 	}
 	return fmt.Sprintf("Type(%d)", t.Kind)
 }
@@ -288,6 +294,49 @@ type TryStmt struct {
 	Catch *Block
 }
 
+// SendStmt is send(c, v): deliver v into channel c, blocking while the
+// buffer is full.
+type SendStmt struct {
+	Pos   Pos
+	Chan  Expr
+	Value Expr
+	// Elem is the channel's element type, resolved by the checker (for
+	// the int->double widening of the sent value).
+	Elem *Type
+}
+
+// CloseStmt is close(c).
+type CloseStmt struct {
+	Pos  Pos
+	Chan Expr
+}
+
+// SelectArm is one case of a select statement: a send, or a receive
+// optionally binding the received value to a fresh local.
+type SelectArm struct {
+	Pos  Pos
+	Send bool
+	Chan Expr
+	// Value is the sent expression (send arms only).
+	Value Expr
+	// Bind/BindType declare the receive binding ("" discards the value).
+	Bind     string
+	BindType *Type
+	// Elem is the channel's element type, resolved by the checker.
+	Elem *Type
+	Body *Block
+}
+
+// SelectStmt is select { case ... } with an optional default block. The
+// first ready arm runs; with no ready arm the statement blocks, unless a
+// default is present — a default that fires performs no synchronization
+// and creates no happens-before edge.
+type SelectStmt struct {
+	Pos     Pos
+	Arms    []*SelectArm
+	Default *Block // may be nil
+}
+
 func (*Block) stmtNode()        {}
 func (*VarDeclStmt) stmtNode()  {}
 func (*AssignStmt) stmtNode()   {}
@@ -305,6 +354,9 @@ func (*NotifyStmt) stmtNode()   {}
 func (*JoinStmt) stmtNode()     {}
 func (*PrintStmt) stmtNode()    {}
 func (*TryStmt) stmtNode()      {}
+func (*SendStmt) stmtNode()     {}
+func (*CloseStmt) stmtNode()    {}
+func (*SelectStmt) stmtNode()   {}
 
 // StmtPos implementations.
 func (s *Block) StmtPos() Pos        { return s.Pos }
@@ -324,6 +376,9 @@ func (s *NotifyStmt) StmtPos() Pos   { return s.Pos }
 func (s *JoinStmt) StmtPos() Pos     { return s.Pos }
 func (s *PrintStmt) StmtPos() Pos    { return s.Pos }
 func (s *TryStmt) StmtPos() Pos      { return s.Pos }
+func (s *SendStmt) StmtPos() Pos     { return s.Pos }
+func (s *CloseStmt) StmtPos() Pos    { return s.Pos }
+func (s *SelectStmt) StmtPos() Pos   { return s.Pos }
 
 // Expr is an expression node. The checker fills each node's type.
 type Expr interface {
@@ -459,6 +514,23 @@ type SpawnExpr struct {
 	SpawnID int
 }
 
+// MakeChanExpr is make(chan<T>) or make(chan<T>, cap).
+type MakeChanExpr struct {
+	typed
+	Pos  Pos
+	Elem *Type
+	Cap  Expr // may be nil (unbuffered)
+}
+
+// RecvExpr is recv(c): take the next message, blocking while the
+// channel is empty and open; a closed, drained channel yields the
+// element type's zero value without blocking.
+type RecvExpr struct {
+	typed
+	Pos  Pos
+	Chan Expr
+}
+
 // UnaryExpr is !e or -e.
 type UnaryExpr struct {
 	typed
@@ -491,6 +563,8 @@ func (*NewArrayExpr) exprNode() {}
 func (*SpawnExpr) exprNode()    {}
 func (*UnaryExpr) exprNode()    {}
 func (*BinaryExpr) exprNode()   {}
+func (*MakeChanExpr) exprNode() {}
+func (*RecvExpr) exprNode()     {}
 
 // ExprPos implementations.
 func (e *IntLit) ExprPos() Pos       { return e.Pos }
@@ -509,3 +583,5 @@ func (e *NewArrayExpr) ExprPos() Pos { return e.Pos }
 func (e *SpawnExpr) ExprPos() Pos    { return e.Pos }
 func (e *UnaryExpr) ExprPos() Pos    { return e.Pos }
 func (e *BinaryExpr) ExprPos() Pos   { return e.Pos }
+func (e *MakeChanExpr) ExprPos() Pos { return e.Pos }
+func (e *RecvExpr) ExprPos() Pos     { return e.Pos }

@@ -111,7 +111,7 @@ func (c *checker) validType(pos Pos, t *Type) error {
 		if _, ok := c.prog.byName[t.Class]; !ok {
 			return c.errf(pos, "unknown class %s", t.Class)
 		}
-	case TypeArray:
+	case TypeArray, TypeChan:
 		return c.validType(pos, t.Elem)
 	case TypeVoid:
 		return c.errf(pos, "void is not a value type")
@@ -324,6 +324,84 @@ func (c *checker) checkStmt(s Stmt) error {
 			return err
 		}
 		return c.checkBlock(st.Catch)
+	case *SendStmt:
+		if c.atomicNest > 0 {
+			return c.errf(st.Pos, "channel send inside atomic block")
+		}
+		ct, err := c.checkExprP(&st.Chan)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != TypeChan {
+			return c.errf(st.Pos, "send requires a channel, got %s", ct)
+		}
+		vt, err := c.checkExprP(&st.Value)
+		if err != nil {
+			return err
+		}
+		if !vt.AssignableTo(ct.Elem) {
+			return c.errf(st.Pos, "cannot send %s on %s", vt, ct)
+		}
+		st.Elem = ct.Elem
+		return nil
+	case *CloseStmt:
+		if c.atomicNest > 0 {
+			return c.errf(st.Pos, "channel close inside atomic block")
+		}
+		ct, err := c.checkExprP(&st.Chan)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != TypeChan {
+			return c.errf(st.Pos, "close requires a channel, got %s", ct)
+		}
+		return nil
+	case *SelectStmt:
+		if c.atomicNest > 0 {
+			return c.errf(st.Pos, "select inside atomic block")
+		}
+		for _, arm := range st.Arms {
+			ct, err := c.checkExprP(&arm.Chan)
+			if err != nil {
+				return err
+			}
+			if ct.Kind != TypeChan {
+				return c.errf(arm.Pos, "select case requires a channel, got %s", ct)
+			}
+			arm.Elem = ct.Elem
+			if arm.Send {
+				vt, err := c.checkExprP(&arm.Value)
+				if err != nil {
+					return err
+				}
+				if !vt.AssignableTo(ct.Elem) {
+					return c.errf(arm.Pos, "cannot send %s on %s", vt, ct)
+				}
+			} else if arm.Bind != "" {
+				if err := c.validType(arm.Pos, arm.BindType); err != nil {
+					return err
+				}
+				if !ct.Elem.AssignableTo(arm.BindType) {
+					return c.errf(arm.Pos, "cannot bind %s received from %s", arm.BindType, ct)
+				}
+				// The binding scopes over the arm body only.
+				c.push()
+				c.declare(arm.Bind, arm.BindType)
+				err := c.checkBlock(arm.Body)
+				c.pop()
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			if err := c.checkBlock(arm.Body); err != nil {
+				return err
+			}
+		}
+		if st.Default != nil {
+			return c.checkBlock(st.Default)
+		}
+		return nil
 	case *WaitStmt:
 		if c.atomicNest > 0 {
 			return c.errf(st.Pos, "wait inside atomic block")
@@ -518,6 +596,40 @@ func (c *checker) checkExpr(e Expr) (Expr, *Type, error) {
 		c.nextSpawn++
 		ex.setType(ThreadType)
 		return ex, ThreadType, nil
+	case *MakeChanExpr:
+		if c.atomicNest > 0 {
+			return nil, nil, c.errf(ex.Pos, "make(chan) inside atomic block")
+		}
+		if err := c.validType(ex.Pos, ex.Elem); err != nil {
+			return nil, nil, err
+		}
+		if ex.Cap != nil {
+			capE, capT, err := c.checkExpr(ex.Cap)
+			if err != nil {
+				return nil, nil, err
+			}
+			ex.Cap = capE
+			if capT.Kind != TypeInt {
+				return nil, nil, c.errf(ex.Pos, "channel capacity must be int, got %s", capT)
+			}
+		}
+		t := ChanType(ex.Elem)
+		ex.setType(t)
+		return ex, t, nil
+	case *RecvExpr:
+		if c.atomicNest > 0 {
+			return nil, nil, c.errf(ex.Pos, "channel receive inside atomic block")
+		}
+		ch, ct, err := c.checkExpr(ex.Chan)
+		if err != nil {
+			return nil, nil, err
+		}
+		ex.Chan = ch
+		if ct.Kind != TypeChan {
+			return nil, nil, c.errf(ex.Pos, "recv requires a channel, got %s", ct)
+		}
+		ex.setType(ct.Elem)
+		return ex, ct.Elem, nil
 	case *UnaryExpr:
 		sub, st, err := c.checkExpr(ex.E)
 		if err != nil {
@@ -610,6 +722,10 @@ func (c *checker) atomicSafe(m *MethodDecl, seen map[*MethodDecl]bool) error {
 		switch ex := e.(type) {
 		case *SpawnExpr:
 			return fmt.Errorf("%s spawns a thread", m.QName())
+		case *MakeChanExpr:
+			return fmt.Errorf("%s makes a channel", m.QName())
+		case *RecvExpr:
+			return fmt.Errorf("%s receives from a channel", m.QName())
 		case *FieldExpr:
 			if ex.Decl != nil && ex.Decl.Volatile {
 				return fmt.Errorf("%s accesses a volatile field", m.QName())
@@ -666,6 +782,12 @@ func (c *checker) atomicSafe(m *MethodDecl, seen map[*MethodDecl]bool) error {
 			}
 		case *SyncStmt:
 			return fmt.Errorf("%s uses synchronized", m.QName())
+		case *SendStmt:
+			return fmt.Errorf("%s sends on a channel", m.QName())
+		case *CloseStmt:
+			return fmt.Errorf("%s closes a channel", m.QName())
+		case *SelectStmt:
+			return fmt.Errorf("%s uses select", m.QName())
 		case *WaitStmt:
 			return fmt.Errorf("%s uses wait", m.QName())
 		case *NotifyStmt:

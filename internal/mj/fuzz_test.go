@@ -22,6 +22,9 @@ func FuzzParse(f *testing.F) {
 		"class { broken",
 		"//@ race_free D.v trusted\nclass D { int v; }",
 		"class Main { void main() { string s = \"a\\n\\\"b\\\"\"; print(s, s.length); } }",
+		`class Main { void main() { chan<int> c = make(chan<int>, 2); send(c, 1); int x = recv(c); close(c); } }`,
+		`class Main { chan<chan<boolean>> meta; void main() { select { case send(meta, make(chan<boolean>)) { } case chan<boolean> b = recv(meta) { close(b); } default { } } } }`,
+		`class Main { void main() { chan<int>[] ring = new chan<int>[3]; select { case recv(ring[0]) { } } } }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

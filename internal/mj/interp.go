@@ -360,6 +360,33 @@ func (ts *threadState) execStmt(fr *frame, s Stmt) (control, jrt.Value) {
 			return ts.execBlock(fr, st.Catch)
 		}
 		return ctrl, v
+	case *SendStmt:
+		c := ts.evalChan(fr, st.Chan, st.Pos)
+		ts.jt.Send(c, coerce(ts.eval(fr, st.Value), st.Elem))
+		return ctrlNone, nil
+	case *CloseStmt:
+		ts.jt.Close(ts.evalChan(fr, st.Chan, st.Pos))
+		return ctrlNone, nil
+	case *SelectStmt:
+		cases := make([]jrt.SelectCase, len(st.Arms))
+		for i, arm := range st.Arms {
+			sc := jrt.SelectCase{Chan: ts.evalChan(fr, arm.Chan, arm.Pos), Send: arm.Send}
+			if arm.Send {
+				sc.Value = coerce(ts.eval(fr, arm.Value), arm.Elem)
+			}
+			cases[i] = sc
+		}
+		idx, v, _ := ts.jt.Select(cases, st.Default != nil)
+		if idx < 0 {
+			return ts.execBlock(fr, st.Default)
+		}
+		arm := st.Arms[idx]
+		if !arm.Send && arm.Bind != "" {
+			fr.push()
+			defer fr.pop()
+			fr.declare(arm.Bind, coerce(fill(v, arm.BindType), arm.BindType))
+		}
+		return ts.execBlock(fr, arm.Body)
 	}
 	panic(fmt.Sprintf("mj: internal error: unhandled statement %T", s))
 }
@@ -531,6 +558,20 @@ func (ts *threadState) eval(fr *frame, e Expr) jrt.Value {
 			child := &threadState{in: ts.in, jt: u}
 			child.invoke(recv, call.Decl.Class, call.Decl, args)
 		})
+	case *MakeChanExpr:
+		capacity := 0
+		if ex.Cap != nil {
+			capacity = int(ts.evalInt(fr, ex.Cap))
+		}
+		if capacity < 0 || capacity > event.ChanMaxCap {
+			panic(&ArithmeticError{Pos: ex.Pos, Msg: fmt.Sprintf("invalid channel capacity %d", capacity)})
+		}
+		return ts.jt.NewChan(capacity)
+	case *RecvExpr:
+		c := ts.evalChan(fr, ex.Chan, ex.Pos)
+		v, _ := ts.jt.Recv(c)
+		// A closed, drained channel yields the element type's zero value.
+		return fill(v, ex.Type())
 	case *UnaryExpr:
 		switch ex.Op {
 		case TokNot:
@@ -578,6 +619,15 @@ func (ts *threadState) evalObject(fr *frame, e Expr, pos Pos) *jrt.Object {
 		panic(&NullPointer{Pos: pos})
 	}
 	return o
+}
+
+// evalChan evaluates e to a non-null channel.
+func (ts *threadState) evalChan(fr *frame, e Expr, pos Pos) *jrt.Chan {
+	c, ok := ts.eval(fr, e).(*jrt.Chan)
+	if !ok || c == nil {
+		panic(&NullPointer{Pos: pos})
+	}
+	return c
 }
 
 func (ts *threadState) evalBinary(fr *frame, ex *BinaryExpr) jrt.Value {
@@ -738,6 +788,8 @@ func renderValue(v jrt.Value) any {
 		return x.String()
 	case *jrt.Thread:
 		return fmt.Sprintf("thread-%d", x.ID())
+	case *jrt.Chan:
+		return fmt.Sprintf("chan-%d", x.Addr())
 	default:
 		return x
 	}

@@ -80,6 +80,19 @@ func (p *parser) errf(format string, args ...any) error {
 	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
 }
 
+// memberName parses a field/method name. The channel operation words
+// are contextual keywords: `make`, `send`, `recv`, and `close` remain
+// legal member names (pre-channel programs declare methods like
+// close()), because in member position — after a type or a `.` — no
+// channel form can begin.
+func (p *parser) memberName() (Token, error) {
+	switch p.cur().Kind {
+	case TokIdent, TokMake, TokSend, TokRecv, TokClose:
+		return p.advance(), nil
+	}
+	return Token{}, p.errf("expected identifier, found %v", p.cur())
+}
+
 func (p *parser) classDecl() (*ClassDecl, error) {
 	kw, err := p.expect(TokClass)
 	if err != nil {
@@ -126,7 +139,7 @@ func (p *parser) member(c *ClassDecl) error {
 		}
 		ret = t
 	}
-	name, err := p.expect(TokIdent)
+	name, err := p.memberName()
 	if err != nil {
 		return err
 	}
@@ -192,10 +205,34 @@ func (p *parser) typeName() (*Type, error) {
 		t = ThreadType
 	case TokIdent:
 		t = ObjectType(p.cur().Text)
+	case TokChan:
+		return p.chanType()
 	default:
 		return nil, p.errf("expected type, found %v", p.cur())
 	}
 	p.advance()
+	for p.at(TokLBracket) && p.peek().Kind == TokRBracket {
+		p.advance()
+		p.advance()
+		t = ArrayType(t)
+	}
+	return t, nil
+}
+
+// chanType parses "chan<elem>" with [] suffixes.
+func (p *parser) chanType() (*Type, error) {
+	p.advance() // chan
+	if _, err := p.expect(TokLt); err != nil {
+		return nil, err
+	}
+	elem, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokGt); err != nil {
+		return nil, err
+	}
+	t := ChanType(elem)
 	for p.at(TokLBracket) && p.peek().Kind == TokRBracket {
 		p.advance()
 		p.advance()
@@ -227,7 +264,7 @@ func (p *parser) block() (*Block, error) {
 // variable declaration.
 func (p *parser) startsVarDecl() bool {
 	switch p.cur().Kind {
-	case TokInt_, TokDouble_, TokBoolean_, TokString_, TokThread_:
+	case TokInt_, TokDouble_, TokBoolean_, TokString_, TokThread_, TokChan:
 		return true
 	case TokIdent:
 		// "C x", "C[] x".
@@ -342,6 +379,47 @@ func (p *parser) stmt() (Stmt, error) {
 		default:
 			return &JoinStmt{Pos: pos, Thread: e}, nil
 		}
+	case TokSend:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		ch, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &SendStmt{Pos: pos, Chan: ch, Value: v}, nil
+	case TokClose:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		ch, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &CloseStmt{Pos: pos, Chan: ch}, nil
+	case TokSelect:
+		return p.selectStmt()
 	case TokTry:
 		p.advance()
 		body, err := p.block()
@@ -468,6 +546,123 @@ func (p *parser) forStmt() (Stmt, error) {
 	}
 	st.Body = body
 	return st, nil
+}
+
+// selectStmt parses
+//
+//	select {
+//	  case send(c, e) { ... }
+//	  case recv(c) { ... }
+//	  case T x = recv(c) { ... }
+//	  default { ... }
+//	}
+//
+// with at least one arm or default, and at most one default.
+func (p *parser) selectStmt() (Stmt, error) {
+	pos := p.advance().Pos // select
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{Pos: pos}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		switch {
+		case p.accept(TokCase):
+			arm, err := p.selectArm()
+			if err != nil {
+				return nil, err
+			}
+			st.Arms = append(st.Arms, arm)
+		case p.at(TokDefault):
+			dpos := p.advance().Pos
+			if st.Default != nil {
+				return nil, &ParseError{Pos: dpos, Msg: "select has more than one default"}
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Default = body
+		default:
+			return nil, p.errf("expected case or default in select, found %v", p.cur())
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(st.Arms) == 0 && st.Default == nil {
+		return nil, &ParseError{Pos: pos, Msg: "empty select"}
+	}
+	return st, nil
+}
+
+// selectArm parses one case clause (after the case keyword).
+func (p *parser) selectArm() (*SelectArm, error) {
+	arm := &SelectArm{Pos: p.cur().Pos}
+	parseChanArg := func() error {
+		if _, err := p.expect(TokLParen); err != nil {
+			return err
+		}
+		ch, err := p.expr()
+		if err != nil {
+			return err
+		}
+		arm.Chan = ch
+		return nil
+	}
+	switch {
+	case p.accept(TokSend):
+		arm.Send = true
+		if err := parseChanArg(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		arm.Value = v
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	case p.accept(TokRecv):
+		if err := parseChanArg(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	default:
+		// "T name = recv(c)": a typed binding for the received value.
+		bt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRecv); err != nil {
+			return nil, err
+		}
+		if err := parseChanArg(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		arm.Bind, arm.BindType = name.Text, bt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	arm.Body = body
+	return arm, nil
 }
 
 // simpleStmt parses a declaration, assignment, or expression statement
@@ -633,7 +828,7 @@ func (p *parser) postfixExpr() (Expr, error) {
 		switch {
 		case p.at(TokDot):
 			p.advance()
-			name, err := p.expect(TokIdent)
+			name, err := p.memberName()
 			if err != nil {
 				return nil, err
 			}
@@ -724,6 +919,46 @@ func (p *parser) primaryExpr() (Expr, error) {
 		return e, nil
 	case TokNew:
 		return p.newExpr()
+	case TokMake:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		if !p.at(TokChan) {
+			return nil, p.errf("make requires a channel type")
+		}
+		typ, err := p.chanType()
+		if err != nil {
+			return nil, err
+		}
+		if typ.Kind != TypeChan {
+			return nil, &ParseError{Pos: t.Pos, Msg: "make requires a channel type"}
+		}
+		e := &MakeChanExpr{Pos: t.Pos, Elem: typ.Elem}
+		if p.accept(TokComma) {
+			capE, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			e.Cap = capE
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokRecv:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		ch, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &RecvExpr{Pos: t.Pos, Chan: ch}, nil
 	case TokSpawn:
 		p.advance()
 		e, err := p.postfixExpr()

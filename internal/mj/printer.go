@@ -162,6 +162,26 @@ func (p *printer) stmt(s Stmt) {
 		p.stmts(st.Catch)
 		p.indent--
 		p.line("}")
+	case *SendStmt:
+		p.linef("send(%s, %s);", expr(st.Chan), expr(st.Value))
+	case *CloseStmt:
+		p.linef("close(%s);", expr(st.Chan))
+	case *SelectStmt:
+		p.line("select {")
+		for _, arm := range st.Arms {
+			switch {
+			case arm.Send:
+				p.blockLine(fmt.Sprintf("case send(%s, %s)", expr(arm.Chan), expr(arm.Value)), arm.Body)
+			case arm.Bind != "":
+				p.blockLine(fmt.Sprintf("case %s %s = recv(%s)", arm.BindType, arm.Bind, expr(arm.Chan)), arm.Body)
+			default:
+				p.blockLine(fmt.Sprintf("case recv(%s)", expr(arm.Chan)), arm.Body)
+			}
+		}
+		if st.Default != nil {
+			p.blockLine("default", st.Default)
+		}
+		p.line("}")
 	default:
 		panic(fmt.Sprintf("mj: printer: unhandled statement %T", s))
 	}
@@ -240,6 +260,13 @@ func expr(e Expr) string {
 		return fmt.Sprintf("new %s%s", base, dims)
 	case *SpawnExpr:
 		return "spawn " + expr(ex.Call)
+	case *MakeChanExpr:
+		if ex.Cap != nil {
+			return fmt.Sprintf("make(chan<%s>, %s)", ex.Elem, expr(ex.Cap))
+		}
+		return fmt.Sprintf("make(chan<%s>)", ex.Elem)
+	case *RecvExpr:
+		return fmt.Sprintf("recv(%s)", expr(ex.Chan))
 	case *UnaryExpr:
 		op := "!"
 		if ex.Op == TokMinus {

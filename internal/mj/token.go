@@ -81,6 +81,14 @@ const (
 	TokContinue
 	TokTry
 	TokCatch
+	TokChan
+	TokMake
+	TokSend
+	TokRecv
+	TokClose
+	TokSelect
+	TokCase
+	TokDefault
 )
 
 var tokNames = map[TokKind]string{
@@ -99,7 +107,9 @@ var tokNames = map[TokKind]string{
 	TokPrint: "print", TokInt_: "int", TokDouble_: "double",
 	TokBoolean_: "boolean", TokString_: "string", TokVoid: "void",
 	TokThread_: "thread", TokBreak: "break", TokContinue: "continue",
-	TokTry: "try", TokCatch: "catch",
+	TokTry: "try", TokCatch: "catch", TokChan: "chan", TokMake: "make",
+	TokSend: "send", TokRecv: "recv", TokClose: "close",
+	TokSelect: "select", TokCase: "case", TokDefault: "default",
 }
 
 func (k TokKind) String() string {
@@ -119,6 +129,9 @@ var keywords = map[string]TokKind{
 	"double": TokDouble_, "boolean": TokBoolean_, "string": TokString_,
 	"void": TokVoid, "thread": TokThread_, "break": TokBreak,
 	"continue": TokContinue, "try": TokTry, "catch": TokCatch,
+	"chan": TokChan, "make": TokMake, "send": TokSend, "recv": TokRecv,
+	"close": TokClose, "select": TokSelect, "case": TokCase,
+	"default": TokDefault,
 }
 
 // Pos is a source position.

@@ -34,6 +34,13 @@ func WalkStmts(s Stmt, f func(Stmt)) {
 	case *TryStmt:
 		WalkStmts(st.Body, f)
 		WalkStmts(st.Catch, f)
+	case *SelectStmt:
+		for _, arm := range st.Arms {
+			WalkStmts(arm.Body, f)
+		}
+		if st.Default != nil {
+			WalkStmts(st.Default, f)
+		}
 	}
 }
 
@@ -69,6 +76,16 @@ func WalkExprs(s Stmt, f func(Expr)) {
 			for _, a := range n.Args {
 				walkExpr(a, f)
 			}
+		case *SendStmt:
+			walkExpr(n.Chan, f)
+			walkExpr(n.Value, f)
+		case *CloseStmt:
+			walkExpr(n.Chan, f)
+		case *SelectStmt:
+			for _, arm := range n.Arms {
+				walkExpr(arm.Chan, f)
+				walkExpr(arm.Value, f)
+			}
 		}
 	})
 }
@@ -103,5 +120,9 @@ func walkExpr(e Expr, f func(Expr)) {
 		for _, d := range ex.extraDims {
 			walkExpr(d, f)
 		}
+	case *MakeChanExpr:
+		walkExpr(ex.Cap, f)
+	case *RecvExpr:
+		walkExpr(ex.Chan, f)
 	}
 }

@@ -52,10 +52,22 @@ const (
 	// RuleCommit (rule 9): commit(t, R, W) — the transactional
 	// synchronizes-with rule under the configured semantics.
 	RuleCommit = 9
+	// RuleChanSend (rule 10): send(t, c) — on the message's conveyor-slot
+	// element e: if e ∈ LS, add t (acquire the slot's prior recv), then
+	// if t ∈ LS, add e (release the message to its recv).
+	RuleChanSend = 10
+	// RuleChanRecv (rule 11): recv(t, c) — the dual of rule 10 on the
+	// same slot element; for a drained closed channel, acquire-only from
+	// the channel's closed element.
+	RuleChanRecv = 11
+	// RuleChanClose (rule 12): close(t, c) — if t ∈ LS, add the channel's
+	// closed element (broadcast release to all later drain recvs).
+	RuleChanClose = 12
 
-	// NumRules is the count of Figure 5 rules; valid rule numbers are
+	// NumRules is the count of lockset update rules: the nine Figure 5
+	// rules plus the three channel extensions; valid rule numbers are
 	// 1..NumRules.
-	NumRules = 9
+	NumRules = 12
 )
 
 // RuleOf maps an action kind to the update rule it triggers, or 0 for
@@ -80,6 +92,12 @@ func RuleOf(k event.Kind) int {
 		return RuleAlloc
 	case event.KindCommit:
 		return RuleCommit
+	case event.KindChanSend:
+		return RuleChanSend
+	case event.KindChanRecv:
+		return RuleChanRecv
+	case event.KindChanClose:
+		return RuleChanClose
 	}
 	return 0
 }
@@ -95,6 +113,9 @@ var ruleNames = [NumRules + 1]string{
 	RuleJoin:          "join",
 	RuleAlloc:         "alloc",
 	RuleCommit:        "commit",
+	RuleChanSend:      "chan-send",
+	RuleChanRecv:      "chan-recv",
+	RuleChanClose:     "chan-close",
 }
 
 // RuleName returns the short name of a rule number, or "unknown".

@@ -1,0 +1,87 @@
+// Package report holds the structured failure-report types shared by
+// the whole pipeline. It is a leaf package — it imports nothing from
+// this repository — so that low-level packages (internal/event's trace
+// readers, for example) can return *report.Report without importing
+// internal/resilience, which itself depends on internal/event.
+//
+// internal/resilience re-exports every name here via type aliases, so
+// resilience.Report and report.Report are the same type; callers keep
+// using the resilience names.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind discriminates structured failure reports.
+type Kind uint8
+
+const (
+	// Deadlock: every live thread of the deterministic scheduler is
+	// blocked.
+	Deadlock Kind = iota
+	// Timeout: a wall-clock budget expired (systematic exploration).
+	Timeout
+	// Corruption: persistent state (a checkpoint, a replica, a trace
+	// stream record) failed its integrity checks and was quarantined
+	// instead of trusted.
+	Corruption
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Timeout:
+		return "timeout"
+	case Corruption:
+		return "corruption"
+	}
+	return "deadlock"
+}
+
+// MarshalJSON renders the kind by name, not ordinal, so exported
+// reports stay readable and stable across re-orderings of the enum.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// ThreadState describes one blocked thread in a Report. The JSON tags
+// shape the -stats-json / introspection exports.
+type ThreadState struct {
+	Thread string   `json:"thread"`         // thread id, e.g. "T2"
+	Held   []string `json:"held,omitempty"` // monitors the thread holds, e.g. ["o3", "o7"]
+}
+
+// Report is a structured failure report: what raw-string panics used to
+// carry, now machine-readable and recoverable. It implements error.
+type Report struct {
+	Kind    Kind          `json:"kind"`
+	Blocked []ThreadState `json:"blocked,omitempty"` // blocked threads and the locks they hold
+	Elapsed time.Duration `json:"elapsed_ns"`        // wall-clock time since the run started
+	Detail  string        `json:"detail,omitempty"`  // free-form context (e.g. schedules explored)
+}
+
+func (r *Report) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "resilience: %v after %v", r.Kind, r.Elapsed.Round(time.Millisecond))
+	if len(r.Blocked) > 0 {
+		b.WriteString(" — blocked:")
+		for _, ts := range r.Blocked {
+			b.WriteString(" ")
+			b.WriteString(ts.Thread)
+			if len(ts.Held) > 0 {
+				held := append([]string(nil), ts.Held...)
+				sort.Strings(held)
+				fmt.Fprintf(&b, "(holds %s)", strings.Join(held, ","))
+			}
+		}
+	}
+	if r.Detail != "" {
+		b.WriteString(" — ")
+		b.WriteString(r.Detail)
+	}
+	return b.String()
+}

@@ -23,15 +23,12 @@
 package resilience
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
-	"strings"
 	"sync/atomic"
-	"time"
 
 	"goldilocks/internal/event"
+	"goldilocks/internal/report"
 )
 
 // ErrorPolicy selects what the detection pipeline does when a detector
@@ -106,74 +103,33 @@ func (r DegradationRung) String() string {
 	return fmt.Sprintf("rung(%d)", int32(r))
 }
 
-// ReportKind discriminates structured failure reports.
-type ReportKind uint8
+// ReportKind discriminates structured failure reports. The concrete
+// type lives in the leaf package internal/report so that low-level
+// packages (internal/event) can build reports without importing this
+// package; the aliases keep every existing call site source-compatible.
+type ReportKind = report.Kind
 
 const (
 	// Deadlock: every live thread of the deterministic scheduler is
 	// blocked.
-	Deadlock ReportKind = iota
+	Deadlock = report.Deadlock
 	// Timeout: a wall-clock budget expired (systematic exploration).
-	Timeout
-	// Corruption: persistent state (a checkpoint, a replica) failed its
-	// integrity checks and was quarantined instead of trusted.
-	Corruption
+	Timeout = report.Timeout
+	// Corruption: persistent state (a checkpoint, a replica, a trace
+	// stream record) failed its integrity checks and was quarantined
+	// instead of trusted.
+	Corruption = report.Corruption
 )
-
-func (k ReportKind) String() string {
-	switch k {
-	case Timeout:
-		return "timeout"
-	case Corruption:
-		return "corruption"
-	}
-	return "deadlock"
-}
-
-// MarshalJSON renders the kind by name, not ordinal, so exported
-// reports stay readable and stable across re-orderings of the enum.
-func (k ReportKind) MarshalJSON() ([]byte, error) {
-	return json.Marshal(k.String())
-}
 
 // ThreadState describes one blocked thread in a Report. The JSON tags
 // shape the -stats-json / introspection exports.
-type ThreadState struct {
-	Thread string   `json:"thread"`         // thread id, e.g. "T2"
-	Held   []string `json:"held,omitempty"` // monitors the thread holds, e.g. ["o3", "o7"]
-}
+type ThreadState = report.ThreadState
 
-// Report is a structured scheduler-failure report: what raw-string
+// Report is a structured failure report (scheduler deadlock,
+// exploration timeout, persistent-state corruption): what raw-string
 // panics used to carry, now machine-readable and recoverable. It
 // implements error.
-type Report struct {
-	Kind    ReportKind    `json:"kind"`
-	Blocked []ThreadState `json:"blocked,omitempty"` // blocked threads and the locks they hold
-	Elapsed time.Duration `json:"elapsed_ns"`        // wall-clock time since the run started
-	Detail  string        `json:"detail,omitempty"`  // free-form context (e.g. schedules explored)
-}
-
-func (r *Report) Error() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "resilience: %v after %v", r.Kind, r.Elapsed.Round(time.Millisecond))
-	if len(r.Blocked) > 0 {
-		b.WriteString(" — blocked:")
-		for _, ts := range r.Blocked {
-			b.WriteString(" ")
-			b.WriteString(ts.Thread)
-			if len(ts.Held) > 0 {
-				held := append([]string(nil), ts.Held...)
-				sort.Strings(held)
-				fmt.Fprintf(&b, "(holds %s)", strings.Join(held, ","))
-			}
-		}
-	}
-	if r.Detail != "" {
-		b.WriteString(" — ")
-		b.WriteString(r.Detail)
-	}
-	return b.String()
-}
+type Report = report.Report
 
 // Injector injects faults into the detection pipeline for resilience
 // testing. The zero value (and a nil *Injector) injects nothing; every

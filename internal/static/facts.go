@@ -223,6 +223,20 @@ func collectSpawns(s mj.Stmt, inLoop bool, visit func(*mj.SpawnExpr, bool)) {
 	case *mj.TryStmt:
 		collectSpawns(st.Body, inLoop, visit)
 		collectSpawns(st.Catch, inLoop, visit)
+	case *mj.SelectStmt:
+		for _, arm := range st.Arms {
+			visitSpawnsExpr(arm.Chan, inLoop, visit)
+			visitSpawnsExpr(arm.Value, inLoop, visit)
+			collectSpawns(arm.Body, inLoop, visit)
+		}
+		if st.Default != nil {
+			collectSpawns(st.Default, inLoop, visit)
+		}
+	case *mj.SendStmt:
+		visitSpawnsExpr(st.Chan, inLoop, visit)
+		visitSpawnsExpr(st.Value, inLoop, visit)
+	case *mj.CloseStmt:
+		visitSpawnsExpr(st.Chan, inLoop, visit)
 	case *mj.VarDeclStmt:
 		visitSpawnsExpr(st.Init, inLoop, visit)
 	case *mj.AssignStmt:
@@ -251,5 +265,9 @@ func visitSpawnsExpr(e mj.Expr, inLoop bool, visit func(*mj.SpawnExpr, bool)) {
 		visitSpawnsExpr(ex.R, inLoop, visit)
 	case *mj.UnaryExpr:
 		visitSpawnsExpr(ex.E, inLoop, visit)
+	case *mj.RecvExpr:
+		visitSpawnsExpr(ex.Chan, inLoop, visit)
+	case *mj.MakeChanExpr:
+		visitSpawnsExpr(ex.Cap, inLoop, visit)
 	}
 }

@@ -92,6 +92,10 @@ func analyzeLocals(m *mj.MethodDecl) map[string]*localInfo {
 			for _, d := range ex.ExtraDims() {
 				leak(d)
 			}
+		case *mj.RecvExpr:
+			leak(ex.Chan)
+		case *mj.MakeChanExpr:
+			leak(ex.Cap)
 		}
 	}
 
@@ -151,6 +155,24 @@ func analyzeLocals(m *mj.MethodDecl) map[string]*localInfo {
 		case *mj.PrintStmt:
 			for _, a := range st.Args {
 				leak(a)
+			}
+		case *mj.SendStmt:
+			// A sent value is published to whichever thread receives it.
+			leak(st.Chan)
+			leak(st.Value)
+		case *mj.CloseStmt:
+			leak(st.Chan)
+		case *mj.SelectStmt:
+			for _, arm := range st.Arms {
+				leak(arm.Chan)
+				leak(arm.Value)
+				if arm.Bind != "" {
+					// The binding arrives from another thread: treat it
+					// like a parameter.
+					li := get(arm.Bind)
+					li.freshOnly = false
+					li.escapes = true
+				}
 			}
 		}
 	})
@@ -250,6 +272,22 @@ func (sc *siteCollector) stmt(s mj.Stmt) {
 		for _, a := range st.Args {
 			sc.expr(a, false)
 		}
+	case *mj.SendStmt:
+		sc.expr(st.Chan, false)
+		sc.expr(st.Value, false)
+	case *mj.CloseStmt:
+		sc.expr(st.Chan, false)
+	case *mj.SelectStmt:
+		// Channel synchronization is not a must-alias lock guard: arm
+		// bodies run with the same held set as the select itself.
+		for _, arm := range st.Arms {
+			sc.expr(arm.Chan, false)
+			sc.expr(arm.Value, false)
+			sc.stmt(arm.Body)
+		}
+		if st.Default != nil {
+			sc.stmt(st.Default)
+		}
 	}
 }
 
@@ -347,6 +385,10 @@ func (sc *siteCollector) expr(e mj.Expr, isWrite bool) {
 		for _, d := range ex.ExtraDims() {
 			sc.expr(d, false)
 		}
+	case *mj.RecvExpr:
+		sc.expr(ex.Chan, false)
+	case *mj.MakeChanExpr:
+		sc.expr(ex.Cap, false)
 	}
 }
 

@@ -47,6 +47,12 @@ type Config struct {
 	// stable). The conformance fuzzer uses weights to steer generation
 	// toward Figure 5 rules its coverage map says are under-exercised.
 	SyncWeights []float64
+	// Channels is the number of channel objects. Zero — the default, and
+	// the only value the historical configurations used — generates no
+	// channel operations and keeps pinned seeds bit-stable; positive
+	// values add chmake/send/recv/close to the synchronization mix
+	// (uniform over all kinds when SyncWeights is nil).
+	Channels int
 }
 
 // Indexes into Config.SyncWeights: the synchronization action kinds a
@@ -59,7 +65,21 @@ const (
 	SyncFork           // fork (rule 6)
 	SyncJoin           // join (rule 7)
 	SyncAlloc          // allocation (rule 8)
+	// NumSyncKinds is the count of channel-free kinds: the nil-weights
+	// uniform draw ranges over exactly these when Config.Channels is
+	// zero, which keeps the historical pinned seeds bit-stable.
 	NumSyncKinds
+)
+
+// The channel operation kinds occupy the indices after NumSyncKinds;
+// they join the mix only when Config.Channels is positive.
+const (
+	SyncChanMake  = NumSyncKinds + iota // channel make (no rule)
+	SyncChanSend                        // channel send (rule 10)
+	SyncChanRecv                        // channel recv (rule 11)
+	SyncChanClose                       // channel close (rule 12)
+	// NumSyncKindsChan is the total kind count including channels.
+	NumSyncKindsChan
 )
 
 // Default returns a configuration that produces small, densely
@@ -79,11 +99,12 @@ func Default() Config {
 }
 
 // Object ids used by the generator: globals object is 1, data objects
-// start at 10, lock objects at 100.
+// start at 10, lock objects at 100, channels at 1000.
 const (
 	globalsObj  event.Addr = 1
 	dataObjBase event.Addr = 10
 	lockObjBase event.Addr = 100
+	chanObjBase event.Addr = 1000
 )
 
 type genThread struct {
@@ -91,6 +112,27 @@ type genThread struct {
 	alive bool
 	held  map[event.Addr]int
 }
+
+// genChan mirrors event.ChanState so the generator only emits channel
+// operations that pass Trace.Validate: a send needs buffer room on an
+// open channel, a recv needs a message in flight or a closed channel.
+type genChan struct {
+	made   bool
+	closed bool
+	cap    int32
+	sends  uint64
+	recvs  uint64
+}
+
+func (c *genChan) width() uint64 {
+	if c.cap > 0 {
+		return uint64(c.cap)
+	}
+	return 1
+}
+
+func (c *genChan) canSend() bool { return c.made && !c.closed && c.sends-c.recvs < c.width() }
+func (c *genChan) canRecv() bool { return c.made && (c.sends > c.recvs || c.closed) }
 
 // Generate produces a well-formed trace from rng under cfg.
 func Generate(rng *rand.Rand, cfg Config) *event.Trace {
@@ -109,6 +151,24 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 	}
 	nextFresh := dataObjBase + event.Addr(cfg.Objects)
 
+	// Channel pool (empty unless cfg.Channels > 0). pickChan scans from a
+	// random start for the first channel satisfying ok, keeping the draw
+	// deterministic in rng.
+	chans := make([]genChan, cfg.Channels)
+	pickChan := func(ok func(*genChan) bool) int {
+		if len(chans) == 0 {
+			return -1
+		}
+		start := rng.Intn(len(chans))
+		for i := 0; i < len(chans); i++ {
+			j := (start + i) % len(chans)
+			if ok(&chans[j]) {
+				return j
+			}
+		}
+		return -1
+	}
+
 	alive := func() []*genThread {
 		var out []*genThread
 		for _, t := range threads {
@@ -125,6 +185,11 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 		return event.Variable{Obj: o, Field: f}
 	}
 
+	nkinds := NumSyncKinds
+	if cfg.Channels > 0 {
+		nkinds = NumSyncKindsChan
+	}
+
 	for step := 0; step < cfg.Steps; step++ {
 		live := alive()
 		if len(live) == 0 {
@@ -134,7 +199,7 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 		t := th.id
 
 		if rng.Float64() < cfg.SyncBias {
-			switch pickSync(rng, cfg.SyncWeights) {
+			switch pickSync(rng, cfg.SyncWeights, nkinds) {
 			case 0: // acquire a lock that is free or already ours
 				l := lockObjBase + event.Addr(rng.Intn(cfg.Locks))
 				if owner, held := lockOwner[l]; !held || owner == t {
@@ -182,6 +247,30 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 				nextFresh++
 				pool[rng.Intn(len(pool))] = o
 				b.Alloc(t, o)
+			case SyncChanMake: // make an unmade channel, capacity 0..2
+				if i := pickChan(func(c *genChan) bool { return !c.made }); i >= 0 {
+					capacity := int32(rng.Intn(3))
+					chans[i].made = true
+					chans[i].cap = capacity
+					b.ChanMake(t, chanObjBase+event.Addr(i), capacity)
+				}
+			case SyncChanSend: // send where a real send could complete
+				if i := pickChan((*genChan).canSend); i >= 0 {
+					chans[i].sends++
+					b.ChanSend(t, chanObjBase+event.Addr(i))
+				}
+			case SyncChanRecv: // recv a message in flight, or drain a closed channel
+				if i := pickChan((*genChan).canRecv); i >= 0 {
+					if chans[i].sends > chans[i].recvs {
+						chans[i].recvs++
+					}
+					b.ChanRecv(t, chanObjBase+event.Addr(i))
+				}
+			case SyncChanClose: // close a made, open channel
+				if i := pickChan(func(c *genChan) bool { return c.made && !c.closed }); i >= 0 {
+					chans[i].closed = true
+					b.ChanClose(t, chanObjBase+event.Addr(i))
+				}
 			}
 			continue
 		}
@@ -219,25 +308,25 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 	return b.Trace()
 }
 
-// pickSync chooses a synchronization action kind: uniformly when
-// weights is nil (the historical behavior — one rng.Intn draw), by
-// weight otherwise. Non-positive weights exclude a kind; an all-
-// non-positive slice falls back to uniform.
-func pickSync(rng *rand.Rand, weights []float64) int {
+// pickSync chooses a synchronization action kind among the first n:
+// uniformly when weights is nil (the historical behavior — one rng.Intn
+// draw), by weight otherwise. Non-positive weights exclude a kind; an
+// all-non-positive slice falls back to uniform.
+func pickSync(rng *rand.Rand, weights []float64, n int) int {
 	if weights == nil {
-		return rng.Intn(NumSyncKinds)
+		return rng.Intn(n)
 	}
 	total := 0.0
-	for i := 0; i < NumSyncKinds && i < len(weights); i++ {
+	for i := 0; i < n && i < len(weights); i++ {
 		if weights[i] > 0 {
 			total += weights[i]
 		}
 	}
 	if total <= 0 {
-		return rng.Intn(NumSyncKinds)
+		return rng.Intn(n)
 	}
 	x := rng.Float64() * total
-	for i := 0; i < NumSyncKinds && i < len(weights); i++ {
+	for i := 0; i < n && i < len(weights); i++ {
 		if weights[i] <= 0 {
 			continue
 		}
@@ -246,7 +335,7 @@ func pickSync(rng *rand.Rand, weights []float64) int {
 			return i
 		}
 	}
-	return NumSyncKinds - 1
+	return n - 1
 }
 
 // FromSeed generates a trace deterministically from a seed with the

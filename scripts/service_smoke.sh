@@ -75,11 +75,14 @@ go build -o "$BIN/racereplay" ./cmd/racereplay
 echo "== record MJ scenario traces"
 T "$BIN/goldilocks" -sched det -seed 4 -policy log -record "$WORK/racy.jsonl" examples/mj/racy.mj >/dev/null || [ $? -eq 1 ]
 T "$BIN/goldilocks" -sched det -seed 1 -policy log -record "$WORK/txbank.jsonl" examples/mj/txbank.mj >/dev/null || [ $? -eq 1 ]
+T "$BIN/goldilocks" -sched det -seed 1 -policy log -record "$WORK/pipeline.jsonl" examples/mj/pipeline.mj >/dev/null || [ $? -eq 1 ]
+grep -q '"kind":"send"' "$WORK/pipeline.jsonl" || {
+    echo "FAIL: pipeline recording carries no channel events"; exit 1; }
 
 start_daemon
 
 echo "== verdict parity: daemon vs in-process, exit codes included"
-for trace in internal/conformance/testdata/ce-*.jsonl "$WORK"/racy.jsonl "$WORK"/txbank.jsonl; do
+for trace in internal/conformance/testdata/ce-*.jsonl "$WORK"/racy.jsonl "$WORK"/txbank.jsonl "$WORK"/pipeline.jsonl; do
     name="$(basename "$trace" .jsonl)"
 
     set +e
@@ -140,6 +143,7 @@ drill() {
 echo "== restart drill: interrupt mid-session, SIGTERM, restart, resume"
 drill drill "$WORK/racy.jsonl"
 drill drill-tx "$WORK/txbank.jsonl"
+drill drill-chan "$WORK/pipeline.jsonl"   # channel state must survive the checkpoint
 
 echo "== per-session metrics"
 T curl -sf "http://$METRICS/metrics" -o "$WORK/metrics.prom"
