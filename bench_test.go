@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"goldilocks/internal/bench"
 	"goldilocks/internal/core"
@@ -374,6 +375,35 @@ func BenchmarkTelemetry(b *testing.B) {
 		tel := obs.NewTelemetry()
 		tel.Trace.Enable("o10.f0")
 		run(b, tel)
+	})
+}
+
+// BenchmarkTracer prices the pipeline tracer the same way: "disabled"
+// (a nil *obs.Tracer, exactly what a daemon built with -trace-sample 0
+// carries) must reduce every instrumentation site to one nil check with
+// zero allocations, so the ingest hot path is unchanged when tracing is
+// off. "enabled" pays the sampling counter on every record plus a
+// histogram observe on the sampled ones.
+func BenchmarkTracer(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var tr *obs.Tracer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr.Sample() {
+				tr.Observe(obs.StageApply, time.Microsecond)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := obs.NewTracer(1024)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr.Sample() {
+				tr.Observe(obs.StageApply, time.Microsecond)
+			}
+		}
 	})
 }
 

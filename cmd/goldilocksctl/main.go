@@ -6,6 +6,7 @@
 //	goldilocksctl -cluster a:1,b:2,c:3 drain b:2
 //	goldilocksctl -cluster a:1,b:2,c:3 rebalance
 //	goldilocksctl -cluster a:1,b:2,c:3 metrics
+//	goldilocksctl -cluster a:1,b:2,c:3 flight -out ./dumps
 //	goldilocksctl -cluster a:1,b:2,c:3 drill -kill-pid 1234 -kill-addr b:2
 //
 // The drill streams the seed corpus (Section 2 scenarios plus the
@@ -19,10 +20,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -39,15 +43,23 @@ import (
 
 func main() {
 	var (
-		members = flag.String("cluster", "", "comma-separated fleet member list (required)")
-		repl    = flag.Int("replicas", 2, "replica count K, matching the fleet's -replicas")
-		timeout = flag.Duration("timeout", 5*time.Second, "per-exchange admin timeout")
+		members  = flag.String("cluster", "", "comma-separated fleet member list (required)")
+		repl     = flag.Int("replicas", 2, "replica count K, matching the fleet's -replicas")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-exchange admin timeout")
+		logLevel = flag.String("log-level", "warn", "minimum log level: debug, info, warn, error")
+		logJSON  = flag.Bool("log-json", false, "emit structured JSON log records instead of text")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: goldilocksctl -cluster <a,b,c> [flags] status|drain <node>|rebalance|metrics|drill [drill flags]")
+		fmt.Fprintln(os.Stderr, "usage: goldilocksctl -cluster <a,b,c> [flags] status|drain <node>|rebalance|metrics|flight [flight flags]|drill [drill flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	level, lerr := obs.ParseLogLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "goldilocksctl:", lerr)
+		os.Exit(resilience.ExitUsage)
+	}
+	log := obs.NewLogger(os.Stderr, level, *logJSON).With("component", "goldilocksctl")
 	fleet := splitList(*members)
 	if len(fleet) == 0 || flag.NArg() == 0 {
 		flag.Usage()
@@ -74,6 +86,8 @@ func main() {
 		fmt.Printf("rebalanced: %d sessions migrated\n", moved)
 	case "metrics":
 		os.Stdout.Write(cluster.Rollup(ctx, fleet, *timeout))
+	case "flight":
+		os.Exit(flight(ctx, fleet, *timeout, log, flag.Args()[1:]))
 	case "drill":
 		os.Exit(drill(fleet, flag.Args()[1:]))
 	default:
@@ -122,6 +136,69 @@ func status(ctx context.Context, co *cluster.Coordinator) error {
 	return nil
 }
 
+// flight pulls every member's flight-recorder ring over the admin
+// protocol. With -out each node's dump lands in its own
+// <node>.flight.jsonl (checksums verified, summary printed); without it
+// the dumps stream to stdout under "# node" headers. A nonempty -reason
+// marks an incident and makes each node keep a local copy too.
+func flight(ctx context.Context, fleet []string, timeout time.Duration, log *slog.Logger, args []string) int {
+	fs := flag.NewFlagSet("flight", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "", "write one <node>.flight.jsonl per member into this directory (default: stdout)")
+		reason = fs.String("reason", "", "incident reason; nonempty also triggers a local dump on each node")
+	)
+	fs.Parse(args)
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "goldilocksctl flight:", err)
+			return resilience.ExitRuntime
+		}
+	}
+	scraped := 0
+	for _, addr := range fleet {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		body, err := server.ScrapeFlight(cctx, addr, *reason)
+		cancel()
+		if err != nil {
+			log.Warn("flight scrape failed", "node", addr, "err", err)
+			continue
+		}
+		hdr, events, derr := obs.ReadFlightDump(bytes.NewReader(body))
+		if derr != nil {
+			log.Warn("flight dump damaged", "node", addr, "salvaged", len(events), "err", derr)
+		}
+		if *out == "" {
+			fmt.Printf("# node %s\n", addr)
+			os.Stdout.Write(body)
+		} else {
+			path := filepath.Join(*out, sanitizeNode(addr)+".flight.jsonl")
+			if err := os.WriteFile(path, body, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "goldilocksctl flight:", err)
+				return resilience.ExitRuntime
+			}
+			fmt.Printf("flight: %s -> %s (%d events, %d overwritten)\n", addr, path, hdr.Events, hdr.Overwritten)
+		}
+		scraped++
+	}
+	if scraped == 0 {
+		fmt.Fprintln(os.Stderr, "goldilocksctl flight: no member answered")
+		return resilience.ExitRuntime
+	}
+	return resilience.ExitClean
+}
+
+// sanitizeNode maps a fleet address to a filename-safe stem.
+func sanitizeNode(addr string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, addr)
+}
+
 // drill is the chaos acceptance gate. It needs a victim to SIGKILL —
 // the shell script that owns the daemon processes passes the pid in.
 func drill(fleet []string, args []string) int {
@@ -131,6 +208,7 @@ func drill(fleet []string, args []string) int {
 		killAddr  = fs.String("kill-addr", "", "the victim's fleet address, reported in the summary")
 		corpusDir = fs.String("corpus", "", "extra corpus directory of .jsonl traces (e.g. internal/conformance/testdata)")
 		failover  = fs.Duration("failover-timeout", 30*time.Second, "per-client failover budget")
+		flightOut = fs.String("flight-out", "", "collect each surviving node's flight dump into this directory after the drill")
 	)
 	fs.Parse(args)
 	if *killPid <= 0 {
@@ -209,6 +287,15 @@ func drill(fleet []string, args []string) int {
 
 	fmt.Printf("drill: %d sessions converged, %d divergences, %d failovers\n",
 		len(names)-divergences, divergences, failovers)
+	// A divergence is exactly the incident the flight recorders exist
+	// for: make every reachable node keep a local dump before exiting.
+	reason := ""
+	if divergences > 0 {
+		reason = "conformance-divergence"
+	}
+	if *flightOut != "" || reason != "" {
+		collectDrillFlight(fleet, *flightOut, reason)
+	}
 	if divergences > 0 {
 		return resilience.ExitRace
 	}
@@ -217,6 +304,36 @@ func drill(fleet []string, args []string) int {
 		return resilience.ExitRuntime
 	}
 	return resilience.ExitClean
+}
+
+// collectDrillFlight scrapes each member's flight dump after a drill:
+// written under dir when set, triggering node-local dumps when reason
+// is nonempty. The victim is dead and simply does not answer.
+func collectDrillFlight(fleet []string, dir, reason string) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "goldilocksctl drill: flight collection:", err)
+			return
+		}
+	}
+	for _, addr := range fleet {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		body, err := server.ScrapeFlight(ctx, addr, reason)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drill: flight scrape of %s failed: %v\n", addr, err)
+			continue
+		}
+		if dir == "" {
+			continue // reason-triggered local dumps were the point
+		}
+		path := filepath.Join(dir, sanitizeNode(addr)+".flight.jsonl")
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "drill: writing %s: %v\n", path, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "drill: flight dump of %s -> %s\n", addr, path)
+	}
 }
 
 func fail(format string, args ...any) int {

@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +55,12 @@ func main() {
 		probeIvl    = flag.Duration("probe-interval", 500*time.Millisecond, "failure-detector probe interval; cluster mode only")
 		probeTmo    = flag.Duration("probe-timeout", time.Second, "failure-detector probe timeout; cluster mode only")
 		suspect     = flag.Int("suspect-after", 3, "consecutive probe failures before a peer is declared dead; cluster mode only")
+
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logJSON      = flag.Bool("log-json", false, "emit structured JSON log records instead of text")
+		traceSample  = flag.Int("trace-sample", 1024, "sample one ingest record in N into pipeline stage histograms (0: tracing off)")
+		flightEvents = flag.Int("flight-events", 4096, "flight-recorder ring capacity in events (0: recorder off)")
+		flightDir    = flag.String("flight-dir", "", "write incident flight dumps here (default: <checkpoint-dir>/flight; empty without -checkpoint-dir: no dumps)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,11 +68,18 @@ func main() {
 		flag.Usage()
 		os.Exit(resilience.ExitUsage)
 	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldilocksd:", err)
+		os.Exit(resilience.ExitUsage)
+	}
 	cfg := daemonConfig{
 		addr: *addr, ckptDir: *ckptDir, metricsAddr: *metrics,
 		queue: *queue, batch: *batch, budget: *budget, onError: *onError, noSC: *noSC,
 		cluster: *clusterList, join: *join, replicas: *replicas, ckptEvery: *ckptEvery,
-		probe: cluster.ProbeConfig{Interval: *probeIvl, Timeout: *probeTmo, SuspectAfter: *suspect},
+		probe:       cluster.ProbeConfig{Interval: *probeIvl, Timeout: *probeTmo, SuspectAfter: *suspect},
+		logger:      obs.NewLogger(os.Stderr, level, *logJSON),
+		traceSample: *traceSample, flightEvents: *flightEvents, flightDir: *flightDir,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "goldilocksd:", err)
@@ -82,6 +96,11 @@ type daemonConfig struct {
 	cluster, join              string
 	replicas, ckptEvery        int
 	probe                      cluster.ProbeConfig
+
+	logger       *slog.Logger
+	traceSample  int
+	flightEvents int
+	flightDir    string
 }
 
 func run(cfg daemonConfig) error {
@@ -97,8 +116,12 @@ func run(cfg daemonConfig) error {
 	opts.MemoryBudget = cfg.budget
 
 	reg := obs.NewRegistry()
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "goldilocksd: "+format+"\n", args...)
+	log := cfg.logger.With("component", "goldilocksd")
+	tracer := obs.NewTracer(cfg.traceSample)
+	flight := obs.NewFlightRecorder(cfg.flightEvents)
+	flightDir := cfg.flightDir
+	if flightDir == "" && cfg.ckptDir != "" {
+		flightDir = filepath.Join(cfg.ckptDir, "flight")
 	}
 
 	scfg := server.Config{
@@ -108,7 +131,10 @@ func run(cfg daemonConfig) error {
 		CheckpointDir:   cfg.ckptDir,
 		CheckpointEvery: cfg.ckptEvery,
 		Registry:        reg,
-		Logf:            logf,
+		Logger:          cfg.logger,
+		Tracer:          tracer,
+		Flight:          flight,
+		FlightDir:       flightDir,
 	}
 
 	var node *cluster.Node
@@ -137,7 +163,8 @@ func run(cfg daemonConfig) error {
 			Members:  members,
 			Replicas: cfg.replicas,
 			Probe:    cfg.probe,
-			Logf:     logf,
+			Logger:   cfg.logger,
+			Tracer:   tracer,
 		})
 		defer node.Stop()
 		scfg.Advertise = self
@@ -153,13 +180,14 @@ func run(cfg daemonConfig) error {
 	if err != nil {
 		return err
 	}
-	logf("listening on %s", srv.Addr())
+	log.Info("listening", "addr", srv.Addr(),
+		"trace_sample", tracer.SampleEvery(), "flight_events", cfg.flightEvents)
 	if node != nil {
-		logf("cluster member %s of %v (replicas=%d)", scfg.Advertise, members, cfg.replicas)
+		log.Info("cluster member", "self", scfg.Advertise, "members", members, "replicas", cfg.replicas)
 	}
 	if qs := srv.Quarantined(); len(qs) > 0 {
 		for _, q := range qs {
-			logf("quarantined corrupt checkpoint of session %q -> %s", q.Session, q.Path)
+			log.Warn("quarantined corrupt checkpoint", "session", q.Session, "path", q.Path)
 		}
 	}
 
@@ -170,19 +198,43 @@ func run(cfg daemonConfig) error {
 			srv.Close()
 			return err
 		}
-		logf("serving metrics on http://%s/metrics", msrv.Addr())
+		log.Info("serving metrics", "url", fmt.Sprintf("http://%s/metrics", msrv.Addr()))
 		if node != nil {
 			msrv.Handle("/cluster/metrics", cluster.RollupHandler(members, 0))
-			logf("serving cluster rollup on http://%s/cluster/metrics", msrv.Addr())
+			log.Info("serving cluster rollup", "url", fmt.Sprintf("http://%s/cluster/metrics", msrv.Addr()))
 		}
+	}
+
+	// SIGQUIT dumps the flight recorder and keeps running — the
+	// operator's "what just happened" button.
+	if flight != nil && flightDir != "" {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				if path, err := srv.DumpFlight("sigquit"); err != nil {
+					log.Warn("flight dump failed", "reason", "sigquit", "err", err)
+				} else {
+					log.Info("flight recorder dumped", "reason", "sigquit", "path", path)
+				}
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	logf("signal received, shutting down")
+	log.Info("signal received, shutting down")
 
 	err = srv.Close()
+	if flight != nil && flightDir != "" {
+		if path, derr := srv.DumpFlight("shutdown"); derr != nil {
+			log.Warn("flight dump failed", "reason", "shutdown", "err", derr)
+		} else {
+			log.Info("flight recorder dumped", "reason", "shutdown", "path", path)
+		}
+	}
 	if cerr := msrv.Close(); cerr != nil && err == nil {
 		err = cerr
 	}

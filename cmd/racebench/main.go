@@ -12,6 +12,7 @@
 //	racebench -figure 7             # Figure 7
 //	racebench -scale [-scaleout F]  # GOMAXPROCS scalability sweep → JSON
 //	racebench -channels [-chanout F] # channels-vs-monitors ladder → JSON
+//	racebench -ingest [-ingestout F] # local-vs-remote ingest pipeline → JSON
 //	racebench -all [-full]          # everything
 //
 // Exit codes: 0 success, 2 usage error, 3 runtime failure.
@@ -30,15 +31,20 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "regenerate table 1, 2, or 3")
-		dets    = flag.Bool("detectors", false, "cross-detector comparison (precision + cost)")
-		figure  = flag.Int("figure", 0, "regenerate figure 6 or 7")
-		all     = flag.Bool("all", false, "regenerate everything")
-		full    = flag.Bool("full", false, "full-scale parameters (slower)")
-		ops     = flag.Int("ops", 12, "per-thread operations for Table 3")
-		scale   = flag.Bool("scale", false, "GOMAXPROCS scalability sweep")
-		scaleMS = flag.Int("scalems", 200, "milliseconds per scale sweep point")
-		scaleTo = flag.String("scaleout", "BENCH_scale.json", "scale sweep JSON output path")
+		table      = flag.Int("table", 0, "regenerate table 1, 2, or 3")
+		dets       = flag.Bool("detectors", false, "cross-detector comparison (precision + cost)")
+		figure     = flag.Int("figure", 0, "regenerate figure 6 or 7")
+		all        = flag.Bool("all", false, "regenerate everything")
+		full       = flag.Bool("full", false, "full-scale parameters (slower)")
+		ops        = flag.Int("ops", 12, "per-thread operations for Table 3")
+		scale      = flag.Bool("scale", false, "GOMAXPROCS scalability sweep")
+		scaleMS    = flag.Int("scalems", 200, "milliseconds per scale sweep point")
+		scaleTo    = flag.String("scaleout", "BENCH_scale.json", "scale sweep JSON output path")
+		ingest     = flag.Bool("ingest", false, "local-vs-remote ingest pipeline benchmark with per-stage latency")
+		ingestTo   = flag.String("ingestout", "BENCH_ingest.json", "ingest benchmark JSON output path")
+		ingestEvts = flag.Int("ingestevents", 0, "events per session for -ingest (0: default)")
+		ingestSess = flag.Int("ingestsessions", 0, "concurrent sessions for -ingest (0: default)")
+
 		chans   = flag.Bool("channels", false, "channels-vs-monitors contention ladder")
 		chIters = flag.Int("chaniters", bench.DefaultChannelSweep().Iters, "critical sections per worker for -channels")
 		chTo    = flag.String("chanout", "BENCH_channels.json", "channel ladder JSON output path")
@@ -131,6 +137,24 @@ func main() {
 		}
 		fmt.Print(bench.FormatScale(rep))
 		fmt.Println("wrote", *scaleTo)
+	}
+	if *all || *ingest {
+		ran = true
+		rep, err := bench.Ingest(bench.IngestConfig{
+			Sessions: *ingestSess, Events: *ingestEvts,
+		}, progress)
+		if err != nil {
+			fail(err)
+		}
+		data, err := bench.MarshalIngest(rep)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*ingestTo, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatIngest(rep))
+		fmt.Println("wrote", *ingestTo)
 	}
 	if *all || *chans {
 		ran = true

@@ -26,6 +26,12 @@ type ScalePoint struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Speedup   float64 `json:"speedup_vs_1proc"`
+	// Oversubscribed marks points where procs exceeds the hardware
+	// parallelism (runtime.NumCPU): more workers than CPUs cannot speed
+	// up, only add scheduler churn and preempted-lock-holder convoys, so
+	// a sub-1x Speedup here is oversubscription, not a scaling
+	// regression. See docs/PERFORMANCE.md.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // EngineConfig records the engine configuration a sweep ran with, so a
@@ -140,11 +146,12 @@ func Scale(procsList []int, perPoint time.Duration, tel *obs.Telemetry, progress
 			runtime.GOMAXPROCS(procs)
 			ops, elapsed := scaleOnePoint(mix, procs, perPoint, tel)
 			p := ScalePoint{
-				Mix:       mix.name,
-				Procs:     procs,
-				Ops:       ops,
-				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
-				OpsPerSec: float64(ops) / elapsed.Seconds(),
+				Mix:            mix.name,
+				Procs:          procs,
+				Ops:            ops,
+				ElapsedMS:      float64(elapsed) / float64(time.Millisecond),
+				OpsPerSec:      float64(ops) / elapsed.Seconds(),
+				Oversubscribed: procs > rep.NumCPU,
 			}
 			if base == 0 {
 				base = p.OpsPerSec
@@ -200,7 +207,11 @@ func FormatScale(rep ScaleReport) string {
 	s := fmt.Sprintf("Scalability sweep (NumCPU=%d, %s)\n", rep.NumCPU, rep.GoVersion)
 	s += fmt.Sprintf("%-10s %6s %14s %10s\n", "mix", "procs", "ops/sec", "speedup")
 	for _, p := range rep.Points {
-		s += fmt.Sprintf("%-10s %6d %14.0f %9.2fx\n", p.Mix, p.Procs, p.OpsPerSec, p.Speedup)
+		over := ""
+		if p.Oversubscribed {
+			over = "  (oversubscribed)"
+		}
+		s += fmt.Sprintf("%-10s %6d %14.0f %9.2fx%s\n", p.Mix, p.Procs, p.OpsPerSec, p.Speedup, over)
 	}
 	return s
 }

@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"context"
+	"log/slog"
 	"sync/atomic"
+	"time"
 
+	"goldilocks/internal/obs"
 	"goldilocks/internal/server"
 )
 
@@ -22,8 +25,12 @@ type NodeConfig struct {
 	Vnodes int
 	// Probe tunes the failure detector.
 	Probe ProbeConfig
-	// Logf, when set, receives replication and routing diagnostics.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives replication and routing diagnostics.
+	// Nil means discard.
+	Logger *slog.Logger
+	// Tracer, when set, observes each successful replica push's latency
+	// into the replica_push stage histogram. Nil disables.
+	Tracer *obs.Tracer
 }
 
 // Node is the cluster personality of one goldilocksd process: a
@@ -60,6 +67,9 @@ func NewNode(cfg NodeConfig) *Node {
 	}
 	if cfg.Replicas < 0 {
 		cfg.Replicas = 0
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
 	}
 	n := &Node{
 		cfg:  cfg,
@@ -161,10 +171,14 @@ func (n *Node) replicate(job replJob) {
 	targets := n.ring().Successors(job.id, n.cfg.Replicas)
 	for _, addr := range targets {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*n.det.cfg.Timeout)
+		start := time.Now()
 		err := server.PutReplica(ctx, addr, job.id, job.data)
 		cancel()
-		if err != nil && n.cfg.Logf != nil {
-			n.cfg.Logf("cluster: replicating %s@%d to %s: %v", job.id, job.applied, addr, err)
+		if err != nil {
+			n.cfg.Logger.Warn("replica push failed", "component", "cluster",
+				"session", job.id, "applied", job.applied, "target", addr, "err", err)
+			continue
 		}
+		n.cfg.Tracer.Observe(obs.StageReplicaPush, time.Since(start))
 	}
 }

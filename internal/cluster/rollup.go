@@ -101,13 +101,36 @@ func parseSample(line string) (name, labels, val string, ok bool) {
 	return key, "", val, true
 }
 
-// injectLabel prepends k=v to a raw label body.
+// injectLabel prepends k=v to a raw label body, escaping v per the
+// Prometheus 0.0.4 text format.
 func injectLabel(labels, k, v string) string {
-	kv := fmt.Sprintf("%s=%q", k, v)
+	kv := k + `="` + escapeLabelValue(v) + `"`
 	if labels == "" {
 		return kv
 	}
 	return kv + "," + labels
+}
+
+// escapeLabelValue escapes a label value per the Prometheus 0.0.4 text
+// format: backslash, double quote, and newline — and nothing else.
+// (Go's %q escapes more — tabs, non-printables, non-ASCII — which
+// corrupts values, since the exposition format is UTF-8 with only those
+// three escapes defined.)
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 func sortedNames(m map[string]float64) []string {

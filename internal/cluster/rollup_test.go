@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// The 0.0.4 text format defines exactly three label-value escapes:
+// backslash, double quote, newline. Everything else — tabs, UTF-8,
+// control characters Go's %q would mangle — passes through verbatim.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain:7766`, `plain:7766`},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"\\\"\n", `\\\"\n`},
+		{"tab\there", "tab\there"}, // NOT escaped: %q would produce \t
+		{"unicode-ü", "unicode-ü"}, // NOT escaped: UTF-8 is legal raw
+		{"\x01", "\x01"},           // NOT escaped: only the three above
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInjectLabelEscapes(t *testing.T) {
+	got := injectLabel("", "node", "bad\"addr\\with\nstuff")
+	want := `node="bad\"addr\\with\nstuff"`
+	if got != want {
+		t.Fatalf("injectLabel = %s, want %s", got, want)
+	}
+	// Prepended to an existing label body, existing labels untouched.
+	got = injectLabel(`session="s1"`, "node", `n"1`)
+	if want := `node="n\"1",session="s1"`; got != want {
+		t.Fatalf("injectLabel = %s, want %s", got, want)
+	}
+	if strings.Count(got, `\"`) != 1 {
+		t.Fatalf("unexpected escape count in %s", got)
+	}
+}

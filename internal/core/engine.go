@@ -444,6 +444,11 @@ func (e *Engine) Rung() resilience.DegradationRung {
 // (exposed for GC tests and monitoring).
 func (e *Engine) ListLen() int { return e.list.len() }
 
+// VarsQuarantined returns how many variables the panic facade has
+// quarantined so far (exposed so the service's flight recorder can
+// detect a new quarantine without paying for a full Stats snapshot).
+func (e *Engine) VarsQuarantined() uint64 { return e.varsQuarantined.Load() }
+
 // Step implements detect.Detector: it dispatches one action of a
 // linearized trace to the concurrent entry points.
 func (e *Engine) Step(a event.Action) []detect.Race {

@@ -1,0 +1,97 @@
+package event_test
+
+import (
+	"bytes"
+	"testing"
+
+	"goldilocks/internal/event"
+)
+
+// The span field is an optional trace annotation riding the stream-v2
+// record envelope; these tests pin its wire compatibility in both
+// directions — spanless readers accept spanned records and vice versa —
+// and that the CRC discipline (checksum over the action body only) is
+// unchanged by its presence.
+
+func TestRecordSpanRoundTrip(t *testing.T) {
+	a := event.Acquire(3, 20)
+	line, err := event.EncodeRecordSpan(a, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, span, ok := event.DecodeRecordSpan(line)
+	if !ok {
+		t.Fatal("spanned record rejected")
+	}
+	if span != 77 {
+		t.Fatalf("span = %d, want 77", span)
+	}
+	if got.Kind != a.Kind || got.Thread != a.Thread || got.Obj != a.Obj {
+		t.Fatalf("action = %v, want %v", got, a)
+	}
+	if !bytes.Contains(line, []byte(`"sp":77`)) {
+		t.Fatalf("span not on the wire: %s", line)
+	}
+}
+
+func TestRecordSpanZeroOmitted(t *testing.T) {
+	// Span 0 means "unsampled" and must not appear on the wire, so
+	// tracing-off daemons emit byte-identical records to pre-span ones.
+	withSpan, err := event.EncodeRecordSpan(event.Write(1, 10, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := event.EncodeRecord(event.Write(1, 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(withSpan, plain) {
+		t.Fatalf("span-0 record differs from plain record:\n%s\n%s", withSpan, plain)
+	}
+	if bytes.Contains(plain, []byte(`"sp"`)) {
+		t.Fatalf("sp field present on unsampled record: %s", plain)
+	}
+}
+
+func TestRecordSpanBackwardCompatible(t *testing.T) {
+	// Old decoder path (DecodeRecord) accepts spanned records — the span
+	// is simply ignored.
+	line, err := event.EncodeRecordSpan(event.Read(2, 10, 1), 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := event.DecodeRecord(line)
+	if !ok {
+		t.Fatal("spanless decoder rejected a spanned record")
+	}
+	if a.Kind != event.KindRead || a.Thread != 2 {
+		t.Fatalf("action = %v", a)
+	}
+
+	// New decoder accepts span-free records as span 0.
+	plain, err := event.EncodeRecord(event.Read(2, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, span, ok := event.DecodeRecordSpan(plain); !ok || span != 0 {
+		t.Fatalf("plain record: ok=%v span=%d, want ok, 0", ok, span)
+	}
+}
+
+func TestRecordSpanCRCCoversActionOnly(t *testing.T) {
+	// The CRC covers the action body, not the envelope: flipping the span
+	// must not invalidate the checksum (span corruption only misroutes a
+	// latency sample, never a verdict), while flipping the action must.
+	line, err := event.EncodeRecordSpan(event.Release(1, 20), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reSpanned := bytes.Replace(line, []byte(`"sp":5`), []byte(`"sp":9`), 1)
+	if a, span, ok := event.DecodeRecordSpan(reSpanned); !ok || span != 9 || a.Kind != event.KindRelease {
+		t.Fatalf("re-spanned record: ok=%v span=%d kind=%v", ok, span, a.Kind)
+	}
+	damaged := bytes.Replace(line, []byte(`"t":1`), []byte(`"t":2`), 1)
+	if _, _, ok := event.DecodeRecordSpan(damaged); ok {
+		t.Fatal("action corruption not caught by the record CRC")
+	}
+}

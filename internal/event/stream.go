@@ -46,6 +46,12 @@ type streamHeader struct {
 type streamRecord struct {
 	Action json.RawMessage `json:"a"`
 	CRC    string          `json:"crc"`
+	// Span is an optional trace span id stamped by a sampling client
+	// (obs.Tracer). Zero means unsampled and is omitted, so spanless
+	// records are byte-identical to the pre-span format and old readers
+	// ignore the field entirely. The CRC covers only the action body, so
+	// span stamping never invalidates a record.
+	Span uint64 `json:"sp,omitempty"`
 }
 
 func actionCRC(serialized []byte) string {
@@ -167,6 +173,13 @@ func CheckStreamHeader(line []byte) error {
 // (newline-terminated), the unit of the streaming format and of the
 // goldilocksd wire protocol.
 func EncodeRecord(a Action) ([]byte, error) {
+	return EncodeRecordSpan(a, 0)
+}
+
+// EncodeRecordSpan is EncodeRecord with a trace span id riding the
+// record. span 0 (unsampled) produces a line byte-identical to
+// EncodeRecord's.
+func EncodeRecordSpan(a Action, span uint64) ([]byte, error) {
 	ja := jsonAction{
 		Kind:   a.Kind.String(),
 		Thread: a.Thread,
@@ -180,7 +193,7 @@ func EncodeRecord(a Action) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, err := json.Marshal(streamRecord{Action: body, CRC: actionCRC(body)})
+	rec, err := json.Marshal(streamRecord{Action: body, CRC: actionCRC(body), Span: span})
 	if err != nil {
 		return nil, err
 	}
@@ -190,8 +203,15 @@ func EncodeRecord(a Action) ([]byte, error) {
 // DecodeRecord parses and checksum-verifies one record line; ok is
 // false for a torn, corrupt, or unknown-kind record.
 func DecodeRecord(line []byte) (a Action, ok bool) {
-	a, st, _ := decodeStreamLine(line)
+	a, _, st, _ := decodeStreamLine(line)
 	return a, st == recOK
+}
+
+// DecodeRecordSpan is DecodeRecord plus the record's span id (0 when
+// the record carries none).
+func DecodeRecordSpan(line []byte) (a Action, span uint64, ok bool) {
+	a, span, st, _ := decodeStreamLine(line)
+	return a, span, st == recOK
 }
 
 // WriteTraceStream writes a whole trace in the streaming format.
@@ -249,7 +269,7 @@ func ReadTraceStream(r io.Reader) (tr *Trace, dropped int, err error) {
 			dropped++
 			continue
 		}
-		a, st, kindName := decodeStreamLine(line)
+		a, _, st, kindName := decodeStreamLine(line)
 		if st != recOK {
 			if st == recUnknownKind {
 				unknownRep = &report.Report{
@@ -384,23 +404,23 @@ const (
 
 // decodeStreamLine parses and checksum-verifies one record line,
 // distinguishing corruption from version skew (an intact record with an
-// unknown kind). kindName is the offending name in the unknown-kind
-// case.
-func decodeStreamLine(line []byte) (Action, recDecodeStatus, string) {
+// unknown kind). span is the record's trace span id (0 when absent);
+// kindName is the offending name in the unknown-kind case.
+func decodeStreamLine(line []byte) (Action, uint64, recDecodeStatus, string) {
 	var rec streamRecord
 	if err := json.Unmarshal(line, &rec); err != nil || len(rec.Action) == 0 {
-		return Action{}, recCorrupt, ""
+		return Action{}, 0, recCorrupt, ""
 	}
 	if actionCRC(rec.Action) != rec.CRC {
-		return Action{}, recCorrupt, ""
+		return Action{}, 0, recCorrupt, ""
 	}
 	var ja jsonAction
 	if err := json.Unmarshal(rec.Action, &ja); err != nil {
-		return Action{}, recCorrupt, ""
+		return Action{}, 0, recCorrupt, ""
 	}
 	k, ok := kindByName[ja.Kind]
 	if !ok || k == KindInvalid {
-		return Action{}, recUnknownKind, ja.Kind
+		return Action{}, 0, recUnknownKind, ja.Kind
 	}
 	return Action{
 		Kind:   k,
@@ -410,7 +430,7 @@ func decodeStreamLine(line []byte) (Action, recDecodeStatus, string) {
 		Peer:   ja.Peer,
 		Reads:  ja.Reads,
 		Writes: ja.Writes,
-	}, recOK, ""
+	}, rec.Span, recOK, ""
 }
 
 // ReadTraceAuto sniffs the format: a streaming header selects

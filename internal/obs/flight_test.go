@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(FlightEvent{Kind: "x"})
+	r.Event("c", "k", "s", "d")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder has events")
+	}
+	if evs, over := r.Snapshot(); evs != nil || over != 0 {
+		t.Fatal("nil recorder snapshot nonempty")
+	}
+	if r.Dumps() != 0 {
+		t.Fatal("nil recorder reports dumps")
+	}
+	if _, err := r.DumpToDir(t.TempDir(), "n", "r"); err == nil {
+		t.Fatal("nil recorder DumpToDir should error")
+	}
+	if NewFlightRecorder(0) != nil {
+		t.Fatal("NewFlightRecorder(0) should return nil")
+	}
+}
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Event("server", "attach", fmt.Sprintf("s%d", i), "")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	evs, overwritten := r.Snapshot()
+	if len(evs) != 4 || overwritten != 6 {
+		t.Fatalf("Snapshot = %d events, %d overwritten; want 4, 6", len(evs), overwritten)
+	}
+	// Oldest-first, and the retained suffix is the newest four.
+	for i, ev := range evs {
+		if want := fmt.Sprintf("s%d", 6+i); ev.Session != want {
+			t.Fatalf("event %d session = %q, want %q", i, ev.Session, want)
+		}
+		if ev.Seq != uint64(7+i) {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, 7+i)
+		}
+		if ev.UnixMicro == 0 {
+			t.Fatalf("event %d missing timestamp", i)
+		}
+	}
+}
+
+func TestFlightDumpRoundTrip(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Event("server", "attach", "alpha", "")
+	r.Record(FlightEvent{Component: "server", Kind: "rule-fire", Session: "alpha", Span: 42, Detail: "RL x1 at 7"})
+	r.Event("cluster", "promote", "beta", "from replica")
+
+	var b bytes.Buffer
+	if err := r.WriteDump(&b, "node1:7766", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Dumps() != 1 {
+		t.Fatalf("Dumps = %d, want 1", r.Dumps())
+	}
+	hdr, evs, err := ReadFlightDump(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Format != FlightFormatName || hdr.Version != FlightFormatVersion {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Node != "node1:7766" || hdr.Reason != "test" || hdr.Events != 3 || hdr.Overwritten != 0 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("read %d events, want 3", len(evs))
+	}
+	if evs[1].Span != 42 || evs[1].Kind != "rule-fire" {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Kind != "promote" || evs[2].Component != "cluster" {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+}
+
+func TestFlightDumpCorruptionDetected(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Event("server", "attach", "a", "")
+	r.Event("server", "detach", "a", "")
+	var b bytes.Buffer
+	if err := r.WriteDump(&b, "n", "test"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump has %d lines, want 3", len(lines))
+	}
+
+	// Flip the second event's session inside the checksummed body.
+	damaged := strings.Join([]string{lines[0], lines[1], strings.Replace(lines[2], `"s":"a"`, `"s":"b"`, 1)}, "\n")
+	hdr, evs, err := ReadFlightDump(strings.NewReader(damaged))
+	if err == nil {
+		t.Fatal("checksum mismatch not detected")
+	}
+	if hdr.Events != 2 || len(evs) != 1 {
+		t.Fatalf("salvaged %d events, want the valid prefix of 1", len(evs))
+	}
+
+	// A non-dump file is rejected outright.
+	if _, _, err := ReadFlightDump(strings.NewReader("{\"hello\":1}\n")); err == nil {
+		t.Fatal("non-dump header accepted")
+	}
+	if _, _, err := ReadFlightDump(strings.NewReader("")); err == nil {
+		t.Fatal("empty dump accepted")
+	}
+}
+
+func TestFlightDumpCRCCoversEventBody(t *testing.T) {
+	// The crc field must cover exactly the serialized event, so external
+	// tools can verify lines independently.
+	r := NewFlightRecorder(2)
+	r.Event("server", "checkpoint", "s", "")
+	var b bytes.Buffer
+	if err := r.WriteDump(&b, "", "x"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	var fl struct {
+		Event json.RawMessage `json:"e"`
+		CRC   string          `json:"crc"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &fl); err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("%08x", crc32.ChecksumIEEE(fl.Event)); fl.CRC != want {
+		t.Fatalf("crc = %s, want %s", fl.CRC, want)
+	}
+}
+
+func TestDumpToDir(t *testing.T) {
+	dir := t.TempDir()
+	r := NewFlightRecorder(4)
+	r.Event("server", "attach", "s", "")
+	path, err := r.DumpToDir(dir, "n", "panic quarantine/../x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "flight-panic-quarantine-..-x.jsonl"); path != want {
+		t.Fatalf("path = %s, want %s", path, want)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, evs, err := ReadFlightDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Reason != "panic quarantine/../x" || len(evs) != 1 {
+		t.Fatalf("hdr = %+v, %d events", hdr, len(evs))
+	}
+
+	// Same reason replaces in place rather than accumulating files.
+	r.Event("server", "detach", "s", "")
+	if _, err := r.DumpToDir(dir, "n", "panic quarantine/../x"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries after re-dump, want 1", len(ents))
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "": slog.LevelInfo, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		"INFO": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted garbage")
+	}
+}
+
+func TestLoggerOutput(t *testing.T) {
+	var b bytes.Buffer
+	log := NewLogger(&b, slog.LevelInfo, true).With("component", "test")
+	log.Debug("hidden")
+	log.Info("visible", "session", "s1")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug record emitted at info level")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("log output is not JSON: %v\n%s", err, out)
+	}
+	if rec["component"] != "test" || rec["session"] != "s1" || rec["msg"] != "visible" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	b.Reset()
+	NewLogger(&b, slog.LevelWarn, false).Warn("text mode")
+	if !strings.Contains(b.String(), "text mode") || strings.Contains(b.String(), "{") {
+		t.Fatalf("text handler output = %q", b.String())
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	log.Info("nothing", "k", "v") // must not panic
+	log.With("a", 1).WithGroup("g").Error("still nothing")
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// This file is the structured-logging front door for the service-side
+// binaries (goldilocksd, goldilocksctl) and internal/cluster: one
+// slog.Logger per process, text or JSON handler selected by -log-json,
+// level by -log-level, with component/session context carried as attrs
+// instead of interpolated into format strings.
+
+// ParseLogLevel maps a -log-level flag value to its slog level. The
+// empty string means info.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds the process logger: JSON or logfmt-style text on w,
+// records below level dropped at the handler.
+func NewLogger(w io.Writer, level slog.Level, jsonOut bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library components whose caller wired no logger. (A hand-rolled
+// handler rather than slog.DiscardHandler, which needs a newer language
+// version than this module declares.)
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

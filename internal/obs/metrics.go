@@ -97,6 +97,51 @@ func (h *Histogram) Buckets() []HistBucket {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observations by
+// linear interpolation inside the exponential bucket containing the
+// target rank. The estimate is exact for bucket boundaries and within
+// one bucket's width otherwise — good enough for p50/p99 stage-latency
+// reporting, where the buckets are microsecond powers of two. With no
+// observations it returns 0; ranks landing in the +Inf bucket return
+// that bucket's lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	cum := float64(0)
+	for i := 0; i < histBuckets; i++ {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == 0 {
+				return 0 // bucket 0 holds only v == 0
+			}
+			lo := float64(uint64(1)<<(i-1)) - 1
+			hi := float64(uint64(1)<<i) - 1
+			if i == histBuckets-1 {
+				return lo // +Inf bucket: no finite upper bound to interpolate to
+			}
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return 0
+}
+
 // SeriesPoint is one sample of a time series.
 type SeriesPoint struct {
 	UnixMilli int64   `json:"t"`

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Sample() {
+		t.Fatal("nil tracer sampled")
+	}
+	if tr.NextSpan() != 0 {
+		t.Fatal("nil tracer handed out a span id")
+	}
+	tr.Observe(StageApply, time.Millisecond) // must not panic
+	if tr.StageHist(StageApply) != nil {
+		t.Fatal("nil tracer returned a histogram")
+	}
+	if tr.SampleEvery() != 0 {
+		t.Fatalf("nil tracer SampleEvery = %d, want 0", tr.SampleEvery())
+	}
+	tr.Register(NewRegistry(), "x") // must not panic
+}
+
+func TestNewTracerDisabled(t *testing.T) {
+	if NewTracer(0) != nil || NewTracer(-5) != nil {
+		t.Fatal("NewTracer(<=0) should return the nil (disabled) tracer")
+	}
+}
+
+func TestTracerSamplingInterval(t *testing.T) {
+	// 6 rounds up to 8; exactly one in every 8 calls samples.
+	tr := NewTracer(6)
+	if got := tr.SampleEvery(); got != 8 {
+		t.Fatalf("SampleEvery = %d, want 8", got)
+	}
+	sampled := 0
+	for i := 0; i < 8*10; i++ {
+		if tr.Sample() {
+			sampled++
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 80 records at 1/8, want 10", sampled)
+	}
+}
+
+func TestTracerSpanIDsNonzeroAndUnique(t *testing.T) {
+	tr := NewTracer(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id := tr.NextSpan()
+		if id == 0 {
+			t.Fatal("NextSpan returned 0 (reserved for unsampled)")
+		}
+		if seen[id] {
+			t.Fatalf("span id %d repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTracerObserveAndQuantile(t *testing.T) {
+	tr := NewTracer(1)
+	for i := 0; i < 1000; i++ {
+		tr.Observe(StageQueueWait, time.Duration(i)*time.Microsecond)
+	}
+	tr.Observe(StageQueueWait, -time.Second) // clamps, not panics
+	h := tr.StageHist(StageQueueWait)
+	if h.Count() != 1001 {
+		t.Fatalf("count = %d, want 1001", h.Count())
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 <= 0 || p50 > 1023 {
+		t.Fatalf("p50 = %g out of range for 0..999us observations", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+	// Out-of-range stages are ignored, not a panic or corruption.
+	tr.Observe(NumStages, time.Second)
+	tr.Observe(NumStages+3, time.Second)
+	if tr.StageHist(NumStages) != nil {
+		t.Fatal("StageHist accepted an out-of-range stage")
+	}
+}
+
+func TestTracerRegisterNames(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(1)
+	tr.Register(reg, "goldilocksd")
+	tr.Observe(StageApply, 3*time.Microsecond)
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for st := Stage(0); st < NumStages; st++ {
+		want := "goldilocksd_stage_" + st.String() + "_us"
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	if !strings.Contains(out, "goldilocksd_stage_apply_us_count 1") {
+		t.Errorf("apply histogram count not exported:\n%s", out)
+	}
+}
+
+func TestStageStringUnknown(t *testing.T) {
+	if got := (NumStages + 1).String(); got != "unknown" {
+		t.Fatalf("out-of-range Stage.String() = %q, want unknown", got)
+	}
+}

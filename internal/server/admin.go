@@ -28,6 +28,9 @@ import (
 //	drain       stop owning sessions: sever connections, checkpoint
 //	            and replicate everything, reply with the session list
 //	metrics     pull this node's Prometheus exposition (rollup)
+//	flight      pull this node's flight-recorder ring as a checksummed
+//	            .jsonl dump; a nonempty reason also triggers a local
+//	            dump to the node's flight directory
 const AdminProtoName = "goldilocks-cluster"
 
 // AdminProtoVersion is the current admin protocol version.
@@ -43,6 +46,7 @@ const (
 	verbDrop       = "drop"
 	verbDrain      = "drain"
 	verbMetrics    = "metrics"
+	verbFlight     = "flight"
 )
 
 // adminReq is the request line of an admin exchange.
@@ -51,7 +55,8 @@ type adminReq struct {
 	Version int    `json:"version"`
 	Verb    string `json:"verb"`
 	Session string `json:"session,omitempty"`
-	Size    int64  `json:"size,omitempty"` // body bytes that follow
+	Reason  string `json:"reason,omitempty"` // with verb flight: also dump locally
+	Size    int64  `json:"size,omitempty"`   // body bytes that follow
 }
 
 // SessionInfo is one session's progress as reported by info and drain.
@@ -184,6 +189,27 @@ func (s *Server) handleAdmin(req adminReq, br *bufio.Reader, bw *bufio.Writer) {
 		if err := s.cfg.Registry.WritePrometheus(&buf); err != nil {
 			fail("rendering metrics: %v", err)
 			return
+		}
+		reply(adminResp{OK: true, Node: s.cfg.Advertise}, buf.b)
+
+	case verbFlight:
+		if s.cfg.Flight == nil {
+			fail("no flight recorder configured")
+			return
+		}
+		reason := req.Reason
+		if reason == "" {
+			reason = "scrape"
+		}
+		var buf safeBuffer
+		if err := s.cfg.Flight.WriteDump(&buf, s.cfg.Advertise, reason); err != nil {
+			fail("rendering flight dump: %v", err)
+			return
+		}
+		if req.Reason != "" {
+			// A caller-supplied reason marks an incident (conformance
+			// divergence, operator drill): keep a local copy too.
+			s.autoDumpFlight(req.Reason)
 		}
 		reply(adminResp{OK: true, Node: s.cfg.Advertise}, buf.b)
 
@@ -324,6 +350,14 @@ func DrainNode(ctx context.Context, addr string) ([]SessionInfo, error) {
 // over the admin protocol (the transport behind the cluster rollup).
 func ScrapeMetrics(ctx context.Context, addr string) ([]byte, error) {
 	_, body, err := adminCall(ctx, addr, adminReq{Verb: verbMetrics}, nil)
+	return body, err
+}
+
+// ScrapeFlight pulls the flight-recorder dump of the node at addr. A
+// nonempty reason marks an incident: the node also writes a local
+// flight-<reason>.jsonl copy to its flight directory.
+func ScrapeFlight(ctx context.Context, addr, reason string) ([]byte, error) {
+	_, body, err := adminCall(ctx, addr, adminReq{Verb: verbFlight, Reason: reason}, nil)
 	return body, err
 }
 

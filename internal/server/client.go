@@ -9,10 +9,12 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 )
 
 // Ack is the server's progress report for a session: how many actions
@@ -53,6 +55,11 @@ type Client struct {
 	base      uint64         // applied count before journal[0]
 	journal   []event.Action // every action sent, for replay after failover
 	failovers int
+
+	// tracer, when set (DialConfig.Tracer), samples sent records into
+	// pipeline spans: the span id rides the stream record to the server,
+	// and the client observes its own stages (encode, control RTT).
+	tracer *obs.Tracer
 
 	mu    sync.Mutex
 	races []detect.Race
@@ -156,7 +163,15 @@ func (c *Client) terminalErr() error {
 // action is journaled first, so a mid-stream node death is survived by
 // reconnecting and replaying.
 func (c *Client) Send(a event.Action) error {
-	rec, err := event.EncodeRecord(a)
+	var rec []byte
+	var err error
+	if c.tracer.Sample() {
+		start := time.Now()
+		rec, err = event.EncodeRecordSpan(a, c.tracer.NextSpan())
+		c.tracer.Observe(obs.StageClientEncode, time.Since(start))
+	} else {
+		rec, err = event.EncodeRecord(a)
+	}
 	if err != nil {
 		return err
 	}
@@ -202,6 +217,10 @@ func (c *Client) ctlRoundTrip(verb string) (Ack, error) {
 		return Ack{}, err
 	}
 	for attempt := 0; ; attempt++ {
+		var start time.Time
+		if c.tracer != nil {
+			start = time.Now()
+		}
 		c.bw.Write(append(b, '\n'))
 		flushErr := c.bw.Flush()
 		var ack Ack
@@ -210,6 +229,11 @@ func (c *Client) ctlRoundTrip(verb string) (Ack, error) {
 			ack, ok = <-c.acks
 		}
 		if ok {
+			if c.tracer != nil {
+				// A control round trip drains everything queued ahead of
+				// it, so this RTT bounds end-to-end pipeline latency.
+				c.tracer.Observe(obs.StageWireRTT, time.Since(start))
+			}
 			return ack, nil
 		}
 		if c.fleet == nil || attempt >= 1 {

@@ -93,7 +93,9 @@ func (s *Server) promoteReplicaLocked(id string) *session {
 	if s.promotions != nil {
 		s.promotions.Inc()
 	}
-	s.cfg.Logf("session %s: promoted from replica at %d applied, %d races", id, sess.applied.Load(), sess.races.Load())
+	s.cfg.Logger.Info("session promoted from replica", "component", "server", "session", id,
+		"applied", sess.applied.Load(), "races", sess.races.Load())
+	s.flight("promote", id, fmt.Sprintf("from replica at %d applied, %d races", sess.applied.Load(), sess.races.Load()))
 	return sess
 }
 
@@ -168,10 +170,13 @@ func (s *Server) AdoptSession(data []byte) (applied uint64, err error) {
 	}
 	if s.cfg.CheckpointDir != "" {
 		if err := s.persistCheckpoint(sess.id, data); err != nil {
-			s.cfg.Logf("session %s: persisting adopted checkpoint: %v", sess.id, err)
+			s.cfg.Logger.Warn("persisting adopted checkpoint failed", "component", "server",
+				"session", sess.id, "err", err)
 		}
 	}
-	s.cfg.Logf("session %s: adopted at %d applied, %d races", sess.id, sess.applied.Load(), sess.races.Load())
+	s.cfg.Logger.Info("session adopted", "component", "server", "session", sess.id,
+		"applied", sess.applied.Load(), "races", sess.races.Load())
+	s.flight("adopt", sess.id, fmt.Sprintf("%d applied, %d races", sess.applied.Load(), sess.races.Load()))
 	return sess.applied.Load(), nil
 }
 
@@ -197,7 +202,8 @@ func (s *Server) DropSession(id string) error {
 	if s.cfg.ReplicaDir != "" {
 		os.Remove(s.replicaPath(id))
 	}
-	s.cfg.Logf("session %s: dropped", id)
+	s.cfg.Logger.Info("session dropped", "component", "server", "session", id)
+	s.flight("drop", id, "")
 	return nil
 }
 
@@ -254,7 +260,8 @@ func (s *Server) Drain() ([]SessionInfo, error) {
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
-	s.cfg.Logf("drained: %d sessions checkpointed", len(sessions))
+	s.cfg.Logger.Info("drained", "component", "server", "sessions", len(sessions))
+	s.flight("drain", "", fmt.Sprintf("%d sessions checkpointed", len(sessions)))
 	return s.sessionInfos(), nil
 }
 

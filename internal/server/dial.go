@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"goldilocks/internal/event"
+	"goldilocks/internal/obs"
 )
 
 // DialConfig tunes connection establishment and failover.
@@ -36,6 +37,11 @@ type DialConfig struct {
 	// connect (ownership can be in flux while the fleet converges).
 	// Default 8.
 	MaxRedirects int
+	// Tracer, when set, samples sent records into pipeline spans (the
+	// span id rides the stream record to the server) and observes the
+	// client-side stages: record encode and control round-trip time.
+	// Nil disables client tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (cfg DialConfig) withDefaults() DialConfig {
@@ -202,7 +208,7 @@ func DialContext(ctx context.Context, addr, session string, cfg DialConfig) (*Cl
 			lastErr = err
 			continue
 		}
-		c := &Client{session: session, next: res.w.Next, resumed: res.w.Resumed}
+		c := &Client{session: session, next: res.w.Next, resumed: res.w.Resumed, tracer: cfg.Tracer}
 		c.startConn(res.conn, res.br)
 		return c, nil
 	}
@@ -220,7 +226,7 @@ func DialFleet(ctx context.Context, addrs []string, session string, cfg DialConf
 		return nil, errors.New("server: empty fleet address list")
 	}
 	cfg = cfg.withDefaults()
-	c := &Client{session: session, fleet: append([]string(nil), addrs...), cfg: cfg, seen: make(map[string]bool)}
+	c := &Client{session: session, fleet: append([]string(nil), addrs...), cfg: cfg, seen: make(map[string]bool), tracer: cfg.Tracer}
 	res, err := c.connectFleet(ctx)
 	if err != nil {
 		return nil, err

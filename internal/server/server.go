@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"goldilocks/internal/core"
 	"goldilocks/internal/event"
@@ -57,8 +59,25 @@ type Config struct {
 	// Registry, when set, receives the daemon and per-session metrics
 	// (serve it with obs.Serve).
 	Registry *obs.Registry
-	// Logf, when set, receives one line per lifecycle event.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives one structured record per lifecycle
+	// event. Nil means discard.
+	Logger *slog.Logger
+	// Tracer, when set, samples ingest records into pipeline spans and
+	// observes per-stage latency (queue wait, apply, verdict flush,
+	// checkpoint write) into its histograms, which New registers in
+	// Registry under goldilocksd_stage_*. Nil disables tracing at zero
+	// cost. Records arriving with a client-stamped span id are always
+	// timed; the server additionally samples unstamped records through
+	// Tracer so server-side stages fill in even with untraced clients.
+	Tracer *obs.Tracer
+	// Flight, when set, records lifecycle events (attach/detach,
+	// redirects, promotions, quarantines, rung escalations, sampled rule
+	// fires) into a bounded ring dumped on incidents. Nil disables.
+	Flight *obs.FlightRecorder
+	// FlightDir, when set with Flight, is where incident-triggered dumps
+	// (panic quarantine, checkpoint corruption) are written as
+	// flight-<reason>.jsonl.
+	FlightDir string
 
 	// Advertise is this node's address as cluster peers and clients
 	// should reach it (cluster mode; defaults to the bound address).
@@ -119,6 +138,7 @@ type Server struct {
 	promotions    *obs.Counter
 	adoptions     *obs.Counter
 	redirects     *obs.Counter
+	flightDumps   *obs.Counter
 }
 
 // session is one client session: a detection engine plus its progress
@@ -139,6 +159,12 @@ type session struct {
 	qmu         sync.Mutex
 	queue       chan item // live while attached (read by the queue-depth gauge)
 	queueClosed bool      // set (under qmu) before the queue is closed
+
+	// Worker-local governor watermarks: the last degradation rung and
+	// quarantine count seen, so the flight recorder logs each escalation
+	// and quarantine exactly once. Touched only by the session worker.
+	lastRung resilience.DegradationRung
+	lastQuar uint64
 }
 
 // item is one unit of session work: an event record or a control token.
@@ -147,6 +173,9 @@ type item struct {
 	ctl    string          // "" for records
 	errMsg string          // with ctl == "err"
 	ckpt   chan ckptResult // with ctl == ctlCkpt: reply channel
+
+	span uint64    // nonzero: this record is a sampled trace span
+	enq  time.Time // enqueue time, set only for sampled records
 }
 
 // ctlCkpt is an internal control item: the session worker checkpoints
@@ -210,8 +239,8 @@ func New(addr string, cfg Config) (*Server, error) {
 	if cfg.Engine == (core.Options{}) {
 		cfg.Engine = core.DefaultOptions()
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -228,6 +257,13 @@ func New(addr string, cfg Config) (*Server, error) {
 		s.promotions = reg.Counter("goldilocksd_sessions_promoted_total")
 		s.adoptions = reg.Counter("goldilocksd_sessions_adopted_total")
 		s.redirects = reg.Counter("goldilocksd_redirects_total")
+		cfg.Tracer.Register(reg, "goldilocksd")
+		if cfg.Flight != nil {
+			s.flightDumps = reg.Counter("goldilocksd_flight_dumps_total")
+			reg.RegisterGaugeFunc("goldilocksd_flight_events", func() float64 {
+				return float64(cfg.Flight.Len())
+			})
+		}
 		reg.RegisterGaugeFunc("goldilocksd_sessions_active", func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -462,6 +498,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			if s.redirects != nil {
 				s.redirects.Inc()
 			}
+			s.flight("redirect", h.Session, "owner "+noe.owner)
 			writeWelcome(welcome{Error: err.Error(), NotOwner: true, Owner: noe.owner})
 			return
 		}
@@ -470,7 +507,9 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	defer s.detach(sess)
 	writeWelcome(welcome{OK: true, Resumed: existed, Next: sess.applied.Load()})
-	s.cfg.Logf("session %s: attached (resumed=%v, next=%d)", sess.id, existed, sess.applied.Load())
+	s.cfg.Logger.Info("session attached", "component", "server", "session", sess.id,
+		"resumed", existed, "next", sess.applied.Load())
+	s.flight("attach", sess.id, fmt.Sprintf("resumed=%v next=%d", existed, sess.applied.Load()))
 
 	// The client opens its stream with the standard trace header.
 	line, err = readLine(br)
@@ -486,6 +525,11 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	queue := make(chan item, s.cfg.Queue)
 	sess.setQueue(queue)
+	// Seed the governor watermarks before the worker starts so a
+	// restored or promoted session's pre-existing rung/quarantine state
+	// is not re-reported as a fresh transition.
+	sess.lastRung = sess.eng.Rung()
+	sess.lastQuar = sess.eng.VarsQuarantined()
 	workerDone := make(chan struct{})
 	go s.sessionWorker(sess, queue, bw, workerDone)
 
@@ -502,7 +546,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			// Connection dropped without a close control: the session
 			// stays resumable.
 			closeQueue()
-			s.cfg.Logf("session %s: connection lost at %d applied", sess.id, sess.applied.Load())
+			s.cfg.Logger.Info("session connection lost", "component", "server",
+				"session", sess.id, "applied", sess.applied.Load())
+			s.flight("detach", sess.id, fmt.Sprintf("connection lost at %d applied", sess.applied.Load()))
 			return
 		}
 		var ctl ctlMsg
@@ -514,7 +560,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			case ctlClose:
 				queue <- item{ctl: ctlClose}
 				closeQueue()
-				s.cfg.Logf("session %s: closed at %d applied, %d races", sess.id, sess.applied.Load(), sess.races.Load())
+				s.cfg.Logger.Info("session closed", "component", "server", "session", sess.id,
+					"applied", sess.applied.Load(), "races", sess.races.Load())
+				s.flight("close", sess.id, fmt.Sprintf("%d applied, %d races", sess.applied.Load(), sess.races.Load()))
 				return
 			default:
 				queue <- item{ctl: "err", errMsg: fmt.Sprintf("unknown control %q", ctl.Ctl)}
@@ -522,13 +570,22 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 		}
-		a, ok := event.DecodeRecord(line)
+		a, span, ok := event.DecodeRecordSpan(line)
 		if !ok {
 			queue <- item{ctl: "err", errMsg: fmt.Sprintf("corrupt event record (checksum or syntax): %.120q", line)}
 			closeQueue()
 			return
 		}
-		queue <- item{a: a}
+		it := item{a: a, span: span}
+		if span == 0 && s.cfg.Tracer.Sample() {
+			// Untraced client: sample server-side so the queue/apply/
+			// flush histograms still fill in.
+			it.span = s.cfg.Tracer.NextSpan()
+		}
+		if it.span != 0 {
+			it.enq = time.Now()
+		}
+		queue <- it
 	}
 }
 
@@ -546,11 +603,56 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 		bw.Write(append(b, '\n')) // write errors surface at Flush; best-effort
 	}
 	sinceFlush := 0
+	tracedInBatch := false
+	// flush pushes buffered verdicts to the client; when the batch held
+	// a traced record, the flush latency lands in the verdict_flush
+	// histogram — on whichever path drained it (batch boundary, idle
+	// queue, or a client flush/close control).
+	flush := func() {
+		if tracedInBatch {
+			start := time.Now()
+			bw.Flush()
+			s.cfg.Tracer.Observe(obs.StageVerdictFlush, time.Since(start))
+			tracedInBatch = false
+		} else {
+			bw.Flush()
+		}
+		sinceFlush = 0
+	}
 	for it := range queue {
 		switch it.ctl {
 		case "":
+			traced := it.span != 0
+			var applyStart time.Time
+			var firesBefore [obs.NumRules + 1]uint64
+			if traced {
+				s.cfg.Tracer.Observe(obs.StageQueueWait, time.Since(it.enq))
+				if s.cfg.Flight != nil {
+					firesBefore = sess.tel.RuleFires()
+				}
+				applyStart = time.Now()
+			}
 			pos := sess.applied.Load()
-			for _, r := range sess.eng.Step(it.a) {
+			races := sess.eng.Step(it.a)
+			if traced {
+				s.cfg.Tracer.Observe(obs.StageApply, time.Since(applyStart))
+				tracedInBatch = true
+				if s.cfg.Flight != nil {
+					// Sampled rule fires: log which lockset rules this
+					// traced record triggered.
+					after := sess.tel.RuleFires()
+					for i := 1; i <= obs.NumRules; i++ {
+						if after[i] > firesBefore[i] {
+							s.cfg.Flight.Record(obs.FlightEvent{
+								Component: "server", Kind: "rule-fire", Session: sess.id,
+								Span:   it.span,
+								Detail: fmt.Sprintf("%s x%d at %d", obs.RuleName(i), after[i]-firesBefore[i], pos),
+							})
+						}
+					}
+				}
+			}
+			for _, r := range races {
 				sess.races.Add(1)
 				wr, err := encodeRace(r, pos)
 				if err != nil {
@@ -562,15 +664,16 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 			n := sess.applied.Add(1)
 			sinceFlush++
 			if sinceFlush >= s.cfg.Batch || len(queue) == 0 {
-				bw.Flush()
-				sinceFlush = 0
+				flush()
+				s.observeGovernor(sess)
 			}
 			if every := s.cfg.CheckpointEvery; every > 0 && n%uint64(every) == 0 {
 				// The worker is the only goroutine touching the engine,
 				// so it is quiescent here: checkpoint, persist, and hand
 				// the bytes to the replication hook.
 				if err := s.checkpointAndReplicate(sess); err != nil {
-					s.cfg.Logf("session %s: periodic checkpoint: %v", sess.id, err)
+					s.cfg.Logger.Warn("periodic checkpoint failed", "component", "server",
+						"session", sess.id, "err", err)
 				}
 			}
 		case ctlCkpt:
@@ -578,8 +681,7 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 			it.ckpt <- ckptResult{data: data, applied: sess.applied.Load(), err: err}
 		case ctlFlush:
 			send(serverMsg{Ack: &wireAck{Applied: sess.applied.Load(), Races: sess.races.Load()}})
-			bw.Flush()
-			sinceFlush = 0
+			flush()
 		case ctlClose:
 			stats := sess.eng.Stats()
 			fires := sess.tel.RuleFires()
@@ -587,10 +689,10 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 				Applied: sess.applied.Load(), Races: sess.races.Load(),
 				Final: true, Stats: &stats, RuleFires: fires[:],
 			}})
-			bw.Flush()
+			flush()
 		case "err":
 			send(serverMsg{Err: it.errMsg})
-			bw.Flush()
+			flush()
 		}
 	}
 }
@@ -626,10 +728,71 @@ func (s *Server) Close() error {
 		if err := s.checkpointSession(sess); err != nil {
 			errs = append(errs, fmt.Errorf("session %s: %w", sess.id, err))
 		} else {
-			s.cfg.Logf("session %s: checkpointed at %d applied", sess.id, sess.applied.Load())
+			s.cfg.Logger.Info("session checkpointed", "component", "server",
+				"session", sess.id, "applied", sess.applied.Load())
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// flight records one lifecycle event into the configured flight
+// recorder (nil-safe no-op without one).
+func (s *Server) flight(kind, session, detail string) {
+	s.cfg.Flight.Event("server", kind, session, detail)
+}
+
+// observeGovernor flight-records engine governor transitions — rung
+// escalations/recoveries and new panic quarantines — comparing against
+// the session's worker-local watermarks. A fresh quarantine is an
+// incident: it also triggers an automatic flight dump. Called from the
+// session worker between batches.
+func (s *Server) observeGovernor(sess *session) {
+	if s.cfg.Flight == nil {
+		return
+	}
+	if rung := sess.eng.Rung(); rung != sess.lastRung {
+		s.flight("rung", sess.id, fmt.Sprintf("%v -> %v", sess.lastRung, rung))
+		sess.lastRung = rung
+	}
+	if q := sess.eng.VarsQuarantined(); q != sess.lastQuar {
+		s.flight("panic-quarantine", sess.id, fmt.Sprintf("%d variables quarantined", q))
+		sess.lastQuar = q
+		s.autoDumpFlight("panic-quarantine")
+	}
+}
+
+// DumpFlight writes the flight-recorder ring to the configured
+// FlightDir as flight-<reason>.jsonl and returns the path.
+func (s *Server) DumpFlight(reason string) (string, error) {
+	if s.cfg.Flight == nil {
+		return "", errors.New("no flight recorder configured")
+	}
+	if s.cfg.FlightDir == "" {
+		return "", errors.New("no flight directory configured")
+	}
+	path, err := s.cfg.Flight.DumpToDir(s.cfg.FlightDir, s.cfg.Advertise, reason)
+	if err != nil {
+		return "", err
+	}
+	if s.flightDumps != nil {
+		s.flightDumps.Inc()
+	}
+	s.cfg.Logger.Info("flight recorder dumped", "component", "server",
+		"reason", reason, "path", path)
+	return path, nil
+}
+
+// autoDumpFlight is the incident-trigger path of DumpFlight:
+// best-effort, silently a no-op unless both Flight and FlightDir are
+// configured.
+func (s *Server) autoDumpFlight(reason string) {
+	if s.cfg.Flight == nil || s.cfg.FlightDir == "" {
+		return
+	}
+	if _, err := s.DumpFlight(reason); err != nil {
+		s.cfg.Logger.Warn("flight dump failed", "component", "server",
+			"reason", reason, "err", err)
+	}
 }
 
 // sessionSnapshotBytes serializes a session checkpoint — the session
@@ -719,6 +882,7 @@ func (s *Server) persistCheckpoint(id string, data []byte) error {
 // replication hook. Called from the session worker (engine quiescent)
 // and from Drain.
 func (s *Server) checkpointAndReplicate(sess *session) error {
+	start := time.Now()
 	data, err := sessionSnapshotBytes(sess)
 	if err != nil {
 		return err
@@ -728,6 +892,10 @@ func (s *Server) checkpointAndReplicate(sess *session) error {
 			return err
 		}
 	}
+	// Checkpoints are rare (every CheckpointEvery actions), so every one
+	// is observed rather than sampled.
+	s.cfg.Tracer.Observe(obs.StageCheckpointWrite, time.Since(start))
+	s.flight("checkpoint", sess.id, fmt.Sprintf("%d bytes at %d applied", len(data), sess.applied.Load()))
 	if s.cfg.OnCheckpoint != nil {
 		s.cfg.OnCheckpoint(sess.id, sess.applied.Load(), data)
 	}
@@ -780,7 +948,10 @@ func (s *Server) quarantineCheckpoint(path, sessionID string, cause error) {
 	if s.ckptsQuarant != nil {
 		s.ckptsQuarant.Inc()
 	}
-	s.cfg.Logf("session %s: checkpoint quarantined to %s: %v", sessionID, dest, cause)
+	s.cfg.Logger.Warn("checkpoint quarantined", "component", "server",
+		"session", sessionID, "path", dest, "err", cause)
+	s.flight("checkpoint-quarantine", sessionID, fmt.Sprintf("%s: %v", dest, cause))
+	s.autoDumpFlight("checkpoint-corruption")
 }
 
 // restoreSessions loads every session checkpoint in the configured
@@ -813,7 +984,9 @@ func (s *Server) restoreSessions() error {
 		if s.ckptsRestored != nil {
 			s.ckptsRestored.Inc()
 		}
-		s.cfg.Logf("session %s: restored at %d applied, %d races", sess.id, sess.applied.Load(), sess.races.Load())
+		s.cfg.Logger.Info("session restored", "component", "server", "session", sess.id,
+			"applied", sess.applied.Load(), "races", sess.races.Load())
+		s.flight("restore", sess.id, fmt.Sprintf("%d applied, %d races", sess.applied.Load(), sess.races.Load()))
 	}
 	return nil
 }

@@ -45,10 +45,17 @@ go build -o "$BIN/goldilocksctl" ./cmd/goldilocksctl
 
 start_node() {
     n="$1"; addr="$2"; shift 2
+    # Every record traced and a per-node flight dir: after the SIGKILL
+    # drill each survivor's flight recorder is collected and must show
+    # the failover promotions it performed. Checkpoint every action:
+    # the corpus traces are 3-16 events and only half streams before
+    # the kill, so anything coarser leaves the victim's sessions with
+    # no replicas to promote.
     "$BIN/goldilocksd" -addr "$addr" \
         -cluster "$CLUSTER" -join "$addr" -replicas 2 \
-        -checkpoint-dir "$WORK/ckpt$n" -checkpoint-every 16 \
+        -checkpoint-dir "$WORK/ckpt$n" -checkpoint-every 1 \
         -probe-interval 100ms -probe-timeout 500ms -suspect-after 2 \
+        -trace-sample 1 -flight-dir "$WORK/flight$n" \
         "$@" >>"$WORK/node$n.log" 2>&1 &
     PIDS+=($!)
     disown $! # the drill SIGKILLs nodes; keep bash's job reaper quiet
@@ -93,5 +100,25 @@ grep -q "goldilocksd_sessions_total{node=\"$ADDR1\"}" "$WORK/rollup.prom" || {
 # The ctl rollup must agree with the HTTP endpoint.
 T "$BIN/goldilocksctl" -cluster "$CLUSTER" metrics | grep -q 'goldilocksd_cluster_nodes_up 2' || {
     echo "FAIL: goldilocksctl metrics rollup disagrees"; exit 1; }
+
+echo "== collect survivors' flight recorders"
+T "$BIN/goldilocksctl" -cluster "$CLUSTER" flight -out "$WORK/flightdumps" \
+    -reason post-drill | tee "$WORK/flight.txt"
+dumps="$(ls "$WORK/flightdumps"/*.flight.jsonl 2>/dev/null | wc -l)"
+[ "$dumps" -eq 2 ] || {
+    echo "FAIL: collected $dumps flight dumps from 2 survivors"; exit 1; }
+promotions=0
+for dump in "$WORK/flightdumps"/*.flight.jsonl; do
+    head -1 "$dump" | grep -q '"format":"goldilocks-flight"' || {
+        echo "FAIL: $dump has a bad header"; head -1 "$dump"; exit 1; }
+    n="$(grep -c '"k":"promote"' "$dump" || true)"
+    echo "   $(basename "$dump"): $(wc -l <"$dump") lines, $n promotions"
+    promotions=$((promotions + n))
+done
+# The SIGKILLed node owned sessions; their replicas were promoted on
+# the survivors, and the recorders must have witnessed that.
+[ "$promotions" -ge 1 ] || {
+    echo "FAIL: no failover promotions in any survivor's flight dump"
+    cat "$WORK/flightdumps"/*.flight.jsonl; exit 1; }
 
 echo "PASS: cluster drill"

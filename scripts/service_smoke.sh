@@ -32,8 +32,12 @@ cleanup() {
 trap cleanup EXIT
 
 start_daemon() {
+    # -trace-sample 1 traces every record so the short smoke run still
+    # fills every stage histogram; the flight recorder dumps to a fixed
+    # dir so the SIGTERM drill's shutdown dump can be asserted on.
     "$BIN/goldilocksd" -addr "$ADDR" -metrics-addr "$METRICS" \
-        -checkpoint-dir "$CKPT" >>"$WORK/daemon.log" 2>&1 &
+        -checkpoint-dir "$CKPT" -trace-sample 1 -flight-dir "$WORK/flight" \
+        >>"$WORK/daemon.log" 2>&1 &
     DAEMON_PID=$!
     for _ in $(seq 1 50); do
         curl -sf "http://$METRICS/metrics" -o /dev/null && return 0
@@ -152,5 +156,26 @@ grep -q 'goldilocksd_session_applied_total{session="drill"}' "$WORK/metrics.prom
 grep -q 'goldilocksd_checkpoints_restored_total' "$WORK/metrics.prom" || {
     echo "FAIL: restore counter missing from scrape"; exit 1; }
 
+echo "== pipeline stage histograms"
+for stage in queue_wait apply verdict_flush; do
+    n="$(sed -n "s/^goldilocksd_stage_${stage}_us_count \\([0-9][0-9]*\\)\$/\\1/p" "$WORK/metrics.prom")"
+    if [ -z "$n" ] || [ "$n" -eq 0 ]; then
+        echo "FAIL: stage histogram goldilocksd_stage_${stage}_us observed nothing"
+        grep goldilocksd_stage "$WORK/metrics.prom" || true
+        exit 1
+    fi
+    echo "   goldilocksd_stage_${stage}_us: $n samples"
+done
+
 stop_daemon
+
+echo "== flight recorder dump on SIGTERM"
+DUMP="$WORK/flight/flight-shutdown.jsonl"
+[ -s "$DUMP" ] || { echo "FAIL: no shutdown flight dump at $DUMP"; ls -la "$WORK/flight" 2>/dev/null; exit 1; }
+head -1 "$DUMP" | grep -q '"format":"goldilocks-flight"' || {
+    echo "FAIL: shutdown dump has a bad header"; head -1 "$DUMP"; exit 1; }
+grep -q '"k":"attach"' "$DUMP" || {
+    echo "FAIL: shutdown dump records no session attaches"; exit 1; }
+echo "   $(wc -l <"$DUMP") dump lines, header OK, session lifecycle present"
+
 echo "PASS: service smoke"
