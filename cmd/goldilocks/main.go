@@ -73,11 +73,13 @@ type runConfig struct {
 	seed     int64
 	stats    bool
 	noSC     bool
+	fastPath bool // epoch fast path in the goldilocks engine
 	record   string
 	onError  string // quarantine | abort
 	budget   int    // event-list cell budget; 0: unbounded
 	remote   string // goldilocksd address; offload detection there
 	session  string // session id for -remote
+	wireJSON bool   // with -remote: force the line-JSON wire format
 
 	// Observability (docs/OBSERVABILITY.md). Any of these being set
 	// enables telemetry; all unset keeps the detector hot path free of
@@ -97,11 +99,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for the deterministic scheduler")
 		stats    = flag.Bool("stats", false, "print runtime and detector statistics")
 		noSC     = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks (ablation)")
+		fastPath = flag.Bool("fastpath", true, "enable the epoch fast path in the goldilocks engine (verdicts are identical either way; ablation)")
 		record   = flag.String("record", "", "write the observed linearization to this file (.jsonl: checksummed streaming format; replay with cmd/racereplay)")
 		onError  = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
 		budget   = flag.Int("memory-budget", 0, "event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
 		remote   = flag.String("remote", "", "offload detection to the goldilocksd at this address (or comma-separated cluster list, with failover) instead of running an in-process detector (forces -policy log; see docs/SERVICE.md)")
 		session  = flag.String("session", "", "session id for -remote (default: goldilocks-<pid>)")
+		wire     = flag.String("wire", "auto", "with -remote: wire format, auto (negotiate binary, fall back to JSON) or json (force line-JSON)")
 		exploreN = flag.Int("explore", 0, "systematically explore up to N schedules and report how many race (implies -sched det)")
 		exploreP = flag.Int("explore-bound", 0, "preemption bound for -explore (0: unbounded)")
 		exploreT = flag.Duration("explore-timeout", 0, "wall-clock budget for -explore (0: unbounded)")
@@ -115,6 +119,10 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: goldilocks [flags] program.mj")
 		flag.Usage()
+		os.Exit(resilience.ExitUsage)
+	}
+	if *wire != "auto" && *wire != "json" {
+		fmt.Fprintf(os.Stderr, "goldilocks: unknown -wire %q (auto or json)\n", *wire)
 		os.Exit(resilience.ExitUsage)
 	}
 	if *exploreN > 0 {
@@ -138,11 +146,13 @@ func main() {
 		seed:     *seed,
 		stats:    *stats,
 		noSC:     *noSC,
+		fastPath: *fastPath,
 		record:   *record,
 		onError:  *onError,
 		budget:   *budget,
 		remote:   *remote,
 		session:  *session,
+		wireJSON: *wire == "json",
 
 		statsJSON:     *statsJSON,
 		metricsAddr:   *metrics,
@@ -281,7 +291,7 @@ func run(ctx context.Context, path string, c runConfig) (int, error) {
 		if sessionID == "" {
 			sessionID = fmt.Sprintf("goldilocks-%d", os.Getpid())
 		}
-		remote, err = dialRemote(c.remote, sessionID)
+		remote, err = dialRemote(c.remote, sessionID, c.wireJSON)
 		if err != nil {
 			return 0, err
 		}
@@ -295,6 +305,7 @@ func run(ctx context.Context, path string, c runConfig) (int, error) {
 		if c.noSC {
 			opts.SC1, opts.SC2, opts.SC3, opts.XactSC = false, false, false, false
 		}
+		opts.FastPath = c.fastPath
 		opts.OnError = errPolicy
 		opts.MemoryBudget = c.budget
 		opts.Telemetry = tel

@@ -25,10 +25,11 @@ type remoteSession struct {
 	err error // first send failure; finish reports it
 }
 
-func dialRemote(addr, session string) (*remoteSession, error) {
+func dialRemote(addr, session string, forceJSON bool) (*remoteSession, error) {
 	// addr may be a single daemon or a comma-separated fleet list; a
 	// fleet client follows NOT_OWNER redirects and fails over.
-	c, err := server.DialAuto(context.Background(), addr, session)
+	c, err := server.DialAutoConfig(context.Background(), addr, session,
+		server.DialConfig{ForceJSON: forceJSON})
 	if err != nil {
 		return nil, err
 	}

@@ -47,6 +47,7 @@ func main() {
 		budget  = flag.Int("memory-budget", 0, "per-session event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
 		onError = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
 		noSC    = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks in session engines (ablation)")
+		fastOff = flag.Bool("no-fastpath", false, "disable the epoch fast path in session engines (verdicts are identical either way; ablation)")
 
 		clusterList = flag.String("cluster", "", "comma-separated member list; joins this daemon to the fleet (must include -join)")
 		join        = flag.String("join", "", "this node's advertised address in the -cluster list (default: -addr)")
@@ -75,7 +76,7 @@ func main() {
 	}
 	cfg := daemonConfig{
 		addr: *addr, ckptDir: *ckptDir, metricsAddr: *metrics,
-		queue: *queue, batch: *batch, budget: *budget, onError: *onError, noSC: *noSC,
+		queue: *queue, batch: *batch, budget: *budget, onError: *onError, noSC: *noSC, noFastPath: *fastOff,
 		cluster: *clusterList, join: *join, replicas: *replicas, ckptEvery: *ckptEvery,
 		probe:       cluster.ProbeConfig{Interval: *probeIvl, Timeout: *probeTmo, SuspectAfter: *suspect},
 		logger:      obs.NewLogger(os.Stderr, level, *logJSON),
@@ -93,6 +94,7 @@ type daemonConfig struct {
 	queue, batch, budget       int
 	onError                    string
 	noSC                       bool
+	noFastPath                 bool
 	cluster, join              string
 	replicas, ckptEvery        int
 	probe                      cluster.ProbeConfig
@@ -111,6 +113,9 @@ func run(cfg daemonConfig) error {
 	opts := core.DefaultOptions()
 	if cfg.noSC {
 		opts.SC1, opts.SC2, opts.SC3, opts.XactSC = false, false, false, false
+	}
+	if cfg.noFastPath {
+		opts.FastPath = false
 	}
 	opts.OnError = errPolicy
 	opts.MemoryBudget = cfg.budget

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/event"
+)
+
+// Apply-point microbenchmarks behind docs/PERFORMANCE.md: the same
+// single-threaded workload stepped through an engine with the epoch
+// fast path on (the tiered detector's O(1) check) and off (the pure
+// lockset apply point, where thread-owned accesses resolve through the
+// SC1 short-circuit instead). SC1 is itself an epoch-style owner
+// comparison, so the expected result is near-parity here — the fast
+// path's contract is "never slower, identical verdicts", with its
+// structural win being the bounded per-access work that needs no HB
+// cache or lock-snapshot consultation.
+
+func benchApply(b *testing.B, fast bool, op func(e *core.Engine, i int)) {
+	opts := core.DefaultOptions()
+	opts.FastPath = fast
+	eng := core.NewEngine(opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(eng, i)
+	}
+}
+
+// lockMix is the ingest workload: acquire/write/read/release rounds.
+func lockMix(e *core.Engine, i int) { e.Step(ingestAction(0, i)) }
+
+// plainMix is pure thread-owned data traffic, no synchronization.
+func plainMix(e *core.Engine, i int) {
+	e.Write(1, 1000, event.FieldID(i&3))
+	e.Read(1, 1000, event.FieldID(i&3))
+}
+
+func BenchmarkApplyEpochLockMix(b *testing.B)   { benchApply(b, true, lockMix) }
+func BenchmarkApplyLocksetLockMix(b *testing.B) { benchApply(b, false, lockMix) }
+func BenchmarkApplyEpochPlain(b *testing.B)     { benchApply(b, true, plainMix) }
+func BenchmarkApplyLocksetPlain(b *testing.B)   { benchApply(b, false, plainMix) }

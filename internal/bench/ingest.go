@@ -15,12 +15,16 @@ import (
 
 // The ingest benchmark answers the question the stage histograms were
 // built for: where does an event's end-to-end latency go between a
-// client and a verdict? It runs the same synthetic workload twice —
-// "local" applies actions directly to an engine, "remote" streams them
-// through an in-process goldilocksd over loopback TCP — with a tracer
-// on both sides, and reports events/sec plus per-stage p50/p99 from the
-// tracer's histograms. The local/remote gap is the cost of the JSON
-// line protocol, the wire, the ingest queue, and the verdict push.
+// client and a verdict? It runs the same synthetic workload four ways —
+// "local" applies actions directly to an engine (epoch fast path on),
+// "local_lockset" does the same with the fast path off (the pure
+// Goldilocks apply point), "remote" streams through an in-process
+// goldilocksd over loopback TCP on the binary wire format, and
+// "remote_json" forces the line-JSON protocol — with a tracer on every
+// side, and reports events/sec plus per-stage p50/p99 from the tracer's
+// histograms. local vs local_lockset is the epoch fast path's win at
+// the apply point; remote vs remote_json is the binary framing's win on
+// the wire.
 
 // IngestConfig sizes the ingest benchmark.
 type IngestConfig struct {
@@ -55,7 +59,7 @@ type IngestStage struct {
 	MeanUS float64 `json:"mean_us"`
 }
 
-// IngestSide is one half (local or remote) of the comparison.
+// IngestSide is one quadrant of the comparison.
 type IngestSide struct {
 	Events       int           `json:"events"`
 	ElapsedMS    float64       `json:"elapsed_ms"`
@@ -72,13 +76,17 @@ type IngestReport struct {
 	EventsPerSession int        `json:"events_per_session"`
 	SampleEvery      int        `json:"sample_every"`
 	Local            IngestSide `json:"local"`
+	LocalLockset     IngestSide `json:"local_lockset"`
 	Remote           IngestSide `json:"remote"`
+	RemoteJSON       IngestSide `json:"remote_json"`
 }
 
 // ingestAction returns the i-th action of session worker w's workload:
 // a lock-protected read-modify-write loop over a per-session variable,
 // the service's steady-state shape (rules fire on acquire/release, no
-// races, nonempty lockset transfers).
+// races, nonempty lockset transfers). The per-session variable stays
+// thread-owned throughout, so the data accesses are exactly the traffic
+// the epoch fast path exists for.
 func ingestAction(w, i int) event.Action {
 	t := event.Tid(w*2 + 1)
 	lock := event.Addr(10 + w)
@@ -111,45 +119,42 @@ func stageSummaries(tr *obs.Tracer) []IngestStage {
 	return out
 }
 
-// Ingest runs the local vs remote ingest comparison and returns the
-// report. progress receives one line per phase.
-func Ingest(cfg IngestConfig, progress func(string)) (IngestReport, error) {
-	cfg = cfg.withDefaults()
-	rep := IngestReport{
-		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), GitCommit: gitCommit(),
-		Sessions: cfg.Sessions, EventsPerSession: cfg.Events, SampleEvery: cfg.SampleEvery,
-	}
+// ingestLocal runs the direct-apply side with the given fast-path
+// setting: one engine per session, direct Step calls, the apply stage
+// timed through the same tracer the daemon would use.
+func ingestLocal(cfg IngestConfig, fastPath bool) IngestSide {
 	total := cfg.Sessions * cfg.Events
-
-	// Local side: one engine per session, direct Step calls, the apply
-	// stage timed through the same tracer the daemon would use.
-	localTracer := obs.NewTracer(cfg.SampleEvery)
+	tracer := obs.NewTracer(cfg.SampleEvery)
 	start := time.Now()
 	for w := 0; w < cfg.Sessions; w++ {
-		eng := core.NewEngine(core.DefaultOptions())
+		opts := core.DefaultOptions()
+		opts.FastPath = fastPath
+		eng := core.NewEngine(opts)
 		for i := 0; i < cfg.Events; i++ {
 			a := ingestAction(w, i)
-			if localTracer.Sample() {
+			if tracer.Sample() {
 				t0 := time.Now()
 				eng.Step(a)
-				localTracer.Observe(obs.StageApply, time.Since(t0))
+				tracer.Observe(obs.StageApply, time.Since(t0))
 			} else {
 				eng.Step(a)
 			}
 		}
 	}
 	elapsed := time.Since(start)
-	rep.Local = IngestSide{
+	return IngestSide{
 		Events:       total,
 		ElapsedMS:    float64(elapsed) / float64(time.Millisecond),
 		EventsPerSec: float64(total) / elapsed.Seconds(),
-		Stages:       stageSummaries(localTracer),
+		Stages:       stageSummaries(tracer),
 	}
-	progress(fmt.Sprintf("ingest: local  %d events in %.0fms (%.0f events/sec)",
-		total, rep.Local.ElapsedMS, rep.Local.EventsPerSec))
+}
 
-	// Remote side: an in-process goldilocksd on loopback, one traced
-	// fleet of clients streaming the same workload.
+// ingestRemote runs the loopback-daemon side on the chosen wire format:
+// an in-process goldilocksd, one traced fleet of clients streaming the
+// same workload.
+func ingestRemote(cfg IngestConfig, forceJSON bool) (IngestSide, error) {
+	total := cfg.Sessions * cfg.Events
 	serverTracer := obs.NewTracer(cfg.SampleEvery)
 	clientTracer := obs.NewTracer(cfg.SampleEvery)
 	srv, err := server.New("127.0.0.1:0", server.Config{
@@ -157,19 +162,24 @@ func Ingest(cfg IngestConfig, progress func(string)) (IngestReport, error) {
 		Tracer:   serverTracer,
 	})
 	if err != nil {
-		return rep, err
+		return IngestSide{}, err
 	}
 	defer srv.Close()
 
 	ctx := context.Background()
-	start = time.Now()
+	start := time.Now()
 	errs := make(chan error, cfg.Sessions)
 	for w := 0; w < cfg.Sessions; w++ {
 		go func(w int) {
 			c, err := server.DialContext(ctx, srv.Addr(), fmt.Sprintf("ingest-%d", w),
-				server.DialConfig{Tracer: clientTracer})
+				server.DialConfig{Tracer: clientTracer, ForceJSON: forceJSON})
 			if err != nil {
 				errs <- err
+				return
+			}
+			if c.Binary() == forceJSON {
+				c.Abandon()
+				errs <- fmt.Errorf("session %d: negotiated binary=%v with forceJSON=%v", w, c.Binary(), forceJSON)
 				return
 			}
 			for i := 0; i < cfg.Events; i++ {
@@ -183,24 +193,54 @@ func Ingest(cfg IngestConfig, progress func(string)) (IngestReport, error) {
 			errs <- err
 		}(w)
 	}
+	var firstErr error
 	for w := 0; w < cfg.Sessions; w++ {
-		if err := <-errs; err != nil {
-			return rep, err
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	elapsed = time.Since(start)
+	if firstErr != nil {
+		return IngestSide{}, firstErr
+	}
+	elapsed := time.Since(start)
 
 	// The client and server tracers cover disjoint stages, so their
 	// union is the remote pipeline.
-	stages := append(stageSummaries(clientTracer), stageSummaries(serverTracer)...)
-	rep.Remote = IngestSide{
+	return IngestSide{
 		Events:       total,
 		ElapsedMS:    float64(elapsed) / float64(time.Millisecond),
 		EventsPerSec: float64(total) / elapsed.Seconds(),
-		Stages:       stages,
+		Stages:       append(stageSummaries(clientTracer), stageSummaries(serverTracer)...),
+	}, nil
+}
+
+// Ingest runs the four-way ingest comparison and returns the report.
+// progress receives one line per phase.
+func Ingest(cfg IngestConfig, progress func(string)) (IngestReport, error) {
+	cfg = cfg.withDefaults()
+	rep := IngestReport{
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), GitCommit: gitCommit(),
+		Sessions: cfg.Sessions, EventsPerSession: cfg.Events, SampleEvery: cfg.SampleEvery,
 	}
-	progress(fmt.Sprintf("ingest: remote %d events in %.0fms (%.0f events/sec)",
-		total, rep.Remote.ElapsedMS, rep.Remote.EventsPerSec))
+	report := func(name string, sd IngestSide) {
+		progress(fmt.Sprintf("ingest: %-13s %d events in %.0fms (%.0f events/sec)",
+			name, sd.Events, sd.ElapsedMS, sd.EventsPerSec))
+	}
+
+	rep.Local = ingestLocal(cfg, true)
+	report("local", rep.Local)
+	rep.LocalLockset = ingestLocal(cfg, false)
+	report("local-lockset", rep.LocalLockset)
+
+	var err error
+	if rep.Remote, err = ingestRemote(cfg, false); err != nil {
+		return rep, err
+	}
+	report("remote-bin", rep.Remote)
+	if rep.RemoteJSON, err = ingestRemote(cfg, true); err != nil {
+		return rep, err
+	}
+	report("remote-json", rep.RemoteJSON)
 	return rep, nil
 }
 
@@ -210,14 +250,21 @@ func FormatIngest(rep IngestReport) string {
 	s := fmt.Sprintf("Ingest pipeline (NumCPU=%d, %s, %d sessions x %d events, sample 1/%d)\n",
 		rep.NumCPU, rep.GoVersion, rep.Sessions, rep.EventsPerSession, rep.SampleEvery)
 	side := func(name string, sd IngestSide) string {
-		out := fmt.Sprintf("%-7s %.0f events/sec\n", name, sd.EventsPerSec)
+		out := fmt.Sprintf("%-14s %.0f events/sec\n", name, sd.EventsPerSec)
 		out += fmt.Sprintf("  %-18s %8s %10s %10s %10s\n", "stage", "count", "p50(us)", "p99(us)", "mean(us)")
 		for _, st := range sd.Stages {
 			out += fmt.Sprintf("  %-18s %8d %10.1f %10.1f %10.1f\n", st.Stage, st.Count, st.P50US, st.P99US, st.MeanUS)
 		}
 		return out
 	}
-	return s + side("local", rep.Local) + side("remote", rep.Remote)
+	s += side("local (epoch)", rep.Local) + side("local-lockset", rep.LocalLockset)
+	s += side("remote (bin)", rep.Remote) + side("remote-json", rep.RemoteJSON)
+	if rep.RemoteJSON.EventsPerSec > 0 {
+		s += fmt.Sprintf("wire speedup (bin/json): %.2fx; apply speedup (epoch/lockset): %.2fx\n",
+			rep.Remote.EventsPerSec/rep.RemoteJSON.EventsPerSec,
+			rep.Local.EventsPerSec/rep.LocalLockset.EventsPerSec)
+	}
+	return s
 }
 
 // MarshalIngest serializes the report for BENCH_ingest.json.

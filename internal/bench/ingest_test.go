@@ -16,7 +16,10 @@ func TestIngestSmall(t *testing.T) {
 	if rep.Sessions != 2 || rep.EventsPerSession != 400 || rep.SampleEvery != 2 {
 		t.Fatalf("config echo = %+v", rep)
 	}
-	for name, side := range map[string]IngestSide{"local": rep.Local, "remote": rep.Remote} {
+	for name, side := range map[string]IngestSide{
+		"local": rep.Local, "local_lockset": rep.LocalLockset,
+		"remote": rep.Remote, "remote_json": rep.RemoteJSON,
+	} {
 		if side.Events != 800 {
 			t.Fatalf("%s events = %d, want 800", name, side.Events)
 		}

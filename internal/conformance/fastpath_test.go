@@ -1,0 +1,78 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/event"
+	"goldilocks/internal/scenarios"
+	"goldilocks/internal/tracegen"
+)
+
+// TestFastPathParityCorpus replays the entire seed corpus — the Section
+// 2 scenarios, every checked-in counterexample, and a sweep of
+// generated traces with and without channel operations — through the
+// FastPath on/off differential. Zero divergences in verdicts,
+// provenance, Stats, and rule fires is the acceptance gate for the
+// epoch fast path.
+func TestFastPathParityCorpus(t *testing.T) {
+	traces := make(map[string]*event.Trace)
+	for _, sc := range scenarios.All() {
+		traces["scenario-"+sc.Name] = sc.Trace
+	}
+	entries, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	for _, e := range entries {
+		traces["corpus-"+strings.TrimSuffix(e.Name, ".jsonl")] = e.Trace
+	}
+	// Generated sweep: plain, transaction-heavy, and channel-heavy
+	// shapes, so the parity gate covers every synchronization vocabulary
+	// (the channel seeds matter: channel handoff is an escalation
+	// trigger the scenario corpus alone underexercises).
+	for seed := int64(0); seed < 24; seed++ {
+		cfg := tracegen.Default()
+		cfg.Channels = int(seed) % 4
+		if seed%3 == 1 {
+			cfg.TxnBias = 0.5
+		}
+		traces[fmt.Sprintf("generated-%d-ch%d", seed, cfg.Channels)] = tracegen.FromSeedConfig(seed, cfg)
+	}
+	for name, tr := range traces {
+		if d := FastPathParity(tr); d != nil {
+			t.Errorf("%s: %v\n%s", name, d, Describe(d.Trace))
+		}
+	}
+}
+
+// FuzzFastPathParity is the native fuzz target for the epoch fast
+// path: fuzz-chosen generator shapes (including channel traffic, the
+// richest source of ownership transfers) must never produce a trace on
+// which the fast path changes anything observable. Wired into the
+// nightly CI fuzz job alongside FuzzConformanceMatrix.
+func FuzzFastPathParity(f *testing.F) {
+	f.Add(int64(1), uint8(60), uint8(4), uint8(3), uint8(51), uint8(128), uint8(0))
+	f.Add(int64(42), uint8(80), uint8(5), uint8(2), uint8(153), uint8(100), uint8(2))
+	f.Add(int64(7), uint8(110), uint8(6), uint8(2), uint8(0), uint8(220), uint8(3))
+	f.Add(int64(23), uint8(90), uint8(5), uint8(3), uint8(102), uint8(180), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, steps, threads, objects, txnBias, syncBias, channels uint8) {
+		cfg := tracegen.Config{
+			Steps:      1 + int(steps)%120,
+			MaxThreads: 1 + int(threads)%6,
+			Objects:    1 + int(objects)%4,
+			Fields:     2,
+			Locks:      2,
+			Volatiles:  2,
+			TxnBias:    float64(txnBias) / 255,
+			SyncBias:   float64(syncBias) / 255,
+			Channels:   int(channels) % 4,
+		}
+		tr := tracegen.Generate(rand.New(rand.NewSource(seed)), cfg)
+		if d := FastPathParity(tr); d != nil {
+			t.Fatalf("%v\n%s", d, Describe(d.Trace))
+		}
+	})
+}

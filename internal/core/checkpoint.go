@@ -63,6 +63,7 @@ type ckptOptions struct {
 	XactSC           bool               `json:"xact_sc,omitempty"`
 	Memoize          bool               `json:"memoize,omitempty"`
 	HBCache          bool               `json:"hb_cache,omitempty"`
+	FastPath         bool               `json:"fast_path,omitempty"`
 	DisableAfterRace bool               `json:"disable_after_race,omitempty"`
 	GCThreshold      int                `json:"gc_threshold,omitempty"`
 	GCTrimFraction   float64            `json:"gc_trim_fraction,omitempty"`
@@ -135,6 +136,7 @@ type ckptCounters struct {
 	SC3Hits         uint64 `json:"sc3_hits,omitempty"`
 	XactHits        uint64 `json:"xact_hits,omitempty"`
 	HBCacheHits     uint64 `json:"hb_cache_hits,omitempty"`
+	FastPathHits    uint64 `json:"fast_path_hits,omitempty"`
 	FullWalks       uint64 `json:"full_walks,omitempty"`
 	WalkCells       uint64 `json:"walk_cells,omitempty"`
 	Races           uint64 `json:"races,omitempty"`
@@ -207,6 +209,7 @@ func (e *Engine) snapshot() (*ckptPayload, error) {
 		Opts: ckptOptions{
 			SC1: o.SC1, SC2: o.SC2, SC3: o.SC3, SC3MaxSegment: o.SC3MaxSegment,
 			XactSC: o.XactSC, Memoize: o.Memoize, HBCache: o.HBCache,
+			FastPath:         o.FastPath,
 			DisableAfterRace: o.DisableAfterRace,
 			GCThreshold:      o.GCThreshold, GCTrimFraction: o.GCTrimFraction,
 			PartialEager: o.PartialEager, TxnSemantics: o.TxnSemantics,
@@ -287,7 +290,8 @@ func (e *Engine) snapshot() (*ckptPayload, error) {
 		AccessesChecked: s.AccessesChecked, PairChecks: s.PairChecks,
 		SC1Hits: s.SC1Hits, SC2Hits: s.SC2Hits, SC3Hits: s.SC3Hits,
 		XactHits: s.XactHits, HBCacheHits: s.HBCacheHits,
-		FullWalks: s.FullWalks, WalkCells: s.WalkCells, Races: s.Races,
+		FastPathHits: s.FastPathHits,
+		FullWalks:    s.FullWalks, WalkCells: s.WalkCells, Races: s.Races,
 		DegradedChecks: s.DegradedChecks, VarsTracked: s.VarsTracked,
 		Collections: s.Collections, InfosAdvanced: s.InfosAdvanced,
 		PanicsRecovered: s.PanicsRecovered, VarsQuarantined: s.VarsQuarantined,
@@ -412,6 +416,7 @@ func restore(p *ckptPayload, attach RestoreAttach) (*Engine, error) {
 	opts := Options{
 		SC1: co.SC1, SC2: co.SC2, SC3: co.SC3, SC3MaxSegment: co.SC3MaxSegment,
 		XactSC: co.XactSC, Memoize: co.Memoize, HBCache: co.HBCache,
+		FastPath:         co.FastPath,
 		DisableAfterRace: co.DisableAfterRace,
 		GCThreshold:      co.GCThreshold, GCTrimFraction: co.GCTrimFraction,
 		PartialEager: co.PartialEager, TxnSemantics: co.TxnSemantics,
@@ -513,6 +518,7 @@ func restore(p *ckptPayload, attach RestoreAttach) (*Engine, error) {
 	st.sc3Hits.Store(c.SC3Hits)
 	st.xactHits.Store(c.XactHits)
 	st.hbCacheHits.Store(c.HBCacheHits)
+	st.fastPathHits.Store(c.FastPathHits)
 	st.fullWalks.Store(c.FullWalks)
 	st.walkCells.Store(c.WalkCells)
 	st.races.Store(c.Races)

@@ -101,6 +101,13 @@ func ckptConfigs() map[string]struct {
 	budget.GCThreshold = 0
 	budget.MemoryBudget = 8
 
+	// The default configuration runs with the epoch fast path on (its
+	// hit counter and enablement flag must survive the restart); the
+	// fastpath-off variant pins that a checkpoint written by either tier
+	// restores into a pure-lockset engine unchanged.
+	fpOff := core.DefaultOptions()
+	fpOff.FastPath = false
+
 	return map[string]struct {
 		opts core.Options
 		tel  bool
@@ -108,6 +115,7 @@ func ckptConfigs() map[string]struct {
 		"default":       {core.DefaultOptions(), true},
 		"gc-aggressive": {agg, false},
 		"budget-8":      {budget, false},
+		"fastpath-off":  {fpOff, true},
 	}
 }
 

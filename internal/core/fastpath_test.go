@@ -1,0 +1,252 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"goldilocks/internal/conformance"
+	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/event"
+	"goldilocks/internal/tracegen"
+)
+
+// runBoth executes tr on two engines differing only in FastPath and
+// returns (races with fast path, stats with fast path, races without).
+func runBoth(tr *event.Trace) ([]detect.Race, core.Stats, []detect.Race) {
+	on := core.DefaultOptions()
+	on.FastPath = true
+	off := core.DefaultOptions()
+	off.FastPath = false
+	onEng := core.NewEngine(on)
+	onRaces := detect.RunTrace(onEng, tr)
+	offRaces := detect.RunTrace(core.NewEngine(off), tr)
+	return onRaces, onEng.Stats(), offRaces
+}
+
+// TestEscalationEdges drives every epoch→lockset ownership-transfer
+// trigger through the fast path: in each case the variable starts
+// thread-owned (so the fast path engages, asserted via FastPathHits),
+// then ownership transfers through one synchronization vocabulary, and
+// the escalated variable must produce verdicts — including the full
+// provenance chain — identical to the always-lockset engine's.
+func TestEscalationEdges(t *testing.T) {
+	const (
+		x    event.Addr = 10 // the handed-off data object
+		lk   event.Addr = 20
+		vol  event.Addr = 21
+		ch   event.Addr = 22
+		spin event.Addr = 23 // second object for read-shared cases
+	)
+	cases := []struct {
+		name string
+		tr   *event.Trace
+		// racy is the ground-truth verdict, double-checked against both
+		// engines so the table stays honest about what each case tests.
+		racy bool
+	}{
+		{
+			// Reads spread the variable across threads; t1's write then
+			// finds a foreign reader. Properly synchronized: no race.
+			name: "write-after-read-shared-synced",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, x, 0).
+				Acquire(1, lk).Read(1, x, 0).Release(1, lk).
+				Acquire(2, lk).Read(2, x, 0).Release(2, lk).
+				Acquire(1, lk).Write(1, x, 0).Release(1, lk).
+				Trace(),
+			racy: false,
+		},
+		{
+			name: "write-after-read-shared-racy",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, x, 0).
+				Acquire(1, lk).Read(1, x, 0).Release(1, lk).
+				Acquire(2, lk).Read(2, x, 0).Release(2, lk).
+				Write(1, x, 0). // no lock this time: races with t2's read
+				Trace(),
+			racy: true,
+		},
+		{
+			name: "lock-handoff",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, x, 0).Write(1, x, 0). // fast-path territory
+				Acquire(1, lk).Write(1, x, 0).Release(1, lk).
+				Acquire(2, lk).Write(2, x, 0).Release(2, lk). // escalates here
+				Trace(),
+			racy: false,
+		},
+		{
+			// Disjoint locks: the lockset intersection between t1's release
+			// and t2's acquire is empty, so escalation must report the race.
+			name: "lock-handoff-racy",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, x, 0).Write(1, x, 0).
+				Acquire(1, lk).Write(1, x, 0).Release(1, lk).
+				Acquire(2, spin).Write(2, x, 0).Release(2, spin).
+				Trace(),
+			racy: true,
+		},
+		{
+			name: "volatile-handoff",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, x, 0).Write(1, x, 0).
+				VolatileWrite(1, vol, 0).
+				VolatileRead(2, vol, 0).
+				Write(2, x, 0).
+				Trace(),
+			racy: false,
+		},
+		{
+			name: "channel-handoff",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				ChanMake(1, ch, 1).
+				Write(1, x, 0).Write(1, x, 0).
+				ChanSend(1, ch).
+				ChanRecv(2, ch).
+				Write(2, x, 0).
+				Trace(),
+			racy: false,
+		},
+		{
+			name: "channel-close-handoff",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				ChanMake(1, ch, 1).
+				Write(1, x, 0).Write(1, x, 0).
+				ChanClose(1, ch).
+				ChanRecv(2, ch). // receive from drained closed channel
+				Write(2, x, 0).
+				Trace(),
+			racy: false,
+		},
+		{
+			name: "fork-handoff",
+			tr: event.NewBuilder().
+				Write(1, x, 0).Write(1, x, 0).
+				Fork(1, 2).
+				Write(2, x, 0).
+				Trace(),
+			racy: false,
+		},
+		{
+			name: "join-handoff",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(2, x, 0).Write(2, x, 0).
+				Join(1, 2).
+				Write(1, x, 0).
+				Trace(),
+			racy: false,
+		},
+		{
+			name: "commit-handoff",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, spin, 0).Write(1, spin, 0). // plain fast-path traffic
+				Commit(1, nil, []event.Variable{{Obj: x, Field: 0}}).
+				Commit(2, []event.Variable{{Obj: x, Field: 0}}, nil).
+				Trace(),
+			racy: false,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.tr.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			onRaces, onStats, offRaces := runBoth(c.tr)
+			if onStats.FastPathHits == 0 {
+				t.Error("fast path never engaged; the case does not test escalation")
+			}
+			if (len(onRaces) > 0) != c.racy {
+				t.Errorf("fast-path engine racy=%v, ground truth %v (races %v)",
+					len(onRaces) > 0, c.racy, onRaces)
+			}
+			if !reflect.DeepEqual(onRaces, offRaces) {
+				t.Errorf("escalated verdicts diverge:\n fast path: %+v\n lockset:   %+v", onRaces, offRaces)
+			}
+			for i := range onRaces {
+				if !reflect.DeepEqual(onRaces[i].Prov, offRaces[i].Prov) {
+					t.Errorf("race %d provenance diverges:\n fast path: %v\n lockset:   %v",
+						i, onRaces[i].Prov, offRaces[i].Prov)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathStatsParity pins the counter contract on a handoff-heavy
+// generated workload: with the fast path on, every Stats field except
+// FastPathHits must be identical to the slow engine's — the fast path
+// replicates the short-circuit accounting it bypasses.
+func TestFastPathStatsParity(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := tracegen.Default()
+		cfg.Channels = int(seed) % 3
+		tr := tracegen.FromSeedConfig(seed, cfg)
+		on := core.DefaultOptions()
+		on.FastPath = true
+		off := core.DefaultOptions()
+		off.FastPath = false
+		onEng, offEng := core.NewEngine(on), core.NewEngine(off)
+		detect.RunTrace(onEng, tr)
+		detect.RunTrace(offEng, tr)
+		onStats, offStats := onEng.Stats(), offEng.Stats()
+		if onStats.FastPathHits == 0 {
+			t.Errorf("seed %d: fast path never engaged", seed)
+		}
+		if r := onStats.FastPathRate(); r <= 0 || r > 1 {
+			t.Errorf("seed %d: FastPathRate = %v, want (0,1]", seed, r)
+		}
+		onStats.FastPathHits = 0
+		if onStats != offStats {
+			t.Errorf("seed %d: stats diverge\n fast path: %+v\n lockset:   %+v", seed, onStats, offStats)
+		}
+	}
+}
+
+// TestEscalationStress hammers escalation under the race detector: a
+// channel- and lock-heavy generated trace is delivered concurrently
+// (one goroutine per trace thread, ticket-serialized to the trace
+// order) into a fast-path engine, whose verdicts must match the serial
+// always-lockset run. Any unsynchronized state shared between the
+// epoch check and the walk machinery is a -race failure here.
+func TestEscalationStress(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := tracegen.Default()
+			cfg.Steps = 400
+			cfg.MaxThreads = 6
+			cfg.Channels = 2
+			cfg.SyncBias = 0.8
+			tr := tracegen.FromSeedConfig(seed, cfg)
+			opts := core.DefaultOptions()
+			opts.FastPath = true
+			got := conformance.RunConcurrent(core.NewEngine(opts), tr)
+			off := core.DefaultOptions()
+			off.FastPath = false
+			want := detect.RunTrace(core.NewEngine(off), tr)
+			gotKeys := make([]string, len(got))
+			for i, r := range got {
+				gotKeys[i] = fmt.Sprintf("%d:%v", r.Pos, r.Var)
+			}
+			wantKeys := make([]string, len(want))
+			for i, r := range want {
+				wantKeys[i] = fmt.Sprintf("%d:%v", r.Pos, r.Var)
+			}
+			if !reflect.DeepEqual(gotKeys, wantKeys) {
+				t.Errorf("concurrent fast-path verdicts %v, serial lockset %v", gotKeys, wantKeys)
+			}
+		})
+	}
+}

@@ -433,13 +433,18 @@ func decodeStreamLine(line []byte) (Action, uint64, recDecodeStatus, string) {
 	}, rec.Span, recOK, ""
 }
 
-// ReadTraceAuto sniffs the format: a streaming header selects
-// ReadTraceStream (returning any salvage count), anything else is read
-// as the legacy single-object format (dropped is always 0 there — the
-// legacy format is all-or-nothing).
+// ReadTraceAuto sniffs the format: a binary header frame selects
+// ReadTraceBin, a streaming header selects ReadTraceStream (both
+// returning any salvage count), anything else is read as the legacy
+// single-object format (dropped is always 0 there — the legacy format
+// is all-or-nothing). The binary sniff runs first: BinFormatName and
+// StreamFormatName are chosen so neither contains the other.
 func ReadTraceAuto(r io.Reader) (tr *Trace, dropped int, err error) {
 	br := bufio.NewReader(r)
 	peek, _ := br.Peek(64)
+	if bytes.Contains(peek, []byte(BinFormatName)) {
+		return ReadTraceBin(br)
+	}
 	if bytes.Contains(peek, []byte(StreamFormatName)) {
 		return ReadTraceStream(br)
 	}

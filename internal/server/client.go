@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goldilocks/internal/core"
@@ -49,6 +50,18 @@ type Client struct {
 	next    uint64
 	resumed bool
 
+	// bin is true when this connection negotiated the binary wire
+	// format. It is per-connection state: a failover re-negotiates, so
+	// a client can move between a binary-speaking node and a line-JSON
+	// one mid-session (mixed-version fleet).
+	bin    bool
+	encBuf []byte // binary encode scratch, reused across Sends
+
+	// Unsolicited progress acks (binary protocol, batched by the
+	// server) land in these watermarks, never in the ack channel.
+	progApplied atomic.Uint64
+	progRaces   atomic.Uint64
+
 	// Failover state (fleet mode; nil fleet = single-node client).
 	fleet     []string
 	cfg       DialConfig
@@ -86,15 +99,32 @@ func (c *Client) Resumed() bool { return c.resumed }
 // losing its server (fleet mode).
 func (c *Client) Failovers() int { return c.failovers }
 
+// Binary reports whether the current connection negotiated the binary
+// wire format.
+func (c *Client) Binary() bool { return c.bin }
+
+// Progress returns the server's last volunteered progress watermark
+// (applied actions, races reported). Only the binary protocol batches
+// unsolicited progress acks; under line-JSON this stays at the last
+// solicited ack's values (zero before the first Flush).
+func (c *Client) Progress() (applied, races uint64) {
+	return c.progApplied.Load(), c.progRaces.Load()
+}
+
 // startConn installs a fresh connection and starts its read loop.
-func (c *Client) startConn(conn net.Conn, br *bufio.Reader) {
+func (c *Client) startConn(conn net.Conn, br *bufio.Reader, bin bool) {
 	c.conn = conn
+	c.bin = bin
 	c.bw = bufio.NewWriterSize(conn, 64*1024)
 	c.acks = make(chan Ack, 4)
 	c.done = make(chan struct{})
 	c.errOnce = sync.Once{}
 	c.readErr = nil
-	go c.readLoop(br, c.acks, c.done)
+	if bin {
+		go c.readLoopBin(br, c.acks, c.done)
+	} else {
+		go c.readLoop(br, c.acks, c.done)
+	}
 }
 
 // readLoop collects server lines: races into the race list, acks into
@@ -121,27 +151,101 @@ func (c *Client) readLoop(br *bufio.Reader, acks chan Ack, done chan struct{}) {
 			c.setErr(fmt.Errorf("server: %s", m.Err))
 			return
 		case m.Race != nil:
-			r, err := decodeRace(m.Race)
+			if err := c.collectRace(m.Race); err != nil {
+				c.setErr(err)
+				return
+			}
+		case m.Ack != nil:
+			ack := Ack{
+				Applied: m.Ack.Applied, Races: m.Ack.Races,
+				Stats: m.Ack.Stats, RuleFires: m.Ack.RuleFires,
+			}
+			c.noteProgress(ack)
+			acks <- ack
+		}
+	}
+}
+
+// readLoopBin is readLoop for a binary connection: race/ack/err frames
+// instead of serverMsg lines. Solicited acks (flush/close replies) go
+// to the ack channel; unsolicited batched progress acks only advance
+// the watermark — a control round trip must never consume one as its
+// reply.
+func (c *Client) readLoopBin(br *bufio.Reader, acks chan Ack, done chan struct{}) {
+	defer close(done)
+	defer close(acks)
+	fr := event.NewFrameReader(br)
+	for {
+		typ, body, err := fr.Next()
+		if err != nil {
+			c.setErr(io.EOF)
+			return
+		}
+		switch typ {
+		case frameErr:
+			c.setErr(fmt.Errorf("server: %s", body))
+			return
+		case frameRace:
+			var wr wireRace
+			if err := json.Unmarshal(body, &wr); err != nil {
+				c.setErr(fmt.Errorf("server: bad race frame: %w", err))
+				return
+			}
+			if err := c.collectRace(&wr); err != nil {
+				c.setErr(err)
+				return
+			}
+		case frameAck:
+			ack, solicited, _, err := decodeAckFrame(body)
 			if err != nil {
 				c.setErr(err)
 				return
 			}
-			c.mu.Lock()
-			if c.seen != nil {
-				key := fmt.Sprintf("%d:%v", r.Pos, r.Var)
-				if c.seen[key] {
-					c.mu.Unlock()
-					continue
-				}
-				c.seen[key] = true
+			c.noteProgress(ack)
+			if solicited {
+				acks <- ack
 			}
-			c.races = append(c.races, r)
-			c.mu.Unlock()
-		case m.Ack != nil:
-			acks <- Ack{
-				Applied: m.Ack.Applied, Races: m.Ack.Races,
-				Stats: m.Ack.Stats, RuleFires: m.Ack.RuleFires,
-			}
+		default:
+			c.setErr(fmt.Errorf("server: unexpected frame type 0x%02x", typ))
+			return
+		}
+	}
+}
+
+// collectRace decodes one pushed verdict into the race list, deduping
+// re-fired verdicts across failovers (fleet mode).
+func (c *Client) collectRace(wr *wireRace) error {
+	r, err := decodeRace(wr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen != nil {
+		key := fmt.Sprintf("%d:%v", r.Pos, r.Var)
+		if c.seen[key] {
+			return nil
+		}
+		c.seen[key] = true
+	}
+	c.races = append(c.races, r)
+	return nil
+}
+
+// noteProgress folds an ack into the progress watermark. Watermarks
+// are monotonic: a failover replays the journal suffix, and a stale
+// ack from the old connection must not rewind them.
+func (c *Client) noteProgress(ack Ack) {
+	for {
+		cur := c.progApplied.Load()
+		if ack.Applied <= cur || c.progApplied.CompareAndSwap(cur, ack.Applied) {
+			break
+		}
+	}
+	for {
+		cur := c.progRaces.Load()
+		if ack.Races <= cur || c.progRaces.CompareAndSwap(cur, ack.Races) {
+			break
 		}
 	}
 }
@@ -165,11 +269,22 @@ func (c *Client) terminalErr() error {
 func (c *Client) Send(a event.Action) error {
 	var rec []byte
 	var err error
-	if c.tracer.Sample() {
+	switch {
+	case c.bin && c.tracer.Sample():
+		start := time.Now()
+		c.encBuf = event.AppendEventFrame(c.encBuf[:0], a, c.tracer.NextSpan())
+		rec = c.encBuf
+		c.tracer.Observe(obs.StageClientEncode, time.Since(start))
+	case c.bin:
+		// The reused encode buffer makes the steady-state binary send
+		// path allocation-free.
+		c.encBuf = event.AppendEventFrame(c.encBuf[:0], a, 0)
+		rec = c.encBuf
+	case c.tracer.Sample():
 		start := time.Now()
 		rec, err = event.EncodeRecordSpan(a, c.tracer.NextSpan())
 		c.tracer.Observe(obs.StageClientEncode, time.Since(start))
-	} else {
+	default:
 		rec, err = event.EncodeRecord(a)
 	}
 	if err != nil {
@@ -211,17 +326,32 @@ func (c *Client) Abandon() {
 	<-c.done
 }
 
-func (c *Client) ctlRoundTrip(verb string) (Ack, error) {
+// writeCtl writes the control verb in the connection's wire format
+// (buffered; the caller flushes).
+func (c *Client) writeCtl(verb string) error {
+	if c.bin {
+		v := binCtlFlush
+		if verb == ctlClose {
+			v = binCtlClose
+		}
+		_, err := c.bw.Write(event.AppendFrame(nil, event.FrameCtl, []byte{v}))
+		return err
+	}
 	b, err := json.Marshal(ctlMsg{Ctl: verb})
 	if err != nil {
-		return Ack{}, err
+		return err
 	}
+	_, err = c.bw.Write(append(b, '\n'))
+	return err
+}
+
+func (c *Client) ctlRoundTrip(verb string) (Ack, error) {
 	for attempt := 0; ; attempt++ {
 		var start time.Time
 		if c.tracer != nil {
 			start = time.Now()
 		}
-		c.bw.Write(append(b, '\n'))
+		c.writeCtl(verb)
 		flushErr := c.bw.Flush()
 		var ack Ack
 		ok := false

@@ -42,6 +42,11 @@ type DialConfig struct {
 	// client-side stages: record encode and control round-trip time.
 	// Nil disables client tracing at zero cost.
 	Tracer *obs.Tracer
+	// ForceJSON disables the binary wire-format offer, pinning every
+	// connection to line-JSON. By default the client offers
+	// WireFormatBinary and falls back to line-JSON when the server does
+	// not select it (old servers ignore the offer entirely).
+	ForceJSON bool
 }
 
 func (cfg DialConfig) withDefaults() DialConfig {
@@ -105,11 +110,13 @@ func retryableWelcome(msg string) bool {
 	return strings.Contains(msg, "live connection") || strings.Contains(msg, "shutting down")
 }
 
-// handshakeResult is one attach attempt's outcome.
+// handshakeResult is one attach attempt's outcome. bin records whether
+// the server selected the binary wire format for this connection.
 type handshakeResult struct {
 	conn net.Conn
 	br   *bufio.Reader
 	w    welcome
+	bin  bool
 }
 
 // errNotOwner is returned by connectOnce when the node redirected.
@@ -122,10 +129,12 @@ type terminalDialError struct{ msg string }
 
 func (e *terminalDialError) Error() string { return e.msg }
 
-// connectOnce dials addr and performs the session handshake, including
-// sending the stream header. On NOT_OWNER it returns *redirectError
-// with the owner's address (possibly empty).
-func connectOnce(ctx context.Context, addr, session string) (*handshakeResult, error) {
+// connectOnce dials addr and performs the session handshake — offering
+// the binary wire format unless offerBin is false — including sending
+// the stream header in whichever format the server selected. On
+// NOT_OWNER it returns *redirectError with the owner's address
+// (possibly empty).
+func connectOnce(ctx context.Context, addr, session string, offerBin bool) (*handshakeResult, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -138,7 +147,11 @@ func connectOnce(ctx context.Context, addr, session string) (*handshakeResult, e
 		conn.Close()
 		return nil, err
 	}
-	h, err := json.Marshal(hello{Proto: ProtoName, Version: ProtoVersion, Session: session})
+	var formats []string
+	if offerBin {
+		formats = []string{WireFormatBinary, WireFormatJSON}
+	}
+	h, err := json.Marshal(hello{Proto: ProtoName, Version: ProtoVersion, Session: session, Formats: formats})
 	if err != nil {
 		return fail(err)
 	}
@@ -165,11 +178,16 @@ func connectOnce(ctx context.Context, addr, session string) (*handshakeResult, e
 		}
 		return fail(&terminalDialError{msg: msg})
 	}
-	if _, err := conn.Write(event.StreamHeaderLine()); err != nil {
+	bin := w.Format == WireFormatBinary
+	header := event.StreamHeaderLine()
+	if bin {
+		header = event.BinHeaderFrame()
+	}
+	if _, err := conn.Write(header); err != nil {
 		return fail(err)
 	}
 	conn.SetDeadline(time.Time{}) // handshake done; streaming has no deadline
-	return &handshakeResult{conn: conn, br: br, w: w}, nil
+	return &handshakeResult{conn: conn, br: br, w: w, bin: bin}, nil
 }
 
 // Dial connects to a detection server and opens (or resumes) the named
@@ -195,7 +213,7 @@ func DialContext(ctx context.Context, addr, session string, cfg DialConfig) (*Cl
 				return nil, fmt.Errorf("dialing %s: %w (last error: %v)", addr, err, lastErr)
 			}
 		}
-		res, err := connectOnce(ctx, addr, session)
+		res, err := connectOnce(ctx, addr, session, !cfg.ForceJSON)
 		if err != nil {
 			var term *terminalDialError
 			if errors.As(err, &term) {
@@ -208,8 +226,8 @@ func DialContext(ctx context.Context, addr, session string, cfg DialConfig) (*Cl
 			lastErr = err
 			continue
 		}
-		c := &Client{session: session, next: res.w.Next, resumed: res.w.Resumed, tracer: cfg.Tracer}
-		c.startConn(res.conn, res.br)
+		c := &Client{session: session, next: res.w.Next, resumed: res.w.Resumed, cfg: cfg, tracer: cfg.Tracer}
+		c.startConn(res.conn, res.br, res.bin)
 		return c, nil
 	}
 	return nil, fmt.Errorf("dialing %s: %d attempts failed: %w", addr, cfg.Attempts, lastErr)
@@ -233,17 +251,24 @@ func DialFleet(ctx context.Context, addrs []string, session string, cfg DialConf
 	}
 	c.next, c.resumed = res.w.Next, res.w.Resumed
 	c.base = res.w.Next
-	c.startConn(res.conn, res.br)
+	c.startConn(res.conn, res.br, res.bin)
 	return c, nil
 }
 
 // DialAuto is the CLI-friendly entry: a single address dials directly,
 // a comma-separated list dials the fleet with failover enabled.
 func DialAuto(ctx context.Context, addr, session string) (*Client, error) {
+	return DialAutoConfig(ctx, addr, session, DialConfig{})
+}
+
+// DialAutoConfig is DialAuto with an explicit configuration, for
+// callers that need to pin the wire format (e.g. -wire json) or tune
+// failover without giving up the address-list convenience.
+func DialAutoConfig(ctx context.Context, addr, session string, cfg DialConfig) (*Client, error) {
 	if strings.Contains(addr, ",") {
-		return DialFleet(ctx, splitAddrs(addr), session, DialConfig{})
+		return DialFleet(ctx, splitAddrs(addr), session, cfg)
 	}
-	return DialContext(ctx, addr, session, DialConfig{})
+	return DialContext(ctx, addr, session, cfg)
 }
 
 // splitAddrs parses a comma-separated address list.
@@ -294,7 +319,7 @@ func (c *Client) connectFleet(ctx context.Context) (*handshakeResult, error) {
 // configured bound.
 func (c *Client) followRedirects(ctx context.Context, addr string) (*handshakeResult, error) {
 	for hop := 0; hop < c.cfg.MaxRedirects; hop++ {
-		res, err := connectOnce(ctx, addr, c.session)
+		res, err := connectOnce(ctx, addr, c.session, !c.cfg.ForceJSON)
 		if err == nil {
 			return res, nil
 		}
@@ -328,11 +353,20 @@ func (c *Client) failover(ctx context.Context) error {
 			c.session, next, c.base, c.base+uint64(len(c.journal)))
 	}
 	c.failovers++
-	c.startConn(res.conn, res.br)
+	c.startConn(res.conn, res.br, res.bin)
+	// The journal replays in whatever format the *new* connection
+	// negotiated: in a mixed-version fleet a session can migrate from a
+	// binary-speaking node to a line-JSON one (or back) mid-stream.
 	for _, a := range c.journal[next-c.base:] {
-		rec, err := event.EncodeRecord(a)
-		if err != nil {
-			return err
+		var rec []byte
+		if c.bin {
+			c.encBuf = event.AppendEventFrame(c.encBuf[:0], a, 0)
+			rec = c.encBuf
+		} else {
+			var err error
+			if rec, err = event.EncodeRecord(a); err != nil {
+				return err
+			}
 		}
 		if _, err := c.bw.Write(rec); err != nil {
 			// The replacement died too; recurse into another episode.

@@ -29,11 +29,32 @@ const ProtoName = "goldilocks-service"
 // ProtoVersion is the current protocol version.
 const ProtoVersion = 1
 
-// hello is the first line a client sends.
+// Wire format names, offered by clients in hello.Formats and selected
+// by servers in welcome.Format. The handshake itself is always
+// line-JSON; the negotiated format governs everything after the
+// welcome. An empty offer or selection means line-JSON — which is how
+// cross-version pairs interoperate: an old server ignores the unknown
+// Formats key and omits Format from its welcome, an old client never
+// offers, and both sides land on WireFormatJSON without either knowing
+// the other predates the negotiation.
+const (
+	// WireFormatJSON is the original line-delimited JSON protocol:
+	// event.EncodeRecord lines up, serverMsg lines down.
+	WireFormatJSON = "goldilocks-json"
+	// WireFormatBinary is the length-prefixed binary protocol: the
+	// event.AppendEventFrame framing up (plus one-byte control frames),
+	// race/ack/err frames down, with batched unsolicited progress acks.
+	WireFormatBinary = "goldilocks-bin"
+)
+
+// hello is the first line a client sends. Formats lists the wire
+// formats the client can speak beyond the implied line-JSON, in
+// preference order.
 type hello struct {
-	Proto   string `json:"proto"`
-	Version int    `json:"version"`
-	Session string `json:"session"`
+	Proto   string   `json:"proto"`
+	Version int      `json:"version"`
+	Session string   `json:"session"`
+	Formats []string `json:"formats,omitempty"`
 }
 
 // welcome is the server's reply to a hello. Next is the number of
@@ -49,6 +70,9 @@ type welcome struct {
 	Next     uint64 `json:"next"`
 	NotOwner bool   `json:"not_owner,omitempty"`
 	Owner    string `json:"owner,omitempty"`
+	// Format is the wire format the server selected from the client's
+	// offer; empty means line-JSON (see WireFormatJSON).
+	Format string `json:"format,omitempty"`
 }
 
 // ctlMsg is a client control line interleaved with event records.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"os"
@@ -491,6 +492,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		writeWelcome(welcome{Error: "invalid session id (want [A-Za-z0-9._-]{1,64})"})
 		return
 	}
+	format := pickWireFormat(h.Formats)
 	sess, existed, err := s.attach(h.Session, conn)
 	if err != nil {
 		var noe *notOwnerError
@@ -506,21 +508,46 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	defer s.detach(sess)
-	writeWelcome(welcome{OK: true, Resumed: existed, Next: sess.applied.Load()})
-	s.cfg.Logger.Info("session attached", "component", "server", "session", sess.id,
-		"resumed", existed, "next", sess.applied.Load())
-	s.flight("attach", sess.id, fmt.Sprintf("resumed=%v next=%d", existed, sess.applied.Load()))
-
-	// The client opens its stream with the standard trace header.
-	line, err = readLine(br)
-	if err != nil {
-		return
+	w := welcome{OK: true, Resumed: existed, Next: sess.applied.Load()}
+	if format == WireFormatBinary {
+		// Named only when it deviates from the default, so the welcome a
+		// pre-negotiation client sees is byte-identical to before.
+		w.Format = format
 	}
-	if err := event.CheckStreamHeader(line); err != nil {
-		b, _ := json.Marshal(serverMsg{Err: err.Error()})
-		bw.Write(append(b, '\n'))
-		bw.Flush()
-		return
+	writeWelcome(w)
+	s.cfg.Logger.Info("session attached", "component", "server", "session", sess.id,
+		"resumed", existed, "next", sess.applied.Load(), "format", format)
+	s.flight("attach", sess.id, fmt.Sprintf("resumed=%v next=%d format=%s", existed, sess.applied.Load(), format))
+
+	var enc wireEncoder
+	var frames *event.FrameReader
+	if format == WireFormatBinary {
+		enc = &binWire{bw: bw}
+		frames = event.NewFrameReader(br)
+		// The client opens its stream with the binary header frame.
+		typ, body, err := frames.Next()
+		if err != nil || typ != event.FrameHeader {
+			enc.errMsg(fmt.Sprintf("expected binary stream header frame, got %v", err))
+			enc.flush()
+			return
+		}
+		if err := event.CheckBinHeader(body); err != nil {
+			enc.errMsg(err.Error())
+			enc.flush()
+			return
+		}
+	} else {
+		enc = &jsonWire{bw: bw}
+		// The client opens its stream with the standard trace header.
+		line, err = readLine(br)
+		if err != nil {
+			return
+		}
+		if err := event.CheckStreamHeader(line); err != nil {
+			enc.errMsg(err.Error())
+			enc.flush()
+			return
+		}
 	}
 
 	queue := make(chan item, s.cfg.Queue)
@@ -531,7 +558,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	sess.lastRung = sess.eng.Rung()
 	sess.lastQuar = sess.eng.VarsQuarantined()
 	workerDone := make(chan struct{})
-	go s.sessionWorker(sess, queue, bw, workerDone)
+	go s.sessionWorker(sess, queue, enc, workerDone)
 
 	// closeQueue marks the queue closed (so admin tryEnqueue stops
 	// delivering) before closing the channel the worker drains.
@@ -539,6 +566,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		sess.markQueueClosed()
 		close(queue)
 		<-workerDone
+	}
+	if format == WireFormatBinary {
+		s.readFrames(sess, frames, queue, closeQueue)
+		return
 	}
 	for {
 		line, err := readLine(br)
@@ -589,19 +620,79 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// sessionWorker drains the ingest queue, applies actions to the
-// session engine in batches, and pushes verdicts and acks back to the
-// client. It is the only goroutine touching the engine or the writer
-// while attached.
-func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer, done chan struct{}) {
-	defer close(done)
-	send := func(m serverMsg) {
-		b, err := json.Marshal(m)
+// readFrames is the binary-protocol ingest loop: the frame-stream
+// counterpart of handleConn's line loop, with identical queue,
+// control, and teardown semantics.
+func (s *Server) readFrames(sess *session, frames *event.FrameReader, queue chan item, closeQueue func()) {
+	for {
+		typ, body, err := frames.Next()
 		if err != nil {
+			if err == io.EOF {
+				// Connection dropped without a close control: the session
+				// stays resumable.
+				closeQueue()
+				s.cfg.Logger.Info("session connection lost", "component", "server",
+					"session", sess.id, "applied", sess.applied.Load())
+				s.flight("detach", sess.id, fmt.Sprintf("connection lost at %d applied", sess.applied.Load()))
+				return
+			}
+			queue <- item{ctl: "err", errMsg: fmt.Sprintf("corrupt event frame: %v", err)}
+			closeQueue()
 			return
 		}
-		bw.Write(append(b, '\n')) // write errors surface at Flush; best-effort
+		switch typ {
+		case event.FrameCtl:
+			verb := byte(0)
+			if len(body) == 1 {
+				verb = body[0]
+			}
+			switch verb {
+			case binCtlFlush:
+				queue <- item{ctl: ctlFlush}
+				continue
+			case binCtlClose:
+				queue <- item{ctl: ctlClose}
+				closeQueue()
+				s.cfg.Logger.Info("session closed", "component", "server", "session", sess.id,
+					"applied", sess.applied.Load(), "races", sess.races.Load())
+				s.flight("close", sess.id, fmt.Sprintf("%d applied, %d races", sess.applied.Load(), sess.races.Load()))
+				return
+			default:
+				queue <- item{ctl: "err", errMsg: fmt.Sprintf("unknown binary control %d", verb)}
+				closeQueue()
+				return
+			}
+		case event.FrameEvent:
+			a, span, derr := event.DecodeEventFrame(body)
+			if derr != nil {
+				queue <- item{ctl: "err", errMsg: fmt.Sprintf("corrupt event frame: %v", derr)}
+				closeQueue()
+				return
+			}
+			it := item{a: a, span: span}
+			if span == 0 && s.cfg.Tracer.Sample() {
+				// Untraced client: sample server-side so the queue/apply/
+				// flush histograms still fill in.
+				it.span = s.cfg.Tracer.NextSpan()
+			}
+			if it.span != 0 {
+				it.enq = time.Now()
+			}
+			queue <- it
+		default:
+			queue <- item{ctl: "err", errMsg: fmt.Sprintf("unexpected frame type 0x%02x", typ)}
+			closeQueue()
+			return
+		}
 	}
+}
+
+// sessionWorker drains the ingest queue, applies actions to the
+// session engine in batches, and pushes verdicts and acks back to the
+// client through the connection's negotiated wire encoder. It is the
+// only goroutine touching the engine or the encoder while attached.
+func (s *Server) sessionWorker(sess *session, queue chan item, enc wireEncoder, done chan struct{}) {
+	defer close(done)
 	sinceFlush := 0
 	tracedInBatch := false
 	// flush pushes buffered verdicts to the client; when the batch held
@@ -611,11 +702,11 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 	flush := func() {
 		if tracedInBatch {
 			start := time.Now()
-			bw.Flush()
+			enc.flush()
 			s.cfg.Tracer.Observe(obs.StageVerdictFlush, time.Since(start))
 			tracedInBatch = false
 		} else {
-			bw.Flush()
+			enc.flush()
 		}
 		sinceFlush = 0
 	}
@@ -656,14 +747,18 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 				sess.races.Add(1)
 				wr, err := encodeRace(r, pos)
 				if err != nil {
-					send(serverMsg{Err: err.Error()})
+					enc.errMsg(err.Error())
 					continue
 				}
-				send(serverMsg{Race: wr})
+				enc.race(wr)
 			}
 			n := sess.applied.Add(1)
 			sinceFlush++
 			if sinceFlush >= s.cfg.Batch || len(queue) == 0 {
+				// Batched progress ack: the binary protocol volunteers the
+				// applied watermark with each batch flush, so clients track
+				// progress without control round trips (no-op under JSON).
+				enc.progress(n, sess.races.Load())
 				flush()
 				s.observeGovernor(sess)
 			}
@@ -680,18 +775,18 @@ func (s *Server) sessionWorker(sess *session, queue chan item, bw *bufio.Writer,
 			data, err := sessionSnapshotBytes(sess)
 			it.ckpt <- ckptResult{data: data, applied: sess.applied.Load(), err: err}
 		case ctlFlush:
-			send(serverMsg{Ack: &wireAck{Applied: sess.applied.Load(), Races: sess.races.Load()}})
+			enc.ack(&wireAck{Applied: sess.applied.Load(), Races: sess.races.Load()}, true)
 			flush()
 		case ctlClose:
 			stats := sess.eng.Stats()
 			fires := sess.tel.RuleFires()
-			send(serverMsg{Ack: &wireAck{
+			enc.ack(&wireAck{
 				Applied: sess.applied.Load(), Races: sess.races.Load(),
 				Final: true, Stats: &stats, RuleFires: fires[:],
-			}})
+			}, true)
 			flush()
 		case "err":
-			send(serverMsg{Err: it.errMsg})
+			enc.errMsg(it.errMsg)
 			flush()
 		}
 	}

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"goldilocks/internal/conformance"
+	"goldilocks/internal/core"
+	"goldilocks/internal/event"
+	"goldilocks/internal/scenarios"
+)
+
+// racyScenario returns a scenario the engine reports a race on, so the
+// wire tests exercise the verdict path, not just acks.
+func racyScenario(t *testing.T) scenarios.Scenario {
+	t.Helper()
+	for _, sc := range scenarios.All() {
+		if sc.Racy {
+			return sc
+		}
+	}
+	t.Fatal("no racy scenario in the corpus")
+	return scenarios.Scenario{}
+}
+
+// streamWith streams sc through a fresh session with the given dial
+// config and checks verdict parity plus the negotiated format.
+func streamWith(t *testing.T, addr, session string, cfg DialConfig, wantBin bool) {
+	t.Helper()
+	sc := racyScenario(t)
+	c, err := DialContext(context.Background(), addr, session, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if c.Binary() != wantBin {
+		t.Fatalf("negotiated binary=%v, want %v", c.Binary(), wantBin)
+	}
+	for i := 0; i < sc.Trace.Len(); i++ {
+		if err := c.Send(sc.Trace.At(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	mid, err := c.Flush()
+	if err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if mid.Applied != uint64(sc.Trace.Len()) {
+		t.Fatalf("flush ack applied=%d, want %d", mid.Applied, sc.Trace.Len())
+	}
+	ack, err := c.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if !c.Resumed() && ack.Applied != uint64(sc.Trace.Len()) {
+		t.Fatalf("final ack applied=%d, want %d", ack.Applied, sc.Trace.Len())
+	}
+	if ack.Stats == nil || len(ack.RuleFires) == 0 {
+		t.Fatalf("final ack missing stats/rule fires: %+v", ack)
+	}
+	backend := func(*event.Trace) (conformance.BackendResult, error) {
+		return conformance.BackendResult{Races: c.Races()}, nil
+	}
+	if div := conformance.CheckBackend("wire", backend, sc.Trace); div != nil {
+		t.Errorf("verdict divergence: %v", div)
+	}
+}
+
+// TestHandshakeFormatMatrix is the cross-version interop matrix: every
+// pairing of (binary-offering client, JSON-pinned client, pre-
+// negotiation client) against (current server, pre-negotiation server)
+// must land both peers on the same wire format and deliver identical
+// verdicts. The two "old" peers are hand-rolled stand-ins speaking the
+// protocol exactly as it was before Formats/Format existed.
+func TestHandshakeFormatMatrix(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	t.Run("new-client-new-server-binary", func(t *testing.T) {
+		streamWith(t, srv.Addr(), "matrix-bin", DialConfig{}, true)
+	})
+	t.Run("forcejson-client-new-server", func(t *testing.T) {
+		streamWith(t, srv.Addr(), "matrix-json", DialConfig{ForceJSON: true}, false)
+	})
+	t.Run("old-client-new-server", func(t *testing.T) {
+		oldClientRoundTrip(t, srv.Addr(), "matrix-old-client")
+	})
+	t.Run("new-client-old-server", func(t *testing.T) {
+		addr := startOldServer(t)
+		streamWith(t, addr, "matrix-old-server", DialConfig{}, false)
+	})
+}
+
+// oldClientRoundTrip speaks the pre-negotiation protocol raw on the
+// socket: a hello without Formats, the JSON stream header, line
+// records, and a close control. The welcome must not name a format
+// (old clients would ignore it, but the byte-identical welcome is the
+// compatibility contract) and the verdicts must arrive as line JSON.
+func oldClientRoundTrip(t *testing.T, addr, session string) {
+	t.Helper()
+	sc := racyScenario(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	h, _ := json.Marshal(struct {
+		Proto   string `json:"proto"`
+		Version int    `json:"version"`
+		Session string `json:"session"`
+	}{ProtoName, ProtoVersion, session})
+	if _, err := conn.Write(append(h, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := readLine(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(line, []byte(`"format"`)) {
+		t.Fatalf("welcome to a pre-negotiation client names a format: %s", line)
+	}
+	var w welcome
+	if err := json.Unmarshal(line, &w); err != nil || !w.OK {
+		t.Fatalf("welcome: %s (err %v)", line, err)
+	}
+	if _, err := conn.Write(event.StreamHeaderLine()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sc.Trace.Len(); i++ {
+		rec, err := event.EncodeRecord(sc.Trace.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl, _ := json.Marshal(ctlMsg{Ctl: ctlClose})
+	if _, err := conn.Write(append(ctl, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	races := 0
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			t.Fatalf("reading server line: %v", err)
+		}
+		var m serverMsg
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad server line %s: %v", line, err)
+		}
+		switch {
+		case m.Err != "":
+			t.Fatalf("server error: %s", m.Err)
+		case m.Race != nil:
+			races++
+		case m.Ack != nil && m.Ack.Final:
+			if m.Ack.Applied != uint64(sc.Trace.Len()) {
+				t.Fatalf("final ack applied=%d, want %d", m.Ack.Applied, sc.Trace.Len())
+			}
+			if races == 0 {
+				t.Fatal("no race verdicts over the legacy protocol")
+			}
+			return
+		}
+	}
+}
+
+// startOldServer runs a minimal stand-in for a pre-negotiation daemon:
+// it ignores unknown hello keys (as encoding/json always has), never
+// sets welcome.Format, and speaks only line JSON. A current client
+// dialing it must fall back cleanly.
+func startOldServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go oldServeConn(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func oldServeConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	line, err := readLine(br)
+	if err != nil {
+		return
+	}
+	var h struct {
+		Proto   string `json:"proto"`
+		Version int    `json:"version"`
+		Session string `json:"session"`
+	}
+	if json.Unmarshal(line, &h) != nil || h.Proto != ProtoName {
+		return
+	}
+	b, _ := json.Marshal(welcome{OK: true})
+	bw.Write(append(b, '\n'))
+	bw.Flush()
+	if line, err = readLine(br); err != nil || event.CheckStreamHeader(line) != nil {
+		return
+	}
+	eng := core.NewEngine(core.DefaultOptions())
+	applied, races := uint64(0), uint64(0)
+	send := func(m serverMsg) {
+		b, _ := json.Marshal(m)
+		bw.Write(append(b, '\n'))
+	}
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return
+		}
+		var ctl ctlMsg
+		if json.Unmarshal(line, &ctl) == nil && ctl.Ctl != "" {
+			stats := eng.Stats()
+			send(serverMsg{Ack: &wireAck{
+				Applied: applied, Races: races,
+				Final: ctl.Ctl == ctlClose, Stats: &stats,
+				RuleFires: make([]uint64, 10),
+			}})
+			bw.Flush()
+			if ctl.Ctl == ctlClose {
+				return
+			}
+			continue
+		}
+		a, _, ok := event.DecodeRecordSpan(line)
+		if !ok {
+			send(serverMsg{Err: "corrupt record"})
+			bw.Flush()
+			return
+		}
+		for _, r := range eng.Step(a) {
+			races++
+			if wr, err := encodeRace(r, applied); err == nil {
+				send(serverMsg{Race: wr})
+			}
+		}
+		applied++
+	}
+}
+
+// TestBinaryProgressWatermark checks the batched unsolicited acks: a
+// binary client learns server progress without issuing a single
+// control round trip, and the solicited flush ack is not consumed by
+// the watermark path.
+func TestBinaryProgressWatermark(t *testing.T) {
+	srv, err := New("127.0.0.1:0", Config{Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sc := racyScenario(t)
+	c, err := DialContext(context.Background(), srv.Addr(), "watermark", DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Binary() {
+		t.Fatal("expected a binary connection")
+	}
+	for i := 0; i < sc.Trace.Len(); i++ {
+		if err := c.Send(sc.Trace.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Push the frames without a control: the server's batch-boundary
+	// progress acks must advance the watermark on their own.
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if applied, _ := c.Progress(); applied == uint64(sc.Trace.Len()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			applied, _ := c.Progress()
+			t.Fatalf("progress watermark stuck at %d, want %d", applied, sc.Trace.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The watermark advanced with zero solicited acks outstanding, so
+	// this round trip must still get its own reply.
+	ack, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied != uint64(sc.Trace.Len()) || ack.Stats == nil {
+		t.Fatalf("final ack = %+v, want applied %d with stats", ack, sc.Trace.Len())
+	}
+}
+
+// fuzzSrv is the shared daemon for FuzzHandshake; one per fuzz worker
+// process.
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrvAddr string
+)
+
+// FuzzHandshake throws arbitrary bytes at a live daemon's handshake and
+// early stream: the server must always answer the first line with a
+// welcome (or drop the connection) and never wedge or crash, whatever
+// the bytes — truncated hellos, binary frames where JSON belongs, torn
+// frames after a valid binary negotiation.
+func FuzzHandshake(f *testing.F) {
+	okHello, _ := json.Marshal(hello{Proto: ProtoName, Version: ProtoVersion, Session: "fuzz"})
+	binHello, _ := json.Marshal(hello{Proto: ProtoName, Version: ProtoVersion, Session: "fuzz",
+		Formats: []string{WireFormatBinary}})
+	f.Add([]byte("garbage\n"))
+	f.Add(append(append([]byte{}, okHello...), '\n'))
+	f.Add(append(append(append([]byte{}, okHello...), '\n'), event.StreamHeaderLine()...))
+	f.Add(append(append(append([]byte{}, binHello...), '\n'), event.BinHeaderFrame()...))
+	// Binary negotiation followed by a torn frame.
+	torn := append(append(append([]byte{}, binHello...), '\n'), event.BinHeaderFrame()...)
+	torn = append(torn, event.AppendEventFrame(nil, event.Action{Kind: event.KindRead, Thread: 1, Obj: 1}, 0)[:7]...)
+	f.Add(torn)
+	// JSON negotiation followed by binary frames (format confusion).
+	confused := append(append(append([]byte{}, okHello...), '\n'), event.BinHeaderFrame()...)
+	f.Add(confused)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzSrvOnce.Do(func() {
+			srv, err := New("127.0.0.1:0", Config{Queue: 4, Batch: 2})
+			if err != nil {
+				t.Fatalf("starting fuzz server: %v", err)
+			}
+			fuzzSrvAddr = srv.Addr()
+		})
+		conn, err := net.Dial("tcp", fuzzSrvAddr)
+		if err != nil {
+			t.Skip("dial failed; server saturated")
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		conn.Write(data)
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			tcp.CloseWrite()
+		}
+		// Drain whatever the server says until it closes our connection.
+		// A wedged server (no reply, no close) trips the deadline.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+					t.Fatalf("server wedged on input %q", data)
+				}
+				return
+			}
+		}
+	})
+}
+
+// TestWireFormatNames pins the negotiated format strings: they are the
+// cross-version compatibility surface and must never drift.
+func TestWireFormatNames(t *testing.T) {
+	if WireFormatBinary != "goldilocks-bin" || WireFormatJSON != "goldilocks-json" {
+		t.Fatalf("wire format names drifted: %q %q", WireFormatBinary, WireFormatJSON)
+	}
+	if got := pickWireFormat([]string{"x", WireFormatBinary}); got != WireFormatBinary {
+		t.Fatalf("pickWireFormat = %q", got)
+	}
+	if got := pickWireFormat(nil); got != WireFormatJSON {
+		t.Fatalf("pickWireFormat(nil) = %q", got)
+	}
+	if got := pickWireFormat([]string{"future-format"}); got != WireFormatJSON {
+		t.Fatalf("pickWireFormat(unknown) = %q", got)
+	}
+}
