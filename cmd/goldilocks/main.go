@@ -32,6 +32,7 @@ import (
 	"goldilocks/internal/detect"
 	"goldilocks/internal/detectors/basic"
 	"goldilocks/internal/detectors/eraser"
+	"goldilocks/internal/detectors/regiontrack"
 	"goldilocks/internal/event"
 	"goldilocks/internal/explore"
 	"goldilocks/internal/hb"
@@ -75,6 +76,7 @@ type runConfig struct {
 	noSC     bool
 	fastPath bool // epoch fast path in the goldilocks engine
 	record   string
+	serial   bool   // record the run and check conflict-serializability
 	onError  string // quarantine | abort
 	budget   int    // event-list cell budget; 0: unbounded
 	remote   string // goldilocksd address; offload detection there
@@ -101,6 +103,7 @@ func main() {
 		noSC     = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks (ablation)")
 		fastPath = flag.Bool("fastpath", true, "enable the epoch fast path in the goldilocks engine (verdicts are identical either way; ablation)")
 		record   = flag.String("record", "", "write the observed linearization to this file (.jsonl: checksummed streaming format; replay with cmd/racereplay)")
+		serial   = flag.Bool("serializability", false, "after the run, check conflict-serializability of its atomic regions (transactions and outermost lock-protected spans); a violation exits like a race")
 		onError  = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
 		budget   = flag.Int("memory-budget", 0, "event-list cell budget; over it the engine degrades gracefully (0: unbounded)")
 		remote   = flag.String("remote", "", "offload detection to the goldilocksd at this address (or comma-separated cluster list, with failover) instead of running an in-process detector (forces -policy log; see docs/SERVICE.md)")
@@ -148,6 +151,7 @@ func main() {
 		noSC:     *noSC,
 		fastPath: *fastPath,
 		record:   *record,
+		serial:   *serial,
 		onError:  *onError,
 		budget:   *budget,
 		remote:   *remote,
@@ -325,7 +329,7 @@ func run(ctx context.Context, path string, c runConfig) (int, error) {
 		return 0, usageErrf("unknown detector %q", c.detector)
 	}
 	var recorder *jrt.Recorder
-	if c.record != "" {
+	if c.record != "" || c.serial {
 		inner := cfg.Detector
 		if inner == nil {
 			inner = nopDetector{}
@@ -427,11 +431,31 @@ func run(ctx context.Context, path string, c runConfig) (int, error) {
 			fmt.Fprintf(os.Stderr, "resilience: %d panics recovered, %d vars quarantined\n", panics, quarantined)
 		}
 	}
-	if recorder != nil {
+	if recorder != nil && c.record != "" {
 		if err := writeRecording(c.record, recorder.Trace()); err != nil {
 			return 0, err
 		}
 		fmt.Fprintf(os.Stderr, "recorded %d actions to %s\n", recorder.Trace().Len(), c.record)
+	}
+	violations := 0
+	if c.serial {
+		// The recorded linearization is exactly what the detector saw;
+		// lock-protected spans count as regions because MJ programs mark
+		// atomicity with monitors and transactions alike.
+		opts := regiontrack.DefaultOptions()
+		opts.LockRegions = true
+		_, sum := regiontrack.Check(recorder.Trace(), opts)
+		for _, v := range sum.Violations {
+			fmt.Fprintf(os.Stderr, "serializability violation at action %d: region %d -> region %d closes cycle %v (threads %v)\n",
+				v.Pos, v.From, v.To, v.Cycle, v.Threads)
+		}
+		verdict := "serializable"
+		if !sum.Serializable {
+			verdict = "NOT serializable"
+		}
+		fmt.Fprintf(os.Stderr, "serializability: %s — %d regions (%d multi-event), %d conflict edges, %d violations\n",
+			verdict, sum.Regions, sum.MultiRegions, sum.Edges, sum.ViolationTotal)
+		violations = sum.ViolationTotal
 	}
 	if c.statsJSON != "" {
 		if err := writeStatsJSON(c.statsJSON, statsDoc(reg, tel, engine, rt, races)); err != nil {
@@ -450,9 +474,9 @@ func run(ctx context.Context, path string, c runConfig) (int, error) {
 	}
 	if rep := rt.Failure(); rep != nil {
 		fmt.Fprintf(os.Stderr, "goldilocks: %v\n", rep)
-		return len(races), rep
+		return len(races) + violations, rep
 	}
-	return len(races), nil
+	return len(races) + violations, nil
 }
 
 // raceDoc is one race in the -stats-json document.

@@ -48,6 +48,7 @@ func main() {
 		onError = flag.String("on-detector-error", "quarantine", "when a detector check panics: quarantine (drop the variable, keep running) or abort")
 		noSC    = flag.Bool("no-shortcircuit", false, "disable the short-circuit checks in session engines (ablation)")
 		fastOff = flag.Bool("no-fastpath", false, "disable the epoch fast path in session engines (verdicts are identical either way; ablation)")
+		serial  = flag.Bool("serializability", false, "run a conflict-serializability checker per session (transactions and outermost lock-protected spans); the final ack carries the verdict")
 
 		clusterList = flag.String("cluster", "", "comma-separated member list; joins this daemon to the fleet (must include -join)")
 		join        = flag.String("join", "", "this node's advertised address in the -cluster list (default: -addr)")
@@ -77,6 +78,7 @@ func main() {
 	cfg := daemonConfig{
 		addr: *addr, ckptDir: *ckptDir, metricsAddr: *metrics,
 		queue: *queue, batch: *batch, budget: *budget, onError: *onError, noSC: *noSC, noFastPath: *fastOff,
+		serial:  *serial,
 		cluster: *clusterList, join: *join, replicas: *replicas, ckptEvery: *ckptEvery,
 		probe:       cluster.ProbeConfig{Interval: *probeIvl, Timeout: *probeTmo, SuspectAfter: *suspect},
 		logger:      obs.NewLogger(os.Stderr, level, *logJSON),
@@ -95,6 +97,7 @@ type daemonConfig struct {
 	onError                    string
 	noSC                       bool
 	noFastPath                 bool
+	serial                     bool
 	cluster, join              string
 	replicas, ckptEvery        int
 	probe                      cluster.ProbeConfig
@@ -140,6 +143,7 @@ func run(cfg daemonConfig) error {
 		Tracer:          tracer,
 		Flight:          flight,
 		FlightDir:       flightDir,
+		Serializability: cfg.serial,
 	}
 
 	var node *cluster.Node

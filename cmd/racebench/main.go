@@ -11,6 +11,7 @@
 //	racebench -figure 6             # Figure 6
 //	racebench -figure 7             # Figure 7
 //	racebench -scale [-scaleout F]  # GOMAXPROCS scalability sweep → JSON
+//	racebench -txn [-txnout F]      # transactional commit sweep → JSON
 //	racebench -channels [-chanout F] # channels-vs-monitors ladder → JSON
 //	racebench -ingest [-ingestout F] # local-vs-remote ingest pipeline → JSON
 //	racebench -all [-full]          # everything
@@ -40,6 +41,9 @@ func main() {
 		scale      = flag.Bool("scale", false, "GOMAXPROCS scalability sweep")
 		scaleMS    = flag.Int("scalems", 200, "milliseconds per scale sweep point")
 		scaleTo    = flag.String("scaleout", "BENCH_scale.json", "scale sweep JSON output path")
+		txn        = flag.Bool("txn", false, "transactional commit sweep (contended vs disjoint vs governed)")
+		txnCommits = flag.Int("txncommits", 20, "commits per thread for -txn")
+		txnTo      = flag.String("txnout", "BENCH_txn.json", "txn sweep JSON output path")
 		ingest     = flag.Bool("ingest", false, "local-vs-remote ingest pipeline benchmark with per-stage latency")
 		ingestTo   = flag.String("ingestout", "BENCH_ingest.json", "ingest benchmark JSON output path")
 		ingestEvts = flag.Int("ingestevents", 0, "events per session for -ingest (0: default)")
@@ -137,6 +141,19 @@ func main() {
 		}
 		fmt.Print(bench.FormatScale(rep))
 		fmt.Println("wrote", *scaleTo)
+	}
+	if *all || *txn {
+		ran = true
+		rep := bench.Txn(bench.DefaultTxnThreads(*full), *txnCommits, progress)
+		data, err := bench.MarshalTxn(rep)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*txnTo, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatTxn(rep))
+		fmt.Println("wrote", *txnTo)
 	}
 	if *all || *ingest {
 		ran = true

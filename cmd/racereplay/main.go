@@ -11,9 +11,11 @@
 //
 //	racereplay [-detector goldilocks|spec|vectorclock|eraser|basic|all] trace.json
 //	racereplay -oracle trace.json     # exact extended-race pairs
+//	racereplay -serializability trace.json  # conflict-serializability check
 //
-// Exit codes: 0 no races, 1 at least one race, 2 usage error, 3 runtime
-// failure (unreadable trace).
+// Exit codes: 0 no races, 1 at least one race (or, with
+// -serializability, a non-serializable execution), 2 usage error, 3
+// runtime failure (unreadable trace).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"goldilocks/internal/detect"
 	"goldilocks/internal/detectors/basic"
 	"goldilocks/internal/detectors/eraser"
+	"goldilocks/internal/detectors/regiontrack"
 	"goldilocks/internal/event"
 	"goldilocks/internal/hb"
 	"goldilocks/internal/obs"
@@ -54,6 +57,8 @@ func main() {
 	var (
 		detName   = flag.String("detector", "goldilocks", "goldilocks, spec, vectorclock, eraser, basic, or all")
 		oracle    = flag.Bool("oracle", false, "enumerate exact extended-race pairs via the happens-before oracle")
+		serial    = flag.Bool("serializability", false, "check conflict-serializability of the trace's transactional regions (RegionTrack-style)")
+		lockRgns  = flag.Bool("lockregions", false, "with -serializability: also treat outermost lock-protected spans as atomic regions")
 		statsJSON = flag.String("stats-json", "", "write per-detector rule-fire counts and races (with provenance) to this file; - for stdout")
 		remote    = flag.String("remote", "", "replay through the goldilocksd at this address (or comma-separated cluster list, with failover) instead of an in-process detector (see docs/SERVICE.md)")
 		session   = flag.String("session", "", "session id for -remote (default: derived from the trace file name); a resumed session replays only the remaining suffix")
@@ -79,11 +84,55 @@ func main() {
 		}
 		os.Exit(exitFor(n, err))
 	}
+	if *serial {
+		n, err := replaySerializability(flag.Arg(0), *lockRgns, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "racereplay:", err)
+		}
+		os.Exit(exitFor(n, err))
+	}
 	n, err := replay(flag.Arg(0), *detName, *oracle, *statsJSON, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racereplay:", err)
 	}
 	os.Exit(exitFor(n, err))
+}
+
+// replaySerializability loads a trace and runs the RegionTrack-style
+// conflict-serializability checker over it; the return value counts the
+// violations found (mapped to the race exit code — a non-serializable
+// execution is a flagged execution).
+func replaySerializability(path string, lockRegions bool, out *os.File) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	tr, dropped, err := event.ReadTraceAuto(f)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(out, "trace: %d actions, %d threads, %d variables\n",
+		tr.Len(), len(tr.Threads()), len(tr.Vars()))
+	if dropped > 0 {
+		fmt.Fprintf(out, "trace damaged: checking the valid %d-action prefix, %d records dropped\n",
+			tr.Len(), dropped)
+	}
+	opts := regiontrack.DefaultOptions()
+	opts.LockRegions = lockRegions
+	races, sum := regiontrack.Check(tr, opts)
+	fmt.Fprintf(out, "goldilocks (via regiontrack): %d races\n", len(races))
+	for _, v := range sum.Violations {
+		fmt.Fprintf(out, "serializability violation at action %d (%v): region %d -> region %d closes cycle %v (threads %v)\n",
+			v.Pos, tr.At(v.Pos), v.From, v.To, v.Cycle, v.Threads)
+	}
+	verdict := "serializable"
+	if !sum.Serializable {
+		verdict = "NOT serializable"
+	}
+	fmt.Fprintf(out, "regiontrack: %s — %d regions (%d multi-event), %d conflict edges, %d violations\n",
+		verdict, sum.Regions, sum.MultiRegions, sum.Edges, sum.ViolationTotal)
+	return sum.ViolationTotal, nil
 }
 
 // detectorFactories build each detector; tel (nil unless -stats-json is

@@ -401,6 +401,19 @@ func Run(tr *event.Trace) Result {
 		return fail("eraser", "non-deterministic: %v vs %v", er1, er2)
 	}
 
+	// RegionTrack: the composed serializability checker must be
+	// race-verdict-identical to the spec, and its serializability
+	// self-invariants (Kahn cross-check, determinism, checkpoint cut)
+	// must hold.
+	if d := checkRegionTrackRaces(tr, specKeys); d != nil {
+		res.Div = d
+		return res
+	}
+	if d := CheckSerializability(tr); d != nil {
+		res.Div = d
+		return res
+	}
+
 	return res
 }
 

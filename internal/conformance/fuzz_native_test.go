@@ -42,6 +42,31 @@ func FuzzConformanceMatrix(f *testing.F) {
 	})
 }
 
+// FuzzSerializabilityMatrix drives commit-weighted, marker-bearing
+// generation: every trace must clear the full matrix (which includes
+// the RegionTrack race-parity check) and the serializability
+// self-invariants. Run with
+//
+//	go test -fuzz FuzzSerializabilityMatrix ./internal/conformance
+func FuzzSerializabilityMatrix(f *testing.F) {
+	f.Add(int64(1), uint8(60), uint8(4), uint8(153), uint8(38), uint8(0))
+	f.Add(int64(42), uint8(90), uint8(5), uint8(204), uint8(64), uint8(2))
+	f.Add(int64(7), uint8(40), uint8(2), uint8(255), uint8(128), uint8(0))
+	f.Add(int64(23), uint8(110), uint8(6), uint8(102), uint8(13), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, steps, threads, txnBias, regions, channels uint8) {
+		cfg := tracegen.CommitHeavy()
+		cfg.Steps = 1 + int(steps)%120
+		cfg.MaxThreads = 1 + int(threads)%6
+		cfg.TxnBias = float64(txnBias) / 255
+		cfg.Regions = float64(regions) / 255
+		cfg.Channels = int(channels) % 4
+		tr := tracegen.Generate(rand.New(rand.NewSource(seed)), cfg)
+		if d := Check(tr); d != nil {
+			t.Fatalf("%v\n%s", d, Describe(d.Trace))
+		}
+	})
+}
+
 // FuzzMutatedTraces drives the trace mutator from fuzz-chosen seeds
 // (with and without channel operations in the parent trace): every
 // mutation chain must stay valid and keep clearing the matrix.

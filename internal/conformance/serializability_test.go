@@ -1,0 +1,135 @@
+package conformance
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"goldilocks/internal/detect"
+	"goldilocks/internal/detectors/regiontrack"
+	"goldilocks/internal/event"
+	"goldilocks/internal/tracegen"
+)
+
+// TestRegionTrackBackendOnSeedCorpus runs the RegionTrack backend
+// through CheckBackend over every checked-in counterexample: race
+// verdicts and rule fires must match the spec engine exactly.
+func TestRegionTrackBackendOnSeedCorpus(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join("testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no seed corpus under testdata/")
+	}
+	backend := RegionTrackBackend(regiontrack.DefaultOptions())
+	for _, e := range entries {
+		if d := CheckBackend("regiontrack", backend, e.Trace); d != nil {
+			t.Fatalf("%s: %v\n%s", e.Name, d, Describe(e.Trace))
+		}
+	}
+}
+
+// TestRegionTrackBackendGenerated is the differential acceptance run:
+// commit-weighted generated traces (explicit region markers, mostly
+// transactional data operations) through CheckBackend, with zero
+// divergences allowed. The full battery is 5000 traces; -short trims it
+// to keep the tier-1 suite fast.
+func TestRegionTrackBackendGenerated(t *testing.T) {
+	n := 5000
+	if testing.Short() {
+		n = 400
+	}
+	cfg := tracegen.CommitHeavy()
+	backend := RegionTrackBackend(regiontrack.DefaultOptions())
+	markers := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		tr := tracegen.FromSeedConfig(seed, cfg)
+		for i := 0; i < tr.Len(); i++ {
+			if tr.At(i).Kind.IsMarker() {
+				markers++
+				break
+			}
+		}
+		if d := CheckBackend("regiontrack", backend, tr); d != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, d, Describe(tr))
+		}
+		if d := CheckSerializability(tr); d != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, d, Describe(tr))
+		}
+	}
+	// The battery is pointless if the generator stopped emitting markers.
+	if markers < n/2 {
+		t.Fatalf("only %d/%d traces carried region markers — CommitHeavy regressed", markers, n)
+	}
+}
+
+// TestMatrixOnMarkedSeeds runs commit-weighted marked traces through
+// the complete differential matrix: markers must be invisible to every
+// race backend and invariant.
+func TestMatrixOnMarkedSeeds(t *testing.T) {
+	cfg := tracegen.CommitHeavy()
+	for seed := int64(1); seed <= 30; seed++ {
+		if d := Check(tracegen.FromSeedConfig(seed, cfg)); d != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, d, Describe(d.Trace))
+		}
+	}
+}
+
+// TestMarkersInvisibleToRaceVerdicts is the direct statement of marker
+// transparency: stripping every marker from a trace changes no race
+// verdict and no rule-fire count.
+func TestMarkersInvisibleToRaceVerdicts(t *testing.T) {
+	cfg := tracegen.CommitHeavy()
+	backend := RegionTrackBackend(regiontrack.DefaultOptions())
+	for seed := int64(1); seed <= 50; seed++ {
+		tr := tracegen.FromSeedConfig(seed, cfg)
+		var bare []event.Action
+		for i := 0; i < tr.Len(); i++ {
+			if a := tr.At(i); !a.Kind.IsMarker() {
+				bare = append(bare, a)
+			}
+		}
+		marked, err := backend(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripped, err := backend(event.NewTrace(bare))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := raceKeysIgnoringPos(marked.Races), raceKeysIgnoringPos(stripped.Races); !equalKeys(got, want) {
+			t.Fatalf("seed %d: marked races %v, stripped %v", seed, got, want)
+		}
+		if marked.RuleFires != stripped.RuleFires {
+			t.Fatalf("seed %d: marked fires %v, stripped %v", seed, marked.RuleFires, stripped.RuleFires)
+		}
+	}
+}
+
+// raceKeysIgnoringPos keys races by variable and completing access only
+// — stripping markers shifts linearization positions, so positional
+// keys cannot be compared across the two runs.
+func raceKeysIgnoringPos(races []detect.Race) []string {
+	keys := make([]string, len(races))
+	for i, r := range races {
+		keys[i] = r.Var.String() + "@" + r.Access.String()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestMutationPreservesMarkerBalance hammers the mutator on marked
+// traces: every mutation (including drops, swaps, and moves that could
+// orphan a txend) must keep the trace valid.
+func TestMutationPreservesMarkerBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := tracegen.FromSeedConfig(3, tracegen.CommitHeavy())
+	for i := 0; i < 300; i++ {
+		tr = Mutate(rng, tr)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("mutation %d invalid: %v", i, err)
+		}
+	}
+}

@@ -381,24 +381,34 @@ func snapshotInfo(in *info) (ckptInfo, error) {
 // supplies the process-local telemetry and fault-injection attachments.
 // A corrupt snapshot (torn write, checksum mismatch, unknown version)
 // is an error — never a silently wrong detector.
+//
+// RestoreEngine consumes exactly the checkpoint's two lines and nothing
+// past them: callers that pass a *bufio.Reader can keep reading their
+// own trailing records from the same stream (composed snapshots rely on
+// this — e.g. a serializability checker appending its graph state after
+// the engine snapshot).
 func RestoreEngine(r io.Reader, attach RestoreAttach) (*Engine, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
-	if !sc.Scan() {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	line, err := readCkptLine(br)
+	if err != nil {
 		return nil, fmt.Errorf("core: empty checkpoint")
 	}
 	var hdr ckptHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != CheckpointFormatName {
+	if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != CheckpointFormatName {
 		return nil, fmt.Errorf("core: not a %s snapshot", CheckpointFormatName)
 	}
 	if hdr.Version != CheckpointFormatVersion {
 		return nil, fmt.Errorf("core: unsupported checkpoint version %d", hdr.Version)
 	}
-	if !sc.Scan() {
+	line, err = readCkptLine(br)
+	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint body missing (torn write?)")
 	}
 	var body ckptBody
-	if err := json.Unmarshal(sc.Bytes(), &body); err != nil || len(body.Engine) == 0 {
+	if err := json.Unmarshal(line, &body); err != nil || len(body.Engine) == 0 {
 		return nil, fmt.Errorf("core: unreadable checkpoint body")
 	}
 	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(body.Engine)); got != body.CRC {
@@ -409,6 +419,23 @@ func RestoreEngine(r io.Reader, attach RestoreAttach) (*Engine, error) {
 		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
 	}
 	return restore(&p, attach)
+}
+
+// readCkptLine reads one newline-terminated record without consuming
+// anything beyond it. A final unterminated line (no trailing newline
+// before EOF) is accepted; an empty read is an error.
+func readCkptLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if len(line) > 0 && line[len(line)-1] == '\n' {
+		return line[:len(line)-1], nil
+	}
+	if err == io.EOF && len(line) > 0 {
+		return line, nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return nil, err
 }
 
 func restore(p *ckptPayload, attach RestoreAttach) (*Engine, error) {

@@ -14,6 +14,7 @@ import (
 	"goldilocks/internal/event"
 	"goldilocks/internal/obs"
 	"goldilocks/internal/scenarios"
+	"goldilocks/internal/tracegen"
 )
 
 // ckptRaceKey mirrors the conformance harness's race identity: the
@@ -63,6 +64,24 @@ func checkpointTraces(t *testing.T) map[string]*event.Trace {
 		}
 		out["corpus-"+strings.TrimSuffix(e.Name(), ".jsonl")] = tr
 	}
+	// Commit-heavy marked traces: every-prefix cutting then lands inside
+	// transactions mid-flight (between the commits of a publication
+	// chain) and inside open txbegin/txend regions, so commit-set and
+	// TL-element state must round-trip through the snapshot.
+	for seed := int64(1); seed <= 3; seed++ {
+		out[fmt.Sprintf("commit-heavy-%d", seed)] = tracegen.FromSeedConfig(seed, tracegen.CommitHeavy())
+	}
+	// A deterministic TL handoff: the cut between the two commits
+	// snapshots the variable while its lockset carries the TL element.
+	out["txn-handoff"] = event.NewBuilder().
+		Fork(1, 2).
+		Write(1, 10, 0).
+		TxBegin(1).
+		Commit(1, nil, []event.Variable{{Obj: 10, Field: 0}}).
+		TxEnd(1).
+		Commit(2, []event.Variable{{Obj: 10, Field: 0}}, nil).
+		Write(2, 10, 0).
+		Trace()
 	if len(out) < 5 {
 		t.Fatalf("suspiciously small corpus: %d traces", len(out))
 	}
@@ -108,14 +127,25 @@ func ckptConfigs() map[string]struct {
 	fpOff := core.DefaultOptions()
 	fpOff.FastPath = false
 
+	// The non-default transaction semantics change which commits
+	// synchronize, so the snapshot's TxnSemantics field and the
+	// Xact/ReadsAllXact bits it guards must restore into identical
+	// verdicts on the suffix.
+	txnAtomic := core.DefaultOptions()
+	txnAtomic.TxnSemantics = event.TxnAtomicOrder
+	txnW2R := core.DefaultOptions()
+	txnW2R.TxnSemantics = event.TxnWriteToRead
+
 	return map[string]struct {
 		opts core.Options
 		tel  bool
 	}{
-		"default":       {core.DefaultOptions(), true},
-		"gc-aggressive": {agg, false},
-		"budget-8":      {budget, false},
-		"fastpath-off":  {fpOff, true},
+		"default":          {core.DefaultOptions(), true},
+		"gc-aggressive":    {agg, false},
+		"budget-8":         {budget, false},
+		"fastpath-off":     {fpOff, true},
+		"txn-atomic-order": {txnAtomic, false},
+		"txn-write-toread": {txnW2R, false},
 	}
 }
 

@@ -491,6 +491,13 @@ func (e *Engine) Step(a event.Action) []detect.Race {
 		return e.Commit(a.Thread, a.Reads, a.Writes)
 	case event.KindAlloc:
 		e.Alloc(a.Thread, a.Obj)
+	case event.KindTxBegin, event.KindTxEnd:
+		// Region markers annotate the trace for the serializability
+		// checker (internal/detectors/regiontrack). They induce no
+		// happens-before edges and fire no rule, so they must not reach
+		// the event list or the telemetry: skipping them here keeps every
+		// parity invariant (stats, rule fires, checkpoints) identical to
+		// the marker-free trace.
 	default:
 		e.Sync(a)
 	}

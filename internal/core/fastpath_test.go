@@ -183,6 +183,161 @@ func TestEscalationEdges(t *testing.T) {
 	}
 }
 
+// TestCommitEscalationSemantics audits the epoch fast path against
+// transactional accesses: nested and interleaved commit(R,W) sequences
+// — including R∩W overlaps and semantics-sensitive disjoint sets — must
+// escalate fast-path-owned variables into the lockset machinery with
+// verdicts, provenance chains, and Stats (except FastPathHits)
+// identical to the always-lockset engine and to the executable
+// specification, under every TxnSemantics interpretation.
+func TestCommitEscalationSemantics(t *testing.T) {
+	const (
+		x event.Addr = 10
+		y event.Addr = 11
+		w event.Addr = 12 // warm-up object keeping the fast path engaged
+	)
+	vx := event.Variable{Obj: x, Field: 0}
+	vy := event.Variable{Obj: y, Field: 0}
+	cases := []struct {
+		name string
+		tr   *event.Trace
+		// racy[sem] is the expected verdict under each interpretation.
+		racy map[event.TxnSemantics]bool
+	}{
+		{
+			// Publication edge W∩R': synchronized under all three.
+			name: "commit-publication",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, w, 0).Write(1, x, 0).
+				Commit(1, nil, []event.Variable{vx}).
+				Commit(2, []event.Variable{vx}, nil).
+				Write(2, x, 0).
+				Trace(),
+			racy: map[event.TxnSemantics]bool{
+				event.TxnSharedVariable: false,
+				event.TxnAtomicOrder:    false,
+				event.TxnWriteToRead:    false,
+			},
+		},
+		{
+			// Disjoint variable sets: only the atomic-order interpretation
+			// makes the two commits synchronize.
+			name: "commit-disjoint-sets",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, w, 0).Write(1, x, 0).
+				Commit(1, nil, []event.Variable{vx}).
+				Commit(2, nil, []event.Variable{vy}).
+				Write(2, x, 0).
+				Trace(),
+			racy: map[event.TxnSemantics]bool{
+				event.TxnSharedVariable: true,
+				event.TxnAtomicOrder:    false,
+				event.TxnWriteToRead:    true,
+			},
+		},
+		{
+			// Read-read overlap: shared-variable and atomic-order
+			// synchronize (R∪W intersects), write-to-read does not (W∩R'
+			// is empty).
+			name: "commit-read-read",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, w, 0).Write(1, x, 0).
+				Commit(1, []event.Variable{vx}, nil).
+				Commit(2, []event.Variable{vx}, nil).
+				Write(2, x, 0).
+				Trace(),
+			racy: map[event.TxnSemantics]bool{
+				event.TxnSharedVariable: false,
+				event.TxnAtomicOrder:    false,
+				event.TxnWriteToRead:    true,
+			},
+		},
+		{
+			// R∩W in both commits: the overlap generalizes to a write, so
+			// every interpretation synchronizes.
+			name: "commit-rw-overlap",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, w, 0).Write(1, x, 0).
+				Commit(1, []event.Variable{vx}, []event.Variable{vx}).
+				Commit(2, []event.Variable{vx}, []event.Variable{vx}).
+				Write(2, x, 0).
+				Trace(),
+			racy: map[event.TxnSemantics]bool{
+				event.TxnSharedVariable: false,
+				event.TxnAtomicOrder:    false,
+				event.TxnWriteToRead:    false,
+			},
+		},
+		{
+			// Interleaved commit chains across three threads: x publishes
+			// to t2, which republishes through y to t1 — a nested
+			// publication chain the fast path must follow rung by rung.
+			name: "commit-chain",
+			tr: event.NewBuilder().
+				Fork(1, 2).
+				Write(1, w, 0).Write(1, x, 0).
+				Commit(1, nil, []event.Variable{vx}).
+				Commit(2, []event.Variable{vx}, []event.Variable{vy}).
+				Commit(1, []event.Variable{vy}, nil).
+				Read(1, y, 0).
+				Write(2, x, 0). // still inside t2's publication: no race
+				Trace(),
+			racy: map[event.TxnSemantics]bool{
+				event.TxnSharedVariable: false,
+				event.TxnAtomicOrder:    false,
+				event.TxnWriteToRead:    false,
+			},
+		},
+	}
+	for _, c := range cases {
+		for _, sem := range event.AllTxnSemantics() {
+			t.Run(fmt.Sprintf("%s/%v", c.name, sem), func(t *testing.T) {
+				if err := c.tr.Validate(); err != nil {
+					t.Fatalf("invalid trace: %v", err)
+				}
+				on := core.DefaultOptions()
+				on.FastPath = true
+				on.TxnSemantics = sem
+				off := core.DefaultOptions()
+				off.FastPath = false
+				off.TxnSemantics = sem
+				onEng, offEng := core.NewEngine(on), core.NewEngine(off)
+				onRaces := detect.RunTrace(onEng, c.tr)
+				offRaces := detect.RunTrace(offEng, c.tr)
+
+				if onEng.Stats().FastPathHits == 0 {
+					t.Error("fast path never engaged; the case does not test escalation")
+				}
+				if got, want := len(onRaces) > 0, c.racy[sem]; got != want {
+					t.Errorf("racy = %v, want %v (races %v)", got, want, onRaces)
+				}
+				if !reflect.DeepEqual(onRaces, offRaces) {
+					t.Errorf("escalated verdicts diverge:\n fast path: %+v\n lockset:   %+v", onRaces, offRaces)
+				}
+				for i := range onRaces {
+					if !reflect.DeepEqual(onRaces[i].Prov, offRaces[i].Prov) {
+						t.Errorf("race %d provenance diverges:\n fast path: %v\n lockset:   %v",
+							i, onRaces[i].Prov, offRaces[i].Prov)
+					}
+				}
+				onStats, offStats := onEng.Stats(), offEng.Stats()
+				onStats.FastPathHits = 0
+				if onStats != offStats {
+					t.Errorf("stats diverge\n fast path: %+v\n lockset:   %+v", onStats, offStats)
+				}
+				specRaces := detect.RunTrace(core.NewSpecEngineSem(sem), c.tr)
+				if len(specRaces) != len(onRaces) {
+					t.Errorf("spec reports %d races, engines %d", len(specRaces), len(onRaces))
+				}
+			})
+		}
+	}
+}
+
 // TestFastPathStatsParity pins the counter contract on a handoff-heavy
 // generated workload: with the fast path on, every Stats field except
 // FastPathHits must be identical to the slow engine's — the fast path

@@ -123,6 +123,13 @@ func (s *SpecEngine) Step(a event.Action) []detect.Race {
 	t := a.Thread
 	te := ThreadElem(t)
 
+	if a.Kind.IsMarker() {
+		// Region markers are serializability-checker annotations, not
+		// synchronization: no rule fires, no log entry, no lockset
+		// update. Mirrors the optimized engine's skip so both engines
+		// stay event-for-event identical on marked traces.
+		return nil
+	}
 	if a.Kind.IsChan() {
 		na, err := s.chans.Normalize(a)
 		if err != nil {

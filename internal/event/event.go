@@ -128,6 +128,16 @@ const (
 	KindChanSend  // send(c)
 	KindChanRecv  // recv(c)
 	KindChanClose // close(c)
+
+	// Region markers (RegionTrack/Velodrome-style serializability
+	// checking). A txbegin/txend pair delimits an atomic region of one
+	// thread: every action the thread performs between the markers
+	// belongs to one region that a serializability checker must be able
+	// to commute to a single point of the schedule. The markers are
+	// annotations, not synchronization: they induce no happens-before
+	// edges, fire no lockset rule, and every race detector ignores them.
+	KindTxBegin // txbegin — the thread's current atomic region opens
+	KindTxEnd   // txend — the thread's current atomic region closes
 )
 
 var kindNames = [...]string{
@@ -146,6 +156,8 @@ var kindNames = [...]string{
 	KindChanSend:      "send",
 	KindChanRecv:      "recv",
 	KindChanClose:     "close",
+	KindTxBegin:       "txbegin",
+	KindTxEnd:         "txend",
 }
 
 func (k Kind) String() string {
@@ -179,6 +191,11 @@ func (k Kind) IsChan() bool {
 
 // IsData reports whether k is a data access kind.
 func (k Kind) IsData() bool { return k == KindRead || k == KindWrite }
+
+// IsMarker reports whether k is a region marker kind. Markers annotate
+// the trace for the serializability checker; they are neither data nor
+// synchronization actions and every race detector treats them as no-ops.
+func (k Kind) IsMarker() bool { return k == KindTxBegin || k == KindTxEnd }
 
 // Action is one step of an execution. The meaning of the fields depends
 // on Kind:
@@ -365,3 +382,9 @@ func ChanRecv(t Tid, c Addr) Action {
 func ChanClose(t Tid, c Addr) Action {
 	return Action{Kind: KindChanClose, Thread: t, Obj: c}
 }
+
+// TxBegin constructs a txbegin region marker by thread t.
+func TxBegin(t Tid) Action { return Action{Kind: KindTxBegin, Thread: t} }
+
+// TxEnd constructs a txend region marker by thread t.
+func TxEnd(t Tid) Action { return Action{Kind: KindTxEnd, Thread: t} }

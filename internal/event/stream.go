@@ -314,6 +314,7 @@ type Validator struct {
 	started   map[Tid]bool
 	joined    map[Tid]bool
 	touched   map[Addr]bool
+	inRegion  map[Tid]bool
 	chans     *ChanTracker
 }
 
@@ -326,6 +327,7 @@ func NewValidator() *Validator {
 		started:   make(map[Tid]bool),
 		joined:    make(map[Tid]bool),
 		touched:   make(map[Addr]bool),
+		inRegion:  make(map[Tid]bool),
 		chans:     NewChanTracker(),
 	}
 }
@@ -380,6 +382,16 @@ func (v *Validator) Step(a Action) error {
 		if _, err := v.chans.Normalize(a); err != nil {
 			return fmt.Errorf("event: %v", err)
 		}
+	case KindTxBegin:
+		if v.inRegion[a.Thread] {
+			return fmt.Errorf("event: nested txbegin by %v", a.Thread)
+		}
+		v.inRegion[a.Thread] = true
+	case KindTxEnd:
+		if !v.inRegion[a.Thread] {
+			return fmt.Errorf("event: txend by %v without an open region", a.Thread)
+		}
+		v.inRegion[a.Thread] = false
 	case KindRead, KindWrite:
 		v.touched[a.Obj] = true
 	case KindCommit:

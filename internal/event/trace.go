@@ -80,7 +80,13 @@ func (tr *Trace) Vars() []Variable {
 //     (ChanTracker): a channel is made exactly once before use, a
 //     completed send implies buffer room and an open channel, a
 //     completed recv implies a message in flight or a closed channel,
-//     and close happens at most once.
+//     and close happens at most once;
+//   - region markers balance per thread: a txend requires an open
+//     txbegin by the same thread, and regions do not nest. A region
+//     left open at the end of the trace is permitted — every prefix of
+//     a valid trace must itself be valid (truncated streaming traces
+//     salvage their longest valid prefix, and checkpoint cuts land at
+//     arbitrary positions, including mid-region).
 //
 // The first violation found is returned.
 func (tr *Trace) Validate() error {
@@ -90,6 +96,7 @@ func (tr *Trace) Validate() error {
 	started := make(map[Tid]bool)
 	joined := make(map[Tid]bool)
 	allocated := make(map[Addr]bool)
+	inRegion := make(map[Tid]bool)
 	chans := NewChanTracker()
 
 	for i, a := range tr.actions {
@@ -139,6 +146,16 @@ func (tr *Trace) Validate() error {
 			if _, err := chans.Normalize(a); err != nil {
 				return fmt.Errorf("action %d (%v): %v", i, a, err)
 			}
+		case KindTxBegin:
+			if inRegion[a.Thread] {
+				return fmt.Errorf("action %d (%v): nested txbegin by %v", i, a, a.Thread)
+			}
+			inRegion[a.Thread] = true
+		case KindTxEnd:
+			if !inRegion[a.Thread] {
+				return fmt.Errorf("action %d (%v): txend by %v without an open region", i, a, a.Thread)
+			}
+			inRegion[a.Thread] = false
 		case KindRead, KindWrite:
 			// Accessing an object that is later allocated means the trace
 			// reused an address without an intervening alloc: reject only
@@ -232,6 +249,12 @@ func (b *Builder) ChanRecv(t Tid, c Addr) *Builder { return b.Append(ChanRecv(t,
 
 // ChanClose appends close(c) by t.
 func (b *Builder) ChanClose(t Tid, c Addr) *Builder { return b.Append(ChanClose(t, c)) }
+
+// TxBegin appends a txbegin region marker by t.
+func (b *Builder) TxBegin(t Tid) *Builder { return b.Append(TxBegin(t)) }
+
+// TxEnd appends a txend region marker by t.
+func (b *Builder) TxEnd(t Tid) *Builder { return b.Append(TxEnd(t)) }
 
 // Trace finalizes the builder. The builder may continue to be used; the
 // returned trace sees no later appends.

@@ -325,6 +325,13 @@ func (rt *Runtime) noteFailure(r *resilience.Report) {
 	rt.raceMu.Unlock()
 }
 
+// RecordFailure records a scheduler failure report recovered outside
+// the runtime's own barriers. Substrate packages that convert the
+// report panic into an error return (the stm transaction manager does,
+// so Atomic's callers see a structured error instead of an unwinding
+// goroutine) must report it here, or Failure() would claim a clean run.
+func (rt *Runtime) RecordFailure(r *resilience.Report) { rt.noteFailure(r) }
+
 // Failure returns the structured report of the scheduler failure that
 // ended the run (a deterministic-mode deadlock), or nil if the run
 // completed normally.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"goldilocks/internal/core"
+	"goldilocks/internal/detectors/regiontrack"
 	"goldilocks/internal/event"
 )
 
@@ -46,8 +47,9 @@ const (
 // ackTail is the JSON tail of a final ack frame: the engine counters
 // and rule-fire counts, too rare and too wide to hand-encode.
 type ackTail struct {
-	Stats     *core.Stats `json:"stats,omitempty"`
-	RuleFires []uint64    `json:"rule_fires,omitempty"`
+	Stats     *core.Stats          `json:"stats,omitempty"`
+	RuleFires []uint64             `json:"rule_fires,omitempty"`
+	Serial    *regiontrack.Summary `json:"serializability,omitempty"`
 }
 
 // wireEncoder abstracts the server-to-client side of one connection so
@@ -115,8 +117,8 @@ func (w *binWire) ack(a *wireAck, solicited bool) {
 		flags |= ackFlagSolicited
 	}
 	var tail []byte
-	if a.Stats != nil || a.RuleFires != nil {
-		if b, err := json.Marshal(ackTail{Stats: a.Stats, RuleFires: a.RuleFires}); err == nil {
+	if a.Stats != nil || a.RuleFires != nil || a.Serial != nil {
+		if b, err := json.Marshal(ackTail{Stats: a.Stats, RuleFires: a.RuleFires, Serial: a.Serial}); err == nil {
 			tail = b
 			flags |= ackFlagTail
 		}
@@ -160,7 +162,7 @@ func decodeAckFrame(body []byte) (ack Ack, solicited, final bool, err error) {
 		if err := json.Unmarshal(rest, &tail); err != nil {
 			return Ack{}, false, false, fmt.Errorf("server: bad ack tail: %w", err)
 		}
-		ack.Stats, ack.RuleFires = tail.Stats, tail.RuleFires
+		ack.Stats, ack.RuleFires, ack.Serial = tail.Stats, tail.RuleFires, tail.Serial
 	}
 	return ack, flags&ackFlagSolicited != 0, flags&ackFlagFinal != 0, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
+	"goldilocks/internal/detectors/regiontrack"
 	"goldilocks/internal/event"
 	"goldilocks/internal/obs"
 )
@@ -28,6 +29,9 @@ type Ack struct {
 	Races     uint64
 	Stats     *core.Stats
 	RuleFires []uint64
+	// Serial is the serializability summary from a server running with
+	// Config.Serializability; nil otherwise.
+	Serial *regiontrack.Summary
 }
 
 // Client is one session's connection to a detection server. Race
@@ -159,6 +163,7 @@ func (c *Client) readLoop(br *bufio.Reader, acks chan Ack, done chan struct{}) {
 			ack := Ack{
 				Applied: m.Ack.Applied, Races: m.Ack.Races,
 				Stats: m.Ack.Stats, RuleFires: m.Ack.RuleFires,
+				Serial: m.Ack.Serial,
 			}
 			c.noteProgress(ack)
 			acks <- ack

@@ -19,6 +19,7 @@ import (
 
 	"goldilocks/internal/core"
 	"goldilocks/internal/detect"
+	"goldilocks/internal/detectors/regiontrack"
 	"goldilocks/internal/event"
 	"goldilocks/internal/obs"
 )
@@ -111,6 +112,9 @@ type wireAck struct {
 	Final     bool        `json:"final,omitempty"`
 	Stats     *core.Stats `json:"stats,omitempty"`
 	RuleFires []uint64    `json:"rule_fires,omitempty"`
+	// Serial is the serializability summary, present on the final ack
+	// of sessions running under Config.Serializability.
+	Serial *regiontrack.Summary `json:"serializability,omitempty"`
 }
 
 // serverMsg is one server-to-client line: exactly one field is set.

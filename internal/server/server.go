@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"goldilocks/internal/core"
+	"goldilocks/internal/detect"
+	"goldilocks/internal/detectors/regiontrack"
 	"goldilocks/internal/event"
 	"goldilocks/internal/obs"
 	"goldilocks/internal/resilience"
@@ -29,13 +31,18 @@ const SessionFormatName = "goldilocks-session"
 // SessionFormatVersion is the current session checkpoint version.
 const SessionFormatVersion = 1
 
-// sessionHeader is the first line of a session checkpoint file.
+// sessionHeader is the first line of a session checkpoint file. Serial
+// marks a serializability session: the body is then a regiontrack
+// checker snapshot (which embeds the engine checkpoint) instead of a
+// bare engine snapshot. The field is omitempty, so plain checkpoints
+// are byte-identical to version-1 files from before the flag existed.
 type sessionHeader struct {
 	Format  string `json:"format"`
 	Version int    `json:"version"`
 	Session string `json:"session"`
 	Applied uint64 `json:"applied"`
 	Races   uint64 `json:"races"`
+	Serial  bool   `json:"serializability,omitempty"`
 }
 
 // Config configures a detection server.
@@ -45,6 +52,13 @@ type Config struct {
 	// so rule-fire counts are per-session. The zero value means
 	// core.DefaultOptions.
 	Engine core.Options
+	// Serializability, when set, runs a RegionTrack-style
+	// conflict-serializability checker on top of every session's engine
+	// (lock-protected spans count as atomic regions). Race verdicts are
+	// unchanged; the final ack additionally carries the serializability
+	// summary, and session checkpoints embed the checker's conflict
+	// graph so the verdict survives restarts.
+	Serializability bool
 	// Queue bounds each session's ingest queue (actions decoded but not
 	// yet applied). A full queue blocks the connection reader, which
 	// pushes back on the producer through TCP flow control instead of
@@ -150,6 +164,10 @@ type session struct {
 	id  string
 	eng *core.Engine
 	tel *obs.Telemetry
+	// rt, when non-nil (Config.Serializability), is the serializability
+	// checker wrapping eng; eng is then rt.Engine() and every action
+	// steps through rt so the conflict graph stays consistent.
+	rt *regiontrack.Checker
 
 	attached bool     // guarded by Server.mu: at most one connection at a time
 	conn     net.Conn // guarded by Server.mu: the live connection while attached
@@ -219,6 +237,16 @@ func (s *session) tryEnqueue(it item) bool {
 	}
 	s.queue <- it
 	return true
+}
+
+// step applies one action through the session's detector stack: the
+// serializability checker when configured (it forwards to the engine),
+// the bare engine otherwise.
+func (s *session) step(a event.Action) []detect.Race {
+	if s.rt != nil {
+		return s.rt.Step(a)
+	}
+	return s.eng.Step(a)
 }
 
 func (s *session) queueDepth() int {
@@ -387,7 +415,13 @@ func (s *Server) newSessionLocked(id string) *session {
 	opts := s.cfg.Engine
 	opts.Telemetry = tel
 	opts.Injector = nil
-	sess := &session{id: id, eng: core.NewEngine(opts), tel: tel}
+	sess := &session{id: id, tel: tel}
+	if s.cfg.Serializability {
+		sess.rt = regiontrack.New(regiontrack.Options{Engine: opts, LockRegions: true})
+		sess.eng = sess.rt.Engine()
+	} else {
+		sess.eng = core.NewEngine(opts)
+	}
 	s.sessions[id] = sess
 	s.registerSessionMetrics(sess)
 	if s.sessionsTotal != nil {
@@ -724,7 +758,7 @@ func (s *Server) sessionWorker(sess *session, queue chan item, enc wireEncoder, 
 				applyStart = time.Now()
 			}
 			pos := sess.applied.Load()
-			races := sess.eng.Step(it.a)
+			races := sess.step(it.a)
 			if traced {
 				s.cfg.Tracer.Observe(obs.StageApply, time.Since(applyStart))
 				tracedInBatch = true
@@ -780,10 +814,15 @@ func (s *Server) sessionWorker(sess *session, queue chan item, enc wireEncoder, 
 		case ctlClose:
 			stats := sess.eng.Stats()
 			fires := sess.tel.RuleFires()
-			enc.ack(&wireAck{
+			ack := &wireAck{
 				Applied: sess.applied.Load(), Races: sess.races.Load(),
 				Final: true, Stats: &stats, RuleFires: fires[:],
-			}, true)
+			}
+			if sess.rt != nil {
+				sum := sess.rt.Summarize()
+				ack.Serial = &sum
+			}
+			enc.ack(ack, true)
 			flush()
 		case "err":
 			enc.errMsg(it.errMsg)
@@ -898,13 +937,20 @@ func sessionSnapshotBytes(sess *session) ([]byte, error) {
 	hdr, err := json.Marshal(sessionHeader{
 		Format: SessionFormatName, Version: SessionFormatVersion,
 		Session: sess.id, Applied: sess.applied.Load(), Races: sess.races.Load(),
+		Serial: sess.rt != nil,
 	})
 	if err != nil {
 		return nil, err
 	}
 	var buf bytes.Buffer
 	buf.Write(append(hdr, '\n'))
-	if err := sess.eng.Checkpoint(&buf); err != nil {
+	if sess.rt != nil {
+		// The checker snapshot embeds the engine checkpoint, so one body
+		// round-trips both the lockset state and the conflict graph.
+		if err := sess.rt.Checkpoint(&buf); err != nil {
+			return nil, err
+		}
+	} else if err := sess.eng.Checkpoint(&buf); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -1115,11 +1161,20 @@ func loadSession(br *bufio.Reader) (*session, error) {
 		return nil, fmt.Errorf("invalid session id %q", hdr.Session)
 	}
 	tel := obs.NewTelemetry()
-	eng, err := core.RestoreEngine(br, core.RestoreAttach{Telemetry: tel})
-	if err != nil {
-		return nil, err
+	sess := &session{id: hdr.Session, tel: tel}
+	if hdr.Serial {
+		rt, err := regiontrack.Restore(br, core.RestoreAttach{Telemetry: tel})
+		if err != nil {
+			return nil, err
+		}
+		sess.rt, sess.eng = rt, rt.Engine()
+	} else {
+		eng, err := core.RestoreEngine(br, core.RestoreAttach{Telemetry: tel})
+		if err != nil {
+			return nil, err
+		}
+		sess.eng = eng
 	}
-	sess := &session{id: hdr.Session, eng: eng, tel: tel}
 	sess.applied.Store(hdr.Applied)
 	sess.races.Store(hdr.Races)
 	return sess, nil

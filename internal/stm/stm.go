@@ -24,6 +24,7 @@ import (
 
 	"goldilocks/internal/event"
 	"goldilocks/internal/jrt"
+	"goldilocks/internal/resilience"
 )
 
 // ErrAborted is returned by Atomic when the body called Tx.Abort.
@@ -99,6 +100,14 @@ type Tx struct {
 // (the transaction conflicts with unsynchronized plain accesses) rolls
 // the transaction back before propagating, so a caller that catches it
 // observes no partial effects.
+//
+// A scheduler failure — the deterministic scheduler declaring a
+// deadlock while the transaction holds its internal locks or backs off
+// waiting for a conflicting one — is returned as the structured
+// *resilience.Report (which implements error), with the transaction
+// rolled back first. The report panic must not escape through the
+// transaction machinery: callers inspect it with errors.As, and the
+// run's other threads unwind through the dead scheduler unscheduled.
 func (m *TM) Atomic(t *jrt.Thread, body func(tx *Tx)) error {
 	for {
 		tx := &Tx{
@@ -113,13 +122,36 @@ func (m *TM) Atomic(t *jrt.Thread, body func(tx *Tx)) error {
 		if retry {
 			m.noteAbort()
 			if busy != nil {
-				// Back off until the conflicting transaction finishes.
-				t.Exec(func() bool { return busy.owner == nil })
+				// Back off until the conflicting transaction finishes. The
+				// wait can itself deadlock the deterministic scheduler (the
+				// conflicting transaction may be waiting on us through data
+				// the detector cannot see); surface that as an error, not a
+				// panic through Atomic.
+				if err := m.backoff(t, busy); err != nil {
+					return err
+				}
 			}
 			continue
 		}
 		return err
 	}
+}
+
+// backoff parks t until the conflicting transaction's lock is free,
+// converting a scheduler-failure panic into the report it carries.
+func (m *TM) backoff(t *jrt.Thread, busy *objLock) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rep, ok := r.(*resilience.Report); ok {
+				t.Runtime().RecordFailure(rep)
+				err = rep
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.Exec(func() bool { return busy.owner == nil })
+	return nil
 }
 
 func (m *TM) noteAbort() {
@@ -145,6 +177,15 @@ func (tx *Tx) run(body func(tx *Tx)) (busy *objLock, retry bool, err error) {
 				busy = sentinel.busy
 			case abortSentinel:
 				err = ErrAborted
+			case *resilience.Report:
+				// The deterministic scheduler failed (deadlock) while this
+				// attempt was blocked inside acquire/commit. The run is
+				// over; hand the structured report to the caller instead of
+				// unwinding through Atomic. Swallowing the panic bypasses
+				// the runtime's own recovery barrier, so record the failure
+				// here or Runtime.Failure() would claim a clean run.
+				tx.t.Runtime().RecordFailure(sentinel)
+				err = sentinel
 			default:
 				panic(r) // includes DataRaceException from the commit point
 			}

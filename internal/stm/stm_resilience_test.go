@@ -1,0 +1,235 @@
+package stm_test
+
+import (
+	"errors"
+	"testing"
+
+	"goldilocks/internal/core"
+	"goldilocks/internal/jrt"
+	"goldilocks/internal/resilience"
+	"goldilocks/internal/stm"
+)
+
+// TestBackoffDeadlockReturnsReport pins the contention-backoff error
+// path: a transaction holds an internal lock while blocked on a channel
+// that nobody serves, so the competing transaction's backoff wait can
+// never be satisfied and the deterministic scheduler declares deadlock.
+// Atomic must return the structured report as an error — not let the
+// panic unwind through the caller — and the runtime must still account
+// the failure.
+func TestBackoffDeadlockReturnsReport(t *testing.T) {
+	rt := newRuntime(3, jrt.Throw)
+	tm := stm.New()
+	var atomicErr error
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("Acct", jrt.FieldDecl{Name: "bal"})
+		fc := rt.DefineClass("Flag", jrt.FieldDecl{Name: "ready", Volatile: true})
+		a, flag := th.New(c), th.New(fc)
+		th.SetField(a, "bal", 1)
+		ch := th.NewChan(0)
+		th.Spawn(func(u *jrt.Thread) {
+			// Holds a's internal lock, announces it, then parks forever:
+			// the recv can never complete, so the lock is never released.
+			tm.Atomic(u, func(tx *stm.Tx) {
+				tx.SetField(a, "bal", 2)
+				u.SetVolatile(flag, fc.MustFieldID("ready"), 1)
+				u.Recv(ch)
+			})
+		})
+		// Wait until the lock is provably held so the contention (and the
+		// doomed backoff) happens in every interleaving.
+		th.AwaitVolatile(flag, fc.MustFieldID("ready"), func(v jrt.Value) bool { n, _ := v.(int); return n == 1 })
+		atomicErr = tm.Atomic(th, func(tx *stm.Tx) {
+			tx.SetField(a, "bal", 3)
+		})
+	})
+	if atomicErr == nil {
+		t.Fatal("Atomic returned nil; want a deadlock report error")
+	}
+	var rep *resilience.Report
+	if !errors.As(atomicErr, &rep) {
+		t.Fatalf("Atomic error %T not a *resilience.Report: %v", atomicErr, atomicErr)
+	}
+	if rep.Kind != resilience.Deadlock {
+		t.Errorf("report kind = %v, want Deadlock", rep.Kind)
+	}
+	if len(rep.Blocked) == 0 {
+		t.Error("report carries no blocked threads")
+	}
+	if rt.Failure() == nil {
+		t.Error("Runtime.Failure() is nil after stm-mediated deadlock")
+	}
+	if _, aborts := tm.Stats(); aborts == 0 {
+		t.Error("contention that forced the backoff was not counted as an abort")
+	}
+}
+
+// TestBodyDeadlockReturnsReport pins the in-attempt error path (run's
+// recover, not backoff's): the transaction body itself blocks forever
+// while holding internal locks. The report must come back as Atomic's
+// error with the transaction rolled back, and a later transaction on
+// the same object must find the internal lock released.
+func TestBodyDeadlockReturnsReport(t *testing.T) {
+	rt := newRuntime(5, jrt.Throw)
+	tm := stm.New()
+	var atomicErr error
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("Acct", jrt.FieldDecl{Name: "bal"})
+		a := th.New(c)
+		th.SetField(a, "bal", 10)
+		ch := th.NewChan(0)
+		atomicErr = tm.Atomic(th, func(tx *stm.Tx) {
+			tx.SetField(a, "bal", 99)
+			th.Recv(ch) // no sender exists: scheduler deadlock
+		})
+		// The scheduler is dead but the thread keeps unwinding
+		// unscheduled; rollback must have released a's internal lock and
+		// discarded the buffered write.
+		if n, _ := th.GetUnchecked(a, c.MustFieldID("bal")).(int); n != 10 {
+			t.Errorf("bal = %d after rolled-back deadlocked tx, want 10", n)
+		}
+	})
+	var rep *resilience.Report
+	if !errors.As(atomicErr, &rep) {
+		t.Fatalf("Atomic error %T not a *resilience.Report: %v", atomicErr, atomicErr)
+	}
+	if rep.Kind != resilience.Deadlock {
+		t.Errorf("report kind = %v, want Deadlock", rep.Kind)
+	}
+	if rt.Failure() == nil {
+		t.Error("Runtime.Failure() is nil after in-body deadlock")
+	}
+}
+
+// TestTransactionChannelHandoff checks the transaction/channel
+// interaction: a value initialized inside a transaction and published
+// through a channel is race-free for the receiver's plain accesses —
+// the commit(R,W) and the send/recv edge compose into a
+// happens-before path the detector must accept in every interleaving.
+func TestTransactionChannelHandoff(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rt := newRuntime(seed, jrt.Throw)
+		tm := stm.New()
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("Box", jrt.FieldDecl{Name: "v"})
+			ch := th.NewChan(1)
+			u := th.Spawn(func(u *jrt.Thread) {
+				o := u.New(c)
+				if err := tm.Atomic(u, func(tx *stm.Tx) {
+					tx.SetField(o, "v", 41)
+				}); err != nil {
+					t.Errorf("seed %d: producer Atomic: %v", seed, err)
+				}
+				u.Send(ch, o)
+			})
+			v, _ := th.Recv(ch)
+			o := v.(*jrt.Object)
+			// Plain (non-transactional) read and write on the received
+			// object: ordered by commit -> send -> recv.
+			n, _ := th.GetField(o, "v").(int)
+			th.SetField(o, "v", n+1)
+			if m, _ := th.GetField(o, "v").(int); m != 42 {
+				t.Errorf("seed %d: v = %d, want 42", seed, m)
+			}
+			th.Join(u)
+		})
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Fatalf("seed %d: channel handoff of transactional state raced: %v", seed, rs)
+		}
+	}
+}
+
+// TestTransactionRecvInBody runs the symmetric composition: the
+// transaction body itself receives the object from a channel and then
+// mutates it transactionally, so the channel edge is ordered before the
+// commit. Race-free in every interleaving.
+func TestTransactionRecvInBody(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rt := newRuntime(seed, jrt.Throw)
+		tm := stm.New()
+		rt.Run(func(th *jrt.Thread) {
+			c := rt.DefineClass("Box", jrt.FieldDecl{Name: "v"})
+			ch := th.NewChan(1)
+			u := th.Spawn(func(u *jrt.Thread) {
+				o := u.New(c)
+				u.SetField(o, "v", 7) // thread-local init
+				u.Send(ch, o)
+			})
+			err := tm.Atomic(th, func(tx *stm.Tx) {
+				v, _ := th.Recv(ch)
+				o := v.(*jrt.Object)
+				n, _ := tx.GetField(o, "v").(int)
+				tx.SetField(o, "v", n*6)
+			})
+			if err != nil {
+				t.Errorf("seed %d: Atomic: %v", seed, err)
+			}
+			th.Join(u)
+		})
+		if rs := rt.Races(); len(rs) != 0 {
+			t.Fatalf("seed %d: recv-in-transaction raced: %v", seed, rs)
+		}
+	}
+}
+
+// TestFreeModeStress hammers the transaction manager from real
+// goroutines (free scheduler) so `go test -race` checks the TM's own
+// internals — the lock table, stats counters, and commit path — for
+// data races, while the invariant checks its serializability.
+func TestFreeModeStress(t *testing.T) {
+	const (
+		workers = 16
+		opsEach = 50
+		objects = 4
+	)
+	rt := jrt.NewRuntime(jrt.Config{Detector: core.New(), Mode: jrt.Free})
+	tm := stm.New()
+	rt.Run(func(th *jrt.Thread) {
+		c := rt.DefineClass("Acct", jrt.FieldDecl{Name: "bal"})
+		accts := make([]*jrt.Object, objects)
+		for i := range accts {
+			accts[i] = th.New(c)
+			th.SetField(accts[i], "bal", 1000)
+		}
+		done := jrt.NewLatch(th, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			th.Spawn(func(u *jrt.Thread) {
+				for i := 0; i < opsEach; i++ {
+					src := accts[(w+i)%objects]
+					dst := accts[(w+i+1)%objects]
+					amt := (w*opsEach + i) % 9
+					if err := tm.Atomic(u, func(tx *stm.Tx) {
+						x, _ := tx.GetField(src, "bal").(int)
+						y, _ := tx.GetField(dst, "bal").(int)
+						tx.SetField(src, "bal", x-amt)
+						tx.SetField(dst, "bal", y+amt)
+					}); err != nil {
+						t.Errorf("worker %d op %d: %v", w, i, err)
+					}
+				}
+				done.CountDown(u)
+			})
+		}
+		done.Await(th)
+		var total int
+		if err := tm.Atomic(th, func(tx *stm.Tx) {
+			for _, a := range accts {
+				n, _ := tx.GetField(a, "bal").(int)
+				total += n
+			}
+		}); err != nil {
+			t.Fatalf("final sweep: %v", err)
+		}
+		if total != objects*1000 {
+			t.Errorf("total = %d, want %d", total, objects*1000)
+		}
+	})
+	if rs := rt.Races(); len(rs) != 0 {
+		t.Fatalf("transactional stress raced: %v", rs)
+	}
+	commits, _ := tm.Stats()
+	if want := uint64(workers*opsEach + 1); commits != want {
+		t.Errorf("commits = %d, want %d", commits, want)
+	}
+}

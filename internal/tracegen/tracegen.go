@@ -53,6 +53,13 @@ type Config struct {
 	// values add chmake/send/recv/close to the synchronization mix
 	// (uniform over all kinds when SyncWeights is nil).
 	Channels int
+	// Regions, in [0,1], is the per-step probability that the acting
+	// thread toggles an explicit atomic-region marker: txbegin when the
+	// thread has no open region, txend otherwise. Markers feed the
+	// serializability checker (internal/detectors/regiontrack) and are
+	// no-ops for every race detector. Zero — the default — draws no
+	// extra random numbers and keeps pinned generator seeds bit-stable.
+	Regions float64
 }
 
 // Indexes into Config.SyncWeights: the synchronization action kinds a
@@ -96,6 +103,19 @@ func Default() Config {
 		TxnBias:    0.2,
 		SyncBias:   0.5,
 	}
+}
+
+// CommitHeavy returns a configuration tuned for serializability
+// checking: most data operations are transaction commits, and explicit
+// region markers wrap multi-event spans, so the generated traces
+// exercise the region graph (conflict cycles, open regions at trace
+// cuts) rather than just the race rules.
+func CommitHeavy() Config {
+	c := Default()
+	c.TxnBias = 0.6
+	c.SyncBias = 0.35
+	c.Regions = 0.15
+	return c
 }
 
 // Object ids used by the generator: globals object is 1, data objects
@@ -190,6 +210,8 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 		nkinds = NumSyncKindsChan
 	}
 
+	inRegion := map[event.Tid]bool{}
+
 	for step := 0; step < cfg.Steps; step++ {
 		live := alive()
 		if len(live) == 0 {
@@ -197,6 +219,20 @@ func Generate(rng *rand.Rand, cfg Config) *event.Trace {
 		}
 		th := live[rng.Intn(len(live))]
 		t := th.id
+
+		// Region markers toggle per thread. A region left open when its
+		// thread is joined (or at end of trace) is deliberate: Validate
+		// is prefix-closed, and open regions are exactly what checkpoint
+		// cuts and truncated streams produce.
+		if cfg.Regions > 0 && rng.Float64() < cfg.Regions {
+			if inRegion[t] {
+				b.TxEnd(t)
+			} else {
+				b.TxBegin(t)
+			}
+			inRegion[t] = !inRegion[t]
+			continue
+		}
 
 		if rng.Float64() < cfg.SyncBias {
 			switch pickSync(rng, cfg.SyncWeights, nkinds) {
